@@ -1,0 +1,57 @@
+//! Benchmarks of the ablation sweeps of DESIGN.md §5 (the quality
+//! numbers are produced by `repro ablations`; these measure their
+//! cost).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::{ablations, lab::Lab, scale::ExperimentScale};
+use std::hint::black_box;
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    g.bench_function("filter_fraction_sweep", |b| {
+        b.iter(|| {
+            let mut lab = Lab::new(ExperimentScale::Tiny, 42);
+            black_box(ablations::filter_fraction_sweep(&mut lab));
+        });
+    });
+    g.bench_function("dimensionality_sweep", |b| {
+        b.iter(|| {
+            let mut lab = Lab::new(ExperimentScale::Tiny, 42);
+            black_box(ablations::dimensionality_sweep(&mut lab));
+        });
+    });
+    g.bench_function("beta_sweep", |b| {
+        b.iter(|| {
+            let mut lab = Lab::new(ExperimentScale::Tiny, 42);
+            black_box(ablations::beta_sweep(&mut lab));
+        });
+    });
+    g.bench_function("tiv_meridian_decomposition", |b| {
+        b.iter(|| {
+            let mut lab = Lab::new(ExperimentScale::Tiny, 42);
+            black_box(ablations::tiv_meridian_decomposition(&mut lab));
+        });
+    });
+    g.finish();
+}
+
+
+/// Short measurement windows: the suite has ~50 benchmarks and runs on
+/// CI-grade single-core machines; Criterion's defaults (3 s warmup,
+/// 5 s measurement) would take an hour. The kernels here are
+/// millisecond-scale and deterministic, so 10 samples in a 2 s window
+/// give stable numbers.
+fn bench_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = bench_config();
+    targets = bench_ablations
+}
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Benchmarks of the embedding-side kernels: Vivaldi rounds (Figures
+//! 10–11), LAT fitting (Figure 16), IDES factorization (Figure 15), and
+//! dynamic-neighbor iterations (Figures 22–23).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ides::{Factorization, IdesModel};
+use simnet::net::{JitterModel, Network};
+use std::hint::black_box;
+use tivbench::{ds2, embed, SEED, SIZES};
+use tivcore::dynvivaldi::{self, DynVivaldiConfig};
+use vivaldi::{LatModel, VivaldiConfig, VivaldiSystem};
+
+fn bench_vivaldi_rounds(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vivaldi/100_rounds");
+    g.sample_size(10);
+    for &n in &SIZES {
+        let m = ds2(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &m, |b, m| {
+            b.iter(|| {
+                let mut sys = VivaldiSystem::new(VivaldiConfig::default(), m.len(), SEED);
+                let mut net = Network::new(m, JitterModel::None, SEED);
+                black_box(sys.run_rounds(&mut net, 100));
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_lat_fit(c: &mut Criterion) {
+    let m = ds2(200);
+    let emb = embed(&m, 100);
+    c.bench_function("lat/fit_200x32", |b| {
+        b.iter(|| black_box(LatModel::fit(emb.clone(), &m, 32, SEED)));
+    });
+}
+
+fn bench_ides(c: &mut Criterion) {
+    let m = ds2(200);
+    let mut g = c.benchmark_group("ides/fit_200_rank10");
+    g.sample_size(10);
+    g.bench_function("svd", |b| {
+        b.iter(|| black_box(IdesModel::fit(&m, 10, Factorization::Svd, SEED)));
+    });
+    g.bench_function("nmf", |b| {
+        b.iter(|| black_box(IdesModel::fit(&m, 10, Factorization::Nmf, SEED)));
+    });
+    g.finish();
+}
+
+fn bench_dynamic_neighbors(c: &mut Criterion) {
+    let m = ds2(150);
+    let cfg = DynVivaldiConfig {
+        vivaldi: VivaldiConfig { neighbors: 16, ..VivaldiConfig::default() },
+        rounds_per_iter: 50,
+        sample_extra: 16,
+    };
+    let mut g = c.benchmark_group("dynvivaldi");
+    g.sample_size(10);
+    g.bench_function("150_nodes_3_iters", |b| {
+        b.iter(|| black_box(dynvivaldi::run(&m, &cfg, 3, SEED)));
+    });
+    g.finish();
+}
+
+
+/// Short measurement windows: the suite has ~50 benchmarks and runs on
+/// CI-grade single-core machines; Criterion's defaults (3 s warmup,
+/// 5 s measurement) would take an hour. The kernels here are
+/// millisecond-scale and deterministic, so 10 samples in a 2 s window
+/// give stable numbers.
+fn bench_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = bench_config();
+    targets = bench_vivaldi_rounds, bench_lat_fit, bench_ides, bench_dynamic_neighbors
+}
+criterion_main!(benches);

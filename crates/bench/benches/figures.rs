@@ -1,0 +1,60 @@
+//! End-to-end figure regeneration benchmarks: one benchmark per figure
+//! of the paper, at test scale. `cargo bench -p tiv-bench --bench
+//! figures` is the "regenerate everything, timed" entry point; the
+//! `repro` binary is the human-facing one.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::{lab::Lab, scale::ExperimentScale, suite};
+use std::hint::black_box;
+
+fn bench_all_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    for id in suite::ALL_IDS {
+        g.bench_function(id, |b| {
+            b.iter(|| {
+                // A fresh lab per iteration so cached artifacts do not
+                // hide the figure's real cost.
+                let mut lab = Lab::new(ExperimentScale::Tiny, 42);
+                black_box(suite::run(id, &mut lab).expect("known id"));
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_shared_lab_suite(c: &mut Criterion) {
+    // The realistic cost of `repro all`: artifacts shared across
+    // figures through the lab cache.
+    let mut g = c.benchmark_group("suite");
+    g.sample_size(10);
+    g.bench_function("all_25_shared_lab", |b| {
+        b.iter(|| {
+            let mut lab = Lab::new(ExperimentScale::Tiny, 42);
+            for id in suite::ALL_IDS {
+                black_box(suite::run(id, &mut lab).expect("known id"));
+            }
+        });
+    });
+    g.finish();
+}
+
+
+/// Short measurement windows: the suite has ~50 benchmarks and runs on
+/// CI-grade single-core machines; Criterion's defaults (3 s warmup,
+/// 5 s measurement) would take an hour. The kernels here are
+/// millisecond-scale and deterministic, so 10 samples in a 2 s window
+/// give stable numbers.
+fn bench_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = bench_config();
+    targets = bench_all_figures, bench_shared_lab_suite
+}
+criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! Benchmarks of the Meridian-side kernels: ring construction, the
+//! recursive query (plain / no-termination / TIV-aware — Figures 12–14,
+//! 24–25), and the misplacement analysis of Figure 13.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use meridian::{
+    closest_neighbor, misplacement_by_delay, BuildOptions, MeridianConfig, MeridianOverlay,
+    Termination,
+};
+use simnet::net::{JitterModel, Network};
+use std::hint::black_box;
+use tivbench::{ds2, embed, SEED};
+use tivcore::tivmeridian::{build_tiv_aware, tiv_aware_query, TivMeridianConfig};
+
+fn bench_ring_construction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("meridian/build");
+    g.sample_size(10);
+    for &n in &[100usize, 200, 400] {
+        let m = ds2(n);
+        let members: Vec<usize> = (0..n / 2).collect();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &m, |b, m| {
+            b.iter(|| {
+                let mut net = Network::new(m, JitterModel::None, SEED);
+                black_box(MeridianOverlay::build(
+                    MeridianConfig::default(),
+                    members.clone(),
+                    &mut net,
+                    SEED,
+                    &BuildOptions::default(),
+                ));
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let m = ds2(300);
+    let mut net = Network::new(&m, JitterModel::None, SEED);
+    let overlay = MeridianOverlay::build(
+        MeridianConfig::default(),
+        (0..150).collect(),
+        &mut net,
+        SEED,
+        &BuildOptions::default(),
+    );
+    let emb = embed(&m, 100);
+    let tiv_cfg = TivMeridianConfig::default();
+    let mut aware_net = Network::new(&m, JitterModel::None, SEED);
+    let aware_overlay =
+        build_tiv_aware(&tiv_cfg, (0..150).collect(), &emb, &mut aware_net, SEED, None);
+
+    let mut g = c.benchmark_group("meridian/query_300");
+    g.bench_function("beta_termination", |b| {
+        let mut qnet = Network::new(&m, JitterModel::None, SEED);
+        let mut t = 150usize;
+        b.iter(|| {
+            t = 150 + (t - 150 + 1) % 150;
+            black_box(closest_neighbor(&overlay, &mut qnet, 0, t, Termination::Beta));
+        });
+    });
+    g.bench_function("no_termination", |b| {
+        let mut qnet = Network::new(&m, JitterModel::None, SEED);
+        let mut t = 150usize;
+        b.iter(|| {
+            t = 150 + (t - 150 + 1) % 150;
+            black_box(closest_neighbor(&overlay, &mut qnet, 0, t, Termination::None));
+        });
+    });
+    g.bench_function("tiv_aware", |b| {
+        let mut qnet = Network::new(&m, JitterModel::None, SEED);
+        let mut t = 150usize;
+        b.iter(|| {
+            t = 150 + (t - 150 + 1) % 150;
+            black_box(tiv_aware_query(&aware_overlay, &emb, &mut qnet, 0, t, &tiv_cfg));
+        });
+    });
+    g.finish();
+}
+
+fn bench_misplacement(c: &mut Criterion) {
+    let m = ds2(200);
+    let mut g = c.benchmark_group("meridian/misplacement_fig13");
+    g.sample_size(10);
+    for beta in [0.1, 0.5, 0.9] {
+        g.bench_with_input(BenchmarkId::from_parameter(beta), &beta, |b, &beta| {
+            b.iter(|| {
+                black_box(misplacement_by_delay(&m, beta, 2000, SEED, 50.0, 1000.0));
+            });
+        });
+    }
+    g.finish();
+}
+
+
+/// Short measurement windows: the suite has ~50 benchmarks and runs on
+/// CI-grade single-core machines; Criterion's defaults (3 s warmup,
+/// 5 s measurement) would take an hour. The kernels here are
+/// millisecond-scale and deterministic, so 10 samples in a 2 s window
+/// give stable numbers.
+fn bench_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = bench_config();
+    targets = bench_ring_construction, bench_queries, bench_misplacement
+}
+criterion_main!(benches);

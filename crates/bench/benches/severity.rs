@@ -1,0 +1,95 @@
+//! Benchmarks of the Section 2 analysis kernels: the O(n³) severity
+//! computation (Figures 2–7), clustering (Figure 3), all-pairs shortest
+//! paths (Figure 8), and the proximity experiment (Figure 9).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use delayspace::apsp::ShortestPaths;
+use delayspace::cluster::{ClusterConfig, Clustering};
+use std::hint::black_box;
+use tivbench::{ds2, SEED, SIZES};
+use tivcore::severity::{proximity_experiment, Severity};
+
+fn bench_severity(c: &mut Criterion) {
+    let mut g = c.benchmark_group("severity");
+    g.sample_size(10);
+    for &n in &SIZES {
+        let m = ds2(n);
+        g.bench_with_input(BenchmarkId::new("exact", n), &m, |b, m| {
+            b.iter(|| black_box(Severity::compute(m, 0)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_triangle_fraction(c: &mut Criterion) {
+    let m = ds2(200);
+    let sev = Severity::compute(&m, 0);
+    c.bench_function("severity/violating_fraction_200", |b| {
+        b.iter(|| black_box(sev.violating_triangle_fraction()));
+    });
+}
+
+fn bench_clustering(c: &mut Criterion) {
+    let mut g = c.benchmark_group("clustering");
+    g.sample_size(10);
+    for &n in &SIZES {
+        let m = ds2(n);
+        g.bench_with_input(BenchmarkId::new("medoid", n), &m, |b, m| {
+            b.iter(|| black_box(Clustering::compute(m, &ClusterConfig::default())));
+        });
+    }
+    g.finish();
+}
+
+fn bench_apsp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("apsp");
+    g.sample_size(10);
+    for &n in &SIZES {
+        let m = ds2(n);
+        g.bench_with_input(BenchmarkId::new("dijkstra_dense", n), &m, |b, m| {
+            b.iter(|| black_box(ShortestPaths::compute(m, 0)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_proximity(c: &mut Criterion) {
+    let m = ds2(200);
+    let sev = Severity::compute(&m, 0);
+    c.bench_function("severity/proximity_2000_samples", |b| {
+        b.iter(|| black_box(proximity_experiment(&m, &sev, 2000, SEED)));
+    });
+}
+
+fn bench_estimator(c: &mut Criterion) {
+    // The deployable sampled estimator versus the exact O(n) per-edge
+    // scan: a practical monitor runs the former.
+    let m = ds2(400);
+    let mut g = c.benchmark_group("severity/estimate_one_edge");
+    for k in [16usize, 64, 256] {
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| black_box(tivcore::estimate_severity(&m, 0, 1, k, SEED)));
+        });
+    }
+    g.finish();
+}
+
+
+/// Short measurement windows: the suite has ~50 benchmarks and runs on
+/// CI-grade single-core machines; Criterion's defaults (3 s warmup,
+/// 5 s measurement) would take an hour. The kernels here are
+/// millisecond-scale and deterministic, so 10 samples in a 2 s window
+/// give stable numbers.
+fn bench_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = bench_config();
+    targets = bench_severity, bench_triangle_fraction, bench_clustering, bench_apsp, bench_proximity, bench_estimator
+}
+criterion_main!(benches);

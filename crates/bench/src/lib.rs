@@ -1,0 +1,51 @@
+//! Shared fixtures for the benchmark suite.
+//!
+//! Each bench regenerates (a kernel of) one of the paper's figures; the
+//! fixtures pin sizes and seeds so numbers are comparable across runs.
+//! Absolute runtimes are machine facts — the interesting outputs are the
+//! scaling curves (severity is O(n³), APSP O(n³), queries O(k·hops)).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use delayspace::matrix::DelayMatrix;
+use delayspace::synth::{Dataset, InternetDelaySpace};
+use simnet::net::{JitterModel, Network};
+use vivaldi::{Embedding, VivaldiConfig, VivaldiSystem};
+
+/// The fixed benchmark seed.
+pub const SEED: u64 = 0xB16_B00B5;
+
+/// Node sizes used by the scaling benches.
+pub const SIZES: [usize; 3] = [100, 200, 400];
+
+/// A DS²-preset matrix of `n` nodes.
+pub fn ds2(n: usize) -> DelayMatrix {
+    InternetDelaySpace::preset(Dataset::Ds2).with_nodes(n).build(SEED).into_matrix()
+}
+
+/// A pure-metric control matrix of `n` nodes.
+pub fn euclidean(n: usize) -> DelayMatrix {
+    InternetDelaySpace::preset(Dataset::Euclidean).with_nodes(n).build(SEED).into_matrix()
+}
+
+/// A steady-state Vivaldi embedding of `m` (100 rounds, default config).
+pub fn embed(m: &DelayMatrix, rounds: usize) -> Embedding {
+    let mut sys = VivaldiSystem::new(VivaldiConfig::default(), m.len(), SEED);
+    let mut net = Network::new(m, JitterModel::None, SEED);
+    sys.run_rounds(&mut net, rounds);
+    sys.embedding()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_stable() {
+        let a = ds2(60);
+        let b = ds2(60);
+        assert_eq!(a, b);
+        assert_eq!(embed(&a, 20).coord(0), embed(&b, 20).coord(0));
+    }
+}

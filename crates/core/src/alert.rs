@@ -1,0 +1,246 @@
+//! The TIV alert mechanism (Section 5.1).
+//!
+//! The paper's key observation: when a delay space with TIVs is embedded
+//! into a metric space, the edges that cause severe TIVs tend to be
+//! **shrunk** — the optimiser sacrifices them to preserve the many short
+//! alternative paths. The *prediction ratio*
+//! `euclidean_distance / measured_delay` of an embedding snapshot is
+//! therefore a usable alarm signal: ratios well below 1 flag likely
+//! severe-TIV edges, with no severity computation (which would need
+//! global information) and no extra measurements beyond what the
+//! embedding already did.
+
+use crate::severity::Severity;
+use delayspace::matrix::{DelayMatrix, NodeId};
+use delayspace::stats::BinnedStats;
+use std::collections::HashSet;
+use vivaldi::Embedding;
+
+/// A configured alert: edges with prediction ratio strictly below
+/// `threshold` raise an alarm.
+#[derive(Clone, Copy, Debug)]
+pub struct TivAlert {
+    /// Alert threshold on the prediction ratio (paper explores 0–1 and
+    /// deploys 0.6 in Section 5.2/5.3).
+    pub threshold: f64,
+}
+
+impl TivAlert {
+    /// Creates an alert with the given ratio threshold.
+    pub fn new(threshold: f64) -> Self {
+        assert!(threshold >= 0.0 && threshold.is_finite(), "bad threshold {threshold}");
+        TivAlert { threshold }
+    }
+
+    /// True when a prediction ratio trips the alarm.
+    #[inline]
+    pub fn is_alert(&self, prediction_ratio: f64) -> bool {
+        prediction_ratio < self.threshold
+    }
+
+    /// Evaluates the alert for an edge given an embedding snapshot;
+    /// `None` when the edge is unmeasured.
+    pub fn check(
+        &self,
+        emb: &Embedding,
+        m: &DelayMatrix,
+        i: NodeId,
+        j: NodeId,
+    ) -> Option<bool> {
+        emb.prediction_ratio(m, i, j).map(|r| self.is_alert(r))
+    }
+}
+
+/// Figure 19: TIV severity of edges grouped by prediction ratio, in
+/// `bin_width`-wide bins over `[0, max_ratio]`.
+pub fn ratio_severity_bins(
+    emb: &Embedding,
+    m: &DelayMatrix,
+    sev: &Severity,
+    bin_width: f64,
+    max_ratio: f64,
+) -> BinnedStats {
+    BinnedStats::build(
+        m.edges().filter_map(|(i, j, d)| {
+            let s = sev.severity(i, j)?;
+            (d > 0.0).then(|| (emb.predicted(i, j) / d, s))
+        }),
+        bin_width,
+        max_ratio,
+    )
+}
+
+/// One point of the accuracy/recall sweep (Figures 20–21).
+#[derive(Clone, Copy, Debug)]
+pub struct AlertQuality {
+    /// The ratio threshold evaluated.
+    pub threshold: f64,
+    /// Ground-truth target: the worst `worst_frac` of edges by severity.
+    pub worst_frac: f64,
+    /// Fraction of alerted edges that are in the worst set (precision).
+    pub accuracy: f64,
+    /// Fraction of the worst set that was alerted.
+    pub recall: f64,
+    /// Fraction of all measured edges alerted at this threshold.
+    pub alerted_frac: f64,
+}
+
+/// Sweeps alert thresholds against a ground-truth "worst `worst_frac`"
+/// severity set, producing the accuracy and recall curves of Figures 20
+/// and 21.
+pub fn accuracy_recall_sweep(
+    emb: &Embedding,
+    m: &DelayMatrix,
+    sev: &Severity,
+    worst_frac: f64,
+    thresholds: &[f64],
+) -> Vec<AlertQuality> {
+    let worst: HashSet<(NodeId, NodeId)> =
+        sev.worst_edges(m, worst_frac).into_iter().collect();
+    // Prediction ratio per measured edge, computed once.
+    let ratios: Vec<(NodeId, NodeId, f64)> = m
+        .edges()
+        .filter_map(|(i, j, d)| (d > 0.0).then(|| (i, j, emb.predicted(i, j) / d)))
+        .collect();
+    let total_edges = ratios.len().max(1);
+
+    thresholds
+        .iter()
+        .map(|&t| {
+            let alert = TivAlert::new(t);
+            let mut alerted = 0usize;
+            let mut hits = 0usize;
+            for &(i, j, r) in &ratios {
+                if alert.is_alert(r) {
+                    alerted += 1;
+                    if worst.contains(&(i, j)) {
+                        hits += 1;
+                    }
+                }
+            }
+            AlertQuality {
+                threshold: t,
+                worst_frac,
+                accuracy: if alerted > 0 { hits as f64 / alerted as f64 } else { 1.0 },
+                recall: if worst.is_empty() { 1.0 } else { hits as f64 / worst.len() as f64 },
+                alerted_frac: alerted as f64 / total_edges as f64,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use delayspace::synth::{Dataset, InternetDelaySpace};
+    use simnet::net::{JitterModel, Network};
+    use vivaldi::{VivaldiConfig, VivaldiSystem};
+
+    fn embed(m: &DelayMatrix, seed: u64) -> Embedding {
+        let mut sys = VivaldiSystem::new(
+            VivaldiConfig { neighbors: 24, ..VivaldiConfig::default() },
+            m.len(),
+            seed,
+        );
+        let mut net = Network::new(m, JitterModel::None, seed);
+        sys.run_rounds(&mut net, 150);
+        sys.embedding()
+    }
+
+    #[test]
+    fn alert_threshold_semantics() {
+        let a = TivAlert::new(0.6);
+        assert!(a.is_alert(0.3));
+        assert!(!a.is_alert(0.6)); // strict
+        assert!(!a.is_alert(1.5));
+    }
+
+    #[test]
+    fn severe_edges_are_shrunk_in_embedding() {
+        // The core observation behind the mechanism: median prediction
+        // ratio of high-severity edges < median ratio of zero-severity
+        // edges.
+        let s = InternetDelaySpace::preset(Dataset::Ds2).with_nodes(150).build(3);
+        let m = s.matrix();
+        let emb = embed(m, 3);
+        let sev = Severity::compute(m, 0);
+        let mut severe = Vec::new();
+        let mut benign = Vec::new();
+        let cdf = sev.cdf(m);
+        let hi = cdf.quantile(0.95);
+        for (i, j, d) in m.edges() {
+            let ratio = emb.predicted(i, j) / d;
+            let sv = sev.severity(i, j).unwrap();
+            if sv >= hi && sv > 0.0 {
+                severe.push(ratio);
+            } else if sv == 0.0 {
+                benign.push(ratio);
+            }
+        }
+        let med = |mut v: Vec<f64>| {
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            v[v.len() / 2]
+        };
+        let (ms, mb) = (med(severe), med(benign));
+        assert!(ms < mb, "severe edges not shrunk: severe median {ms}, benign {mb}");
+    }
+
+    #[test]
+    fn ratio_severity_bins_show_decreasing_trend() {
+        let s = InternetDelaySpace::preset(Dataset::Ds2).with_nodes(150).build(7);
+        let m = s.matrix();
+        let emb = embed(m, 7);
+        let sev = Severity::compute(m, 0);
+        let bins = ratio_severity_bins(&emb, m, &sev, 0.5, 3.0);
+        // Median severity in the lowest-ratio bin exceeds that in the
+        // ratio ≈ 1 bin.
+        let low = bins.bins.iter().find(|b| b.stats.is_some()).unwrap();
+        let near_one = bins.bins.iter().find(|b| b.lo >= 1.0 && b.stats.is_some()).unwrap();
+        assert!(
+            low.stats.unwrap().p50 >= near_one.stats.unwrap().p50,
+            "no shrink trend: low {:?} vs near-one {:?}",
+            low.stats,
+            near_one.stats
+        );
+    }
+
+    #[test]
+    fn tight_threshold_high_accuracy_low_recall() {
+        let s = InternetDelaySpace::preset(Dataset::Ds2).with_nodes(250).build(11);
+        let m = s.matrix();
+        let emb = embed(m, 11);
+        let sev = Severity::compute(m, 0);
+        let sweep = accuracy_recall_sweep(&emb, m, &sev, 0.20, &[0.5, 0.95]);
+        let tight = sweep[0];
+        let loose = sweep[1];
+        // Monotone structure of the trade-off.
+        assert!(tight.alerted_frac <= loose.alerted_frac);
+        assert!(tight.recall <= loose.recall + 1e-9);
+        // A moderately tight threshold is a usable alarm against the
+        // worst-20% target (the paper reports 65%+ at threshold 0.6).
+        assert!(
+            tight.accuracy >= 0.4,
+            "tight accuracy {} too low to be a usable alert",
+            tight.accuracy
+        );
+    }
+
+    #[test]
+    fn sweep_handles_empty_alert_set() {
+        let s = InternetDelaySpace::preset(Dataset::Ds2).with_nodes(50).build(13);
+        let m = s.matrix();
+        let emb = embed(m, 13);
+        let sev = Severity::compute(m, 0);
+        let sweep = accuracy_recall_sweep(&emb, m, &sev, 0.1, &[0.0]);
+        // Threshold 0 alerts nothing (strict comparison).
+        assert_eq!(sweep[0].alerted_frac, 0.0);
+        assert_eq!(sweep[0].recall, 0.0);
+        assert_eq!(sweep[0].accuracy, 1.0); // vacuous precision
+    }
+
+    #[test]
+    #[should_panic(expected = "bad threshold")]
+    fn invalid_threshold_rejected() {
+        TivAlert::new(f64::NAN);
+    }
+}

@@ -1,0 +1,224 @@
+//! Dynamic-neighbor Vivaldi (Section 5.2).
+//!
+//! Vivaldi is itself an embedding, so the TIV alert signal is free: each
+//! node already knows the prediction ratio of every edge it probes. The
+//! enhanced protocol starts as plain Vivaldi (32 random neighbors), and
+//! every `T` rounds each node:
+//!
+//! 1. samples 32 fresh random candidates and pools them with its current
+//!    32 neighbors,
+//! 2. ranks the pool by prediction ratio
+//!    (`euclidean_distance / measured_delay`, one probe per candidate),
+//! 3. drops the half with the *smallest* ratios — the shrunk edges the
+//!    alert mechanism flags as likely severe-TIV causers — and keeps the
+//!    remaining 32 as next iteration's neighbor set.
+//!
+//! Unlike the global severity filter of Section 4.3 this does not try
+//! to remove TIVs from the *data*; it removes them from each node's
+//! *spring set*, which is what actually stabilises the embedding
+//! (Figures 22–23).
+
+use delayspace::matrix::{DelayMatrix, NodeId};
+use delayspace::rng;
+use simnet::net::{JitterModel, Network};
+use vivaldi::{Embedding, VivaldiConfig, VivaldiSystem};
+
+/// Configuration of the dynamic-neighbor protocol.
+#[derive(Clone, Copy, Debug)]
+pub struct DynVivaldiConfig {
+    /// The underlying Vivaldi parameters; `vivaldi.neighbors` is the
+    /// kept set size (paper: 32).
+    pub vivaldi: VivaldiConfig,
+    /// Rounds between neighbor updates (paper: T = 100 s, i.e. 100
+    /// rounds — long enough for coordinates to settle each iteration).
+    pub rounds_per_iter: usize,
+    /// Fresh random candidates sampled per update (paper: 32).
+    pub sample_extra: usize,
+}
+
+impl Default for DynVivaldiConfig {
+    fn default() -> Self {
+        DynVivaldiConfig {
+            vivaldi: VivaldiConfig::default(),
+            rounds_per_iter: 100,
+            sample_extra: 32,
+        }
+    }
+}
+
+/// State captured after each iteration.
+#[derive(Clone, Debug)]
+pub struct IterationRecord {
+    /// 0 = the plain-Vivaldi baseline (before any neighbor update).
+    pub iteration: usize,
+    /// Embedding snapshot at the end of the iteration.
+    pub embedding: Embedding,
+    /// Directed neighbor edges `(owner, neighbor)` in force during the
+    /// iteration — Figure 22 plots the severity CDF of these.
+    pub neighbor_edges: Vec<(NodeId, NodeId)>,
+    /// Probes spent on neighbor-update measurements this iteration
+    /// (zero for the baseline).
+    pub update_probes: u64,
+}
+
+/// Runs dynamic-neighbor Vivaldi for `iterations` neighbor updates.
+///
+/// Returns `iterations + 1` records; record 0 is the plain-Vivaldi
+/// baseline after the first `rounds_per_iter` rounds.
+pub fn run(
+    m: &DelayMatrix,
+    cfg: &DynVivaldiConfig,
+    iterations: usize,
+    seed: u64,
+) -> Vec<IterationRecord> {
+    let n = m.len();
+    assert!(n > cfg.vivaldi.neighbors, "need more nodes than neighbors");
+    let mut sys = VivaldiSystem::new(cfg.vivaldi, n, seed);
+    let mut net = Network::new(m, JitterModel::None, seed);
+    let mut r = rng::sub_rng(seed, "dynvivaldi/sample");
+
+    let mut records = Vec::with_capacity(iterations + 1);
+    sys.run_rounds(&mut net, cfg.rounds_per_iter);
+    records.push(IterationRecord {
+        iteration: 0,
+        embedding: sys.embedding(),
+        neighbor_edges: collect_edges(&sys),
+        update_probes: 0,
+    });
+
+    for iter in 1..=iterations {
+        let before = net.stats().total();
+        update_neighbors(&mut sys, &mut net, m, cfg, &mut r);
+        let update_probes = net.stats().total() - before;
+        sys.run_rounds(&mut net, cfg.rounds_per_iter);
+        records.push(IterationRecord {
+            iteration: iter,
+            embedding: sys.embedding(),
+            neighbor_edges: collect_edges(&sys),
+            update_probes,
+        });
+    }
+    records
+}
+
+fn collect_edges(sys: &VivaldiSystem) -> Vec<(NodeId, NodeId)> {
+    (0..sys.len())
+        .flat_map(|i| sys.neighbors_of(i).iter().map(move |&j| (i, j)))
+        .collect()
+}
+
+/// One neighbor-update step for every node.
+fn update_neighbors(
+    sys: &mut VivaldiSystem,
+    net: &mut Network<'_>,
+    m: &DelayMatrix,
+    cfg: &DynVivaldiConfig,
+    r: &mut delayspace::rng::DetRng,
+) {
+    let n = m.len();
+    let keep = cfg.vivaldi.neighbors;
+    let emb = sys.embedding();
+    for i in 0..n {
+        // Pool = current neighbors ∪ fresh sample (dedup, no self).
+        let mut pool: Vec<NodeId> = sys.neighbors_of(i).to_vec();
+        let extra = rng::sample_indices(r, n - 1, cfg.sample_extra.min(n - 1))
+            .into_iter()
+            .map(|x| if x >= i { x + 1 } else { x });
+        for c in extra {
+            if !pool.contains(&c) {
+                pool.push(c);
+            }
+        }
+        // Rank by prediction ratio; measuring costs one probe each.
+        let mut ranked: Vec<(NodeId, f64)> = pool
+            .into_iter()
+            .filter_map(|j| {
+                let d = net.probe(i, j)?;
+                (d > 0.0).then(|| (j, emb.predicted(i, j) / d))
+            })
+            .collect();
+        // Largest ratio first; the shrunk (small-ratio) tail is dropped.
+        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        ranked.truncate(keep.max(1));
+        if !ranked.is_empty() {
+            sys.set_neighbors(i, ranked.into_iter().map(|(j, _)| j).collect());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::severity::Severity;
+    use delayspace::stats::mean;
+    use delayspace::synth::{Dataset, InternetDelaySpace};
+
+    fn small_cfg() -> DynVivaldiConfig {
+        DynVivaldiConfig {
+            vivaldi: VivaldiConfig { neighbors: 12, ..VivaldiConfig::default() },
+            rounds_per_iter: 60,
+            sample_extra: 12,
+        }
+    }
+
+    #[test]
+    fn produces_one_record_per_iteration_plus_baseline() {
+        let s = InternetDelaySpace::preset(Dataset::Ds2).with_nodes(60).build(3);
+        let records = run(s.matrix(), &small_cfg(), 3, 1);
+        assert_eq!(records.len(), 4);
+        assert_eq!(records[0].iteration, 0);
+        assert_eq!(records[0].update_probes, 0);
+        assert!(records[1].update_probes > 0);
+    }
+
+    #[test]
+    fn neighbor_sets_keep_configured_size() {
+        let s = InternetDelaySpace::preset(Dataset::Ds2).with_nodes(60).build(5);
+        let cfg = small_cfg();
+        let records = run(s.matrix(), &cfg, 2, 2);
+        for rec in &records {
+            // Each node contributes at most `neighbors` directed edges
+            // (exactly, unless measurements were missing).
+            assert!(rec.neighbor_edges.len() <= 60 * cfg.vivaldi.neighbors);
+            assert!(rec.neighbor_edges.len() >= 60 * (cfg.vivaldi.neighbors - 2));
+        }
+    }
+
+    #[test]
+    fn neighbor_edge_severity_decreases_over_iterations() {
+        // The heart of Figure 22: iterating the update purges
+        // high-severity edges from the spring sets.
+        let s = InternetDelaySpace::preset(Dataset::Ds2).with_nodes(120).build(7);
+        let m = s.matrix();
+        let sev = Severity::compute(m, 0);
+        let records = run(m, &small_cfg(), 4, 3);
+        let mean_sev = |rec: &IterationRecord| {
+            mean(
+                rec.neighbor_edges
+                    .iter()
+                    .filter_map(|&(i, j)| sev.severity(i, j)),
+            )
+        };
+        let first = mean_sev(&records[0]);
+        let last = mean_sev(&records[4]);
+        assert!(
+            last < first,
+            "neighbor severity did not decrease: {first} → {last}"
+        );
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let s = InternetDelaySpace::preset(Dataset::Ds2).with_nodes(50).build(9);
+        let a = run(s.matrix(), &small_cfg(), 2, 4);
+        let b = run(s.matrix(), &small_cfg(), 2, 4);
+        assert_eq!(a[2].neighbor_edges, b[2].neighbor_edges);
+    }
+
+    #[test]
+    #[should_panic(expected = "more nodes than neighbors")]
+    fn too_few_nodes_rejected() {
+        let s = InternetDelaySpace::preset(Dataset::Ds2).with_nodes(10).build(1);
+        run(s.matrix(), &DynVivaldiConfig::default(), 1, 1);
+    }
+}

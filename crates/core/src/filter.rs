@@ -1,0 +1,146 @@
+//! The naive global severity filter (Section 4.3).
+//!
+//! Given *global* knowledge of the delay space, one can rank all edges
+//! by TIV severity and simply forbid the worst fraction from being used
+//! — by Vivaldi as probing-neighbor edges, by Meridian for ring
+//! membership. The paper shows this strawman barely helps Vivaldi
+//! (TIV is too widespread) and actively *hurts* Meridian (rings become
+//! under-populated and queries strand). This module provides the edge
+//! mask used by both experiments.
+
+use crate::severity::Severity;
+use delayspace::matrix::{DelayMatrix, NodeId};
+
+/// A symmetric set of forbidden edges over `n` nodes.
+#[derive(Clone, Debug)]
+pub struct EdgeMask {
+    n: usize,
+    /// Bit per ordered pair; symmetric by construction.
+    removed: Vec<u64>,
+}
+
+impl EdgeMask {
+    /// A mask over `n` nodes with nothing removed.
+    pub fn new(n: usize) -> Self {
+        EdgeMask { n, removed: vec![0; (n * n).div_ceil(64)] }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the mask covers no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    #[inline]
+    fn bit(&self, i: NodeId, j: NodeId) -> (usize, u64) {
+        let idx = i * self.n + j;
+        (idx / 64, 1u64 << (idx % 64))
+    }
+
+    /// Forbids the unordered edge `{i, j}`.
+    pub fn remove(&mut self, i: NodeId, j: NodeId) {
+        for (a, b) in [(i, j), (j, i)] {
+            let (w, m) = self.bit(a, b);
+            self.removed[w] |= m;
+        }
+    }
+
+    /// True when the edge may be used.
+    #[inline]
+    pub fn allows(&self, i: NodeId, j: NodeId) -> bool {
+        let (w, m) = self.bit(i, j);
+        self.removed[w] & m == 0
+    }
+
+    /// Number of unordered edges removed.
+    pub fn removed_count(&self) -> usize {
+        self.removed.iter().map(|w| w.count_ones() as usize).sum::<usize>() / 2
+    }
+
+    /// Builds the Section 4.3 mask: removes the `frac` of measured
+    /// edges with the highest TIV severity.
+    pub fn worst_severity(m: &DelayMatrix, sev: &Severity, frac: f64) -> Self {
+        let mut mask = EdgeMask::new(m.len());
+        for (i, j) in sev.worst_edges(m, frac) {
+            mask.remove(i, j);
+        }
+        mask
+    }
+
+    /// Filters a candidate neighbor list for `node`, keeping only
+    /// allowed edges.
+    pub fn filter_neighbors(&self, node: NodeId, candidates: &[NodeId]) -> Vec<NodeId> {
+        candidates.iter().copied().filter(|&c| self.allows(node, c)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use delayspace::synth::{Dataset, InternetDelaySpace};
+
+    #[test]
+    fn mask_is_symmetric() {
+        let mut mask = EdgeMask::new(5);
+        assert!(mask.allows(1, 3));
+        mask.remove(1, 3);
+        assert!(!mask.allows(1, 3));
+        assert!(!mask.allows(3, 1));
+        assert!(mask.allows(1, 2));
+        assert_eq!(mask.removed_count(), 1);
+    }
+
+    #[test]
+    fn worst_severity_mask_removes_requested_fraction() {
+        let s = InternetDelaySpace::preset(Dataset::Ds2).with_nodes(80).build(5);
+        let m = s.matrix();
+        let sev = Severity::compute(m, 0);
+        let mask = EdgeMask::worst_severity(m, &sev, 0.2);
+        let total = m.edges().count();
+        let expect = ((total as f64) * 0.2).round() as usize;
+        assert_eq!(mask.removed_count(), expect);
+    }
+
+    #[test]
+    fn removed_edges_have_higher_severity_than_kept() {
+        let s = InternetDelaySpace::preset(Dataset::Ds2).with_nodes(80).build(7);
+        let m = s.matrix();
+        let sev = Severity::compute(m, 0);
+        let mask = EdgeMask::worst_severity(m, &sev, 0.1);
+        let mut min_removed = f64::MAX;
+        let mut max_kept = f64::MIN;
+        for (i, j, s) in sev.edges(m) {
+            if mask.allows(i, j) {
+                max_kept = max_kept.max(s);
+            } else {
+                min_removed = min_removed.min(s);
+            }
+        }
+        assert!(
+            min_removed >= max_kept - 1e-12,
+            "severity threshold not respected: removed min {min_removed} < kept max {max_kept}"
+        );
+    }
+
+    #[test]
+    fn filter_neighbors_drops_masked() {
+        let mut mask = EdgeMask::new(6);
+        mask.remove(0, 2);
+        mask.remove(0, 4);
+        let kept = mask.filter_neighbors(0, &[1, 2, 3, 4, 5]);
+        assert_eq!(kept, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn zero_fraction_removes_nothing() {
+        let s = InternetDelaySpace::preset(Dataset::Ds2).with_nodes(40).build(9);
+        let m = s.matrix();
+        let sev = Severity::compute(m, 0);
+        let mask = EdgeMask::worst_severity(m, &sev, 0.0);
+        assert_eq!(mask.removed_count(), 0);
+    }
+}

@@ -1,0 +1,217 @@
+//! Application-oriented accuracy metrics for delay predictors.
+//!
+//! The paper's related work (Lua, Griffin, Pias, Zheng, Crowcroft —
+//! IMC 2005, its reference [13]) argues that aggregate error hides what
+//! applications feel, and proposes rank-based metrics. We implement the
+//! two they introduce plus plain relative error, over any predictor
+//! function, so every system in this workspace (Vivaldi, LAT, GNP,
+//! IDES, …) can be compared on the axis that actually predicts
+//! neighbor-selection quality:
+//!
+//! * **relative error** — `|predicted − measured| / measured` per edge;
+//! * **relative rank loss (RRL)** — for a node `x` and peer pairs
+//!   `(y, z)`: the fraction of pairs whose order by predicted delay
+//!   contradicts their order by measured delay;
+//! * **closest-neighbor loss (CNL)** — the fraction of nodes whose
+//!   predicted-closest peer is not their measured-closest peer.
+//!
+//! Section 4.2's headline ("better aggregate accuracy does not imply
+//! better neighbor selection") is visible directly in these numbers:
+//! IDES can beat Vivaldi on relative error while losing on CNL.
+
+use delayspace::matrix::{DelayMatrix, NodeId};
+use delayspace::rng;
+use delayspace::stats::Cdf;
+use rand::Rng;
+
+/// CDF of per-edge relative errors `|p − d| / d` over measured edges.
+pub fn relative_error_cdf(m: &DelayMatrix, predict: impl Fn(NodeId, NodeId) -> f64) -> Cdf {
+    Cdf::from_samples(
+        m.edges().filter(|&(_, _, d)| d > 0.0).map(|(i, j, d)| (predict(i, j) - d).abs() / d),
+    )
+}
+
+/// Relative rank loss of a predictor, estimated over `samples` random
+/// `(x, y, z)` triples (deterministic in `seed`).
+///
+/// 0 = the predictor orders every peer pair as the measurements do;
+/// 0.5 = random ordering.
+pub fn relative_rank_loss(
+    m: &DelayMatrix,
+    predict: impl Fn(NodeId, NodeId) -> f64,
+    samples: usize,
+    seed: u64,
+) -> f64 {
+    let n = m.len();
+    assert!(n >= 3, "need at least 3 nodes");
+    let mut r = rng::sub_rng(seed, "metrics/rrl");
+    let mut inverted = 0usize;
+    let mut counted = 0usize;
+    let mut attempts = 0usize;
+    while counted < samples && attempts < samples * 20 {
+        attempts += 1;
+        let x = r.gen_range(0..n);
+        let y = r.gen_range(0..n);
+        let z = r.gen_range(0..n);
+        if x == y || x == z || y == z {
+            continue;
+        }
+        let (Some(dy), Some(dz)) = (m.get(x, y), m.get(x, z)) else { continue };
+        if dy == dz {
+            continue; // no ground-truth order to violate
+        }
+        let (py, pz) = (predict(x, y), predict(x, z));
+        counted += 1;
+        if (dy < dz) != (py < pz) {
+            inverted += 1;
+        }
+    }
+    if counted == 0 {
+        return 0.0;
+    }
+    inverted as f64 / counted as f64
+}
+
+/// Closest-neighbor loss: the fraction of nodes whose predicted-nearest
+/// peer differs from their measured-nearest peer. Ties in prediction
+/// are broken towards smaller node id (deterministically).
+pub fn closest_neighbor_loss(
+    m: &DelayMatrix,
+    predict: impl Fn(NodeId, NodeId) -> f64,
+) -> f64 {
+    let n = m.len();
+    let mut wrong = 0usize;
+    let mut counted = 0usize;
+    for x in 0..n {
+        let Some((true_nn, true_d)) = m.nearest_neighbor(x) else { continue };
+        let predicted_nn = (0..n)
+            .filter(|&y| y != x && m.get(x, y).is_some())
+            .min_by(|&a, &b| {
+                predict(x, a).partial_cmp(&predict(x, b)).expect("finite predictions")
+            });
+        let Some(pnn) = predicted_nn else { continue };
+        counted += 1;
+        // Selecting a different peer with the same measured delay is
+        // not a loss (co-nearest peers).
+        if pnn != true_nn && m.get(x, pnn) != Some(true_d) {
+            wrong += 1;
+        }
+    }
+    if counted == 0 {
+        return 0.0;
+    }
+    wrong as f64 / counted as f64
+}
+
+/// A compact metric report for one predictor.
+#[derive(Clone, Copy, Debug)]
+pub struct PredictorMetrics {
+    /// Median relative error over measured edges.
+    pub median_rel_error: f64,
+    /// Relative rank loss (sampled).
+    pub rank_loss: f64,
+    /// Closest-neighbor loss.
+    pub cn_loss: f64,
+}
+
+/// Evaluates all three metrics for a predictor.
+pub fn evaluate(
+    m: &DelayMatrix,
+    predict: impl Fn(NodeId, NodeId) -> f64 + Copy,
+    samples: usize,
+    seed: u64,
+) -> PredictorMetrics {
+    PredictorMetrics {
+        median_rel_error: relative_error_cdf(m, predict).median(),
+        rank_loss: relative_rank_loss(m, predict, samples, seed),
+        cn_loss: closest_neighbor_loss(m, predict),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use delayspace::synth::{Dataset, InternetDelaySpace};
+    use simnet::net::{JitterModel, Network};
+    use vivaldi::{VivaldiConfig, VivaldiSystem};
+
+    #[test]
+    fn oracle_predictor_scores_perfectly() {
+        let s = InternetDelaySpace::preset(Dataset::Ds2).with_nodes(60).build(3);
+        let m = s.matrix();
+        let oracle = |i: NodeId, j: NodeId| m.get(i, j).unwrap_or(0.0);
+        let met = evaluate(m, oracle, 2000, 1);
+        assert_eq!(met.median_rel_error, 0.0);
+        assert_eq!(met.rank_loss, 0.0);
+        assert_eq!(met.cn_loss, 0.0);
+    }
+
+    #[test]
+    fn constant_predictor_has_random_rank_loss() {
+        let s = InternetDelaySpace::preset(Dataset::Ds2).with_nodes(60).build(5);
+        let m = s.matrix();
+        // A constant prediction never orders pairs correctly or
+        // incorrectly by value — ties go one way; use a *reversed*
+        // predictor for the clean adversarial case instead.
+        let reversed = |i: NodeId, j: NodeId| 10_000.0 - m.get(i, j).unwrap_or(0.0);
+        let rrl = relative_rank_loss(m, reversed, 2000, 2);
+        assert!(rrl > 0.95, "reversed predictor should invert ranks: {rrl}");
+        let cnl = closest_neighbor_loss(m, reversed);
+        assert!(cnl > 0.9, "reversed predictor should miss neighbors: {cnl}");
+    }
+
+    #[test]
+    fn vivaldi_metrics_in_sane_ranges() {
+        let s = InternetDelaySpace::preset(Dataset::Ds2).with_nodes(120).build(7);
+        let m = s.matrix();
+        let mut sys = VivaldiSystem::new(
+            VivaldiConfig { neighbors: 16, ..VivaldiConfig::default() },
+            m.len(),
+            7,
+        );
+        let mut net = Network::new(m, JitterModel::None, 7);
+        sys.run_rounds(&mut net, 200);
+        let emb = sys.embedding();
+        let met = evaluate(m, |i, j| emb.predicted(i, j), 3000, 3);
+        // Rank loss far better than random; closest-neighbor loss is
+        // high — exactly the finding of Lua et al. [13] that motivates
+        // the paper: embeddings rank well in aggregate yet almost never
+        // identify the true nearest peer.
+        assert!(met.rank_loss > 0.0 && met.rank_loss < 0.4, "rank loss {}", met.rank_loss);
+        assert!(met.cn_loss > 0.3 && met.cn_loss < 1.0, "cn loss {}", met.cn_loss);
+        assert!(met.median_rel_error < 1.0, "rel err {}", met.median_rel_error);
+    }
+
+    #[test]
+    fn aggregate_accuracy_does_not_imply_selection_quality() {
+        // The Section 4.2 phenomenon, in metric form: construct a
+        // predictor that is *more accurate on average* than another but
+        // *worse at closest-neighbor selection*. Scaling all true
+        // delays by 1.05 is very accurate (5% error) and order-perfect;
+        // an otherwise-exact predictor that garbles only the short
+        // edges has lower mean error contribution but ruins selection.
+        let s = InternetDelaySpace::preset(Dataset::Ds2).with_nodes(80).build(9);
+        let m = s.matrix();
+        let scale = |i: NodeId, j: NodeId| 1.05 * m.get(i, j).unwrap_or(0.0);
+        let garble_short = |i: NodeId, j: NodeId| {
+            let d = m.get(i, j).unwrap_or(0.0);
+            if d < 20.0 {
+                40.0 - d // inverts the order of short edges
+            } else {
+                d // exact elsewhere
+            }
+        };
+        let m_scale = evaluate(m, scale, 2000, 4);
+        let m_garble = evaluate(m, garble_short, 2000, 4);
+        // garble has lower median relative error (most edges exact)…
+        assert!(m_garble.median_rel_error < m_scale.median_rel_error);
+        // …but much worse closest-neighbor loss.
+        assert!(
+            m_garble.cn_loss > m_scale.cn_loss,
+            "garbled short edges must hurt selection: {} vs {}",
+            m_garble.cn_loss,
+            m_scale.cn_loss
+        );
+        assert_eq!(m_scale.cn_loss, 0.0);
+    }
+}

@@ -1,0 +1,270 @@
+//! An online, per-node TIV monitor.
+//!
+//! The figure experiments evaluate the alert mechanism offline, over a
+//! frozen embedding snapshot. A *deployed* TIV-aware system needs the
+//! same signal online: a node continuously measures peers, its
+//! coordinate keeps moving, and alerts should be stable rather than
+//! flapping with every coordinate update.
+//!
+//! [`TivMonitor`] maintains, per peer:
+//!
+//! * an exponentially-weighted moving average of the measured RTT
+//!   (absorbing jitter),
+//! * an EWMA of the prediction ratio under the node's current view of
+//!   the coordinates,
+//! * a **hysteresis** alert state: the alarm raises when the smoothed
+//!   ratio drops below `raise_below` and clears only above
+//!   `clear_above` (> `raise_below`), so a peer near the threshold does
+//!   not flap in and out of the neighbor set — the flapping would
+//!   reintroduce exactly the churn dynamic-neighbor Vivaldi is trying
+//!   to remove.
+
+use delayspace::matrix::NodeId;
+use std::collections::HashMap;
+
+/// Configuration of the online monitor.
+#[derive(Clone, Copy, Debug)]
+pub struct MonitorConfig {
+    /// EWMA weight of a new sample (0 < alpha ≤ 1).
+    pub alpha: f64,
+    /// Raise the alarm when the smoothed ratio drops below this
+    /// (paper's deployed threshold: 0.6).
+    pub raise_below: f64,
+    /// Clear the alarm only when the smoothed ratio recovers above
+    /// this; must exceed `raise_below`.
+    pub clear_above: f64,
+    /// Samples required before the monitor will alert at all (a single
+    /// early sample against an unconverged coordinate is noise).
+    pub min_samples: u32,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        MonitorConfig { alpha: 0.3, raise_below: 0.6, clear_above: 0.75, min_samples: 3 }
+    }
+}
+
+/// Per-peer smoothed state.
+#[derive(Clone, Copy, Debug)]
+struct PeerState {
+    rtt_ewma: f64,
+    ratio_ewma: f64,
+    samples: u32,
+    alerted: bool,
+}
+
+/// The monitor a node runs over its own measurements.
+#[derive(Clone, Debug)]
+pub struct TivMonitor {
+    cfg: MonitorConfig,
+    peers: HashMap<NodeId, PeerState>,
+}
+
+impl TivMonitor {
+    /// A monitor with the given configuration.
+    ///
+    /// # Panics
+    /// Panics unless `0 < alpha ≤ 1` and
+    /// `0 ≤ raise_below < clear_above`.
+    pub fn new(cfg: MonitorConfig) -> Self {
+        assert!(cfg.alpha > 0.0 && cfg.alpha <= 1.0, "alpha outside (0,1]");
+        assert!(
+            cfg.raise_below >= 0.0 && cfg.raise_below < cfg.clear_above,
+            "hysteresis band must satisfy raise_below < clear_above"
+        );
+        TivMonitor { cfg, peers: HashMap::new() }
+    }
+
+    /// Feeds one measurement: the RTT just measured to `peer` and the
+    /// delay the node's current coordinates predict for that peer.
+    /// Returns the peer's alert state after the update.
+    pub fn observe(&mut self, peer: NodeId, measured_rtt: f64, predicted: f64) -> bool {
+        assert!(measured_rtt > 0.0 && measured_rtt.is_finite(), "bad rtt {measured_rtt}");
+        assert!(predicted >= 0.0 && predicted.is_finite(), "bad prediction {predicted}");
+        let alpha = self.cfg.alpha;
+        let ratio = predicted / measured_rtt;
+        let st = self.peers.entry(peer).or_insert(PeerState {
+            rtt_ewma: measured_rtt,
+            ratio_ewma: ratio,
+            samples: 0,
+            alerted: false,
+        });
+        st.rtt_ewma = alpha * measured_rtt + (1.0 - alpha) * st.rtt_ewma;
+        st.ratio_ewma = alpha * ratio + (1.0 - alpha) * st.ratio_ewma;
+        st.samples += 1;
+        if st.samples >= self.cfg.min_samples {
+            if st.alerted {
+                if st.ratio_ewma > self.cfg.clear_above {
+                    st.alerted = false;
+                }
+            } else if st.ratio_ewma < self.cfg.raise_below {
+                st.alerted = true;
+            }
+        }
+        st.alerted
+    }
+
+    /// Current alert state of a peer (`false` for unknown peers).
+    pub fn is_alerted(&self, peer: NodeId) -> bool {
+        self.peers.get(&peer).is_some_and(|s| s.alerted)
+    }
+
+    /// Smoothed RTT of a peer, if observed.
+    pub fn rtt(&self, peer: NodeId) -> Option<f64> {
+        self.peers.get(&peer).map(|s| s.rtt_ewma)
+    }
+
+    /// Smoothed prediction ratio of a peer, if observed.
+    pub fn ratio(&self, peer: NodeId) -> Option<f64> {
+        self.peers.get(&peer).map(|s| s.ratio_ewma)
+    }
+
+    /// All currently alerted peers, unsorted.
+    pub fn alerted_peers(&self) -> Vec<NodeId> {
+        self.peers.iter().filter(|(_, s)| s.alerted).map(|(&p, _)| p).collect()
+    }
+
+    /// Drops a peer's state (it left the neighbor set).
+    pub fn forget(&mut self, peer: NodeId) {
+        self.peers.remove(&peer);
+    }
+
+    /// Number of tracked peers.
+    pub fn len(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// True when no peers are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.peers.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn monitor() -> TivMonitor {
+        TivMonitor::new(MonitorConfig::default())
+    }
+
+    #[test]
+    fn no_alert_before_min_samples() {
+        let mut mon = monitor();
+        // Ratio 0.1 — clearly alertable — but only two samples.
+        assert!(!mon.observe(1, 100.0, 10.0));
+        assert!(!mon.observe(1, 100.0, 10.0));
+        assert!(mon.observe(1, 100.0, 10.0)); // third sample arms it
+    }
+
+    #[test]
+    fn healthy_peer_never_alerts() {
+        let mut mon = monitor();
+        for _ in 0..50 {
+            assert!(!mon.observe(2, 50.0, 48.0)); // ratio ≈ 0.96
+        }
+        assert!(mon.alerted_peers().is_empty());
+    }
+
+    #[test]
+    fn hysteresis_prevents_flapping() {
+        let mut mon = monitor();
+        // Drive the smoothed ratio below 0.6.
+        for _ in 0..10 {
+            mon.observe(3, 100.0, 40.0);
+        }
+        assert!(mon.is_alerted(3));
+        // A ratio just above raise_below but below clear_above must NOT
+        // clear the alarm.
+        for _ in 0..10 {
+            mon.observe(3, 100.0, 65.0);
+        }
+        assert!(mon.is_alerted(3), "alarm cleared inside the hysteresis band");
+        // Recovering above clear_above does clear it.
+        for _ in 0..20 {
+            mon.observe(3, 100.0, 95.0);
+        }
+        assert!(!mon.is_alerted(3));
+    }
+
+    #[test]
+    fn ewma_smooths_jitter() {
+        let mut mon = monitor();
+        // Alternate clean (1.0) and one wild outlier sample; the
+        // smoothed ratio should stay above the alarm threshold.
+        for i in 0..30 {
+            let predicted = if i == 10 { 5.0 } else { 98.0 };
+            mon.observe(4, 100.0, predicted);
+        }
+        assert!(!mon.is_alerted(4), "one outlier should not trip the alarm");
+        let r = mon.ratio(4).unwrap();
+        assert!(r > 0.8, "smoothed ratio {r} dragged too far by one outlier");
+    }
+
+    #[test]
+    fn forget_clears_state() {
+        let mut mon = monitor();
+        for _ in 0..5 {
+            mon.observe(7, 100.0, 10.0);
+        }
+        assert!(mon.is_alerted(7));
+        mon.forget(7);
+        assert!(!mon.is_alerted(7));
+        assert!(mon.is_empty());
+    }
+
+    #[test]
+    fn tracks_multiple_peers_independently() {
+        let mut mon = monitor();
+        for _ in 0..10 {
+            mon.observe(1, 100.0, 20.0); // shrunk → alert
+            mon.observe(2, 100.0, 95.0); // healthy
+        }
+        assert_eq!(mon.alerted_peers(), vec![1]);
+        assert_eq!(mon.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "hysteresis band")]
+    fn inverted_band_rejected() {
+        TivMonitor::new(MonitorConfig {
+            raise_below: 0.8,
+            clear_above: 0.6,
+            ..MonitorConfig::default()
+        });
+    }
+
+    #[test]
+    fn integrates_with_live_vivaldi() {
+        use delayspace::synth::{Dataset, InternetDelaySpace};
+        use simnet::net::{JitterModel, Network};
+        use vivaldi::{VivaldiConfig, VivaldiSystem};
+        let space = InternetDelaySpace::preset(Dataset::Ds2).with_nodes(120).build(31);
+        let m = space.matrix();
+        let mut sys = VivaldiSystem::new(
+            VivaldiConfig { neighbors: 16, ..VivaldiConfig::default() },
+            m.len(),
+            31,
+        );
+        let mut net = Network::new(m, JitterModel::Multiplicative { sigma: 0.05 }, 31);
+        sys.run_rounds(&mut net, 150);
+        // Node 0 monitors its neighbors over further rounds.
+        let mut mon = monitor();
+        for _ in 0..12 {
+            sys.run_rounds(&mut net, 5);
+            for &peer in sys.neighbors_of(0).to_vec().iter() {
+                if let Some(rtt) = m.get(0, peer) {
+                    mon.observe(peer, rtt, sys.predicted(0, peer));
+                }
+            }
+        }
+        // Alerted peers must genuinely be shrunk edges.
+        let sev = crate::severity::Severity::compute(m, 0);
+        for peer in mon.alerted_peers() {
+            let ratio = mon.ratio(peer).unwrap();
+            assert!(ratio < 0.75, "alerted peer with healthy ratio {ratio}");
+            // And most should cause at least *some* violations.
+            let _ = sev.severity(0, peer);
+        }
+    }
+}

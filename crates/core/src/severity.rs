@@ -1,0 +1,543 @@
+//! The TIV severity metric (Section 2.1) and the severity analyses of
+//! Section 2.2.
+//!
+//! For nodes `A, C` in a delay space `S`, the severity of edge `AC` is
+//!
+//! ```text
+//! severity(AC) = Σ_B d(A,C) / (d(A,B) + d(B,C))   /   |S|
+//! ```
+//!
+//! summed over exactly the witnesses `B` with
+//! `d(A,B) + d(B,C) < d(A,C)`. A severity of 0 means the edge causes no
+//! violation; the metric grows both with the *number* of violations the
+//! edge causes and with their *triangulation ratios*, which is why the
+//! paper prefers it over either ingredient alone.
+//!
+//! The exact computation is O(n³); we parallelise over rows with
+//! crossbeam scoped threads and exploit NaN-propagation to skip missing
+//! entries without branches.
+
+use delayspace::matrix::{DelayMatrix, NodeId};
+use delayspace::rng;
+use delayspace::stats::{BinnedStats, Cdf};
+
+/// Severity and violation-count matrices for every edge of a delay
+/// space.
+#[derive(Clone, Debug)]
+pub struct Severity {
+    n: usize,
+    /// Row-major severity per ordered pair (symmetric; NaN = missing).
+    sev: Vec<f64>,
+    /// Number of witnesses B violating through each ordered pair.
+    cnt: Vec<u32>,
+}
+
+impl Severity {
+    /// Computes severity for every measured edge, using up to `threads`
+    /// workers (0 = available parallelism).
+    pub fn compute(m: &DelayMatrix, threads: usize) -> Self {
+        let n = m.len();
+        let threads = if threads == 0 {
+            std::thread::available_parallelism().map_or(1, |v| v.get())
+        } else {
+            threads
+        };
+        let mut sev = vec![f64::NAN; n * n];
+        let mut cnt = vec![0u32; n * n];
+        if n == 0 {
+            return Severity { n, sev, cnt };
+        }
+
+        let chunk = n.div_ceil(threads.max(1)).max(1);
+        crossbeam::thread::scope(|scope| {
+            let mut sev_chunks = sev.chunks_mut(chunk * n);
+            let mut cnt_chunks = cnt.chunks_mut(chunk * n);
+            let mut start = 0usize;
+            loop {
+                let (Some(srows), Some(crows)) = (sev_chunks.next(), cnt_chunks.next()) else {
+                    break;
+                };
+                let base = start;
+                start += srows.len() / n;
+                scope.spawn(move |_| {
+                    for (k, (srow, crow)) in
+                        srows.chunks_mut(n).zip(crows.chunks_mut(n)).enumerate()
+                    {
+                        severity_row(m, base + k, srow, crow);
+                    }
+                });
+            }
+        })
+        .expect("severity worker panicked");
+
+        Severity { n, sev, cnt }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Severity of edge `(i, j)`; `None` when the edge is unmeasured.
+    pub fn severity(&self, i: NodeId, j: NodeId) -> Option<f64> {
+        let v = self.sev[i * self.n + j];
+        (!v.is_nan()).then_some(v)
+    }
+
+    /// Number of violations edge `(i, j)` causes (witness count).
+    pub fn count(&self, i: NodeId, j: NodeId) -> u32 {
+        self.cnt[i * self.n + j]
+    }
+
+    /// Iterator over `(i, j, severity)` for measured unordered edges.
+    pub fn edges<'a>(&'a self, m: &'a DelayMatrix) -> impl Iterator<Item = (NodeId, NodeId, f64)> + 'a {
+        m.edges().map(move |(i, j, _)| (i, j, self.sev[i * self.n + j]))
+    }
+
+    /// CDF of edge severities (Figure 2).
+    pub fn cdf(&self, m: &DelayMatrix) -> Cdf {
+        Cdf::from_samples(self.edges(m).map(|(_, _, s)| s))
+    }
+
+    /// Severity versus edge delay, in `bin_ms`-wide bins (Figures 4–7).
+    pub fn by_delay_bins(&self, m: &DelayMatrix, bin_ms: f64, max_ms: f64) -> BinnedStats {
+        BinnedStats::build(
+            m.edges().map(|(i, j, d)| (d, self.sev[i * self.n + j])),
+            bin_ms,
+            max_ms,
+        )
+    }
+
+    /// The fraction of all triangles (unordered node triples with all
+    /// three edges measured) that violate the triangle inequality.
+    ///
+    /// Only the *longest* edge of a triangle can violate, so each
+    /// violating triangle is witnessed exactly once across the count
+    /// matrix: `frac = Σ_{i<j} cnt(i,j) / C(n,3)`.
+    ///
+    /// The paper reports ≈ 12% for DS².
+    pub fn violating_triangle_fraction(&self) -> f64 {
+        if self.n < 3 {
+            return 0.0;
+        }
+        let mut viol: u64 = 0;
+        for i in 0..self.n {
+            for j in (i + 1)..self.n {
+                viol += self.cnt[i * self.n + j] as u64;
+            }
+        }
+        let n = self.n as f64;
+        let triangles = n * (n - 1.0) * (n - 2.0) / 6.0;
+        viol as f64 / triangles
+    }
+
+    /// The `frac` (e.g. 0.2 = worst 20%) of measured edges with the
+    /// highest severity, as unordered pairs sorted by descending
+    /// severity.
+    pub fn worst_edges(&self, m: &DelayMatrix, frac: f64) -> Vec<(NodeId, NodeId)> {
+        assert!((0.0..=1.0).contains(&frac), "fraction {frac} outside [0,1]");
+        let mut edges: Vec<(NodeId, NodeId, f64)> = self.edges(m).collect();
+        edges.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap());
+        let k = ((edges.len() as f64) * frac).round() as usize;
+        edges.truncate(k);
+        edges.into_iter().map(|(i, j, _)| (i, j)).collect()
+    }
+
+    /// Mean violation count for edges within the same cluster versus
+    /// edges crossing clusters (the paper: 80 within vs 206 across for
+    /// DS²). Noise-cluster edges count as crossing.
+    pub fn cluster_violation_counts(
+        &self,
+        m: &DelayMatrix,
+        clustering: &delayspace::cluster::Clustering,
+    ) -> ClusterViolationCounts {
+        let mut within = (0u64, 0u64); // (sum, edges)
+        let mut across = (0u64, 0u64);
+        for (i, j, _) in m.edges() {
+            let c = self.cnt[i * self.n + j] as u64;
+            if clustering.same_cluster(i, j) {
+                within.0 += c;
+                within.1 += 1;
+            } else {
+                across.0 += c;
+                across.1 += 1;
+            }
+        }
+        ClusterViolationCounts {
+            mean_within: if within.1 > 0 { within.0 as f64 / within.1 as f64 } else { 0.0 },
+            mean_across: if across.1 > 0 { across.0 as f64 / across.1 as f64 } else { 0.0 },
+            edges_within: within.1 as usize,
+            edges_across: across.1 as usize,
+        }
+    }
+}
+
+/// Result of [`Severity::cluster_violation_counts`].
+#[derive(Clone, Copy, Debug)]
+pub struct ClusterViolationCounts {
+    /// Mean violations caused by an intra-cluster edge.
+    pub mean_within: f64,
+    /// Mean violations caused by a cross-cluster (or noise) edge.
+    pub mean_across: f64,
+    /// Number of intra-cluster edges.
+    pub edges_within: usize,
+    /// Number of cross-cluster edges.
+    pub edges_across: usize,
+}
+
+/// Computes one row of the severity/count matrices.
+///
+/// For a fixed `a` and every `c`, scans all witnesses `b`:
+/// `alt = d(a,b) + d(b,c)`; a violation needs `alt < d(a,c)`. Missing
+/// delays are NaN, and NaN fails every comparison, so missing witnesses
+/// and missing edges drop out without branching.
+fn severity_row(m: &DelayMatrix, a: usize, srow: &mut [f64], crow: &mut [u32]) {
+    let n = m.len();
+    let row_a = m.row(a);
+    for c in 0..n {
+        if c == a {
+            srow[c] = 0.0;
+            continue;
+        }
+        let dac = row_a[c];
+        if dac.is_nan() {
+            continue; // stays NaN / 0
+        }
+        let row_c = m.row(c);
+        let mut sum = 0.0f64;
+        let mut count = 0u32;
+        for b in 0..n {
+            let alt = row_a[b] + row_c[b];
+            // b == a or b == c gives alt == dac, which is not < dac.
+            if alt < dac {
+                sum += dac / alt;
+                count += 1;
+            }
+        }
+        srow[c] = sum / n as f64;
+        crow[c] = count;
+    }
+}
+
+/// The triangulation ratios of one edge (Figure 1): for edge `(a, c)`,
+/// the ratio `d(a,c) / (d(a,b) + d(b,c))` over **all** witnesses `b`
+/// (violating or not), sorted ascending. The severity is proportional
+/// to the area above ratio = 1 under this curve's CDF.
+pub fn triangulation_ratios(m: &DelayMatrix, a: NodeId, c: NodeId) -> Vec<f64> {
+    let Some(dac) = m.get(a, c) else { return Vec::new() };
+    let mut out = Vec::with_capacity(m.len());
+    for b in 0..m.len() {
+        if b == a || b == c {
+            continue;
+        }
+        let (row_ab, row_cb) = (m.raw(a, b), m.raw(c, b));
+        let alt = row_ab + row_cb;
+        if !alt.is_nan() && alt > 0.0 {
+            out.push(dac / alt);
+        }
+    }
+    out.sort_by(|x, y| x.partial_cmp(y).unwrap());
+    out
+}
+
+/// Estimates the severity of one edge from a random sample of `k`
+/// witnesses instead of all `n` (an unbiased estimator of the exact
+/// metric: the witness sum is scaled by `n/k` before the `1/|S|`
+/// normalisation, so both cancel to a mean over sampled witnesses).
+///
+/// The exact metric needs the full delay matrix — global information no
+/// deployed node has. A node that can measure `d(A,B)` and ask `B` for
+/// `d(B,C)` can compute this estimate with `2k` measurements, which is
+/// what a practical TIV-severity monitor would do. Accuracy improves
+/// as `O(1/√k)`.
+pub fn estimate_severity(
+    m: &DelayMatrix,
+    a: NodeId,
+    c: NodeId,
+    k: usize,
+    seed: u64,
+) -> Option<f64> {
+    let dac = m.get(a, c)?;
+    let n = m.len();
+    if n <= 2 {
+        return Some(0.0);
+    }
+    let k = k.min(n - 2);
+    let mut r = rng::sub_rng(seed, "severity/estimate");
+    // Sample witnesses uniformly from S \ {a, c}.
+    let mut sum = 0.0;
+    let mut sampled = 0usize;
+    for idx in rng::sample_indices(&mut r, n - 2, k) {
+        // Map 0..n-2 onto node ids skipping a and c.
+        let (lo, hi) = if a < c { (a, c) } else { (c, a) };
+        let mut b = idx;
+        if b >= lo {
+            b += 1;
+        }
+        if b >= hi {
+            b += 1;
+        }
+        sampled += 1;
+        let alt = m.raw(a, b) + m.raw(c, b);
+        if alt < dac {
+            sum += dac / alt;
+        }
+    }
+    if sampled == 0 {
+        return Some(0.0);
+    }
+    // Mean over sampled witnesses ≈ mean over all witnesses = exact
+    // severity up to the (n-2)/n boundary factor, which we include.
+    Some(sum / sampled as f64 * (n - 2) as f64 / n as f64)
+}
+
+/// The proximity experiment of Figure 9: severity differences between
+/// each sampled edge and (a) its *nearest-pair* edge, (b) a *random-pair*
+/// edge.
+#[derive(Clone, Debug)]
+pub struct ProximityResult {
+    /// |severity(AB) − severity(AnBn)| per sampled edge.
+    pub nearest_pair_diffs: Cdf,
+    /// |severity(AB) − severity(XY)| for a random measured edge XY.
+    pub random_pair_diffs: Cdf,
+}
+
+/// Runs the proximity experiment over `samples` random measured edges.
+///
+/// For an edge `AB`, the nearest-pair edge is `AnBn` where `An`/`Bn`
+/// are the delay-nearest neighbors of `A`/`B`. Pairs whose nearest-pair
+/// edge is unmeasured or degenerate (`An == Bn`) are skipped.
+pub fn proximity_experiment(
+    m: &DelayMatrix,
+    sev: &Severity,
+    samples: usize,
+    seed: u64,
+) -> ProximityResult {
+    use rand::Rng;
+    let mut r = rng::sub_rng(seed, "proximity");
+    let edges: Vec<(NodeId, NodeId)> = m.edges().map(|(i, j, _)| (i, j)).collect();
+    assert!(!edges.is_empty(), "no measured edges");
+    // Precompute nearest neighbors once.
+    let nearest: Vec<Option<NodeId>> =
+        (0..m.len()).map(|i| m.nearest_neighbor(i).map(|(j, _)| j)).collect();
+
+    let mut near_diffs = Vec::with_capacity(samples);
+    let mut rand_diffs = Vec::with_capacity(samples);
+    let mut attempts = 0usize;
+    while near_diffs.len() < samples && attempts < samples * 20 {
+        attempts += 1;
+        let (a, b) = edges[r.gen_range(0..edges.len())];
+        let Some(s_ab) = sev.severity(a, b) else { continue };
+        let (Some(an), Some(bn)) = (nearest[a], nearest[b]) else { continue };
+        if an == bn {
+            continue;
+        }
+        let Some(s_near) = sev.severity(an, bn) else { continue };
+        let (x, y) = edges[r.gen_range(0..edges.len())];
+        let Some(s_rand) = sev.severity(x, y) else { continue };
+        near_diffs.push((s_ab - s_near).abs());
+        rand_diffs.push((s_ab - s_rand).abs());
+    }
+    ProximityResult {
+        nearest_pair_diffs: Cdf::from_samples(near_diffs),
+        random_pair_diffs: Cdf::from_samples(rand_diffs),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use delayspace::cluster::{ClusterConfig, Clustering};
+    use delayspace::synth::{Dataset, InternetDelaySpace};
+
+    fn tiv_triangle() -> DelayMatrix {
+        let mut m = DelayMatrix::new(3);
+        m.set(0, 1, 5.0);
+        m.set(1, 2, 5.0);
+        m.set(0, 2, 100.0);
+        m
+    }
+
+    #[test]
+    fn severity_matches_hand_computation() {
+        let m = tiv_triangle();
+        let sev = Severity::compute(&m, 1);
+        // Edge (0,2): witness 1 gives alt = 10 < 100, ratio 10. |S| = 3.
+        assert!((sev.severity(0, 2).unwrap() - 10.0 / 3.0).abs() < 1e-12);
+        assert_eq!(sev.count(0, 2), 1);
+        // The short edges cause no violations.
+        assert_eq!(sev.severity(0, 1), Some(0.0));
+        assert_eq!(sev.severity(1, 2), Some(0.0));
+        assert_eq!(sev.count(0, 1), 0);
+    }
+
+    #[test]
+    fn metric_space_has_zero_severity() {
+        let m = DelayMatrix::from_complete_fn(15, |i, j| 10.0 * i.abs_diff(j) as f64);
+        let sev = Severity::compute(&m, 2);
+        for (_, _, s) in sev.edges(&m) {
+            assert_eq!(s, 0.0);
+        }
+        assert_eq!(sev.violating_triangle_fraction(), 0.0);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let s = InternetDelaySpace::preset(Dataset::Ds2).with_nodes(70).build(3);
+        let a = Severity::compute(s.matrix(), 1);
+        let b = Severity::compute(s.matrix(), 4);
+        for (i, j, sa) in a.edges(s.matrix()) {
+            let sb = b.sev[i * b.n + j];
+            assert_eq!(sa, sb);
+            assert_eq!(a.count(i, j), b.count(i, j));
+        }
+    }
+
+    #[test]
+    fn violating_fraction_of_single_tiv() {
+        let sev = Severity::compute(&tiv_triangle(), 1);
+        // 1 triangle, violated.
+        assert_eq!(sev.violating_triangle_fraction(), 1.0);
+    }
+
+    #[test]
+    fn ds2_preset_violation_fraction_is_plausible() {
+        let s = InternetDelaySpace::preset(Dataset::Ds2).with_nodes(150).build(21);
+        let sev = Severity::compute(s.matrix(), 0);
+        let frac = sev.violating_triangle_fraction();
+        // Paper: ~12% for DS². Accept a generous band at small n.
+        assert!((0.03..0.40).contains(&frac), "violating fraction {frac}");
+    }
+
+    #[test]
+    fn worst_edges_sorted_and_sized() {
+        let s = InternetDelaySpace::preset(Dataset::Ds2).with_nodes(60).build(5);
+        let sev = Severity::compute(s.matrix(), 0);
+        let worst = sev.worst_edges(s.matrix(), 0.1);
+        let total = s.matrix().edges().count();
+        assert_eq!(worst.len(), ((total as f64) * 0.1).round() as usize);
+        // First edge must have max severity.
+        let max = sev.edges(s.matrix()).map(|(_, _, v)| v).fold(f64::MIN, f64::max);
+        let (i, j) = worst[0];
+        assert_eq!(sev.severity(i, j), Some(max));
+    }
+
+    #[test]
+    fn cross_cluster_edges_violate_more_often() {
+        let s = InternetDelaySpace::preset(Dataset::Ds2).with_nodes(200).build(33);
+        let m = s.matrix();
+        let sev = Severity::compute(m, 0);
+        let cl = Clustering::compute(m, &ClusterConfig::default());
+        let counts = sev.cluster_violation_counts(m, &cl);
+        assert!(counts.edges_within > 0 && counts.edges_across > 0);
+        assert!(
+            counts.mean_across > counts.mean_within,
+            "cross {} should exceed within {}",
+            counts.mean_across,
+            counts.mean_within
+        );
+    }
+
+    #[test]
+    fn triangulation_ratios_sorted_and_correct() {
+        let m = tiv_triangle();
+        let ratios = triangulation_ratios(&m, 0, 2);
+        assert_eq!(ratios, vec![10.0]); // only witness 1: 100/(5+5)
+        let ratios_short = triangulation_ratios(&m, 0, 1);
+        assert_eq!(ratios_short, vec![5.0 / 105.0]);
+    }
+
+    #[test]
+    fn proximity_diffs_have_samples() {
+        let s = InternetDelaySpace::preset(Dataset::Ds2).with_nodes(100).build(9);
+        let sev = Severity::compute(s.matrix(), 0);
+        let prox = proximity_experiment(s.matrix(), &sev, 500, 1);
+        assert!(prox.nearest_pair_diffs.len() > 400);
+        assert_eq!(prox.nearest_pair_diffs.len(), prox.random_pair_diffs.len());
+        // Differences are non-negative by construction.
+        assert!(prox.nearest_pair_diffs.quantile(0.0) >= 0.0);
+    }
+
+    #[test]
+    fn nearest_pairs_only_slightly_more_similar() {
+        // The paper's finding: nearest-pair edges are only *slightly*
+        // more similar than random pairs. Check the medians are within
+        // a small factor rather than dramatically apart.
+        let s = InternetDelaySpace::preset(Dataset::Ds2).with_nodes(150).build(41);
+        let sev = Severity::compute(s.matrix(), 0);
+        let prox = proximity_experiment(s.matrix(), &sev, 1000, 2);
+        let mn = prox.nearest_pair_diffs.median();
+        let mr = prox.random_pair_diffs.median();
+        assert!(mn <= mr * 1.5 + 0.01, "nearest median {mn} vs random {mr}");
+    }
+
+    #[test]
+    fn estimate_converges_to_exact() {
+        let s = InternetDelaySpace::preset(Dataset::Ds2).with_nodes(200).build(51);
+        let m = s.matrix();
+        let sev = Severity::compute(m, 0);
+        // Pick a genuinely severe edge so relative error is meaningful.
+        let (a, c) = sev.worst_edges(m, 0.01)[0];
+        let exact = sev.severity(a, c).unwrap();
+        // Average several estimates at growing k: error shrinks.
+        let avg_err = |k: usize| {
+            let mut total = 0.0;
+            for seed in 0..16 {
+                let est = estimate_severity(m, a, c, k, seed).unwrap();
+                total += (est - exact).abs();
+            }
+            total / 16.0
+        };
+        let coarse = avg_err(10);
+        let fine = avg_err(150);
+        assert!(
+            fine < coarse,
+            "estimator not converging: err(k=10)={coarse:.4}, err(k=150)={fine:.4}"
+        );
+        assert!(fine < exact * 0.5, "estimate too far off: {fine} vs exact {exact}");
+    }
+
+    #[test]
+    fn estimate_with_all_witnesses_matches_exact() {
+        let s = InternetDelaySpace::preset(Dataset::Ds2).with_nodes(60).build(53);
+        let m = s.matrix();
+        let sev = Severity::compute(m, 0);
+        for (a, c, exact) in sev.edges(m).take(50) {
+            // k = n-2 samples every witness exactly once.
+            let est = estimate_severity(m, a, c, m.len(), 1).unwrap();
+            assert!(
+                (est - exact).abs() < 1e-9,
+                "full-sample estimate {est} != exact {exact} for ({a},{c})"
+            );
+        }
+    }
+
+    #[test]
+    fn estimate_of_zero_severity_edge_is_zero() {
+        let m = DelayMatrix::from_complete_fn(20, |i, j| 10.0 * i.abs_diff(j) as f64);
+        for seed in 0..8 {
+            assert_eq!(estimate_severity(&m, 0, 10, 8, seed), Some(0.0));
+        }
+    }
+
+    #[test]
+    fn missing_edges_have_no_severity() {
+        let mut m = tiv_triangle();
+        m.clear(0, 2);
+        let sev = Severity::compute(&m, 1);
+        assert_eq!(sev.severity(0, 2), None);
+    }
+
+    #[test]
+    fn empty_matrix_is_fine() {
+        let m = DelayMatrix::new(0);
+        let sev = Severity::compute(&m, 1);
+        assert!(sev.is_empty());
+        assert_eq!(sev.violating_triangle_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,206 @@
+//! All-pairs shortest paths over the delay graph.
+//!
+//! Figure 8 of the paper compares the direct delay of an edge with the
+//! length of the *shortest path* between its endpoints through the
+//! complete delay graph: edges whose shortest alternative path is much
+//! shorter than the direct edge are exactly the severe TIV causers.
+//!
+//! The delay graph is dense (one weighted edge per measured pair), so we
+//! run flat-array Dijkstra — O(n²) per source without a heap, which
+//! beats binary-heap Dijkstra on dense graphs — and parallelise over
+//! sources with crossbeam scoped threads.
+
+use crate::matrix::{DelayMatrix, NodeId};
+
+/// Shortest-path distances between all pairs of a delay matrix.
+#[derive(Clone, Debug)]
+pub struct ShortestPaths {
+    n: usize,
+    /// Row-major distances; `INFINITY` when unreachable.
+    dist: Vec<f64>,
+}
+
+impl ShortestPaths {
+    /// Computes all-pairs shortest paths over the measured edges of `m`,
+    /// using up to `threads` worker threads (0 = available parallelism).
+    pub fn compute(m: &DelayMatrix, threads: usize) -> Self {
+        let n = m.len();
+        let threads = if threads == 0 {
+            std::thread::available_parallelism().map_or(1, |v| v.get())
+        } else {
+            threads
+        };
+        let mut dist = vec![f64::INFINITY; n * n];
+        if n == 0 {
+            return ShortestPaths { n, dist };
+        }
+
+        // Partition output rows into contiguous chunks, one per worker.
+        let chunk = n.div_ceil(threads.max(1)).max(1);
+        crossbeam::thread::scope(|scope| {
+            for (t, rows) in dist.chunks_mut(chunk * n).enumerate() {
+                let start = t * chunk;
+                scope.spawn(move |_| {
+                    for (k, row) in rows.chunks_mut(n).enumerate() {
+                        dijkstra_into(m, start + k, row);
+                    }
+                });
+            }
+        })
+        .expect("APSP worker panicked");
+
+        ShortestPaths { n, dist }
+    }
+
+    /// Shortest-path distance from `i` to `j` (`INFINITY` when
+    /// unreachable, 0 on the diagonal).
+    #[inline]
+    pub fn get(&self, i: NodeId, j: NodeId) -> f64 {
+        self.dist[i * self.n + j]
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Ratio `direct_delay / shortest_path` for every measured edge
+    /// `(i, j, direct, shortest)`. A ratio above 1 means the direct edge
+    /// is routing-inflated — a potential TIV causer.
+    pub fn inflation_ratios<'a>(
+        &'a self,
+        m: &'a DelayMatrix,
+    ) -> impl Iterator<Item = (NodeId, NodeId, f64, f64)> + 'a {
+        m.edges().filter_map(move |(i, j, d)| {
+            let sp = self.get(i, j);
+            sp.is_finite().then_some((i, j, d, sp))
+        })
+    }
+}
+
+/// Dense Dijkstra from `src`, writing distances into `out` (length n).
+fn dijkstra_into(m: &DelayMatrix, src: NodeId, out: &mut [f64]) {
+    let n = m.len();
+    debug_assert_eq!(out.len(), n);
+    out.fill(f64::INFINITY);
+    out[src] = 0.0;
+    let mut done = vec![false; n];
+    for _ in 0..n {
+        // Closest unfinished node.
+        let mut u = usize::MAX;
+        let mut best = f64::INFINITY;
+        for (v, &dv) in out.iter().enumerate() {
+            if !done[v] && dv < best {
+                best = dv;
+                u = v;
+            }
+        }
+        if u == usize::MAX {
+            break; // the rest is unreachable
+        }
+        done[u] = true;
+        let row = m.row(u);
+        for (v, &w) in row.iter().enumerate() {
+            // NaN (missing) fails the comparison and is skipped for free.
+            let cand = best + w;
+            if cand < out[v] {
+                out[v] = cand;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_graph_distances() {
+        // 0 -1- 1 -1- 2, plus a direct 0-2 edge of weight 10.
+        let mut m = DelayMatrix::new(3);
+        m.set(0, 1, 1.0);
+        m.set(1, 2, 1.0);
+        m.set(0, 2, 10.0);
+        let sp = ShortestPaths::compute(&m, 1);
+        assert_eq!(sp.get(0, 2), 2.0);
+        assert_eq!(sp.get(2, 0), 2.0);
+        assert_eq!(sp.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn disconnected_nodes_are_infinite() {
+        let mut m = DelayMatrix::new(3);
+        m.set(0, 1, 4.0);
+        let sp = ShortestPaths::compute(&m, 1);
+        assert!(sp.get(0, 2).is_infinite());
+        assert_eq!(sp.get(0, 1), 4.0);
+    }
+
+    #[test]
+    fn shortest_path_never_exceeds_direct() {
+        let m = DelayMatrix::from_complete_fn(30, |i, j| ((i * 7 + j * 13) % 40 + 1) as f64);
+        let sp = ShortestPaths::compute(&m, 2);
+        for (i, j, d) in m.edges() {
+            assert!(sp.get(i, j) <= d + 1e-9, "sp({i},{j}) > direct");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let m = DelayMatrix::from_complete_fn(40, |i, j| ((i * 31 + j * 17) % 90 + 1) as f64);
+        let a = ShortestPaths::compute(&m, 1);
+        let b = ShortestPaths::compute(&m, 4);
+        for i in 0..40 {
+            for j in 0..40 {
+                assert_eq!(a.get(i, j), b.get(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn triangle_inequality_holds_for_shortest_paths() {
+        let m = DelayMatrix::from_complete_fn(25, |i, j| ((i + 2 * j) % 30 + 1) as f64);
+        let sp = ShortestPaths::compute(&m, 0);
+        for a in 0..25 {
+            for b in 0..25 {
+                for c in 0..25 {
+                    assert!(
+                        sp.get(a, c) <= sp.get(a, b) + sp.get(b, c) + 1e-9,
+                        "metric closure must satisfy the triangle inequality"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inflation_ratios_detect_inflated_edge() {
+        let mut m = DelayMatrix::new(4);
+        m.set(0, 1, 5.0);
+        m.set(1, 2, 5.0);
+        m.set(0, 2, 100.0); // inflated
+        m.set(2, 3, 7.0);
+        m.set(0, 3, 20.0);
+        m.set(1, 3, 9.0);
+        let sp = ShortestPaths::compute(&m, 1);
+        let inflated: Vec<_> = sp
+            .inflation_ratios(&m)
+            .filter(|&(_, _, d, s)| d / s > 2.0)
+            .collect();
+        assert_eq!(inflated.len(), 1);
+        assert_eq!((inflated[0].0, inflated[0].1), (0, 2));
+        assert_eq!(inflated[0].3, 10.0); // 0-1-2
+    }
+
+    #[test]
+    fn empty_matrix_is_fine() {
+        let m = DelayMatrix::new(0);
+        let sp = ShortestPaths::compute(&m, 1);
+        assert!(sp.is_empty());
+    }
+}

@@ -1,0 +1,276 @@
+//! Delay-based clustering of a node population.
+//!
+//! Section 2.2 of the paper classifies nodes into "major clusters that
+//! correspond to major continents" using the clustering method of the
+//! DS² paper [35], then shows (Figure 3) that intra-cluster edges cause
+//! fewer/milder TIVs than cross-cluster edges.
+//!
+//! We implement a medoid-seeded threshold clustering in the same spirit:
+//! repeatedly pick the unassigned node with the highest *density* (number
+//! of unassigned nodes within `r_density`) as a medoid, and assign every
+//! unassigned node within `r_cluster` of it to that cluster. Clusters
+//! smaller than `min_size` are dissolved into the noise cluster. On
+//! delay spaces with continental structure this recovers the continents,
+//! which is the only property the paper's analysis depends on.
+
+use crate::matrix::{DelayMatrix, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a major cluster, ordered by decreasing size (cluster 0
+/// is the largest).
+pub type ClusterId = usize;
+
+/// Parameters of the medoid threshold clustering.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Radius (ms) used to estimate node density when picking medoids.
+    pub r_density: f64,
+    /// Radius (ms) within which nodes join a medoid's cluster.
+    pub r_cluster: f64,
+    /// Maximum number of major clusters to extract.
+    pub max_clusters: usize,
+    /// Clusters smaller than this are dissolved into noise.
+    pub min_size: usize,
+}
+
+impl Default for ClusterConfig {
+    /// Defaults tuned for continental delay structure: ~50 ms density
+    /// balls, 70 ms membership radius, at most 3 major clusters (the
+    /// paper extracts three), minimum 2% of nodes (min 4).
+    fn default() -> Self {
+        ClusterConfig { r_density: 50.0, r_cluster: 70.0, max_clusters: 3, min_size: 4 }
+    }
+}
+
+/// Result of clustering: per-node assignment plus member lists.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Clustering {
+    /// Cluster of each node; `None` = noise cluster.
+    pub assignment: Vec<Option<ClusterId>>,
+    /// Member lists, ordered by decreasing cluster size.
+    pub clusters: Vec<Vec<NodeId>>,
+}
+
+impl Clustering {
+    /// Runs the medoid threshold clustering over a delay matrix.
+    pub fn compute(m: &DelayMatrix, cfg: &ClusterConfig) -> Self {
+        let n = m.len();
+        let mut assigned: Vec<Option<ClusterId>> = vec![None; n];
+        let mut taken = vec![false; n];
+        let mut clusters: Vec<Vec<NodeId>> = Vec::new();
+
+        for _ in 0..cfg.max_clusters {
+            // Densest unassigned node becomes the next medoid.
+            let mut best: Option<(NodeId, usize)> = None;
+            for i in 0..n {
+                if taken[i] {
+                    continue;
+                }
+                let count = (0..n)
+                    .filter(|&j| {
+                        !taken[j]
+                            && j != i
+                            && m.get(i, j).is_some_and(|d| d <= cfg.r_density)
+                    })
+                    .count();
+                if best.map_or(true, |(_, bc)| count > bc) {
+                    best = Some((i, count));
+                }
+            }
+            let Some((medoid, density)) = best else { break };
+            if density + 1 < cfg.min_size {
+                break; // nothing dense enough remains
+            }
+            let mut members = vec![medoid];
+            taken[medoid] = true;
+            for j in 0..n {
+                if !taken[j] && m.get(medoid, j).is_some_and(|d| d <= cfg.r_cluster) {
+                    taken[j] = true;
+                    members.push(j);
+                }
+            }
+            if members.len() >= cfg.min_size {
+                clusters.push(members);
+            } else {
+                // Dissolve: members return to the unassigned pool as noise
+                // (taken stays true so we don't loop forever on them).
+            }
+        }
+
+        // Order by decreasing size and fill the assignment map.
+        clusters.sort_by_key(|c| std::cmp::Reverse(c.len()));
+        for (cid, members) in clusters.iter().enumerate() {
+            for &node in members {
+                assigned[node] = Some(cid);
+            }
+        }
+        Clustering { assignment: assigned, clusters }
+    }
+
+    /// Number of major clusters found.
+    pub fn num_clusters(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Nodes in no major cluster.
+    pub fn noise_nodes(&self) -> Vec<NodeId> {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| c.is_none().then_some(i))
+            .collect()
+    }
+
+    /// True when `i` and `j` are in the same major cluster.
+    pub fn same_cluster(&self, i: NodeId, j: NodeId) -> bool {
+        matches!((self.assignment[i], self.assignment[j]), (Some(a), Some(b)) if a == b)
+    }
+
+    /// A node ordering that groups nodes by cluster — largest cluster
+    /// first, then smaller ones, then noise — as used to draw the
+    /// severity matrix of Figure 3.
+    pub fn grouped_order(&self) -> Vec<NodeId> {
+        let mut order = Vec::with_capacity(self.assignment.len());
+        for members in &self.clusters {
+            order.extend_from_slice(members);
+        }
+        order.extend(self.noise_nodes());
+        order
+    }
+
+    /// Agreement with a ground-truth labelling (e.g. planted clusters
+    /// from the generator): the fraction of node pairs on which the two
+    /// clusterings agree about "same cluster vs not". 1.0 = identical
+    /// partition structure (up to label permutation).
+    pub fn pair_agreement(&self, truth: &[Option<usize>]) -> f64 {
+        let n = self.assignment.len();
+        assert_eq!(truth.len(), n, "ground truth size mismatch");
+        if n < 2 {
+            return 1.0;
+        }
+        let mut agree = 0usize;
+        let mut total = 0usize;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let ours = self.same_cluster(i, j);
+                let theirs =
+                    matches!((truth[i], truth[j]), (Some(a), Some(b)) if a == b);
+                total += 1;
+                if ours == theirs {
+                    agree += 1;
+                }
+            }
+        }
+        agree as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{Dataset, InternetDelaySpace};
+
+    /// Two tight groups 200 ms apart.
+    fn two_blob_matrix() -> DelayMatrix {
+        DelayMatrix::from_complete_fn(20, |i, j| {
+            let gi = i / 10;
+            let gj = j / 10;
+            if gi == gj {
+                5.0 + (i + j) as f64 * 0.1
+            } else {
+                200.0
+            }
+        })
+    }
+
+    #[test]
+    fn recovers_two_blobs() {
+        let m = two_blob_matrix();
+        let c = Clustering::compute(&m, &ClusterConfig::default());
+        assert_eq!(c.num_clusters(), 2);
+        assert_eq!(c.clusters[0].len(), 10);
+        assert_eq!(c.clusters[1].len(), 10);
+        assert!(c.same_cluster(0, 5));
+        assert!(!c.same_cluster(0, 15));
+    }
+
+    #[test]
+    fn clusters_ordered_by_size() {
+        // 12 in blob A, 6 in blob B.
+        let m = DelayMatrix::from_complete_fn(18, |i, j| {
+            let gi = usize::from(i >= 12);
+            let gj = usize::from(j >= 12);
+            if gi == gj {
+                4.0
+            } else {
+                250.0
+            }
+        });
+        let c = Clustering::compute(&m, &ClusterConfig::default());
+        assert_eq!(c.num_clusters(), 2);
+        assert!(c.clusters[0].len() >= c.clusters[1].len());
+        assert_eq!(c.clusters[0].len(), 12);
+    }
+
+    #[test]
+    fn grouped_order_is_a_permutation() {
+        let m = two_blob_matrix();
+        let c = Clustering::compute(&m, &ClusterConfig::default());
+        let mut order = c.grouped_order();
+        order.sort_unstable();
+        assert_eq!(order, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn recovers_planted_continents() {
+        let s = InternetDelaySpace::preset(Dataset::Ds2).with_nodes(240).build(77);
+        let c = Clustering::compute(s.matrix(), &ClusterConfig::default());
+        assert!(c.num_clusters() >= 2, "found {} clusters", c.num_clusters());
+        let agreement = c.pair_agreement(s.true_clusters());
+        assert!(agreement > 0.8, "pair agreement {agreement} too low");
+    }
+
+    #[test]
+    fn max_clusters_is_respected() {
+        let m = two_blob_matrix();
+        let cfg = ClusterConfig { max_clusters: 1, ..ClusterConfig::default() };
+        let c = Clustering::compute(&m, &cfg);
+        assert_eq!(c.num_clusters(), 1);
+        assert_eq!(c.noise_nodes().len(), 10);
+    }
+
+    #[test]
+    fn min_size_dissolves_small_clusters() {
+        // 10 dense nodes + 2 outliers near each other but tiny.
+        let m = DelayMatrix::from_complete_fn(12, |i, j| {
+            if i < 10 && j < 10 {
+                5.0
+            } else if i >= 10 && j >= 10 {
+                5.0
+            } else {
+                500.0
+            }
+        });
+        let cfg = ClusterConfig { min_size: 5, ..ClusterConfig::default() };
+        let c = Clustering::compute(&m, &cfg);
+        assert_eq!(c.num_clusters(), 1);
+        assert_eq!(c.noise_nodes(), vec![10, 11]);
+    }
+
+    #[test]
+    fn pair_agreement_is_one_for_identical() {
+        let m = two_blob_matrix();
+        let c = Clustering::compute(&m, &ClusterConfig::default());
+        let truth: Vec<Option<usize>> =
+            c.assignment.clone();
+        assert_eq!(c.pair_agreement(&truth), 1.0);
+    }
+
+    #[test]
+    fn empty_matrix_yields_no_clusters() {
+        let m = DelayMatrix::new(5); // all missing
+        let c = Clustering::compute(&m, &ClusterConfig::default());
+        assert_eq!(c.num_clusters(), 0);
+        assert_eq!(c.noise_nodes().len(), 5);
+    }
+}

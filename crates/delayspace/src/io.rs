@@ -1,0 +1,212 @@
+//! Interchange formats for delay matrices.
+//!
+//! Measured delay sets circulate in two shapes: dense row-per-node
+//! matrices (the DS²/p2psim distribution format, handled by
+//! [`DelayMatrix::to_text`]/[`DelayMatrix::from_text`]) and sparse
+//! pair lists (`src dst rtt` per line — the King-method and PlanetLab
+//! all-pairs-ping formats). This module handles the pair-list shape,
+//! plus a compact binary format for large matrices where the text
+//! forms get slow.
+
+use crate::matrix::{DelayMatrix, NodeId};
+
+/// Serialises the measured edges as `i j rtt_ms` lines (unordered
+/// pairs, `i < j`), the King/all-pairs-ping interchange shape.
+pub fn to_pairs_text(m: &DelayMatrix) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# nodes {}\n", m.len()));
+    for (i, j, d) in m.edges() {
+        out.push_str(&format!("{i} {j} {d:.3}\n"));
+    }
+    out
+}
+
+/// Parses `i j rtt_ms` lines into a matrix.
+///
+/// Accepts `#`-prefixed comments; an optional `# nodes N` header fixes
+/// the node count, otherwise it is inferred as `max id + 1`. Duplicate
+/// pairs keep the **minimum** measurement (the convention of the King
+/// data set: repeated probes, minimum RTT is the propagation estimate).
+pub fn from_pairs_text(s: &str) -> Result<DelayMatrix, String> {
+    let mut n: Option<usize> = None;
+    let mut triples: Vec<(NodeId, NodeId, f64)> = Vec::new();
+    let mut max_id = 0usize;
+    for (lineno, line) in s.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            let mut it = rest.split_whitespace();
+            if it.next() == Some("nodes") {
+                if let Some(v) = it.next() {
+                    n = Some(v.parse().map_err(|e| format!("line {}: bad node count: {e}", lineno + 1))?);
+                }
+            }
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let parse = |tok: Option<&str>, what: &str| -> Result<String, String> {
+            tok.map(str::to_string).ok_or(format!("line {}: missing {what}", lineno + 1))
+        };
+        let i: NodeId = parse(it.next(), "source")?
+            .parse()
+            .map_err(|e| format!("line {}: bad source: {e}", lineno + 1))?;
+        let j: NodeId = parse(it.next(), "destination")?
+            .parse()
+            .map_err(|e| format!("line {}: bad destination: {e}", lineno + 1))?;
+        let d: f64 = parse(it.next(), "rtt")?
+            .parse()
+            .map_err(|e| format!("line {}: bad rtt: {e}", lineno + 1))?;
+        if i == j {
+            return Err(format!("line {}: self-loop {i}", lineno + 1));
+        }
+        if !(d.is_finite() && d >= 0.0) {
+            return Err(format!("line {}: invalid rtt {d}", lineno + 1));
+        }
+        max_id = max_id.max(i).max(j);
+        triples.push((i, j, d));
+    }
+    let n = n.unwrap_or(if triples.is_empty() { 0 } else { max_id + 1 });
+    if max_id >= n && !triples.is_empty() {
+        return Err(format!("node id {max_id} exceeds declared count {n}"));
+    }
+    let mut m = DelayMatrix::new(n);
+    for (i, j, d) in triples {
+        // Minimum-of-repeats convention.
+        let keep = m.get(i, j).map_or(true, |prev| d < prev);
+        if keep {
+            m.set(i, j, d);
+        }
+    }
+    Ok(m)
+}
+
+/// Magic bytes of the binary matrix format.
+const MAGIC: &[u8; 8] = b"TIVDMX01";
+
+/// Serialises the matrix into a compact little-endian binary form:
+/// magic, `n` (u64), then the upper triangle row-major as f64 (NaN for
+/// missing). ~8 bytes per pair; a 4000-node matrix is ~64 MB as text
+/// but 64 MB·(upper half) ≈ 32 MB binary and far faster to parse.
+pub fn to_binary(m: &DelayMatrix) -> Vec<u8> {
+    let n = m.len();
+    let mut out = Vec::with_capacity(16 + n * (n - 1) / 2 * 8);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&(n as u64).to_le_bytes());
+    for i in 0..n {
+        for j in (i + 1)..n {
+            out.extend_from_slice(&m.raw(i, j).to_le_bytes());
+        }
+    }
+    out
+}
+
+/// Parses the format of [`to_binary`].
+pub fn from_binary(bytes: &[u8]) -> Result<DelayMatrix, String> {
+    if bytes.len() < 16 || &bytes[..8] != MAGIC {
+        return Err("not a TIVDMX01 matrix".to_string());
+    }
+    let n = u64::from_le_bytes(bytes[8..16].try_into().expect("sized slice")) as usize;
+    let pairs = n * (n.saturating_sub(1)) / 2;
+    let expect = 16 + pairs * 8;
+    if bytes.len() != expect {
+        return Err(format!("expected {expect} bytes for {n} nodes, got {}", bytes.len()));
+    }
+    let mut m = DelayMatrix::new(n);
+    let mut off = 16;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let v = f64::from_le_bytes(bytes[off..off + 8].try_into().expect("sized slice"));
+            off += 8;
+            if !v.is_nan() {
+                if !(v.is_finite() && v >= 0.0) {
+                    return Err(format!("invalid delay {v} at ({i},{j})"));
+                }
+                m.set(i, j, v);
+            }
+        }
+    }
+    Ok(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{Dataset, InternetDelaySpace};
+
+    fn sample() -> DelayMatrix {
+        let mut m = InternetDelaySpace::preset(Dataset::PlanetLab)
+            .with_nodes(40)
+            .build(7)
+            .into_matrix();
+        m.clear(3, 17);
+        m
+    }
+
+    #[test]
+    fn pairs_roundtrip() {
+        let m = sample();
+        let text = to_pairs_text(&m);
+        let back = from_pairs_text(&text).unwrap();
+        assert_eq!(back.len(), m.len());
+        assert_eq!(back.get(3, 17), None);
+        for (i, j, d) in m.edges() {
+            let b = back.get(i, j).unwrap();
+            assert!((b - d).abs() < 5e-4, "({i},{j}): {b} vs {d}");
+        }
+    }
+
+    #[test]
+    fn pairs_duplicates_keep_minimum() {
+        let m = from_pairs_text("0 1 20.0\n1 0 10.0\n0 1 30.0\n").unwrap();
+        assert_eq!(m.get(0, 1), Some(10.0));
+    }
+
+    #[test]
+    fn pairs_infers_node_count() {
+        let m = from_pairs_text("0 5 12.5\n").unwrap();
+        assert_eq!(m.len(), 6);
+    }
+
+    #[test]
+    fn pairs_rejects_garbage() {
+        assert!(from_pairs_text("0 0 5.0\n").is_err()); // self loop
+        assert!(from_pairs_text("0 1 -3\n").is_err()); // negative
+        assert!(from_pairs_text("0 1\n").is_err()); // missing rtt
+        assert!(from_pairs_text("x 1 5\n").is_err()); // bad id
+        assert!(from_pairs_text("# nodes 2\n0 5 1.0\n").is_err()); // id beyond count
+    }
+
+    #[test]
+    fn pairs_empty_input_is_empty_matrix() {
+        let m = from_pairs_text("# just a comment\n").unwrap();
+        assert_eq!(m.len(), 0);
+    }
+
+    #[test]
+    fn binary_roundtrip_is_exact() {
+        let m = sample();
+        let bytes = to_binary(&m);
+        let back = from_binary(&bytes).unwrap();
+        assert_eq!(back, m); // NaN-aware equality
+    }
+
+    #[test]
+    fn binary_rejects_corruption() {
+        let m = sample();
+        let mut bytes = to_binary(&m);
+        assert!(from_binary(&bytes[..10]).is_err());
+        bytes[0] = b'X';
+        assert!(from_binary(&bytes).is_err());
+        let mut truncated = to_binary(&m);
+        truncated.pop();
+        assert!(from_binary(&truncated).is_err());
+    }
+
+    #[test]
+    fn binary_is_smaller_than_text() {
+        let m = sample();
+        assert!(to_binary(&m).len() < m.to_text().len());
+    }
+}

@@ -1,0 +1,47 @@
+//! # `delayspace` — Internet delay-space substrate
+//!
+//! This crate provides the measurement substrate on which the rest of the
+//! workspace is built: dense round-trip-delay matrices, a synthetic
+//! Internet delay-space generator that reproduces the triangle-inequality
+//! violation (TIV) structure of measured data sets, delay-based
+//! clustering, all-pairs shortest paths over the delay graph, and the
+//! statistics toolkit (CDFs, percentile bins) used by every experiment.
+//!
+//! The IMC'07 paper analyses four measured data sets — DS² (4000 nodes),
+//! Meridian (2500), p2psim (1740) and PlanetLab (229). Those matrices are
+//! not redistributable, so [`synth`] generates synthetic equivalents whose
+//! TIVs arise from the same mechanism the paper identifies: inter-domain
+//! routing inflation. See `DESIGN.md` §1 for the substitution argument.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use delayspace::synth::{Dataset, InternetDelaySpace};
+//!
+//! // A small DS²-like delay space, deterministic in the seed.
+//! let space = InternetDelaySpace::preset(Dataset::Ds2)
+//!     .with_nodes(200)
+//!     .build(42);
+//! let m = space.matrix();
+//! assert_eq!(m.len(), 200);
+//! // Delays are round-trip milliseconds.
+//! let d = m.get(0, 1).unwrap();
+//! assert!(d > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod apsp;
+pub mod cluster;
+pub mod io;
+pub mod matrix;
+pub mod rng;
+pub mod stats;
+pub mod synth;
+
+pub use apsp::ShortestPaths;
+pub use cluster::{ClusterId, Clustering};
+pub use matrix::{DelayMatrix, EdgeIter, NodeId};
+pub use stats::{BinnedStats, Cdf, Percentiles};
+pub use synth::{Dataset, InternetDelaySpace, SynthConfig};

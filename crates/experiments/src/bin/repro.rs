@@ -1,0 +1,127 @@
+//! `repro` — regenerate the paper's figures.
+//!
+//! ```text
+//! repro <figN | all> [--full] [--seed S] [--out DIR]
+//! ```
+//!
+//! * `figN` — one experiment id (fig1 … fig25), or `all`.
+//! * `--full` — run at the paper's data-set sizes (DS² = 4000 nodes;
+//!   the severity pass is O(n³), expect minutes).
+//! * `--seed S` — master seed (default 42).
+//! * `--out DIR` — write `figN.csv` (and side artifacts such as the
+//!   Figure 3 PGM) into DIR; otherwise only the console summary is
+//!   printed.
+
+use experiments::lab::Lab;
+use experiments::scale::ExperimentScale;
+use experiments::suite;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    ids: Vec<String>,
+    scale: ExperimentScale,
+    seed: u64,
+    out: Option<PathBuf>,
+    report: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut ids = Vec::new();
+    let mut scale = ExperimentScale::Small;
+    let mut seed = 42u64;
+    let mut out = None;
+    let mut report = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--full" => scale = ExperimentScale::Paper,
+            "--tiny" => scale = ExperimentScale::Tiny,
+            "--seed" => {
+                let v = argv.next().ok_or("--seed needs a value")?;
+                seed = v.parse().map_err(|e| format!("bad seed: {e}"))?;
+            }
+            "--out" => {
+                let v = argv.next().ok_or("--out needs a directory")?;
+                out = Some(PathBuf::from(v));
+            }
+            "--report" => {
+                let v = argv.next().ok_or("--report needs a file path")?;
+                report = Some(PathBuf::from(v));
+            }
+            "all" => ids.extend(suite::ALL_IDS.iter().map(|s| s.to_string())),
+            "ablations" => ids.extend(suite::ABLATION_IDS.iter().map(|s| s.to_string())),
+            id if id.starts_with("fig") || id.starts_with("ablation-") => {
+                ids.push(id.to_string())
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    if ids.is_empty() && report.is_none() {
+        return Err(format!(
+            "usage: repro <figN | all | ablations> [--full] [--seed S] [--out DIR] \
+             [--report FILE]\n\
+             figures: {}\n\
+             ablations: {}",
+            suite::ALL_IDS.join(" "),
+            suite::ABLATION_IDS.join(" ")
+        ));
+    }
+    Ok(Args { ids, scale, seed, out, report })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(dir) = &args.out {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    let mut lab = Lab::new(args.scale, args.seed);
+    let mut failed = false;
+    for id in &args.ids {
+        let started = std::time::Instant::now();
+        let Some(out) = suite::run(id, &mut lab) else {
+            eprintln!("unknown experiment id: {id}");
+            failed = true;
+            continue;
+        };
+        print!("{}", out.figure.summary());
+        println!("    ({:.1}s)", started.elapsed().as_secs_f64());
+        if let Some(dir) = &args.out {
+            let csv = dir.join(format!("{id}.csv"));
+            if let Err(e) = std::fs::write(&csv, out.figure.to_csv()) {
+                eprintln!("cannot write {}: {e}", csv.display());
+                failed = true;
+            }
+            for (ext, contents) in &out.artifacts {
+                let path = dir.join(format!("{id}.{ext}"));
+                if let Err(e) = std::fs::write(&path, contents) {
+                    eprintln!("cannot write {}: {e}", path.display());
+                    failed = true;
+                }
+            }
+        }
+    }
+    if let Some(path) = &args.report {
+        let report = experiments::report::generate(&mut lab);
+        if let Err(e) = std::fs::write(path, report) {
+            eprintln!("cannot write {}: {e}", path.display());
+            failed = true;
+        } else {
+            println!("report written to {}", path.display());
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

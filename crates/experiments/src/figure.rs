@@ -1,0 +1,217 @@
+//! Figure output types: named series, rendered to CSV and to readable
+//! console summaries.
+//!
+//! Every experiment returns a [`Figure`]: an id matching the paper's
+//! figure number, axis labels, and one or more [`Series`]. The `repro`
+//! binary writes the CSV (one file per figure, gnuplot/matplotlib
+//! friendly) and prints the summary.
+
+use delayspace::stats::{BinnedStats, Cdf};
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// One named data series: `(x, y)` points plus optional error bars.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// `(x, y)` points in plotting order.
+    pub points: Vec<(f64, f64)>,
+    /// Optional `(y_low, y_high)` error bars, parallel to `points`.
+    pub bars: Option<Vec<(f64, f64)>>,
+}
+
+impl Series {
+    /// A plain series without error bars.
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series { label: label.into(), points, bars: None }
+    }
+
+    /// A series from a CDF, downsampled to at most `k` points.
+    pub fn from_cdf(label: impl Into<String>, cdf: &Cdf, k: usize) -> Self {
+        Series::new(label, cdf.points(k))
+    }
+
+    /// A median series with 10th/90th percentile error bars from binned
+    /// statistics.
+    pub fn from_binned(label: impl Into<String>, b: &BinnedStats) -> Self {
+        let mut points = Vec::new();
+        let mut bars = Vec::new();
+        for bin in &b.bins {
+            if let Some(s) = bin.stats {
+                points.push((bin.mid(), s.p50));
+                bars.push((s.p10, s.p90));
+            }
+        }
+        Series { label: label.into(), points, bars: Some(bars) }
+    }
+
+    /// The y-value at the x closest to `x`, if any points exist.
+    pub fn y_near(&self, x: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .min_by(|a, b| {
+                (a.0 - x).abs().partial_cmp(&(b.0 - x).abs()).unwrap()
+            })
+            .map(|p| p.1)
+    }
+}
+
+/// A regenerated figure.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Figure {
+    /// Paper figure id, e.g. `"fig4"`.
+    pub id: String,
+    /// Human title (what the paper's caption says).
+    pub title: String,
+    /// x-axis label.
+    pub xlabel: String,
+    /// y-axis label.
+    pub ylabel: String,
+    /// The series.
+    pub series: Vec<Series>,
+    /// Free-form notes: measured headline numbers, paper comparisons.
+    pub notes: Vec<String>,
+}
+
+impl Figure {
+    /// Creates an empty figure shell.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        xlabel: impl Into<String>,
+        ylabel: impl Into<String>,
+    ) -> Self {
+        Figure {
+            id: id.into(),
+            title: title.into(),
+            xlabel: xlabel.into(),
+            ylabel: ylabel.into(),
+            series: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Adds a series (builder style).
+    pub fn with_series(mut self, s: Series) -> Self {
+        self.series.push(s);
+        self
+    }
+
+    /// Adds a note (builder style).
+    pub fn with_note(mut self, n: impl Into<String>) -> Self {
+        self.notes.push(n.into());
+        self
+    }
+
+    /// Renders all series as one CSV: `series,x,y[,ylo,yhi]`.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str("series,x,y,ylo,yhi\n");
+        for s in &self.series {
+            for (k, &(x, y)) in s.points.iter().enumerate() {
+                let (lo, hi) = s
+                    .bars
+                    .as_ref()
+                    .and_then(|b| b.get(k))
+                    .map(|&(lo, hi)| (format!("{lo:.6}"), format!("{hi:.6}")))
+                    .unwrap_or_default();
+                let _ = writeln!(out, "{},{x:.6},{y:.6},{lo},{hi}", csv_escape(&s.label));
+            }
+        }
+        out
+    }
+
+    /// A multi-line console summary: per-series point count, y range,
+    /// and a few representative points, plus the notes.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "[{}] {}", self.id, self.title);
+        let _ = writeln!(out, "    x: {}   y: {}", self.xlabel, self.ylabel);
+        for s in &self.series {
+            if s.points.is_empty() {
+                let _ = writeln!(out, "    {}: (empty)", s.label);
+                continue;
+            }
+            let ymin = s.points.iter().map(|p| p.1).fold(f64::MAX, f64::min);
+            let ymax = s.points.iter().map(|p| p.1).fold(f64::MIN, f64::max);
+            let _ = writeln!(
+                out,
+                "    {}: {} pts, y ∈ [{:.3}, {:.3}]",
+                s.label,
+                s.points.len(),
+                ymin,
+                ymax
+            );
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "    note: {n}");
+        }
+        out
+    }
+}
+
+fn csv_escape(s: &str) -> String {
+    if s.contains(',') || s.contains('"') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_contains_all_points() {
+        let fig = Figure::new("figX", "t", "x", "y")
+            .with_series(Series::new("a", vec![(1.0, 2.0), (3.0, 4.0)]))
+            .with_series(Series::new("b,c", vec![(5.0, 6.0)]));
+        let csv = fig.to_csv();
+        assert_eq!(csv.lines().count(), 4); // header + 3 points
+        assert!(csv.contains("a,1.000000,2.000000"));
+        assert!(csv.contains("\"b,c\",5.000000"));
+    }
+
+    #[test]
+    fn binned_series_carries_error_bars() {
+        let b = BinnedStats::build(
+            (0..100).map(|i| (5.0, i as f64)),
+            10.0,
+            20.0,
+        );
+        let s = Series::from_binned("sev", &b);
+        assert_eq!(s.points.len(), 1);
+        let bars = s.bars.unwrap();
+        assert!(bars[0].0 <= s.points[0].1);
+        assert!(bars[0].1 >= s.points[0].1);
+    }
+
+    #[test]
+    fn cdf_series_is_monotone() {
+        let cdf = Cdf::from_samples((0..500).map(|i| (i % 37) as f64));
+        let s = Series::from_cdf("cdf", &cdf, 20);
+        for w in s.points.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+        }
+    }
+
+    #[test]
+    fn y_near_picks_closest() {
+        let s = Series::new("s", vec![(0.0, 1.0), (10.0, 2.0)]);
+        assert_eq!(s.y_near(3.0), Some(1.0));
+        assert_eq!(s.y_near(8.0), Some(2.0));
+    }
+
+    #[test]
+    fn summary_mentions_series() {
+        let fig = Figure::new("fig9", "Proximity", "diff", "CDF")
+            .with_series(Series::new("nearest", vec![(0.0, 0.5)]))
+            .with_note("paper: slight similarity only");
+        let s = fig.summary();
+        assert!(s.contains("fig9"));
+        assert!(s.contains("nearest"));
+        assert!(s.contains("slight similarity"));
+    }
+}

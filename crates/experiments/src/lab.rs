@@ -1,0 +1,135 @@
+//! The experiment laboratory: cached per-dataset artifacts.
+//!
+//! Many figures share expensive intermediates — the synthetic delay
+//! space, its O(n³) severity matrix, a steady-state Vivaldi embedding.
+//! [`Lab`] computes each lazily, once, keyed by data set, so `repro all`
+//! does not recompute severity 15 times.
+
+use crate::scale::ExperimentScale;
+use delayspace::synth::{Dataset, InternetDelaySpace};
+use simnet::net::{JitterModel, Network};
+use std::collections::HashMap;
+use std::sync::Arc;
+use tivcore::severity::Severity;
+use vivaldi::{Embedding, VivaldiConfig, VivaldiSystem};
+
+/// Lazily cached per-dataset artifacts for one (scale, seed) setting.
+pub struct Lab {
+    scale: ExperimentScale,
+    seed: u64,
+    spaces: HashMap<Dataset, Arc<InternetDelaySpace>>,
+    severities: HashMap<Dataset, Arc<Severity>>,
+    embeddings: HashMap<Dataset, Arc<Embedding>>,
+}
+
+impl Lab {
+    /// A lab at the given scale and master seed.
+    pub fn new(scale: ExperimentScale, seed: u64) -> Self {
+        Lab {
+            scale,
+            seed,
+            spaces: HashMap::new(),
+            severities: HashMap::new(),
+            embeddings: HashMap::new(),
+        }
+    }
+
+    /// The experiment scale.
+    pub fn scale(&self) -> ExperimentScale {
+        self.scale
+    }
+
+    /// The master seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The synthetic delay space for `ds` (generated on first use).
+    pub fn space(&mut self, ds: Dataset) -> Arc<InternetDelaySpace> {
+        let (scale, seed) = (self.scale, self.seed);
+        self.spaces
+            .entry(ds)
+            .or_insert_with(|| {
+                Arc::new(
+                    InternetDelaySpace::preset(ds)
+                        .with_nodes(scale.nodes(ds))
+                        .build(seed ^ dataset_salt(ds)),
+                )
+            })
+            .clone()
+    }
+
+    /// The severity matrix for `ds` (computed on first use; parallel).
+    pub fn severity(&mut self, ds: Dataset) -> Arc<Severity> {
+        if let Some(s) = self.severities.get(&ds) {
+            return s.clone();
+        }
+        let space = self.space(ds);
+        let sev = Arc::new(Severity::compute(space.matrix(), 0));
+        self.severities.insert(ds, sev.clone());
+        sev
+    }
+
+    /// A steady-state Vivaldi embedding of `ds` (the paper's standard
+    /// setup: 5-D, 32 random neighbors, 100 rounds).
+    pub fn embedding(&mut self, ds: Dataset) -> Arc<Embedding> {
+        if let Some(e) = self.embeddings.get(&ds) {
+            return e.clone();
+        }
+        let space = self.space(ds);
+        let rounds = self.scale.embed_rounds();
+        let seed = self.seed;
+        let m = space.matrix();
+        let mut sys = VivaldiSystem::new(VivaldiConfig::default(), m.len(), seed);
+        let mut net = Network::new(m, JitterModel::None, seed);
+        sys.run_rounds(&mut net, rounds);
+        let emb = Arc::new(sys.embedding());
+        self.embeddings.insert(ds, emb.clone());
+        emb
+    }
+}
+
+/// Decorrelates the generation seeds of different data sets.
+fn dataset_salt(ds: Dataset) -> u64 {
+    match ds {
+        Dataset::Ds2 => 0x1111_2222,
+        Dataset::Meridian => 0x3333_4444,
+        Dataset::P2pSim => 0x5555_6666,
+        Dataset::PlanetLab => 0x7777_8888,
+        Dataset::Euclidean => 0x9999_aaaa,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn artifacts_are_cached() {
+        let mut lab = Lab::new(ExperimentScale::Tiny, 1);
+        let a = lab.space(Dataset::Ds2);
+        let b = lab.space(Dataset::Ds2);
+        assert!(Arc::ptr_eq(&a, &b));
+        let s1 = lab.severity(Dataset::Ds2);
+        let s2 = lab.severity(Dataset::Ds2);
+        assert!(Arc::ptr_eq(&s1, &s2));
+        let e1 = lab.embedding(Dataset::Ds2);
+        let e2 = lab.embedding(Dataset::Ds2);
+        assert!(Arc::ptr_eq(&e1, &e2));
+    }
+
+    #[test]
+    fn datasets_are_decorrelated() {
+        let mut lab = Lab::new(ExperimentScale::Tiny, 1);
+        let a = lab.space(Dataset::Ds2);
+        let b = lab.space(Dataset::P2pSim);
+        assert_ne!(a.matrix().get(0, 1), b.matrix().get(0, 1));
+    }
+
+    #[test]
+    fn sizes_follow_scale() {
+        let mut lab = Lab::new(ExperimentScale::Tiny, 2);
+        assert_eq!(lab.space(Dataset::Ds2).matrix().len(), 150);
+        assert_eq!(lab.embedding(Dataset::Ds2).len(), 150);
+    }
+}

@@ -1,0 +1,42 @@
+//! # `experiments` — the figure-regeneration harness
+//!
+//! One function per figure of the IMC'07 TIV paper, each returning a
+//! [`figure::Figure`] with the same series the paper plots, plus notes
+//! comparing measured headline numbers against the paper's. The
+//! [`suite`] module enumerates all experiments for the `repro` binary
+//! (`cargo run -p tiv-experiments --bin repro -- all`).
+//!
+//! | module | paper section | figures |
+//! |---|---|---|
+//! | [`sec2`] | §2 TIV analysis | 1–9 |
+//! | [`sec3`] | §3 impact on Vivaldi/Meridian | 10–14 |
+//! | [`sec4`] | §4 strawman solutions | 15–18 |
+//! | [`sec5`] | §5 TIV alert mechanism | 19–25 |
+//!
+//! ```
+//! use experiments::lab::Lab;
+//! use experiments::scale::ExperimentScale;
+//!
+//! let mut lab = Lab::new(ExperimentScale::Tiny, 7);
+//! let fig = experiments::sec2::fig2(&mut lab);
+//! assert_eq!(fig.series.len(), 4); // one CDF per data set
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod figure;
+pub mod lab;
+pub mod report;
+pub mod penalty;
+pub mod scale;
+pub mod sec2;
+pub mod sec3;
+pub mod sec4;
+pub mod sec5;
+pub mod suite;
+
+pub use figure::{Figure, Series};
+pub use lab::Lab;
+pub use scale::ExperimentScale;

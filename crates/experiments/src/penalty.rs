@@ -1,0 +1,235 @@
+//! The closest-neighbor selection experiment (Section 4.1).
+//!
+//! The paper's common protocol: pick a random subset of nodes as
+//! *candidates* (200 at paper scale), let every remaining node act as a
+//! *client*, have the system under test select the candidate it believes
+//! is closest, and record the **percentage penalty**
+//!
+//! ```text
+//! penalty = (delay_to_selected − delay_to_optimal) · 100 / delay_to_optimal
+//! ```
+//!
+//! repeated over 5 candidate subsets, with results cumulative over the
+//! runs. Figures 14–18 and 23–25 are all CDFs of this quantity.
+
+use delayspace::matrix::{DelayMatrix, NodeId};
+use delayspace::rng;
+use delayspace::stats::Cdf;
+use meridian::{MeridianOverlay, QueryResult};
+use simnet::net::Network;
+
+/// Percentage penalty of selecting `selected` for `client` against the
+/// optimal candidate. `None` when the optimum is undefined (no
+/// measurable candidate) or the selected delay is unmeasured.
+pub fn percentage_penalty(
+    m: &DelayMatrix,
+    client: NodeId,
+    selected: NodeId,
+    candidates: &[NodeId],
+) -> Option<f64> {
+    let (_, d_opt) = m.nearest_among(client, candidates.iter())?;
+    let d_sel = m.get(client, selected)?;
+    if d_opt <= 0.0 {
+        return None;
+    }
+    Some((d_sel - d_opt) * 100.0 / d_opt)
+}
+
+/// Runs the predictor-style penalty experiment (Vivaldi, LAT, IDES —
+/// anything that ranks candidates by a predicted delay).
+///
+/// `select(client, candidates)` returns the candidate the system picks.
+/// Returns the cumulative penalty CDF over `runs` candidate subsets of
+/// size `candidates_per_run`.
+pub fn predictor_penalty_cdf(
+    m: &DelayMatrix,
+    mut select: impl FnMut(NodeId, &[NodeId]) -> Option<NodeId>,
+    candidates_per_run: usize,
+    runs: usize,
+    seed: u64,
+) -> Cdf {
+    let n = m.len();
+    assert!(candidates_per_run < n, "candidate set must leave clients");
+    let mut r = rng::sub_rng(seed, "penalty/candidates");
+    let mut penalties = Vec::new();
+    for _ in 0..runs {
+        let candidates = rng::sample_indices(&mut r, n, candidates_per_run);
+        let is_candidate = {
+            let mut flag = vec![false; n];
+            for &c in &candidates {
+                flag[c] = true;
+            }
+            flag
+        };
+        for client in 0..n {
+            if is_candidate[client] {
+                continue;
+            }
+            let Some(sel) = select(client, &candidates) else { continue };
+            if let Some(p) = percentage_penalty(m, client, sel, &candidates) {
+                penalties.push(p);
+            }
+        }
+    }
+    Cdf::from_samples(penalties)
+}
+
+/// Outcome of a Meridian-style penalty experiment: the penalty CDF plus
+/// probe accounting (the paper reports improvements alongside their
+/// probing-overhead cost).
+#[derive(Clone, Debug)]
+pub struct MeridianPenalty {
+    /// Cumulative percentage-penalty CDF over all runs.
+    pub penalties: Cdf,
+    /// Mean on-demand probes per query.
+    pub probes_per_query: f64,
+    /// Fraction of queries that returned the true closest member.
+    pub exact_fraction: f64,
+}
+
+/// Runs the Meridian-style penalty experiment.
+///
+/// Per run: `build` constructs an overlay over a random member subset of
+/// size `members_per_run`; every non-member is a client issuing one
+/// query via `query` from a random entry member; penalties are measured
+/// against the optimal *member*.
+#[allow(clippy::too_many_arguments)]
+pub fn meridian_penalty_cdf<'m>(
+    m: &'m DelayMatrix,
+    mut build: impl FnMut(&mut Network<'m>, Vec<NodeId>, u64) -> MeridianOverlay,
+    mut query: impl FnMut(
+        &MeridianOverlay,
+        &mut Network<'m>,
+        NodeId,
+        NodeId,
+    ) -> Option<QueryResult>,
+    members_per_run: usize,
+    runs: usize,
+    seed: u64,
+) -> MeridianPenalty {
+    let n = m.len();
+    assert!(members_per_run >= 2 && members_per_run < n, "bad member count");
+    let mut r = rng::sub_rng(seed, "penalty/meridian");
+    use rand::Rng;
+    let mut penalties = Vec::new();
+    let mut query_probes = 0u64;
+    let mut queries = 0u64;
+    let mut exact = 0u64;
+    for run in 0..runs {
+        let members = rng::sample_indices(&mut r, n, members_per_run);
+        let mut net = Network::new(m, simnet::net::JitterModel::None, seed ^ (run as u64) << 32);
+        let overlay = build(&mut net, members.clone(), seed.wrapping_add(run as u64));
+        // Separate construction cost from on-demand query cost.
+        net.stats_mut().reset();
+        let is_member = {
+            let mut flag = vec![false; n];
+            for &c in &members {
+                flag[c] = true;
+            }
+            flag
+        };
+        for client in 0..n {
+            if is_member[client] {
+                continue;
+            }
+            let start = members[r.gen_range(0..members.len())];
+            let Some(res) = query(&overlay, &mut net, start, client) else { continue };
+            queries += 1;
+            query_probes += res.target_probes;
+            if let Some(p) = percentage_penalty(m, client, res.selected, &members) {
+                if p <= 0.0 {
+                    exact += 1;
+                }
+                penalties.push(p);
+            }
+        }
+    }
+    MeridianPenalty {
+        penalties: Cdf::from_samples(penalties),
+        probes_per_query: if queries > 0 { query_probes as f64 / queries as f64 } else { 0.0 },
+        exact_fraction: if queries > 0 { exact as f64 / queries as f64 } else { 0.0 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use delayspace::synth::{Dataset, InternetDelaySpace};
+    use meridian::{BuildOptions, MeridianConfig, Termination};
+
+    #[test]
+    fn penalty_zero_for_optimal_choice() {
+        let m = DelayMatrix::from_complete_fn(10, |i, j| 10.0 * i.abs_diff(j) as f64);
+        let cands = [2usize, 5, 9];
+        // Client 0: optimal candidate is 2.
+        assert_eq!(percentage_penalty(&m, 0, 2, &cands), Some(0.0));
+        // Picking 5 instead: (50-20)/20*100 = 150%.
+        assert_eq!(percentage_penalty(&m, 0, 5, &cands), Some(150.0));
+    }
+
+    #[test]
+    fn penalty_none_without_measurable_candidates() {
+        let mut m = DelayMatrix::new(4);
+        m.set(0, 1, 5.0);
+        assert_eq!(percentage_penalty(&m, 0, 2, &[2, 3]), None);
+    }
+
+    #[test]
+    fn oracle_predictor_has_zero_penalty() {
+        let s = InternetDelaySpace::preset(Dataset::Ds2).with_nodes(80).build(3);
+        let m = s.matrix();
+        let cdf = predictor_penalty_cdf(
+            m,
+            |client, cands| m.nearest_among(client, cands.iter()).map(|(c, _)| c),
+            20,
+            2,
+            1,
+        );
+        assert!(cdf.len() > 50);
+        assert_eq!(cdf.quantile(1.0), 0.0);
+    }
+
+    #[test]
+    fn random_predictor_has_positive_penalty() {
+        let s = InternetDelaySpace::preset(Dataset::Ds2).with_nodes(80).build(3);
+        let m = s.matrix();
+        let cdf = predictor_penalty_cdf(m, |_, cands| cands.first().copied(), 20, 2, 1);
+        assert!(cdf.median() > 0.0, "first-candidate picker should pay a penalty");
+    }
+
+    #[test]
+    fn meridian_penalty_runs_and_accounts_probes() {
+        let s = InternetDelaySpace::preset(Dataset::Ds2).with_nodes(60).build(5);
+        let m = s.matrix();
+        let out = meridian_penalty_cdf(
+            m,
+            |net, members, bseed| {
+                MeridianOverlay::build(
+                    MeridianConfig::default(),
+                    members,
+                    net,
+                    bseed,
+                    &BuildOptions::default(),
+                )
+            },
+            |ov, net, start, target| {
+                meridian::closest_neighbor(ov, net, start, target, Termination::Beta)
+            },
+            30,
+            2,
+            7,
+        );
+        assert!(out.penalties.len() > 30);
+        assert!(out.probes_per_query > 1.0, "queries must at least probe the entry");
+        assert!(out.exact_fraction > 0.0);
+        // Penalties are never negative (optimum is a lower bound).
+        assert!(out.penalties.quantile(0.0) >= 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "candidate set must leave clients")]
+    fn all_candidates_rejected() {
+        let m = DelayMatrix::from_complete_fn(5, |_, _| 1.0);
+        predictor_penalty_cdf(&m, |_, _| None, 5, 1, 1);
+    }
+}

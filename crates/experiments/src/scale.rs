@@ -1,0 +1,125 @@
+//! Experiment scaling.
+//!
+//! The paper's experiments run on matrices of up to 4000 nodes with
+//! O(n³) severity computations. Every experiment here takes an
+//! [`ExperimentScale`] so the full figure suite can run in seconds
+//! (`Small`, the default for `repro` and CI) or at the paper's sizes
+//! (`Paper`, `repro --full`).
+
+use delayspace::synth::Dataset;
+
+/// How large to run an experiment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ExperimentScale {
+    /// Tiny instances for unit/integration tests (~150 nodes).
+    Tiny,
+    /// Default: large enough for stable distributions, small enough for
+    /// a full `repro all` in minutes.
+    Small,
+    /// The measured data sets' real sizes (DS² = 4000 nodes, …).
+    Paper,
+}
+
+impl ExperimentScale {
+    /// Node count for a data set at this scale.
+    pub fn nodes(self, ds: Dataset) -> usize {
+        match self {
+            ExperimentScale::Tiny => match ds {
+                Dataset::PlanetLab => 120,
+                _ => 150,
+            },
+            ExperimentScale::Small => match ds {
+                Dataset::Ds2 | Dataset::Euclidean => 800,
+                Dataset::Meridian => 650,
+                Dataset::P2pSim => 600,
+                Dataset::PlanetLab => 229,
+            },
+            ExperimentScale::Paper => ds.paper_nodes(),
+        }
+    }
+
+    /// Closest-neighbor candidate-set size (paper: 200).
+    pub fn candidates(self) -> usize {
+        match self {
+            ExperimentScale::Tiny => 40,
+            ExperimentScale::Small => 100,
+            ExperimentScale::Paper => 200,
+        }
+    }
+
+    /// Number of repeated runs with fresh candidate subsets (paper: 5).
+    pub fn runs(self) -> usize {
+        match self {
+            ExperimentScale::Tiny => 2,
+            _ => 5,
+        }
+    }
+
+    /// Meridian overlay size for the "normal" setting (paper: 2000 of
+    /// 4000 nodes — half the population).
+    pub fn meridian_members(self, ds: Dataset) -> usize {
+        self.nodes(ds) / 2
+    }
+
+    /// Meridian overlay size for the idealized all-members setting
+    /// (paper: 200).
+    pub fn meridian_small_members(self) -> usize {
+        match self {
+            ExperimentScale::Tiny => 40,
+            ExperimentScale::Small => 100,
+            ExperimentScale::Paper => 200,
+        }
+    }
+
+    /// Vivaldi embedding rounds before a snapshot is considered steady.
+    /// The paper runs "100 seconds of simulation time"; our rounds probe
+    /// one neighbor per node per second, so we run longer to reach the
+    /// same steady state the paper's (faster-probing) runs reach.
+    pub fn embed_rounds(self) -> usize {
+        match self {
+            ExperimentScale::Tiny => 80,
+            _ => 300,
+        }
+    }
+
+    /// Rounds of the Figure 11 oscillation run (paper: 500 s).
+    pub fn oscillation_rounds(self) -> usize {
+        match self {
+            ExperimentScale::Tiny => 120,
+            _ => 500,
+        }
+    }
+
+    /// Number of sampled edges in the proximity experiment (paper:
+    /// 10 000).
+    pub fn proximity_samples(self) -> usize {
+        match self {
+            ExperimentScale::Tiny => 1_000,
+            ExperimentScale::Small => 5_000,
+            ExperimentScale::Paper => 10_000,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_matches_measured_sizes() {
+        assert_eq!(ExperimentScale::Paper.nodes(Dataset::Ds2), 4000);
+        assert_eq!(ExperimentScale::Paper.nodes(Dataset::PlanetLab), 229);
+        assert_eq!(ExperimentScale::Paper.candidates(), 200);
+        assert_eq!(ExperimentScale::Paper.runs(), 5);
+        assert_eq!(ExperimentScale::Paper.meridian_members(Dataset::Ds2), 2000);
+        assert_eq!(ExperimentScale::Paper.meridian_small_members(), 200);
+    }
+
+    #[test]
+    fn small_scale_is_smaller() {
+        for ds in Dataset::measured() {
+            assert!(ExperimentScale::Small.nodes(ds) <= ExperimentScale::Paper.nodes(ds));
+            assert!(ExperimentScale::Tiny.nodes(ds) <= ExperimentScale::Small.nodes(ds));
+        }
+    }
+}

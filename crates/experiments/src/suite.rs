@@ -1,0 +1,117 @@
+//! The experiment registry: every reproducible figure by id.
+
+use crate::figure::Figure;
+use crate::lab::Lab;
+use crate::{sec2, sec3, sec4, sec5};
+use delayspace::synth::Dataset;
+
+/// All experiment ids, in paper order.
+pub const ALL_IDS: [&str; 25] = [
+    "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+    "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21",
+    "fig22", "fig23", "fig24", "fig25",
+];
+
+/// Output of one experiment: the figure plus optional side artifacts
+/// (file extension, contents).
+pub struct ExperimentOutput {
+    /// The regenerated figure.
+    pub figure: Figure,
+    /// Extra artifacts to write next to the CSV, e.g. the Figure 3 PGM.
+    pub artifacts: Vec<(String, String)>,
+}
+
+impl From<Figure> for ExperimentOutput {
+    fn from(figure: Figure) -> Self {
+        ExperimentOutput { figure, artifacts: Vec::new() }
+    }
+}
+
+/// Runs one experiment by id. Returns `None` for unknown ids.
+///
+/// Figures 20/21 share one sweep; requesting either recomputes the pair
+/// and returns the requested one (the `Lab` cache keeps this cheap).
+pub fn run(id: &str, lab: &mut Lab) -> Option<ExperimentOutput> {
+    let out: ExperimentOutput = match id {
+        "fig1" => sec2::fig1(lab).into(),
+        "fig2" => sec2::fig2(lab).into(),
+        "fig3" => {
+            let o = sec2::fig3(lab);
+            ExperimentOutput {
+                figure: o.figure,
+                artifacts: vec![("pgm".to_string(), o.pgm)],
+            }
+        }
+        "fig4" => sec2::fig_severity_vs_delay(lab, Dataset::Ds2).into(),
+        "fig5" => sec2::fig_severity_vs_delay(lab, Dataset::P2pSim).into(),
+        "fig6" => sec2::fig_severity_vs_delay(lab, Dataset::Meridian).into(),
+        "fig7" => sec2::fig_severity_vs_delay(lab, Dataset::PlanetLab).into(),
+        "fig8" => sec2::fig8(lab).into(),
+        "fig9" => sec2::fig9(lab).into(),
+        "fig10" => sec3::fig10(lab).into(),
+        "fig11" => sec3::fig11(lab).into(),
+        "fig12" => sec3::fig12(lab).into(),
+        "fig13" => sec3::fig13(lab).into(),
+        "fig14" => sec3::fig14(lab).into(),
+        "fig15" => sec4::fig15(lab).into(),
+        "fig16" => sec4::fig16(lab).into(),
+        "fig17" => sec4::fig17(lab).into(),
+        "fig18" => sec4::fig18(lab).into(),
+        "fig19" => sec5::fig19(lab).into(),
+        "fig20" => sec5::fig20_21(lab).0.into(),
+        "fig21" => sec5::fig20_21(lab).1.into(),
+        "fig22" => sec5::fig22(lab).into(),
+        "fig23" => sec5::fig23(lab).into(),
+        "fig24" => sec5::fig24(lab).into(),
+        "fig25" => sec5::fig25(lab).into(),
+        "ablation-filter" => crate::ablations::filter_fraction_sweep(lab).into(),
+        "ablation-dims" => crate::ablations::dimensionality_sweep(lab).into(),
+        "ablation-beta" => crate::ablations::beta_sweep(lab).into(),
+        "ablation-tivmeridian" => crate::ablations::tiv_meridian_decomposition(lab).into(),
+        "ablation-coords" => crate::ablations::coordinate_system_shootout(lab).into(),
+        _ => return None,
+    };
+    Some(out)
+}
+
+/// Ablation experiment ids (DESIGN.md §5), runnable like figure ids.
+pub const ABLATION_IDS: [&str; 5] = [
+    "ablation-filter",
+    "ablation-dims",
+    "ablation-beta",
+    "ablation-tivmeridian",
+    "ablation-coords",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scale::ExperimentScale;
+
+    #[test]
+    fn unknown_id_is_none() {
+        let mut lab = Lab::new(ExperimentScale::Tiny, 1);
+        assert!(run("fig99", &mut lab).is_none());
+    }
+
+    #[test]
+    fn ids_are_unique_and_ordered() {
+        let mut seen = std::collections::HashSet::new();
+        for id in ALL_IDS {
+            assert!(seen.insert(id), "duplicate id {id}");
+        }
+        assert_eq!(ALL_IDS.len(), 25);
+    }
+
+    // A smoke test over the cheap experiments; the expensive ones are
+    // covered in their own modules and in the integration suite.
+    #[test]
+    fn run_small_subset() {
+        let mut lab = Lab::new(ExperimentScale::Tiny, 3);
+        for id in ["fig1", "fig2", "fig12"] {
+            let out = run(id, &mut lab).unwrap();
+            assert_eq!(out.figure.id, id);
+            assert!(!out.figure.series.is_empty());
+        }
+    }
+}

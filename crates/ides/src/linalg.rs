@@ -1,0 +1,242 @@
+//! Minimal dense linear algebra for matrix factorization.
+//!
+//! IDES needs only a handful of operations — matrix/vector products,
+//! transposed products, outer-product deflation — so we implement them
+//! directly rather than pulling in a linear-algebra crate (DESIGN.md
+//! keeps the dependency set to the allowed list).
+
+/// A dense row-major matrix of f64.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Mat {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Mat {
+    /// A zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Mat { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Builds from a function of (row, col).
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Mat::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m.data[r * cols + c] = f(r, c);
+            }
+        }
+        m
+    }
+
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Element mutator.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// A row as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable row.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// `y = self · x` (matrix–vector product).
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
+        (0..self.rows)
+            .map(|r| self.row(r).iter().zip(x).map(|(a, b)| a * b).sum())
+            .collect()
+    }
+
+    /// `y = selfᵀ · x` (transposed matrix–vector product).
+    pub fn matvec_t(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.rows, "matvec_t dimension mismatch");
+        let mut y = vec![0.0; self.cols];
+        for (r, &xr) in x.iter().enumerate() {
+            for (c, &a) in self.row(r).iter().enumerate() {
+                y[c] += a * xr;
+            }
+        }
+        y
+    }
+
+    /// Subtracts the rank-1 outer product `σ·u·vᵀ` in place (deflation).
+    pub fn deflate(&mut self, sigma: f64, u: &[f64], v: &[f64]) {
+        assert_eq!(u.len(), self.rows);
+        assert_eq!(v.len(), self.cols);
+        for (r, &ur) in u.iter().enumerate() {
+            let row = self.row_mut(r);
+            for (c, &vc) in v.iter().enumerate() {
+                row[c] -= sigma * ur * vc;
+            }
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius(&self) -> f64 {
+        self.data.iter().map(|a| a * a).sum::<f64>().sqrt()
+    }
+}
+
+/// Euclidean norm of a vector.
+pub fn norm(v: &[f64]) -> f64 {
+    v.iter().map(|a| a * a).sum::<f64>().sqrt()
+}
+
+/// Normalises `v` in place; returns its prior norm. Vectors of
+/// negligible norm are left unchanged (returns 0).
+pub fn normalize(v: &mut [f64]) -> f64 {
+    let n = norm(v);
+    if n > 1e-300 {
+        for a in v.iter_mut() {
+            *a /= n;
+        }
+        n
+    } else {
+        0.0
+    }
+}
+
+/// Dot product.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Solves the square system `A·x = b` by Gaussian elimination with
+/// partial pivoting. Returns `None` for (numerically) singular `A`.
+/// Used for the tiny (rank × rank) normal-equation solves of
+/// landmark-based IDES.
+pub fn solve(a: &Mat, b: &[f64]) -> Option<Vec<f64>> {
+    let n = a.rows();
+    assert_eq!(a.cols(), n, "solve needs a square matrix");
+    assert_eq!(b.len(), n, "rhs dimension mismatch");
+    // Augmented working copy.
+    let mut w: Vec<Vec<f64>> = (0..n)
+        .map(|r| {
+            let mut row = a.row(r).to_vec();
+            row.push(b[r]);
+            row
+        })
+        .collect();
+    for col in 0..n {
+        // Partial pivot.
+        let pivot = (col..n).max_by(|&x, &y| {
+            w[x][col].abs().partial_cmp(&w[y][col].abs()).expect("finite")
+        })?;
+        if w[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        w.swap(col, pivot);
+        for r in (col + 1)..n {
+            let f = w[r][col] / w[col][col];
+            for k in col..=n {
+                w[r][k] -= f * w[col][k];
+            }
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for col in (0..n).rev() {
+        let mut v = w[col][n];
+        for k in (col + 1)..n {
+            v -= w[col][k] * x[k];
+        }
+        x[col] = v / w[col][col];
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matvec_computes_product() {
+        let m = Mat::from_fn(2, 3, |r, c| (r * 3 + c) as f64); // [[0,1,2],[3,4,5]]
+        assert_eq!(m.matvec(&[1.0, 1.0, 1.0]), vec![3.0, 12.0]);
+        assert_eq!(m.matvec_t(&[1.0, 1.0]), vec![3.0, 5.0, 7.0]);
+    }
+
+    #[test]
+    fn deflation_removes_rank_one() {
+        // m = 2 * u vᵀ with unit u, v.
+        let u = [1.0, 0.0];
+        let v = [0.6, 0.8];
+        let mut m = Mat::from_fn(2, 2, |r, c| 2.0 * u[r] * v[c]);
+        m.deflate(2.0, &u, &v);
+        assert!(m.frobenius() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_unit_norm() {
+        let mut v = vec![3.0, 4.0];
+        let n = normalize(&mut v);
+        assert_eq!(n, 5.0);
+        assert!((norm(&v) - 1.0).abs() < 1e-12);
+        let mut z = vec![0.0, 0.0];
+        assert_eq!(normalize(&mut z), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn matvec_checks_dims() {
+        Mat::zeros(2, 3).matvec(&[1.0]);
+    }
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        // A = [[2,1],[1,3]], x = [1,-2] → b = [0,-5].
+        let a = Mat::from_fn(2, 2, |r, c| [[2.0, 1.0], [1.0, 3.0]][r][c]);
+        let x = solve(&a, &[0.0, -5.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] + 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_detects_singular() {
+        let a = Mat::from_fn(2, 2, |r, _| if r == 0 { 1.0 } else { 2.0 });
+        assert!(solve(&a, &[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn solve_larger_system_roundtrips() {
+        let a = Mat::from_fn(5, 5, |r, c| {
+            if r == c {
+                10.0
+            } else {
+                ((r * 3 + c * 7) % 5) as f64
+            }
+        });
+        let x_true: Vec<f64> = (0..5).map(|i| i as f64 - 2.0).collect();
+        let b = a.matvec(&x_true);
+        let x = solve(&a, &b).unwrap();
+        for (got, want) in x.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,258 @@
+//! Overlay maintenance: member join and leave.
+//!
+//! [`crate::overlay::MeridianOverlay::build`] constructs the rings in
+//! one shot — the right model for the paper's experiments. A deployed
+//! Meridian is a long-running overlay whose membership churns; this
+//! module implements the two maintenance operations:
+//!
+//! * **join** — the newcomer measures the existing members and builds
+//!   its rings; each existing member measures the newcomer and files it
+//!   (evicting into the secondary set when the ring is at capacity, as
+//!   ring maintenance does in Meridian).
+//! * **leave** — the departed node is purged from every ring; rings
+//!   that lose a primary promote a secondary in its place, which is
+//!   exactly the purpose of the `l` backups per ring.
+
+use crate::overlay::MeridianOverlay;
+use crate::rings::{MeridianNode, RingMember};
+use delayspace::matrix::NodeId;
+use delayspace::rng::DetRng;
+use rand::Rng;
+use simnet::net::Network;
+
+impl MeridianOverlay {
+    /// Joins `newcomer` to the overlay: it measures every current
+    /// member (probes counted against it) and the members measure it
+    /// back. Rings at capacity demote the newcomer to the secondary
+    /// set of that ring.
+    ///
+    /// # Panics
+    /// Panics if `newcomer` is already a member or out of range.
+    pub fn join(&mut self, newcomer: NodeId, net: &mut Network<'_>, rng: &mut DetRng) {
+        assert!(newcomer < self.index.len(), "node id out of range");
+        assert!(self.index[newcomer].is_none(), "node {newcomer} already a member");
+
+        let mut node = MeridianNode::new(newcomer, &self.config);
+        let current: Vec<NodeId> = self.members.clone();
+        for member in current {
+            // Newcomer measures the member for its own rings…
+            if let Some(d) = net.probe(newcomer, member) {
+                let ring = self.config.ring_index(d);
+                if node.ring(ring).len() < self.config.k {
+                    node.insert(ring, RingMember { node: member, delay: d });
+                } else {
+                    node.demote(ring, RingMember { node: member, delay: d }, self.config.l);
+                }
+            }
+            // …and the member measures the newcomer for its rings.
+            let midx = self.index[member].expect("member indexed");
+            if let Some(d) = net.probe(member, newcomer) {
+                let ring = self.config.ring_index(d);
+                let mnode = &mut self.nodes[midx];
+                if mnode.ring(ring).len() < self.config.k {
+                    mnode.insert(ring, RingMember { node: newcomer, delay: d });
+                } else if rng.gen_bool(0.5) {
+                    // Ring full: with probability ½ swap a random
+                    // primary out (keeps rings delay-fresh under churn
+                    // without the hypervolume machinery), otherwise keep
+                    // the newcomer as a secondary.
+                    let evicted = mnode.swap_random_primary(
+                        ring,
+                        RingMember { node: newcomer, delay: d },
+                        rng,
+                    );
+                    mnode.demote(ring, evicted, self.config.l);
+                } else {
+                    mnode.demote(ring, RingMember { node: newcomer, delay: d }, self.config.l);
+                }
+            }
+        }
+        self.index[newcomer] = Some(self.nodes.len());
+        self.members.push(newcomer);
+        self.nodes.push(node);
+    }
+
+    /// Removes `departed` from the overlay and from every other
+    /// member's rings, promoting secondaries into vacated primary
+    /// slots.
+    ///
+    /// Returns `true` when the node was a member.
+    pub fn leave(&mut self, departed: NodeId) -> bool {
+        let Some(idx) = self.index.get(departed).copied().flatten() else {
+            return false;
+        };
+        // Remove from the parallel arrays, fixing the displaced index.
+        self.members.swap_remove(idx);
+        self.nodes.swap_remove(idx);
+        self.index[departed] = None;
+        if idx < self.members.len() {
+            let moved = self.members[idx];
+            self.index[moved] = Some(idx);
+        }
+        // Purge from every ring and refill from secondaries.
+        for node in &mut self.nodes {
+            node.purge(departed);
+        }
+        true
+    }
+}
+
+impl MeridianNode {
+    /// Adds `member` to ring `ring`'s secondary set, keeping at most
+    /// `l` backups (oldest kept; newcomers dropped when full).
+    pub fn demote(&mut self, ring: usize, member: RingMember, l: usize) {
+        let sec = self.secondary_mut(ring);
+        if sec.len() < l && !sec.iter().any(|m| m.node == member.node) {
+            sec.push(member);
+        }
+    }
+
+    /// Swaps a uniformly random primary of `ring` for `member`,
+    /// returning the evicted entry.
+    ///
+    /// # Panics
+    /// Panics when the ring is empty.
+    pub fn swap_random_primary(
+        &mut self,
+        ring: usize,
+        member: RingMember,
+        rng: &mut DetRng,
+    ) -> RingMember {
+        let slot = {
+            let r = self.ring(ring);
+            assert!(!r.is_empty(), "cannot swap into an empty ring");
+            rng.gen_range(0..r.len())
+        };
+        self.replace_primary(ring, slot, member)
+    }
+
+    /// Removes every entry for `peer` (primary and secondary, all
+    /// rings), promoting a secondary into each vacated primary ring.
+    pub fn purge(&mut self, peer: NodeId) {
+        for ring in 1..=self.num_rings() {
+            let removed = self.remove_primary(ring, peer);
+            self.secondary_mut(ring).retain(|m| m.node != peer);
+            if removed {
+                // Promote one backup, if any.
+                if let Some(promoted) = self.pop_secondary(ring) {
+                    self.insert(ring, promoted);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::overlay::BuildOptions;
+    use crate::query::{closest_neighbor, Termination};
+    use crate::rings::MeridianConfig;
+    use delayspace::matrix::DelayMatrix;
+    use delayspace::rng;
+    use simnet::net::{JitterModel, Network};
+
+    fn line(n: usize) -> DelayMatrix {
+        DelayMatrix::from_complete_fn(n, |i, j| 10.0 * i.abs_diff(j) as f64)
+    }
+
+    fn build(m: &DelayMatrix, members: Vec<NodeId>) -> MeridianOverlay {
+        let mut net = Network::new(m, JitterModel::None, 1);
+        MeridianOverlay::build(
+            MeridianConfig::default(),
+            members,
+            &mut net,
+            1,
+            &BuildOptions::default(),
+        )
+    }
+
+    #[test]
+    fn join_makes_node_queryable() {
+        let m = line(12);
+        let mut ov = build(&m, (0..8).collect());
+        let mut net = Network::new(&m, JitterModel::None, 2);
+        let mut r = rng::rng(2);
+        ov.join(8, &mut net, &mut r);
+        assert!(ov.contains(8));
+        assert_eq!(ov.members().len(), 9);
+        // The new member knows the others and vice versa.
+        assert!(ov.node(8).unwrap().member_count() > 0);
+        assert!(ov.node(0).unwrap().members().any(|mem| mem.node == 8));
+        // Queries can now return it: target 9 is nearest to member 8.
+        let res = closest_neighbor(&ov, &mut net, 0, 9, Termination::None).unwrap();
+        assert_eq!(res.selected, 8);
+    }
+
+    #[test]
+    fn leave_purges_everywhere() {
+        let m = line(10);
+        let mut ov = build(&m, (0..10).collect());
+        assert!(ov.leave(4));
+        assert!(!ov.contains(4));
+        assert_eq!(ov.members().len(), 9);
+        for &id in ov.members() {
+            assert!(
+                ov.node(id).unwrap().members().all(|mem| mem.node != 4),
+                "node {id} still references the departed member"
+            );
+        }
+        // Leaving twice is a no-op.
+        assert!(!ov.leave(4));
+    }
+
+    #[test]
+    fn leave_promotes_secondaries() {
+        // Small k forces demotions at build time; a leave must promote.
+        let m = line(20);
+        let cfg = MeridianConfig { k: 2, l: 2, ..MeridianConfig::default() };
+        let mut net = Network::new(&m, JitterModel::None, 3);
+        let mut ov =
+            MeridianOverlay::build(cfg, (0..20).collect(), &mut net, 3, &BuildOptions::default());
+        // Find a node with a full ring that has secondaries.
+        let victim = ov
+            .nodes()
+            .flat_map(|n|
+
+                (1..=cfg.num_rings)
+                    .filter(|&r| n.ring(r).len() == 2 && !n.secondary(r).is_empty())
+                    .map(move |r| (n.id, n.ring(r)[0].node, r)))
+            .next();
+        let Some((owner, member, ring)) = victim else {
+            return; // topology produced no full ring with backups
+        };
+        let before = ov.node(owner).unwrap().ring(ring).len();
+        ov.leave(member);
+        let after = ov.node(owner).unwrap().ring(ring).len();
+        assert_eq!(after, before, "secondary should have been promoted");
+    }
+
+    #[test]
+    fn churn_preserves_query_correctness() {
+        let m = line(16);
+        let mut ov = build(&m, (0..10).collect());
+        let mut net = Network::new(&m, JitterModel::None, 5);
+        let mut r = rng::rng(5);
+        ov.leave(3);
+        ov.join(12, &mut net, &mut r);
+        ov.join(13, &mut net, &mut r);
+        ov.leave(0);
+        // Every query still returns a live member with its true delay.
+        for target in [11usize, 14, 15] {
+            let start = ov.members()[0];
+            let res = closest_neighbor(&ov, &mut net, start, target, Termination::Beta).unwrap();
+            assert!(ov.contains(res.selected));
+            assert_eq!(res.selected_delay, m.get(res.selected, target).unwrap());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "already a member")]
+    fn double_join_panics() {
+        let m = line(8);
+        let mut ov = build(&m, (0..5).collect());
+        let mut net = Network::new(&m, JitterModel::None, 6);
+        let mut r = rng::rng(6);
+        ov.join(2, &mut net, &mut r);
+    }
+}

@@ -1,0 +1,239 @@
+//! The simulated network: delay-matrix-backed probing with jitter and
+//! probe accounting.
+
+use delayspace::matrix::{DelayMatrix, NodeId};
+use delayspace::rng::{self, DetRng};
+
+/// Measurement-noise model applied to probe results.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum JitterModel {
+    /// Probes return the matrix delay exactly. This is what the paper's
+    /// simulations use (the matrices already are measurements).
+    None,
+    /// Multiplicative Gaussian noise: `d · (1 + sigma·Z)`, clamped to
+    /// stay positive. Models queueing variation between repeated probes.
+    Multiplicative {
+        /// Standard deviation of the relative error.
+        sigma: f64,
+    },
+    /// Additive exponential spikes: `d + Exp(mean_ms)` with probability
+    /// `p_spike` — a crude model of transient congestion.
+    Spikes {
+        /// Probability a probe is hit by a spike.
+        p_spike: f64,
+        /// Mean of the exponential spike magnitude (ms).
+        mean_ms: f64,
+    },
+}
+
+/// Per-node and total probe counters.
+///
+/// The paper quantifies the cost of its Meridian improvements as extra
+/// on-demand probes (+6% in Figure 24, +5% in Figure 25), so probe
+/// accounting must be exact and cheap.
+#[derive(Clone, Debug, Default)]
+pub struct ProbeStats {
+    per_node: Vec<u64>,
+    total: u64,
+}
+
+impl ProbeStats {
+    fn new(n: usize) -> Self {
+        ProbeStats { per_node: vec![0; n], total: 0 }
+    }
+
+    #[inline]
+    fn record(&mut self, from: NodeId) {
+        self.per_node[from] += 1;
+        self.total += 1;
+    }
+
+    /// Total probes issued through this network.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Probes issued by node `i`.
+    pub fn by_node(&self, i: NodeId) -> u64 {
+        self.per_node[i]
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&mut self) {
+        self.per_node.fill(0);
+        self.total = 0;
+    }
+}
+
+/// A simulated network over a delay matrix.
+///
+/// `probe(i, j)` plays the role of an RTT measurement between deployed
+/// hosts: it returns `None` when the pair is unmeasured in the data set
+/// (a real probe would time out or give a value the data set cannot
+/// corroborate), applies the configured jitter, and increments the
+/// prober's counter.
+#[derive(Debug)]
+pub struct Network<'m> {
+    matrix: &'m DelayMatrix,
+    jitter: JitterModel,
+    rng: DetRng,
+    stats: ProbeStats,
+}
+
+impl<'m> Network<'m> {
+    /// A network over `matrix` with the given jitter model and seed.
+    pub fn new(matrix: &'m DelayMatrix, jitter: JitterModel, seed: u64) -> Self {
+        Network {
+            matrix,
+            jitter,
+            rng: rng::sub_rng(seed, "simnet/jitter"),
+            stats: ProbeStats::new(matrix.len()),
+        }
+    }
+
+    /// Number of hosts.
+    pub fn len(&self) -> usize {
+        self.matrix.len()
+    }
+
+    /// True when the network has no hosts.
+    pub fn is_empty(&self) -> bool {
+        self.matrix.is_empty()
+    }
+
+    /// The backing delay matrix (ground-truth delays, no jitter).
+    pub fn matrix(&self) -> &'m DelayMatrix {
+        self.matrix
+    }
+
+    /// Issues a round-trip probe from `from` to `to`. Counts one probe
+    /// against `from` even when the pair is unmeasured (the packet was
+    /// still sent).
+    pub fn probe(&mut self, from: NodeId, to: NodeId) -> Option<f64> {
+        self.stats.record(from);
+        let d = self.matrix.get(from, to)?;
+        Some(self.apply_jitter(d))
+    }
+
+    /// Issues probes from `from` to every node in `targets`, returning
+    /// the measurable ones as `(target, rtt)`.
+    pub fn probe_many(&mut self, from: NodeId, targets: &[NodeId]) -> Vec<(NodeId, f64)> {
+        targets
+            .iter()
+            .filter_map(|&t| self.probe(from, t).map(|d| (t, d)))
+            .collect()
+    }
+
+    fn apply_jitter(&mut self, d: f64) -> f64 {
+        match self.jitter {
+            JitterModel::None => d,
+            JitterModel::Multiplicative { sigma } => {
+                let z = rng::sample_standard_normal(&mut self.rng);
+                (d * (1.0 + sigma * z)).max(0.05)
+            }
+            JitterModel::Spikes { p_spike, mean_ms } => {
+                use rand::Rng;
+                if self.rng.gen_bool(p_spike) {
+                    let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+                    d - mean_ms * u.ln() // inverse-CDF exponential
+                } else {
+                    d
+                }
+            }
+        }
+    }
+
+    /// The probe counters.
+    pub fn stats(&self) -> &ProbeStats {
+        &self.stats
+    }
+
+    /// Mutable access to the counters (e.g. to reset between phases, as
+    /// the paper separates ring-construction from query overhead).
+    pub fn stats_mut(&mut self) -> &mut ProbeStats {
+        &mut self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix3() -> DelayMatrix {
+        let mut m = DelayMatrix::new(3);
+        m.set(0, 1, 10.0);
+        m.set(1, 2, 20.0);
+        // (0,2) left unmeasured.
+        m
+    }
+
+    #[test]
+    fn probe_returns_matrix_delay_without_jitter() {
+        let m = matrix3();
+        let mut net = Network::new(&m, JitterModel::None, 1);
+        assert_eq!(net.probe(0, 1), Some(10.0));
+        assert_eq!(net.probe(1, 2), Some(20.0));
+    }
+
+    #[test]
+    fn unmeasured_pair_probes_return_none_but_count() {
+        let m = matrix3();
+        let mut net = Network::new(&m, JitterModel::None, 1);
+        assert_eq!(net.probe(0, 2), None);
+        assert_eq!(net.stats().total(), 1);
+        assert_eq!(net.stats().by_node(0), 1);
+    }
+
+    #[test]
+    fn probe_accounting_attributes_to_prober() {
+        let m = matrix3();
+        let mut net = Network::new(&m, JitterModel::None, 1);
+        net.probe(0, 1);
+        net.probe(0, 1);
+        net.probe(1, 0);
+        assert_eq!(net.stats().by_node(0), 2);
+        assert_eq!(net.stats().by_node(1), 1);
+        assert_eq!(net.stats().total(), 3);
+        net.stats_mut().reset();
+        assert_eq!(net.stats().total(), 0);
+    }
+
+    #[test]
+    fn probe_many_skips_unmeasured() {
+        let m = matrix3();
+        let mut net = Network::new(&m, JitterModel::None, 1);
+        let res = net.probe_many(0, &[1, 2]);
+        assert_eq!(res, vec![(1, 10.0)]);
+        assert_eq!(net.stats().total(), 2);
+    }
+
+    #[test]
+    fn multiplicative_jitter_stays_positive_and_centered() {
+        let m = matrix3();
+        let mut net = Network::new(&m, JitterModel::Multiplicative { sigma: 0.3 }, 5);
+        let samples: Vec<f64> = (0..2000).map(|_| net.probe(0, 1).unwrap()).collect();
+        assert!(samples.iter().all(|&d| d > 0.0));
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((9.0..11.0).contains(&mean), "jitter mean {mean}");
+    }
+
+    #[test]
+    fn spike_jitter_only_increases_delay() {
+        let m = matrix3();
+        let mut net =
+            Network::new(&m, JitterModel::Spikes { p_spike: 0.5, mean_ms: 30.0 }, 5);
+        let samples: Vec<f64> = (0..500).map(|_| net.probe(0, 1).unwrap()).collect();
+        assert!(samples.iter().all(|&d| d >= 10.0));
+        assert!(samples.iter().any(|&d| d > 10.0), "no spikes occurred");
+    }
+
+    #[test]
+    fn jitter_stream_is_deterministic() {
+        let m = matrix3();
+        let mut a = Network::new(&m, JitterModel::Multiplicative { sigma: 0.1 }, 9);
+        let mut b = Network::new(&m, JitterModel::Multiplicative { sigma: 0.1 }, 9);
+        for _ in 0..50 {
+            assert_eq!(a.probe(0, 1), b.probe(0, 1));
+        }
+    }
+}

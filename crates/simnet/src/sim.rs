@@ -1,0 +1,362 @@
+//! Virtual time and the deterministic event queue.
+//!
+//! Time is kept in integer microseconds so that event ordering is exact:
+//! two events scheduled for the same instant are delivered in schedule
+//! order (FIFO tie-break via a monotone sequence number), never in an
+//! order that depends on floating-point rounding or heap internals.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A point in virtual time, in integer microseconds since simulation
+/// start.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Time zero.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Constructs from fractional milliseconds (rounds to microseconds).
+    pub fn from_ms(ms: f64) -> Self {
+        assert!(ms >= 0.0 && ms.is_finite(), "invalid time {ms} ms");
+        SimTime((ms * 1000.0).round() as u64)
+    }
+
+    /// Constructs from whole seconds.
+    pub fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000)
+    }
+
+    /// This instant in fractional milliseconds.
+    pub fn as_ms(self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+
+    /// This instant in fractional seconds.
+    pub fn as_secs(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// The instant `ms` milliseconds after `self`.
+    pub fn after_ms(self, ms: f64) -> Self {
+        SimTime(self.0 + SimTime::from_ms(ms).0)
+    }
+}
+
+#[derive(Debug)]
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+// Order by (time, sequence); BinaryHeap is a max-heap so wrap in Reverse
+// at the call sites.
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// A deterministic future-event list.
+///
+/// Events of equal timestamp are delivered in the order they were
+/// scheduled. The queue itself never advances time; [`Simulation`]
+/// couples it with a clock.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Scheduled<E>>>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+    }
+
+    /// Schedules `event` for instant `at`.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Scheduled { at, seq, event }));
+    }
+
+    /// Removes and returns the earliest event, with its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|Reverse(s)| (s.at, s.event))
+    }
+
+    /// Timestamp of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(s)| s.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+/// A discrete-event simulation: an event queue plus the current virtual
+/// time. The handler may schedule further events.
+///
+/// ```
+/// use simnet::sim::{Simulation, SimTime};
+///
+/// let mut sim: Simulation<&str> = Simulation::new();
+/// sim.schedule(SimTime::from_ms(2.0), "b");
+/// sim.schedule(SimTime::from_ms(1.0), "a");
+/// let mut seen = Vec::new();
+/// sim.run(|sim, ev| {
+///     seen.push((sim.now().as_ms(), ev));
+/// });
+/// assert_eq!(seen, vec![(1.0, "a"), (2.0, "b")]);
+/// ```
+#[derive(Debug)]
+pub struct Simulation<E> {
+    queue: EventQueue<E>,
+    now: SimTime,
+    processed: u64,
+}
+
+impl<E> Default for Simulation<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Simulation<E> {
+    /// A simulation at time zero with no pending events.
+    pub fn new() -> Self {
+        Simulation { queue: EventQueue::new(), now: SimTime::ZERO, processed: 0 }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total events delivered so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Schedules `event` at absolute instant `at`.
+    ///
+    /// # Panics
+    /// Panics when `at` is in the past — delivering events behind the
+    /// clock would silently reorder history.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        assert!(at >= self.now, "cannot schedule into the past ({:?} < {:?})", at, self.now);
+        self.queue.schedule(at, event);
+    }
+
+    /// Schedules `event` `ms` milliseconds from now.
+    pub fn schedule_in(&mut self, ms: f64, event: E) {
+        self.schedule(self.now.after_ms(ms), event);
+    }
+
+    /// Runs until the queue drains, delivering each event to `handler`.
+    pub fn run(&mut self, mut handler: impl FnMut(&mut Self, E)) {
+        while let Some((at, ev)) = self.queue.pop() {
+            self.now = at;
+            self.processed += 1;
+            handler(self, ev);
+        }
+    }
+
+    /// Runs until the queue drains or virtual time would exceed
+    /// `deadline`; events after the deadline stay queued.
+    pub fn run_until(&mut self, deadline: SimTime, mut handler: impl FnMut(&mut Self, E)) {
+        while let Some(t) = self.queue.peek_time() {
+            if t > deadline {
+                break;
+            }
+            let (at, ev) = self.queue.pop().expect("peeked event vanished");
+            self.now = at;
+            self.processed += 1;
+            handler(self, ev);
+        }
+        self.now = self.now.max(deadline.min(self.queue.peek_time().unwrap_or(deadline)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simtime_conversions() {
+        assert_eq!(SimTime::from_ms(1.5).0, 1500);
+        assert_eq!(SimTime::from_secs(2).as_ms(), 2000.0);
+        assert_eq!(SimTime::from_ms(0.0), SimTime::ZERO);
+        assert!((SimTime::from_ms(0.25).as_secs() - 0.00025).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid time")]
+    fn negative_time_rejected() {
+        SimTime::from_ms(-1.0);
+    }
+
+    #[test]
+    fn queue_orders_by_time() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ms(5.0), 'c');
+        q.schedule(SimTime::from_ms(1.0), 'a');
+        q.schedule(SimTime::from_ms(3.0), 'b');
+        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn equal_times_are_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_ms(1.0);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handler_can_schedule_followups() {
+        let mut sim: Simulation<u32> = Simulation::new();
+        sim.schedule(SimTime::ZERO, 0);
+        let mut count = 0;
+        sim.run(|sim, ev| {
+            count += 1;
+            if ev < 5 {
+                sim.schedule_in(10.0, ev + 1);
+            }
+        });
+        assert_eq!(count, 6);
+        assert_eq!(sim.now(), SimTime::from_ms(50.0));
+        assert_eq!(sim.processed(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "into the past")]
+    fn scheduling_into_past_panics() {
+        let mut sim: Simulation<()> = Simulation::new();
+        sim.schedule(SimTime::from_ms(10.0), ());
+        sim.run(|sim, ()| {
+            sim.schedule(SimTime::from_ms(5.0), ());
+        });
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut sim: Simulation<u32> = Simulation::new();
+        for i in 0..10 {
+            sim.schedule(SimTime::from_secs(i), i as u32);
+        }
+        let mut seen = Vec::new();
+        sim.run_until(SimTime::from_secs(4), |_, e| seen.push(e));
+        assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+        // The rest stays queued.
+        let mut rest = Vec::new();
+        sim.run(|_, e| rest.push(e));
+        assert_eq!(rest, vec![5, 6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn empty_queue_runs_no_events() {
+        let mut sim: Simulation<()> = Simulation::new();
+        let mut n = 0;
+        sim.run(|_, ()| n += 1);
+        assert_eq!(n, 0);
+        assert_eq!(sim.now(), SimTime::ZERO);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn events_always_delivered_in_time_order(
+            times in proptest::collection::vec(0u64..1_000_000, 1..200)
+        ) {
+            let mut q = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.schedule(SimTime(t), i);
+            }
+            let mut last = SimTime::ZERO;
+            let mut seen = 0usize;
+            while let Some((t, _)) = q.pop() {
+                prop_assert!(t >= last, "time went backwards");
+                last = t;
+                seen += 1;
+            }
+            prop_assert_eq!(seen, times.len());
+        }
+
+        #[test]
+        fn ties_preserve_schedule_order(
+            times in proptest::collection::vec(0u64..5, 1..100)
+        ) {
+            // With very few distinct timestamps, ties are guaranteed;
+            // FIFO within a timestamp must hold.
+            let mut q = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.schedule(SimTime(t), i);
+            }
+            let mut last_seq_at: std::collections::HashMap<u64, usize> =
+                std::collections::HashMap::new();
+            while let Some((t, seq)) = q.pop() {
+                if let Some(&prev) = last_seq_at.get(&t.0) {
+                    prop_assert!(seq > prev, "FIFO violated at t={}", t.0);
+                }
+                last_seq_at.insert(t.0, seq);
+            }
+        }
+
+        #[test]
+        fn simulation_clock_is_monotone(
+            delays in proptest::collection::vec(0.0f64..1000.0, 1..50)
+        ) {
+            let mut sim: Simulation<usize> = Simulation::new();
+            sim.schedule(SimTime::ZERO, 0);
+            let mut clock_trace = Vec::new();
+            let delays2 = delays.clone();
+            sim.run(|sim, idx| {
+                clock_trace.push(sim.now());
+                if idx < delays2.len() {
+                    sim.schedule_in(delays2[idx], idx + 1);
+                }
+            });
+            for w in clock_trace.windows(2) {
+                prop_assert!(w[1] >= w[0]);
+            }
+            prop_assert_eq!(clock_trace.len(), delays.len() + 1);
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! GNP — Global Network Positioning (Ng & Zhang, INFOCOM 2002).
+//!
+//! The centralized landmark predecessor of Vivaldi, cited by the paper
+//! as the origin of the coordinates approach ([17]). Architecture:
+//!
+//! 1. A fixed set of **landmarks** measure each other and solve their
+//!    own coordinates by minimising squared embedding error.
+//! 2. Each **ordinary node** measures only the landmarks and solves its
+//!    own coordinate against theirs.
+//!
+//! GNP therefore needs `O(L)` measurements per node and no gossip, at
+//! the cost of landmark placement sensitivity. Like every metric
+//! embedding it assumes the triangle inequality, so the TIV analyses of
+//! this workspace apply to it unchanged; it appears in the
+//! `ablation-coords` comparison.
+//!
+//! The original uses Nelder–Mead; we use deterministic gradient descent
+//! on the same objective, which reaches equivalent optima on these
+//! smooth low-dimensional problems and keeps runs reproducible.
+
+use crate::coord::Coord;
+use crate::embedding::Embedding;
+use delayspace::matrix::{DelayMatrix, NodeId};
+use delayspace::rng;
+use rand::Rng;
+
+/// Configuration of a GNP fit.
+#[derive(Clone, Copy, Debug)]
+pub struct GnpConfig {
+    /// Embedding dimensionality (GNP paper: 5–8; default 5 to match
+    /// the IMC'07 Vivaldi setting).
+    pub dims: usize,
+    /// Number of landmarks (GNP paper: ~15).
+    pub landmarks: usize,
+    /// Gradient-descent iterations per solved coordinate set.
+    pub iters: usize,
+    /// Descent step size.
+    pub step: f64,
+}
+
+impl Default for GnpConfig {
+    fn default() -> Self {
+        GnpConfig { dims: 5, landmarks: 15, iters: 400, step: 0.05 }
+    }
+}
+
+/// A fitted GNP model: one coordinate per node.
+#[derive(Clone, Debug)]
+pub struct GnpModel {
+    embedding: Embedding,
+    landmarks: Vec<NodeId>,
+}
+
+impl GnpModel {
+    /// Fits GNP to a delay matrix: random landmark selection, landmark
+    /// coordinate solve, then per-node solves against the landmarks.
+    ///
+    /// # Panics
+    /// Panics when the matrix has fewer nodes than landmarks, or fewer
+    /// landmarks than `dims + 1` (the coordinates would be
+    /// underdetermined).
+    pub fn fit(m: &DelayMatrix, cfg: &GnpConfig, seed: u64) -> Self {
+        assert!(cfg.landmarks > cfg.dims, "need more landmarks than dimensions");
+        assert!(m.len() > cfg.landmarks, "matrix smaller than landmark set");
+        let mut r = rng::sub_rng(seed, "gnp");
+        let landmarks = rng::sample_indices(&mut r, m.len(), cfg.landmarks);
+
+        // Phase 1: landmark coordinates against each other.
+        let mut lcoords: Vec<Vec<f64>> = (0..cfg.landmarks)
+            .map(|_| (0..cfg.dims).map(|_| r.gen_range(-50.0..50.0)).collect())
+            .collect();
+        for _ in 0..cfg.iters {
+            let mut grads = vec![vec![0.0; cfg.dims]; cfg.landmarks];
+            for a in 0..cfg.landmarks {
+                for b in (a + 1)..cfg.landmarks {
+                    let Some(d) = m.get(landmarks[a], landmarks[b]) else { continue };
+                    accumulate_gradient(&lcoords[a], &lcoords[b], d, &mut grads, a, b);
+                }
+            }
+            for (c, g) in lcoords.iter_mut().zip(&grads) {
+                for (x, gx) in c.iter_mut().zip(g) {
+                    *x -= cfg.step * gx;
+                }
+            }
+        }
+
+        // Phase 2: each node against the landmark coordinates.
+        let n = m.len();
+        let mut coords: Vec<Vec<f64>> = Vec::with_capacity(n);
+        for node in 0..n {
+            if let Some(pos) = landmarks.iter().position(|&l| l == node) {
+                coords.push(lcoords[pos].clone());
+                continue;
+            }
+            let mut c: Vec<f64> = (0..cfg.dims).map(|_| r.gen_range(-50.0..50.0)).collect();
+            for _ in 0..cfg.iters {
+                let mut g = vec![0.0; cfg.dims];
+                for (pos, &lm) in landmarks.iter().enumerate() {
+                    let Some(d) = m.get(node, lm) else { continue };
+                    gradient_into(&c, &lcoords[pos], d, &mut g);
+                }
+                for (x, gx) in c.iter_mut().zip(&g) {
+                    *x -= cfg.step * gx;
+                }
+            }
+            coords.push(c);
+        }
+
+        GnpModel {
+            embedding: Embedding::new(coords.into_iter().map(Coord::from_vec).collect()),
+            landmarks,
+        }
+    }
+
+    /// The fitted coordinates as an [`Embedding`] (prediction-ratio
+    /// queries, alert integration, penalty experiments all apply).
+    pub fn embedding(&self) -> &Embedding {
+        &self.embedding
+    }
+
+    /// The landmark node ids.
+    pub fn landmarks(&self) -> &[NodeId] {
+        &self.landmarks
+    }
+
+    /// Predicted delay between two nodes.
+    pub fn predicted(&self, i: NodeId, j: NodeId) -> f64 {
+        self.embedding.predicted(i, j)
+    }
+
+    /// Among `candidates`, the node with the smallest predicted delay.
+    pub fn select_nearest(&self, client: NodeId, candidates: &[NodeId]) -> Option<NodeId> {
+        self.embedding.select_nearest(client, candidates)
+    }
+}
+
+/// Gradient of `(‖a − b‖ − d)²` w.r.t. `a`, added into `g`.
+fn gradient_into(a: &[f64], b: &[f64], d: f64, g: &mut [f64]) {
+    let dist: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt();
+    if dist < 1e-9 {
+        return; // coincident; gradient undefined, skip this term
+    }
+    let f = 2.0 * (dist - d) / dist;
+    for ((gx, &ax), &bx) in g.iter_mut().zip(a).zip(b) {
+        *gx += f * (ax - bx);
+    }
+}
+
+/// Symmetric pair gradient for the landmark phase.
+fn accumulate_gradient(
+    a: &[f64],
+    b: &[f64],
+    d: f64,
+    grads: &mut [Vec<f64>],
+    ia: usize,
+    ib: usize,
+) {
+    let mut ga = vec![0.0; a.len()];
+    gradient_into(a, b, d, &mut ga);
+    for (k, v) in ga.iter().enumerate() {
+        grads[ia][k] += v;
+        grads[ib][k] -= v;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use delayspace::stats::Cdf;
+    use delayspace::synth::{Dataset, InternetDelaySpace};
+
+    #[test]
+    fn fits_metric_space_well() {
+        let space = InternetDelaySpace::preset(Dataset::Euclidean).with_nodes(80).build(3);
+        let m = space.matrix();
+        let model = GnpModel::fit(m, &GnpConfig::default(), 3);
+        let med = model.embedding().abs_error_cdf(m).median();
+        let scale = Cdf::from_samples(m.edge_delays()).median();
+        assert!(med < scale * 0.25, "GNP error {med} too large vs median delay {scale}");
+    }
+
+    #[test]
+    fn tiv_space_fits_worse_than_metric_space() {
+        let n = 80;
+        let eu = InternetDelaySpace::preset(Dataset::Euclidean).with_nodes(n).build(5);
+        let ds = InternetDelaySpace::preset(Dataset::Ds2).with_nodes(n).build(5);
+        let cfg = GnpConfig::default();
+        let rel = |s: &InternetDelaySpace| {
+            let m = s.matrix();
+            GnpModel::fit(m, &cfg, 1).embedding().abs_error_cdf(m).median()
+                / Cdf::from_samples(m.edge_delays()).median()
+        };
+        assert!(rel(&ds) > rel(&eu), "TIV space should embed worse under GNP too");
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let space = InternetDelaySpace::preset(Dataset::Ds2).with_nodes(50).build(7);
+        let a = GnpModel::fit(space.matrix(), &GnpConfig::default(), 9);
+        let b = GnpModel::fit(space.matrix(), &GnpConfig::default(), 9);
+        assert_eq!(a.predicted(0, 1), b.predicted(0, 1));
+        assert_eq!(a.landmarks(), b.landmarks());
+    }
+
+    #[test]
+    fn landmarks_keep_their_phase1_coordinates() {
+        let space = InternetDelaySpace::preset(Dataset::Ds2).with_nodes(40).build(11);
+        let model = GnpModel::fit(space.matrix(), &GnpConfig::default(), 2);
+        // Landmark self-prediction is zero; landmark pair predictions
+        // finite and symmetric.
+        let l = model.landmarks().to_vec();
+        assert_eq!(model.predicted(l[0], l[0]), 0.0);
+        assert_eq!(model.predicted(l[0], l[1]), model.predicted(l[1], l[0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "more landmarks than dimensions")]
+    fn underdetermined_config_rejected() {
+        let space = InternetDelaySpace::preset(Dataset::Ds2).with_nodes(40).build(1);
+        let cfg = GnpConfig { dims: 5, landmarks: 4, ..GnpConfig::default() };
+        GnpModel::fit(space.matrix(), &cfg, 1);
+    }
+}

@@ -1,0 +1,91 @@
+//! Quickstart: generate an Internet-like delay space, measure its TIVs,
+//! embed it with Vivaldi, and see the TIV alert mechanism at work.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use tivoid::prelude::*;
+
+fn main() {
+    // --- 1. An Internet-like delay space ------------------------------
+    // The DS² preset mimics the paper's 4000-node measured matrix:
+    // three continental clusters, routing inflation, satellite hosts.
+    // 400 nodes keeps this example instant.
+    let space = InternetDelaySpace::preset(Dataset::Ds2).with_nodes(400).build(42);
+    let m = space.matrix();
+    println!("delay space: {} nodes, {} measured edges", m.len(), m.edges().count());
+
+    // --- 2. Quantify the triangle inequality violations ----------------
+    let severity = Severity::compute(m, 0);
+    println!(
+        "triangles violating the triangle inequality: {:.1}% (paper: ~12% for DS²)",
+        severity.violating_triangle_fraction() * 100.0
+    );
+    let cdf = severity.cdf(m);
+    println!(
+        "edge TIV severity: median {:.4}, p90 {:.3}, max {:.2} — a long tail: \
+         most edges are harmless, a few are poison",
+        cdf.median(),
+        cdf.quantile(0.9),
+        cdf.quantile(1.0)
+    );
+
+    // --- 3. Embed with Vivaldi ----------------------------------------
+    let mut sys = VivaldiSystem::new(VivaldiConfig::default(), m.len(), 42);
+    let mut net = Network::new(m, JitterModel::None, 42);
+    let stats = sys.run_rounds(&mut net, 200);
+    let emb = sys.embedding();
+    println!(
+        "Vivaldi after 200 rounds: median |error| {:.1} ms, median movement {:.2} ms/step",
+        emb.abs_error_cdf(m).median(),
+        stats.movement_percentiles().map(|p| p.p50).unwrap_or(0.0)
+    );
+
+    // --- 4. The TIV alert mechanism ------------------------------------
+    // Edges shrunk by the embedding (prediction ratio « 1) are the
+    // likely severe-TIV causers. No global knowledge needed: the signal
+    // falls out of the embedding each node already has.
+    let alert = TivAlert::new(0.6);
+    let mut alarmed = 0usize;
+    let mut alarmed_bad = 0usize;
+    let worst: std::collections::HashSet<_> =
+        severity.worst_edges(m, 0.20).into_iter().collect();
+    for (i, j, _) in m.edges() {
+        if alert.check(&emb, m, i, j) == Some(true) {
+            alarmed += 1;
+            if worst.contains(&(i, j)) {
+                alarmed_bad += 1;
+            }
+        }
+    }
+    println!(
+        "TIV alert (threshold 0.6): {alarmed} edges alarmed; {:.0}% of them are \
+         in the worst-20% severity set",
+        100.0 * alarmed_bad as f64 / alarmed.max(1) as f64
+    );
+
+    // --- 5. Neighbor selection with and without the alert --------------
+    // Dynamic-neighbor Vivaldi iteratively evicts alarmed edges from
+    // each node's spring set (Section 5.2 of the paper).
+    let records = dynvivaldi::run(m, &DynVivaldiConfig::default(), 5, 42);
+    let penalty_of = |emb: &Embedding| {
+        // One quick selection test: 50 candidates, the rest clients.
+        let candidates: Vec<NodeId> = (0..50).collect();
+        let mut penalties = Vec::new();
+        for client in 50..m.len() {
+            let Some(sel) = emb.select_nearest(client, &candidates) else { continue };
+            let (opt, d_opt) = m.nearest_among(client, candidates.iter()).unwrap();
+            let d_sel = m.get(client, sel).unwrap_or(f64::MAX);
+            let _ = opt;
+            penalties.push((d_sel - d_opt) * 100.0 / d_opt);
+        }
+        Cdf::from_samples(penalties).median()
+    };
+    println!(
+        "closest-neighbor median penalty: plain Vivaldi {:.0}% → dynamic-neighbor \
+         Vivaldi (5 iterations) {:.0}%",
+        penalty_of(&records[0].embedding),
+        penalty_of(&records[5].embedding),
+    );
+}

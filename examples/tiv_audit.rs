@@ -1,0 +1,120 @@
+//! TIV audit of a delay matrix — the Section 2 analysis pipeline as a
+//! reusable tool.
+//!
+//! Reads a delay matrix from a file given on the command line — either
+//! the dense text format of `DelayMatrix::to_text` or the sparse
+//! `src dst rtt` pair-list format (King / all-pairs-ping interchange;
+//! auto-detected) — or generates a synthetic one, and prints the
+//! paper's full TIV characterisation: violation fraction, severity
+//! distribution, severity vs edge length, cluster structure,
+//! shortest-path inflation, and the proximity (non-)correlation.
+//!
+//! ```text
+//! cargo run --release --example tiv_audit [matrix.txt]
+//! ```
+
+use tivoid::prelude::*;
+
+/// Parses either supported format: pair lists contain three columns
+/// (or start with a `#` comment), dense matrices start with a bare
+/// node count.
+fn parse_matrix(text: &str) -> Result<DelayMatrix, String> {
+    let first = text.lines().find(|l| !l.trim().is_empty()).unwrap_or("");
+    let looks_like_pairs =
+        first.trim_start().starts_with('#') || first.split_whitespace().count() == 3;
+    if looks_like_pairs {
+        tivoid::delayspace::io::from_pairs_text(text)
+    } else {
+        DelayMatrix::from_text(text)
+    }
+}
+
+fn main() {
+    let m = match std::env::args().nth(1) {
+        Some(path) => {
+            let text = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+            parse_matrix(&text).unwrap_or_else(|e| panic!("bad matrix: {e}"))
+        }
+        None => {
+            eprintln!("(no matrix given; auditing a 500-node DS²-preset synthetic space)");
+            InternetDelaySpace::preset(Dataset::Ds2).with_nodes(500).build(99).into_matrix()
+        }
+    };
+    println!(
+        "== TIV audit: {} nodes, {} measured edges, coverage {:.1}% ==\n",
+        m.len(),
+        m.edges().count(),
+        m.coverage() * 100.0
+    );
+
+    // Severity (Section 2.1).
+    let sev = Severity::compute(&m, 0);
+    println!(
+        "violating triangles: {:.2}%",
+        sev.violating_triangle_fraction() * 100.0
+    );
+    let cdf = sev.cdf(&m);
+    println!(
+        "edge severity: median {:.4}  p90 {:.4}  p99 {:.3}  max {:.2}",
+        cdf.median(),
+        cdf.quantile(0.9),
+        cdf.quantile(0.99),
+        cdf.quantile(1.0)
+    );
+
+    // Severity vs edge length (Figure 4 shape).
+    let bins = sev.by_delay_bins(&m, 50.0, 1000.0);
+    println!("\nseverity by edge delay (50 ms bins):");
+    println!("{:>10} {:>10} {:>10} {:>10} {:>8}", "bin (ms)", "p10", "median", "p90", "edges");
+    for b in &bins.bins {
+        if let Some(s) = b.stats {
+            println!(
+                "{:>10.0} {:>10.4} {:>10.4} {:>10.4} {:>8}",
+                b.mid(),
+                s.p10,
+                s.p50,
+                s.p90,
+                s.count
+            );
+        }
+    }
+
+    // Cluster structure (Figure 3).
+    let clustering = Clustering::compute(&m, &ClusterConfig::default());
+    let counts = sev.cluster_violation_counts(&m, &clustering);
+    println!(
+        "\nclusters: {} major + {} noise nodes; mean #TIVs caused: \
+         within-cluster {:.1}, cross-cluster {:.1}",
+        clustering.num_clusters(),
+        clustering.noise_nodes().len(),
+        counts.mean_within,
+        counts.mean_across
+    );
+
+    // Shortest-path inflation (Figure 8).
+    let sp = ShortestPaths::compute(&m, 0);
+    let mut worst: Vec<(NodeId, NodeId, f64)> = sp
+        .inflation_ratios(&m)
+        .map(|(i, j, d, s)| (i, j, d / s))
+        .collect();
+    worst.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap());
+    println!("\nmost routing-inflated edges (direct/shortest):");
+    for &(i, j, r) in worst.iter().take(5) {
+        println!(
+            "  {i:>4} ↔ {j:<4}  direct {:>7.1} ms  shortest {:>7.1} ms  inflation ×{r:.1}",
+            m.get(i, j).unwrap(),
+            sp.get(i, j)
+        );
+    }
+
+    // Proximity (Figure 9): can you predict an edge's severity from a
+    // nearby edge? (The paper: no.)
+    let prox = proximity_experiment(&m, &sev, 2_000, 7);
+    println!(
+        "\nproximity check: |severity difference| to nearest-pair edge median {:.4} \
+         vs random-pair {:.4} — close-by edges are barely more similar",
+        prox.nearest_pair_diffs.median(),
+        prox.random_pair_diffs.median()
+    );
+}
