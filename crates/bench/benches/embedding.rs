@@ -62,7 +62,6 @@ fn bench_dynamic_neighbors(c: &mut Criterion) {
     g.finish();
 }
 
-
 /// Short measurement windows: the suite has ~50 benchmarks and runs on
 /// CI-grade single-core machines; Criterion's defaults (3 s warmup,
 /// 5 s measurement) would take an hour. The kernels here are

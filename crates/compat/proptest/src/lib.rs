@@ -1,0 +1,338 @@
+//! Offline stand-in for the subset of `proptest` this workspace uses.
+//!
+//! Each property runs 256 cases with inputs drawn from [`Strategy`]
+//! generators seeded deterministically (same failures every run). There
+//! is no shrinking — a failing case panics with the property name and
+//! case number, and the inputs can be recovered by rerunning under a
+//! debugger — which is an acceptable trade for a build environment with
+//! no crates.io access.
+//!
+//! Supported surface: range strategies over ints and floats, tuples of
+//! strategies, [`collection::vec`], [`Strategy::prop_map`], and the
+//! [`proptest!`], [`prop_assert!`], [`prop_assert_eq!`] and
+//! [`prop_assume!`] macros.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::ops::Range;
+
+/// Number of random cases run per property.
+pub const CASES: usize = 256;
+
+/// The RNG handed to strategies.
+pub type TestRng = ChaCha8Rng;
+
+/// Creates the deterministic RNG for a named property.
+pub fn test_rng(name: &str) -> TestRng {
+    // FNV-1a over the property name keeps distinct properties on
+    // distinct, reproducible streams.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    ChaCha8Rng::seed_from_u64(h)
+}
+
+/// Outcome of one generated case.
+pub enum CaseResult {
+    /// The property held (or at least did not panic).
+    Ok,
+    /// A `prop_assume!` rejected the inputs; the case does not count.
+    Reject,
+}
+
+/// A value generator.
+pub trait Strategy {
+    /// The type of the generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds a dependent strategy from each generated value.
+    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(f32, f64, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+}
+
+pub mod collection {
+    //! Strategies for collections.
+
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// An admissible vector-length specification: a fixed length or a
+    /// half-open range of lengths.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange(Range<usize>);
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange(n..n + 1)
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange(r)
+        }
+    }
+
+    /// A strategy producing `Vec`s with lengths drawn from `size` and
+    /// elements from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors of `element` values with a length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.0.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything a property-test module imports.
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assume, proptest, Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Per-property configuration (`#![proptest_config(..)]`).
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases to run.
+    pub cases: usize,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: usize) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { .. }`
+/// becomes a `#[test]` running [`CASES`] generated cases (or the count
+/// from a leading `#![proptest_config(ProptestConfig::with_cases(n))]`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)]
+     $($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)+) => {
+        $($crate::__proptest_one! { ($cfg).cases, $(#[$meta])* fn $name($($arg in $strat),+) $body })+
+    };
+    ($($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)+) => {
+        $($crate::__proptest_one! { $crate::CASES, $(#[$meta])* fn $name($($arg in $strat),+) $body })+
+    };
+}
+
+/// Implementation detail of [`proptest!`]: one generated `#[test]`.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_one {
+    ($cases:expr, $(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+) $body:block) => {
+        $(#[$meta])*
+        fn $name() {
+            let cases: usize = $cases;
+            let mut rng = $crate::test_rng(stringify!($name));
+            let mut case = 0usize;
+            let mut attempts = 0usize;
+            while case < cases {
+                attempts += 1;
+                assert!(
+                    attempts <= 100 * cases,
+                    "property {} rejected too many cases via prop_assume!",
+                    stringify!($name),
+                );
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                // The immediately-called closure gives `prop_assume!` an
+                // early-return scope without aborting the whole property.
+                #[allow(clippy::redundant_closure_call)]
+                let outcome = (move || -> $crate::CaseResult {
+                    $body
+                    $crate::CaseResult::Ok
+                })();
+                if let $crate::CaseResult::Ok = outcome {
+                    case += 1;
+                }
+            }
+        }
+    };
+}
+
+/// Asserts inside a property body (panics with the condition text).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+);
+    };
+}
+
+/// Equality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_eq!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_eq!($left, $right, $($fmt)+);
+    };
+}
+
+/// Rejects the current case when `cond` is false; the case is redrawn.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        // `if cond {} else { .. }` rather than `if !cond` so that float
+        // comparisons in `cond` don't trip `neg_cmp_op_on_partial_ord`.
+        if $cond {
+        } else {
+            return $crate::CaseResult::Reject;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_pair() -> impl Strategy<Value = (f64, f64)> {
+        (0.0f64..10.0, 0.0f64..10.0)
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 2.0f64..3.0, k in 1usize..5) {
+            prop_assert!((2.0..3.0).contains(&x));
+            prop_assert!((1..5).contains(&k));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0.0f64..1.0) {
+            prop_assume!(x >= 0.5);
+            prop_assert!(x >= 0.5);
+        }
+
+        #[test]
+        fn vec_and_map_compose(
+            v in crate::collection::vec(0i64..100, 0..20),
+            p in arb_pair().prop_map(|(a, b)| a + b),
+        ) {
+            prop_assert!(v.len() < 20);
+            prop_assert!(v.iter().all(|&x| (0..100).contains(&x)));
+            prop_assert!((0.0..20.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn deterministic_streams() {
+        use crate::Strategy;
+        let mut a = crate::test_rng("p");
+        let mut b = crate::test_rng("p");
+        let s = 0.0f64..1.0;
+        for _ in 0..32 {
+            assert_eq!(s.generate(&mut a), s.generate(&mut b));
+        }
+    }
+}

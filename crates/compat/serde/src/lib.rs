@@ -1,0 +1,20 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! Provides the `Serialize` / `Deserialize` *names* — each both a marker
+//! trait and a (no-op) derive macro, exactly the dual-namespace shape of
+//! the real crate — so `use serde::{Serialize, Deserialize}` plus
+//! `#[derive(Serialize, Deserialize)]` compile unchanged. No actual
+//! serialization happens in-tree today; when the workspace later needs
+//! real encoding it should either vendor serde properly or grow these
+//! traits a minimal `to_writer` surface.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

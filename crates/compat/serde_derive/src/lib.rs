@@ -1,0 +1,22 @@
+//! No-op `Serialize` / `Deserialize` derive macros.
+//!
+//! The workspace only *annotates* types with serde derives (for
+//! downstream consumers); nothing in-tree serializes through the trait
+//! machinery, and the build environment cannot fetch the real
+//! `serde_derive`. These macros accept the same attribute grammar
+//! (`#[serde(...)]` is tolerated) and expand to nothing, which keeps
+//! every annotated type compiling without dragging in a parser.
+
+use proc_macro::TokenStream;
+
+/// Derives nothing; accepts `#[derive(Serialize)]` and `#[serde(...)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Derives nothing; accepts `#[derive(Deserialize)]` and `#[serde(...)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

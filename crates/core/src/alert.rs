@@ -40,13 +40,7 @@ impl TivAlert {
 
     /// Evaluates the alert for an edge given an embedding snapshot;
     /// `None` when the edge is unmeasured.
-    pub fn check(
-        &self,
-        emb: &Embedding,
-        m: &DelayMatrix,
-        i: NodeId,
-        j: NodeId,
-    ) -> Option<bool> {
+    pub fn check(&self, emb: &Embedding, m: &DelayMatrix, i: NodeId, j: NodeId) -> Option<bool> {
         emb.prediction_ratio(m, i, j).map(|r| self.is_alert(r))
     }
 }
@@ -95,12 +89,12 @@ pub fn accuracy_recall_sweep(
     worst_frac: f64,
     thresholds: &[f64],
 ) -> Vec<AlertQuality> {
-    let worst: HashSet<(NodeId, NodeId)> =
-        sev.worst_edges(m, worst_frac).into_iter().collect();
+    let worst: HashSet<(NodeId, NodeId)> = sev.worst_edges(m, worst_frac).into_iter().collect();
     // Prediction ratio per measured edge, computed once.
     let ratios: Vec<(NodeId, NodeId, f64)> = m
         .edges()
-        .filter_map(|(i, j, d)| (d > 0.0).then(|| (i, j, emb.predicted(i, j) / d)))
+        .filter(|&(_, _, d)| d > 0.0)
+        .map(|(i, j, d)| (i, j, emb.predicted(i, j) / d))
         .collect();
     let total_edges = ratios.len().max(1);
 

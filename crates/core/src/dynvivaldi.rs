@@ -102,9 +102,7 @@ pub fn run(
 }
 
 fn collect_edges(sys: &VivaldiSystem) -> Vec<(NodeId, NodeId)> {
-    (0..sys.len())
-        .flat_map(|i| sys.neighbors_of(i).iter().map(move |&j| (i, j)))
-        .collect()
+    (0..sys.len()).flat_map(|i| sys.neighbors_of(i).iter().map(move |&j| (i, j))).collect()
 }
 
 /// One neighbor-update step for every node.
@@ -193,18 +191,11 @@ mod tests {
         let sev = Severity::compute(m, 0);
         let records = run(m, &small_cfg(), 4, 3);
         let mean_sev = |rec: &IterationRecord| {
-            mean(
-                rec.neighbor_edges
-                    .iter()
-                    .filter_map(|&(i, j)| sev.severity(i, j)),
-            )
+            mean(rec.neighbor_edges.iter().filter_map(|&(i, j)| sev.severity(i, j)))
         };
         let first = mean_sev(&records[0]);
         let last = mean_sev(&records[4]);
-        assert!(
-            last < first,
-            "neighbor severity did not decrease: {first} → {last}"
-        );
+        assert!(last < first, "neighbor severity did not decrease: {first} → {last}");
     }
 
     #[test]

@@ -75,20 +75,15 @@ pub fn relative_rank_loss(
 /// Closest-neighbor loss: the fraction of nodes whose predicted-nearest
 /// peer differs from their measured-nearest peer. Ties in prediction
 /// are broken towards smaller node id (deterministically).
-pub fn closest_neighbor_loss(
-    m: &DelayMatrix,
-    predict: impl Fn(NodeId, NodeId) -> f64,
-) -> f64 {
+pub fn closest_neighbor_loss(m: &DelayMatrix, predict: impl Fn(NodeId, NodeId) -> f64) -> f64 {
     let n = m.len();
     let mut wrong = 0usize;
     let mut counted = 0usize;
     for x in 0..n {
         let Some((true_nn, true_d)) = m.nearest_neighbor(x) else { continue };
-        let predicted_nn = (0..n)
-            .filter(|&y| y != x && m.get(x, y).is_some())
-            .min_by(|&a, &b| {
-                predict(x, a).partial_cmp(&predict(x, b)).expect("finite predictions")
-            });
+        let predicted_nn = (0..n).filter(|&y| y != x && m.get(x, y).is_some()).min_by(|&a, &b| {
+            predict(x, a).partial_cmp(&predict(x, b)).expect("finite predictions")
+        });
         let Some(pnn) = predicted_nn else { continue };
         counted += 1;
         // Selecting a different peer with the same measured delay is

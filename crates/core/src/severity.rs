@@ -14,7 +14,7 @@
 //! paper prefers it over either ingredient alone.
 //!
 //! The exact computation is O(n³); we parallelise over rows with
-//! crossbeam scoped threads and exploit NaN-propagation to skip missing
+//! std scoped threads and exploit NaN-propagation to skip missing
 //! entries without branches.
 
 use delayspace::matrix::{DelayMatrix, NodeId};
@@ -49,17 +49,14 @@ impl Severity {
         }
 
         let chunk = n.div_ceil(threads.max(1)).max(1);
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let mut sev_chunks = sev.chunks_mut(chunk * n);
             let mut cnt_chunks = cnt.chunks_mut(chunk * n);
             let mut start = 0usize;
-            loop {
-                let (Some(srows), Some(crows)) = (sev_chunks.next(), cnt_chunks.next()) else {
-                    break;
-                };
+            while let (Some(srows), Some(crows)) = (sev_chunks.next(), cnt_chunks.next()) {
                 let base = start;
                 start += srows.len() / n;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     for (k, (srow, crow)) in
                         srows.chunks_mut(n).zip(crows.chunks_mut(n)).enumerate()
                     {
@@ -67,8 +64,7 @@ impl Severity {
                     }
                 });
             }
-        })
-        .expect("severity worker panicked");
+        });
 
         Severity { n, sev, cnt }
     }
@@ -95,7 +91,10 @@ impl Severity {
     }
 
     /// Iterator over `(i, j, severity)` for measured unordered edges.
-    pub fn edges<'a>(&'a self, m: &'a DelayMatrix) -> impl Iterator<Item = (NodeId, NodeId, f64)> + 'a {
+    pub fn edges<'a>(
+        &'a self,
+        m: &'a DelayMatrix,
+    ) -> impl Iterator<Item = (NodeId, NodeId, f64)> + 'a {
         m.edges().map(move |(i, j, _)| (i, j, self.sev[i * self.n + j]))
     }
 
@@ -106,11 +105,7 @@ impl Severity {
 
     /// Severity versus edge delay, in `bin_ms`-wide bins (Figures 4–7).
     pub fn by_delay_bins(&self, m: &DelayMatrix, bin_ms: f64, max_ms: f64) -> BinnedStats {
-        BinnedStats::build(
-            m.edges().map(|(i, j, d)| (d, self.sev[i * self.n + j])),
-            bin_ms,
-            max_ms,
-        )
+        BinnedStats::build(m.edges().map(|(i, j, d)| (d, self.sev[i * self.n + j])), bin_ms, max_ms)
     }
 
     /// The fraction of all triangles (unordered node triples with all

@@ -81,11 +81,7 @@ pub fn build_tiv_aware(
         members,
         net,
         seed,
-        &BuildOptions {
-            gossip_sample,
-            edge_filter: None,
-            placement: Placement::Custom(&place),
-        },
+        &BuildOptions { gossip_sample, edge_filter: None, placement: Placement::Custom(&place) },
     )
 }
 
@@ -116,28 +112,27 @@ pub fn tiv_aware_query(
         let node = overlay.node(current).expect("query at a non-member node");
         let mut next: Option<(NodeId, f64)> = None;
         let mut probed: Vec<NodeId> = Vec::new();
-        let consider =
-            |candidates: Vec<meridian::RingMember>,
-             probed: &mut Vec<NodeId>,
-             net: &mut Network<'_>,
-             next: &mut Option<(NodeId, f64)>,
-             best: &mut (NodeId, f64),
-             target_probes: &mut u64| {
-                for m in candidates {
-                    if probed.contains(&m.node) {
-                        continue;
-                    }
-                    probed.push(m.node);
-                    *target_probes += 1;
-                    let Some(dm) = net.probe(m.node, target) else { continue };
-                    if dm < best.1 {
-                        *best = (m.node, dm);
-                    }
-                    if next.map_or(true, |(_, nd)| dm < nd) {
-                        *next = Some((m.node, dm));
-                    }
+        let consider = |candidates: Vec<meridian::RingMember>,
+                        probed: &mut Vec<NodeId>,
+                        net: &mut Network<'_>,
+                        next: &mut Option<(NodeId, f64)>,
+                        best: &mut (NodeId, f64),
+                        target_probes: &mut u64| {
+            for m in candidates {
+                if probed.contains(&m.node) {
+                    continue;
                 }
-            };
+                probed.push(m.node);
+                *target_probes += 1;
+                let Some(dm) = net.probe(m.node, target) else { continue };
+                if dm < best.1 {
+                    *best = (m.node, dm);
+                }
+                if next.map_or(true, |(_, nd)| dm < nd) {
+                    *next = Some((m.node, dm));
+                }
+            }
+        };
 
         consider(
             node.members_in_annulus(d, beta),

@@ -8,7 +8,7 @@
 //! The delay graph is dense (one weighted edge per measured pair), so we
 //! run flat-array Dijkstra — O(n²) per source without a heap, which
 //! beats binary-heap Dijkstra on dense graphs — and parallelise over
-//! sources with crossbeam scoped threads.
+//! sources with std scoped threads.
 
 use crate::matrix::{DelayMatrix, NodeId};
 
@@ -37,17 +37,16 @@ impl ShortestPaths {
 
         // Partition output rows into contiguous chunks, one per worker.
         let chunk = n.div_ceil(threads.max(1)).max(1);
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for (t, rows) in dist.chunks_mut(chunk * n).enumerate() {
                 let start = t * chunk;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     for (k, row) in rows.chunks_mut(n).enumerate() {
                         dijkstra_into(m, start + k, row);
                     }
                 });
             }
-        })
-        .expect("APSP worker panicked");
+        });
 
         ShortestPaths { n, dist }
     }
@@ -188,10 +187,8 @@ mod tests {
         m.set(0, 3, 20.0);
         m.set(1, 3, 9.0);
         let sp = ShortestPaths::compute(&m, 1);
-        let inflated: Vec<_> = sp
-            .inflation_ratios(&m)
-            .filter(|&(_, _, d, s)| d / s > 2.0)
-            .collect();
+        let inflated: Vec<_> =
+            sp.inflation_ratios(&m).filter(|&(_, _, d, s)| d / s > 2.0).collect();
         assert_eq!(inflated.len(), 1);
         assert_eq!((inflated[0].0, inflated[0].1), (0, 2));
         assert_eq!(inflated[0].3, 10.0); // 0-1-2

@@ -68,9 +68,7 @@ impl Clustering {
                 }
                 let count = (0..n)
                     .filter(|&j| {
-                        !taken[j]
-                            && j != i
-                            && m.get(i, j).is_some_and(|d| d <= cfg.r_density)
+                        !taken[j] && j != i && m.get(i, j).is_some_and(|d| d <= cfg.r_density)
                     })
                     .count();
                 if best.map_or(true, |(_, bc)| count > bc) {
@@ -83,9 +81,9 @@ impl Clustering {
             }
             let mut members = vec![medoid];
             taken[medoid] = true;
-            for j in 0..n {
-                if !taken[j] && m.get(medoid, j).is_some_and(|d| d <= cfg.r_cluster) {
-                    taken[j] = true;
+            for (j, t) in taken.iter_mut().enumerate() {
+                if !*t && m.get(medoid, j).is_some_and(|d| d <= cfg.r_cluster) {
+                    *t = true;
                     members.push(j);
                 }
             }
@@ -114,11 +112,7 @@ impl Clustering {
 
     /// Nodes in no major cluster.
     pub fn noise_nodes(&self) -> Vec<NodeId> {
-        self.assignment
-            .iter()
-            .enumerate()
-            .filter_map(|(i, c)| c.is_none().then_some(i))
-            .collect()
+        self.assignment.iter().enumerate().filter_map(|(i, c)| c.is_none().then_some(i)).collect()
     }
 
     /// True when `i` and `j` are in the same major cluster.
@@ -153,8 +147,7 @@ impl Clustering {
         for i in 0..n {
             for j in (i + 1)..n {
                 let ours = self.same_cluster(i, j);
-                let theirs =
-                    matches!((truth[i], truth[j]), (Some(a), Some(b)) if a == b);
+                let theirs = matches!((truth[i], truth[j]), (Some(a), Some(b)) if a == b);
                 total += 1;
                 if ours == theirs {
                     agree += 1;
@@ -242,15 +235,16 @@ mod tests {
     #[test]
     fn min_size_dissolves_small_clusters() {
         // 10 dense nodes + 2 outliers near each other but tiny.
-        let m = DelayMatrix::from_complete_fn(12, |i, j| {
-            if i < 10 && j < 10 {
-                5.0
-            } else if i >= 10 && j >= 10 {
-                5.0
-            } else {
-                500.0
-            }
-        });
+        let m = DelayMatrix::from_complete_fn(
+            12,
+            |i, j| {
+                if (i < 10) == (j < 10) {
+                    5.0
+                } else {
+                    500.0
+                }
+            },
+        );
         let cfg = ClusterConfig { min_size: 5, ..ClusterConfig::default() };
         let c = Clustering::compute(&m, &cfg);
         assert_eq!(c.num_clusters(), 1);
@@ -261,8 +255,7 @@ mod tests {
     fn pair_agreement_is_one_for_identical() {
         let m = two_blob_matrix();
         let c = Clustering::compute(&m, &ClusterConfig::default());
-        let truth: Vec<Option<usize>> =
-            c.assignment.clone();
+        let truth: Vec<Option<usize>> = c.assignment.clone();
         assert_eq!(c.pair_agreement(&truth), 1.0);
     }
 

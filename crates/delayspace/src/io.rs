@@ -40,7 +40,10 @@ pub fn from_pairs_text(s: &str) -> Result<DelayMatrix, String> {
             let mut it = rest.split_whitespace();
             if it.next() == Some("nodes") {
                 if let Some(v) = it.next() {
-                    n = Some(v.parse().map_err(|e| format!("line {}: bad node count: {e}", lineno + 1))?);
+                    n = Some(
+                        v.parse()
+                            .map_err(|e| format!("line {}: bad node count: {e}", lineno + 1))?,
+                    );
                 }
             }
             continue;
@@ -136,10 +139,8 @@ mod tests {
     use crate::synth::{Dataset, InternetDelaySpace};
 
     fn sample() -> DelayMatrix {
-        let mut m = InternetDelaySpace::preset(Dataset::PlanetLab)
-            .with_nodes(40)
-            .build(7)
-            .into_matrix();
+        let mut m =
+            InternetDelaySpace::preset(Dataset::PlanetLab).with_nodes(40).build(7).into_matrix();
         m.clear(3, 17);
         m
     }

@@ -34,11 +34,7 @@ impl PartialEq for DelayMatrix {
     /// itself once any measurement is missing.
     fn eq(&self, other: &Self) -> bool {
         self.n == other.n
-            && self
-                .data
-                .iter()
-                .zip(&other.data)
-                .all(|(a, b)| a == b || (a.is_nan() && b.is_nan()))
+            && self.data.iter().zip(&other.data).all(|(a, b)| a == b || (a.is_nan() && b.is_nan()))
     }
 }
 
@@ -451,10 +447,12 @@ mod tests {
     }
 
     #[test]
+    // The negated comparisons are the point: the severity kernel relies
+    // on NaN failing every comparison.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
     fn raw_nan_never_compares() {
         let m = DelayMatrix::new(3);
         let v = m.raw(0, 1);
-        // The severity kernel relies on NaN comparisons being false.
         assert!(!(v < 1e18) && !(v > 0.0));
     }
 }

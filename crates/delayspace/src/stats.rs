@@ -187,22 +187,16 @@ impl BinnedStats {
 
     /// `(bin midpoint, median)` for every non-empty bin.
     pub fn median_series(&self) -> Vec<(f64, f64)> {
-        self.bins
-            .iter()
-            .filter_map(|b| b.stats.map(|s| (b.mid(), s.p50)))
-            .collect()
+        self.bins.iter().filter_map(|b| b.stats.map(|s| (b.mid(), s.p50))).collect()
     }
 
     /// The non-empty bin whose median y-value is largest.
     pub fn peak(&self) -> Option<&Bin> {
-        self.bins
-            .iter()
-            .filter(|b| b.stats.is_some())
-            .max_by(|a, b| {
-                let ay = a.stats.unwrap().p50;
-                let by = b.stats.unwrap().p50;
-                ay.partial_cmp(&by).unwrap()
-            })
+        self.bins.iter().filter(|b| b.stats.is_some()).max_by(|a, b| {
+            let ay = a.stats.unwrap().p50;
+            let by = b.stats.unwrap().p50;
+            ay.partial_cmp(&by).unwrap()
+        })
     }
 }
 
@@ -337,7 +331,7 @@ mod proptests {
                                 q in 0.0f64..1.0) {
             let cdf = Cdf::from_samples(vals.clone());
             let v = cdf.quantile(q);
-            prop_assert!(vals.iter().any(|&x| x == v), "quantile {v} not a sample");
+            prop_assert!(vals.contains(&v), "quantile {v} not a sample");
         }
 
         #[test]

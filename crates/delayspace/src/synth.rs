@@ -516,10 +516,7 @@ mod tests {
                         continue;
                     }
                     let alt = m.get(a, b).unwrap() + m.get(b, c).unwrap();
-                    assert!(
-                        dac <= alt + 1e-9,
-                        "TIV in Euclidean preset: d({a},{c})={dac} > {alt}"
-                    );
+                    assert!(dac <= alt + 1e-9, "TIV in Euclidean preset: d({a},{c})={dac} > {alt}");
                 }
             }
         }
@@ -578,9 +575,7 @@ mod tests {
 
     #[test]
     fn missing_fraction_is_respected() {
-        let cfg = InternetDelaySpace::preset(Dataset::Ds2)
-            .with_nodes(200)
-            .with_missing(0.05);
+        let cfg = InternetDelaySpace::preset(Dataset::Ds2).with_nodes(200).with_missing(0.05);
         let s = cfg.build(23);
         let cov = s.matrix().coverage();
         assert!((0.93..0.97).contains(&cov), "coverage {cov}");
@@ -590,15 +585,13 @@ mod tests {
     fn remote_nodes_have_long_edges() {
         let s = small(Dataset::Ds2, 400, 29);
         let m = s.matrix();
-        let remote: Vec<usize> =
-            (0..m.len()).filter(|&i| s.remote_flags()[i]).collect();
+        let remote: Vec<usize> = (0..m.len()).filter(|&i| s.remote_flags()[i]).collect();
         if remote.is_empty() {
             return; // tiny sample may contain none; other seeds cover it
         }
         let i = remote[0];
-        let mean_remote = crate::stats::mean(
-            (0..m.len()).filter(|&j| j != i).filter_map(|j| m.get(i, j)),
-        );
+        let mean_remote =
+            crate::stats::mean((0..m.len()).filter(|&j| j != i).filter_map(|j| m.get(i, j)));
         let mean_all = crate::stats::mean(m.edges().map(|(_, _, d)| d));
         assert!(
             mean_remote > mean_all,
@@ -635,15 +628,8 @@ mod proptests {
     use proptest::prelude::*;
 
     fn arb_config() -> impl Strategy<Value = SynthConfig> {
-        (
-            5usize..60,
-            0.0f64..0.3,
-            0.0f64..0.1,
-            0.0f64..0.4,
-            1.0f64..4.0,
-            0.0f64..0.05,
-        )
-            .prop_map(|(n, noise, remote, p_cross, cap, missing)| SynthConfig {
+        (5usize..60, 0.0f64..0.3, 0.0f64..0.1, 0.0f64..0.4, 1.0f64..4.0, 0.0f64..0.05).prop_map(
+            |(n, noise, remote, p_cross, cap, missing)| SynthConfig {
                 n,
                 noise_frac: noise,
                 remote_frac: remote,
@@ -651,7 +637,8 @@ mod proptests {
                 inflation_cap: cap,
                 missing_frac: missing,
                 ..InternetDelaySpace::preset(Dataset::Ds2)
-            })
+            },
+        )
     }
 
     proptest! {

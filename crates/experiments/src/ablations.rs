@@ -227,7 +227,7 @@ pub fn coordinate_system_shootout(lab: &mut Lab) -> Figure {
                 predict: &dyn Fn(usize, usize) -> f64,
                 select: &mut dyn FnMut(usize, &[usize]) -> Option<usize>| {
         let cdf = predictor_penalty_cdf(m, select, candidates, runs, seed);
-        let met = tivcore::metrics::evaluate(m, &predict, 2_000, seed);
+        let met = tivcore::metrics::evaluate(m, predict, 2_000, seed);
         fig.notes.push(format!(
             "{label}: median penalty {:.1}%, rel-err {:.2}, rank-loss {:.3}, cn-loss {:.3}",
             cdf.median(),

@@ -51,9 +51,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "all" => ids.extend(suite::ALL_IDS.iter().map(|s| s.to_string())),
             "ablations" => ids.extend(suite::ABLATION_IDS.iter().map(|s| s.to_string())),
-            id if id.starts_with("fig") || id.starts_with("ablation-") => {
-                ids.push(id.to_string())
-            }
+            id if id.starts_with("fig") || id.starts_with("ablation-") => ids.push(id.to_string()),
             other => return Err(format!("unknown argument: {other}")),
         }
     }

@@ -50,9 +50,7 @@ impl Series {
     pub fn y_near(&self, x: f64) -> Option<f64> {
         self.points
             .iter()
-            .min_by(|a, b| {
-                (a.0 - x).abs().partial_cmp(&(b.0 - x).abs()).unwrap()
-            })
+            .min_by(|a, b| (a.0 - x).abs().partial_cmp(&(b.0 - x).abs()).unwrap())
             .map(|p| p.1)
     }
 }
@@ -176,11 +174,7 @@ mod tests {
 
     #[test]
     fn binned_series_carries_error_bars() {
-        let b = BinnedStats::build(
-            (0..100).map(|i| (5.0, i as f64)),
-            10.0,
-            20.0,
-        );
+        let b = BinnedStats::build((0..100).map(|i| (5.0, i as f64)), 10.0, 20.0);
         let s = Series::from_binned("sev", &b);
         assert_eq!(s.points.len(), 1);
         let bars = s.bars.unwrap();

@@ -28,8 +28,8 @@
 pub mod ablations;
 pub mod figure;
 pub mod lab;
-pub mod report;
 pub mod penalty;
+pub mod report;
 pub mod scale;
 pub mod sec2;
 pub mod sec3;

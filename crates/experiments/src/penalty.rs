@@ -61,8 +61,8 @@ pub fn predictor_penalty_cdf(
             }
             flag
         };
-        for client in 0..n {
-            if is_candidate[client] {
+        for (client, &taken) in is_candidate.iter().enumerate() {
+            if taken {
                 continue;
             }
             let Some(sel) = select(client, &candidates) else { continue };
@@ -97,12 +97,7 @@ pub struct MeridianPenalty {
 pub fn meridian_penalty_cdf<'m>(
     m: &'m DelayMatrix,
     mut build: impl FnMut(&mut Network<'m>, Vec<NodeId>, u64) -> MeridianOverlay,
-    mut query: impl FnMut(
-        &MeridianOverlay,
-        &mut Network<'m>,
-        NodeId,
-        NodeId,
-    ) -> Option<QueryResult>,
+    mut query: impl FnMut(&MeridianOverlay, &mut Network<'m>, NodeId, NodeId) -> Option<QueryResult>,
     members_per_run: usize,
     runs: usize,
     seed: u64,
@@ -128,8 +123,8 @@ pub fn meridian_penalty_cdf<'m>(
             }
             flag
         };
-        for client in 0..n {
-            if is_member[client] {
+        for (client, &taken) in is_member.iter().enumerate() {
+            if taken {
                 continue;
             }
             let start = members[r.gen_range(0..members.len())];

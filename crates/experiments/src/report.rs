@@ -13,68 +13,120 @@ use std::fmt::Write as _;
 /// The paper's headline claim for each experiment id.
 pub fn paper_claim(id: &str) -> &'static str {
     match id {
-        "fig1" => "Severity of an edge is proportional to the area above ratio 1 \
-                   under its triangulation-ratio CDF.",
-        "fig2" => "TIVs present in all four data sets; most edges cause slight \
+        "fig1" => {
+            "Severity of an edge is proportional to the area above ratio 1 \
+                   under its triangulation-ratio CDF."
+        }
+        "fig2" => {
+            "TIVs present in all four data sets; most edges cause slight \
                    violations, a small fraction severe ones; long-tailed CDFs. \
-                   Meridian set has the heaviest tail, p2psim the mildest.",
-        "fig3" => "Intra-cluster edges cause fewer/milder TIVs than cross-cluster \
+                   Meridian set has the heaviest tail, p2psim the mildest."
+        }
+        "fig3" => {
+            "Intra-cluster edges cause fewer/milder TIVs than cross-cluster \
                    edges (diagonal blocks darker); DS² mean #TIVs: 80 within vs \
-                   206 across.",
-        "fig4" => "Longer edges violate more, but irregularly; DS² median severity \
-                   peaks near 500–600 ms and falls at the far right.",
+                   206 across."
+        }
+        "fig4" => {
+            "Longer edges violate more, but irregularly; DS² median severity \
+                   peaks near 500–600 ms and falls at the far right."
+        }
         "fig5" => "p2psim: the mildest severity-vs-delay profile (max ≈ 3).",
-        "fig6" => "Meridian set: severity grows towards long edges, heaviest tail \
-                   (up to ≈ 20).",
+        "fig6" => {
+            "Meridian set: severity grows towards long edges, heaviest tail \
+                   (up to ≈ 20)."
+        }
         "fig7" => "PlanetLab: moderate-heavy, irregular profile (up to ≈ 14).",
-        "fig8" => "Edges past ~200 ms are mostly cross-cluster; shortest paths grow \
+        "fig8" => {
+            "Edges past ~200 ms are mostly cross-cluster; shortest paths grow \
                    slowly between 300–550 ms (short detours exist → severe TIVs) \
-                   and jump past ~550 ms (genuinely far edges → few TIVs).",
-        "fig9" => "Nearest-pair edges are only *slightly* more similar in severity \
-                   than random pairs: proximity does not predict TIV.",
-        "fig10" => "On a 5/5/100 ms TIV triangle Vivaldi cannot converge: endless \
-                    oscillation, persistent residual error.",
-        "fig11" => "Predictions oscillate over large ranges at every edge length \
+                   and jump past ~550 ms (genuinely far edges → few TIVs)."
+        }
+        "fig9" => {
+            "Nearest-pair edges are only *slightly* more similar in severity \
+                   than random pairs: proximity does not predict TIV."
+        }
+        "fig10" => {
+            "On a 5/5/100 ms TIV triangle Vivaldi cannot converge: endless \
+                    oscillation, persistent residual error."
+        }
+        "fig11" => {
+            "Predictions oscillate over large ranges at every edge length \
                     (even 10 ms edges can swing by ~175 ms); median movement \
-                    1.61 ms/step, p90 6.18.",
-        "fig12" => "Worked example: two TIVs misfile N in A's and B's rings, so the \
-                    query returns B although N is 1 ms from the target.",
-        "fig13" => "Ring placement errors are frequent at β = 0.5 (10–30% below \
+                    1.61 ms/step, p90 6.18."
+        }
+        "fig12" => {
+            "Worked example: two TIVs misfile N in A's and B's rings, so the \
+                    query returns B although N is 1 ms from the target."
+        }
+        "fig13" => {
+            "Ring placement errors are frequent at β = 0.5 (10–30% below \
                     400 ms, worse beyond); larger β tolerates more at more probing \
-                    cost.",
-        "fig14" => "Idealized Meridian (all members, no termination) is near-perfect \
-                    on a Euclidean matrix but misses ~13% of cases on DS².",
-        "fig15" => "IDES, though free of the metric constraint, is *worse* than \
-                    Vivaldi for neighbor selection.",
+                    cost."
+        }
+        "fig14" => {
+            "Idealized Meridian (all members, no termination) is near-perfect \
+                    on a Euclidean matrix but misses ~13% of cases on DS²."
+        }
+        "fig15" => {
+            "IDES, though free of the metric constraint, is *worse* than \
+                    Vivaldi for neighbor selection."
+        }
         "fig16" => "LAT improves Vivaldi only slightly.",
-        "fig17" => "Globally removing the worst-20% severity edges improves Vivaldi \
-                    only marginally — TIV is too widespread.",
-        "fig18" => "The same filter *degrades* Meridian: rings become \
-                    under-populated (by up to 50%) and queries strand.",
-        "fig19" => "Shrunk edges (prediction ratio « 1) carry the severe TIVs; \
-                    severity ≈ 0 beyond ratio 2 — the alert signal.",
-        "fig20" => "Tight thresholds are precise: at 0.1, worst-1% accuracy 0.92; \
-                    at 0.6, ~4% of edges alerted, 65% of them in the worst 20%.",
-        "fig21" => "Recall mirrors accuracy: tight = low recall, loose = high; a \
-                    usable operating point exists near 0.6.",
-        "fig22" => "Dynamic-neighbor iterations drive the severity of the spring \
-                    set towards zero.",
-        "fig23" => "Neighbor-selection penalty improves iteration over iteration; \
-                    clearly better than original Vivaldi by iteration 10.",
-        "fig24" => "TIV-aware Meridian improves the normal setting at ≈ +6% \
-                    on-demand probes.",
-        "fig25" => "In the all-members setting TIV-aware Meridian beats even the \
-                    no-termination idealized run, at ≈ +5% probes.",
-        "ablation-filter" => "(extension) penalty vs filter fraction: no fraction \
-                    rescues Vivaldi the way neighbor rewiring does.",
-        "ablation-dims" => "(extension) extra embedding dimensions do not absorb \
-                    TIVs.",
+        "fig17" => {
+            "Globally removing the worst-20% severity edges improves Vivaldi \
+                    only marginally — TIV is too widespread."
+        }
+        "fig18" => {
+            "The same filter *degrades* Meridian: rings become \
+                    under-populated (by up to 50%) and queries strand."
+        }
+        "fig19" => {
+            "Shrunk edges (prediction ratio « 1) carry the severe TIVs; \
+                    severity ≈ 0 beyond ratio 2 — the alert signal."
+        }
+        "fig20" => {
+            "Tight thresholds are precise: at 0.1, worst-1% accuracy 0.92; \
+                    at 0.6, ~4% of edges alerted, 65% of them in the worst 20%."
+        }
+        "fig21" => {
+            "Recall mirrors accuracy: tight = low recall, loose = high; a \
+                    usable operating point exists near 0.6."
+        }
+        "fig22" => {
+            "Dynamic-neighbor iterations drive the severity of the spring \
+                    set towards zero."
+        }
+        "fig23" => {
+            "Neighbor-selection penalty improves iteration over iteration; \
+                    clearly better than original Vivaldi by iteration 10."
+        }
+        "fig24" => {
+            "TIV-aware Meridian improves the normal setting at ≈ +6% \
+                    on-demand probes."
+        }
+        "fig25" => {
+            "In the all-members setting TIV-aware Meridian beats even the \
+                    no-termination idealized run, at ≈ +5% probes."
+        }
+        "ablation-filter" => {
+            "(extension) penalty vs filter fraction: no fraction \
+                    rescues Vivaldi the way neighbor rewiring does."
+        }
+        "ablation-dims" => {
+            "(extension) extra embedding dimensions do not absorb \
+                    TIVs."
+        }
         "ablation-beta" => "(extension) β buys tolerance linearly in probes.",
-        "ablation-tivmeridian" => "(extension) decomposition of the Section 5.3 \
-                    mechanism into dual placement and query restart.",
-        "ablation-coords" => "(extension) every predictor in the workspace on one \
+        "ablation-tivmeridian" => {
+            "(extension) decomposition of the Section 5.3 \
+                    mechanism into dual placement and query restart."
+        }
+        "ablation-coords" => {
+            "(extension) every predictor in the workspace on one \
                     selection task; all metric systems pay the TIV tax vs the \
-                    oracle.",
+                    oracle."
+        }
         _ => "(no recorded claim)",
     }
 }

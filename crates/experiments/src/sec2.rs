@@ -115,11 +115,7 @@ pub fn fig3(lab: &mut Lab) -> Fig3Output {
 
     // PGM: nodes reordered by cluster, pixel = severity scaled to 0–255.
     let n = order.len();
-    let max_sev = sev
-        .edges(m)
-        .map(|(_, _, s)| s)
-        .fold(0.0f64, f64::max)
-        .max(1e-9);
+    let max_sev = sev.edges(m).map(|(_, _, s)| s).fold(0.0f64, f64::max).max(1e-9);
     let mut pgm = String::with_capacity(n * n * 4 + 64);
     let _ = writeln!(pgm, "P2\n{n} {n}\n255");
     for &i in &order {
@@ -193,11 +189,7 @@ pub fn fig8(lab: &mut Lab) -> Figure {
 
     // Bottom panel: shortest-path length of each edge, by edge delay.
     let sp = ShortestPaths::compute(m, 0);
-    let sp_bins = BinnedStats::build(
-        sp.inflation_ratios(m).map(|(_, _, d, s)| (d, s)),
-        bw,
-        1000.0,
-    );
+    let sp_bins = BinnedStats::build(sp.inflation_ratios(m).map(|(_, _, d, s)| (d, s)), bw, 1000.0);
     let sp_series = Series::from_binned("shortest path length (ms)", &sp_bins);
 
     // Where does the shortest path "jump"? Find the largest increase in

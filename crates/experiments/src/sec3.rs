@@ -136,14 +136,8 @@ pub fn fig12(lab: &mut Lab) -> Figure {
     let res = closest_neighbor(&overlay, &mut net, 0, 3, Termination::Beta)
         .expect("entry probe measurable");
 
-    let edges = [
-        ("A-T", 12.0),
-        ("A-B", 4.0),
-        ("A-N", 25.0),
-        ("B-T", 2.0),
-        ("B-N", 11.0),
-        ("N-T", 1.0),
-    ];
+    let edges =
+        [("A-T", 12.0), ("A-B", 4.0), ("A-N", 25.0), ("B-T", 2.0), ("B-N", 11.0), ("N-T", 1.0)];
     let mut fig = Figure::new(
         "fig12",
         "Worked example: TIV-induced Meridian failure",
@@ -220,9 +214,7 @@ pub fn fig14(lab: &mut Lab) -> Figure {
             |net, mset, bseed| {
                 MeridianOverlay::build(cfg, mset, net, bseed, &BuildOptions::default())
             },
-            |ov, net, start, target| {
-                closest_neighbor(ov, net, start, target, Termination::None)
-            },
+            |ov, net, start, target| closest_neighbor(ov, net, start, target, Termination::None),
             members,
             runs,
             seed,

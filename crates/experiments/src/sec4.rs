@@ -106,16 +106,13 @@ fn vivaldi_with_mask(lab: &mut Lab, mask: &EdgeMask) -> Cdf {
     let mut r = rng::sub_rng(lab.seed(), "fig17/neighbors");
     // Re-draw each node's neighbor set from the allowed edges only.
     for i in 0..m.len() {
-        let allowed: Vec<usize> =
-            (0..m.len()).filter(|&j| j != i && mask.allows(i, j)).collect();
+        let allowed: Vec<usize> = (0..m.len()).filter(|&j| j != i && mask.allows(i, j)).collect();
         if allowed.is_empty() {
             continue; // isolated by the filter; keeps random neighbors
         }
         let k = cfg.neighbors.min(allowed.len());
-        let picks = rng::sample_indices(&mut r, allowed.len(), k)
-            .into_iter()
-            .map(|x| allowed[x])
-            .collect();
+        let picks =
+            rng::sample_indices(&mut r, allowed.len(), k).into_iter().map(|x| allowed[x]).collect();
         sys.set_neighbors(i, picks);
     }
     let mut net = Network::new(m, JitterModel::None, lab.seed());

@@ -65,10 +65,8 @@ pub fn fig20_21(lab: &mut Lab) -> (Figure, Figure) {
             label.clone(),
             sweep.iter().map(|q| (q.threshold, q.accuracy)).collect(),
         ));
-        rec.series.push(Series::new(
-            label,
-            sweep.iter().map(|q| (q.threshold, q.recall)).collect(),
-        ));
+        rec.series
+            .push(Series::new(label, sweep.iter().map(|q| (q.threshold, q.recall)).collect()));
         // Headline numbers the paper quotes.
         if (worst - 0.01).abs() < 1e-9 {
             if let Some(q) = sweep.iter().find(|q| (q.threshold - 0.10).abs() < 1e-9) {
@@ -133,9 +131,8 @@ pub fn fig22(lab: &mut Lab) -> Figure {
     );
     for &iter in std::iter::once(&0).chain(DYN_ITERS.iter()) {
         let rec = &records[iter];
-        let cdf = Cdf::from_samples(
-            rec.neighbor_edges.iter().filter_map(|&(i, j)| sev.severity(i, j)),
-        );
+        let cdf =
+            Cdf::from_samples(rec.neighbor_edges.iter().filter_map(|&(i, j)| sev.severity(i, j)));
         let label = if iter == 0 {
             "Vivaldi-original".to_string()
         } else {
@@ -210,8 +207,7 @@ pub fn fig24(lab: &mut Lab) -> Figure {
         runs,
         lab.seed(),
     );
-    let overhead =
-        (aware.probes_per_query / original.probes_per_query.max(1e-9) - 1.0) * 100.0;
+    let overhead = (aware.probes_per_query / original.probes_per_query.max(1e-9) - 1.0) * 100.0;
 
     Figure::new(
         "fig24",
@@ -231,9 +227,7 @@ pub fn fig24(lab: &mut Lab) -> Figure {
         original.exact_fraction,
         aware.exact_fraction
     ))
-    .with_note(format!(
-        "on-demand probing overhead: {overhead:+.1}% (paper: about +6%)"
-    ))
+    .with_note(format!("on-demand probing overhead: {overhead:+.1}% (paper: about +6%)"))
 }
 
 /// Figure 25: TIV-aware Meridian in the small all-members setting,
@@ -271,8 +265,7 @@ pub fn fig25(lab: &mut Lab) -> Figure {
         runs,
         lab.seed(),
     );
-    let overhead =
-        (aware.probes_per_query / original.probes_per_query.max(1e-9) - 1.0) * 100.0;
+    let overhead = (aware.probes_per_query / original.probes_per_query.max(1e-9) - 1.0) * 100.0;
 
     Figure::new(
         "fig25",

@@ -37,10 +37,7 @@ pub fn run(id: &str, lab: &mut Lab) -> Option<ExperimentOutput> {
         "fig2" => sec2::fig2(lab).into(),
         "fig3" => {
             let o = sec2::fig3(lab);
-            ExperimentOutput {
-                figure: o.figure,
-                artifacts: vec![("pgm".to_string(), o.pgm)],
-            }
+            ExperimentOutput { figure: o.figure, artifacts: vec![("pgm".to_string(), o.pgm)] }
         }
         "fig4" => sec2::fig_severity_vs_delay(lab, Dataset::Ds2).into(),
         "fig5" => sec2::fig_severity_vs_delay(lab, Dataset::P2pSim).into(),

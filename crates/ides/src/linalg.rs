@@ -67,9 +67,7 @@ impl Mat {
     /// `y = self · x` (matrix–vector product).
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
-        (0..self.rows)
-            .map(|r| self.row(r).iter().zip(x).map(|(a, b)| a * b).sum())
-            .collect()
+        (0..self.rows).map(|r| self.row(r).iter().zip(x).map(|(a, b)| a * b).sum()).collect()
     }
 
     /// `y = selfᵀ · x` (transposed matrix–vector product).
@@ -145,17 +143,18 @@ pub fn solve(a: &Mat, b: &[f64]) -> Option<Vec<f64>> {
         .collect();
     for col in 0..n {
         // Partial pivot.
-        let pivot = (col..n).max_by(|&x, &y| {
-            w[x][col].abs().partial_cmp(&w[y][col].abs()).expect("finite")
-        })?;
+        let pivot = (col..n)
+            .max_by(|&x, &y| w[x][col].abs().partial_cmp(&w[y][col].abs()).expect("finite"))?;
         if w[pivot][col].abs() < 1e-12 {
             return None;
         }
         w.swap(col, pivot);
-        for r in (col + 1)..n {
-            let f = w[r][col] / w[col][col];
-            for k in col..=n {
-                w[r][k] -= f * w[col][k];
+        let (pivot_rows, rest) = w.split_at_mut(col + 1);
+        let pivot_row = &pivot_rows[col];
+        for row in rest.iter_mut() {
+            let f = row[col] / pivot_row[col];
+            for (rk, pk) in row[col..=n].iter_mut().zip(&pivot_row[col..=n]) {
+                *rk -= f * pk;
             }
         }
     }
@@ -225,13 +224,7 @@ mod tests {
 
     #[test]
     fn solve_larger_system_roundtrips() {
-        let a = Mat::from_fn(5, 5, |r, c| {
-            if r == c {
-                10.0
-            } else {
-                ((r * 3 + c * 7) % 5) as f64
-            }
-        });
+        let a = Mat::from_fn(5, 5, |r, c| if r == c { 10.0 } else { ((r * 3 + c * 7) % 5) as f64 });
         let x_true: Vec<f64> = (0..5).map(|i| i as f64 - 2.0).collect();
         let b = a.matvec(&x_true);
         let x = solve(&a, &b).unwrap();

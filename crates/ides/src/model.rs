@@ -82,12 +82,7 @@ impl IdesModel {
     /// Panics when `landmark_count < rank` (the least-squares system
     /// would be underdetermined) or the matrix is smaller than the
     /// landmark set.
-    pub fn fit_landmarks(
-        m: &DelayMatrix,
-        rank: usize,
-        landmark_count: usize,
-        seed: u64,
-    ) -> Self {
+    pub fn fit_landmarks(m: &DelayMatrix, rank: usize, landmark_count: usize, seed: u64) -> Self {
         use crate::linalg::{solve, Mat};
         use delayspace::rng;
         assert!(rank > 0, "rank must be positive");
@@ -115,9 +110,8 @@ impl IdesModel {
 
         // Normal-equation matrices, shared by every ordinary node:
         // out_x = argmin ‖In_L·out_x − d(x,L)‖  →  (In_Lᵀ In_L)·out_x = In_Lᵀ d.
-        let gram = |f: &Mat| {
-            Mat::from_fn(k, k, |a, b| (0..l).map(|i| f.get(i, a) * f.get(i, b)).sum())
-        };
+        let gram =
+            |f: &Mat| Mat::from_fn(k, k, |a, b| (0..l).map(|i| f.get(i, a) * f.get(i, b)).sum());
         let gram_in = gram(&in_l);
         let gram_out = gram(&out_l);
 
@@ -193,15 +187,11 @@ impl IdesModel {
     /// Among `candidates`, the node with the smallest predicted delay to
     /// `client`.
     pub fn select_nearest(&self, client: NodeId, candidates: &[NodeId]) -> Option<NodeId> {
-        candidates
-            .iter()
-            .copied()
-            .filter(|&c| c != client)
-            .min_by(|&a, &b| {
-                self.predicted(client, a)
-                    .partial_cmp(&self.predicted(client, b))
-                    .expect("predictions are finite")
-            })
+        candidates.iter().copied().filter(|&c| c != client).min_by(|&a, &b| {
+            self.predicted(client, a)
+                .partial_cmp(&self.predicted(client, b))
+                .expect("predictions are finite")
+        })
     }
 }
 
@@ -212,7 +202,7 @@ fn impute(m: &DelayMatrix) -> Mat {
     let mut row_mean = vec![0.0; n];
     let mut global_sum = 0.0;
     let mut global_cnt = 0usize;
-    for i in 0..n {
+    for (i, mean) in row_mean.iter_mut().enumerate() {
         let mut sum = 0.0;
         let mut cnt = 0usize;
         for j in 0..n {
@@ -223,7 +213,7 @@ fn impute(m: &DelayMatrix) -> Mat {
                 }
             }
         }
-        row_mean[i] = if cnt > 0 { sum / cnt as f64 } else { f64::NAN };
+        *mean = if cnt > 0 { sum / cnt as f64 } else { f64::NAN };
         global_sum += sum;
         global_cnt += cnt;
     }
@@ -257,10 +247,7 @@ mod tests {
         let model = IdesModel::fit(m, 8, Factorization::Svd, 1);
         let med = model.abs_error_cdf(m).median();
         let scale = Cdf::from_samples(m.edge_delays()).median();
-        assert!(
-            med < scale * 0.4,
-            "median error {med} too large relative to median delay {scale}"
-        );
+        assert!(med < scale * 0.4, "median error {med} too large relative to median delay {scale}");
     }
 
     #[test]
@@ -290,7 +277,7 @@ mod tests {
         // ~63 ms floor a 1-D/2-D Euclidean embedding is forced into.
         let total: f64 = [(0, 1, 5.0), (1, 2, 5.0), (0, 2, 100.0)]
             .iter()
-            .map(|&(i, j, d)| ((model.predicted(i, j) - d) as f64).abs())
+            .map(|&(i, j, d)| (model.predicted(i, j) - d).abs())
             .sum();
         assert!(total < 25.0, "IDES should fit a TIV triangle, total err {total}");
     }
@@ -305,10 +292,8 @@ mod tests {
 
     #[test]
     fn handles_missing_entries() {
-        let space = InternetDelaySpace::preset(Dataset::Ds2)
-            .with_nodes(40)
-            .with_missing(0.1)
-            .build(7);
+        let space =
+            InternetDelaySpace::preset(Dataset::Ds2).with_nodes(40).with_missing(0.1).build(7);
         let model = IdesModel::fit(space.matrix(), 5, Factorization::Svd, 4);
         assert_eq!(model.len(), 40);
         assert!(model.predicted(0, 1).is_finite());
@@ -321,10 +306,7 @@ mod tests {
         let model = IdesModel::fit_landmarks(m, 8, 24, 2);
         let med = model.abs_error_cdf(m).median();
         let scale = Cdf::from_samples(m.edge_delays()).median();
-        assert!(
-            med < scale * 0.6,
-            "landmark IDES error {med} too large vs median delay {scale}"
-        );
+        assert!(med < scale * 0.6, "landmark IDES error {med} too large vs median delay {scale}");
     }
 
     #[test]

@@ -109,9 +109,7 @@ fn mat_mul(a: &Mat, b: &Mat) -> Mat {
 /// `ABᵀ` for A (n×m), B (k×m) → n×k.
 fn mat_mul_t(a: &Mat, b: &Mat) -> Mat {
     assert_eq!(a.cols(), b.cols());
-    Mat::from_fn(a.rows(), b.rows(), |r, c| {
-        a.row(r).iter().zip(b.row(c)).map(|(x, y)| x * y).sum()
-    })
+    Mat::from_fn(a.rows(), b.rows(), |r, c| a.row(r).iter().zip(b.row(c)).map(|(x, y)| x * y).sum())
 }
 
 #[cfg(test)]
@@ -143,9 +141,7 @@ mod tests {
         // A = W0 H0 exactly, rank 2.
         let w0 = Mat::from_fn(6, 2, |r, c| ((r + c) % 3 + 1) as f64);
         let h0 = Mat::from_fn(2, 6, |r, c| ((2 * r + c) % 4 + 1) as f64);
-        let a = Mat::from_fn(6, 6, |r, c| {
-            (0..2).map(|x| w0.get(r, x) * h0.get(x, c)).sum()
-        });
+        let a = Mat::from_fn(6, 6, |r, c| (0..2).map(|x| w0.get(r, x) * h0.get(x, c)).sum());
         let nmf = factorize(&a, 2, 500, 3);
         let rel = nmf.residual / a.frobenius();
         assert!(rel < 0.05, "relative residual {rel} too high for exact rank-2 data");

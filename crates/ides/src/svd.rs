@@ -100,9 +100,7 @@ mod tests {
     #[test]
     fn reconstruction_error_decreases_with_rank() {
         // A structured symmetric matrix.
-        let a = Mat::from_fn(10, 10, |r, c| {
-            ((r as f64 - c as f64).abs() * 7.0) + (r + c) as f64
-        });
+        let a = Mat::from_fn(10, 10, |r, c| ((r as f64 - c as f64).abs() * 7.0) + (r + c) as f64);
         let err_at = |k: usize| {
             let svd = truncated_svd(&a, k, 60, 3);
             let mut resid = a.clone();

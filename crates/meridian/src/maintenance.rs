@@ -212,11 +212,11 @@ mod tests {
         // Find a node with a full ring that has secondaries.
         let victim = ov
             .nodes()
-            .flat_map(|n|
-
+            .flat_map(|n| {
                 (1..=cfg.num_rings)
                     .filter(|&r| n.ring(r).len() == 2 && !n.secondary(r).is_empty())
-                    .map(move |r| (n.id, n.ring(r)[0].node, r)))
+                    .map(move |r| (n.id, n.ring(r)[0].node, r))
+            })
             .next();
         let Some((owner, member, ring)) = victim else {
             return; // topology produced no full ring with backups

@@ -160,10 +160,7 @@ mod tests {
         };
         let f01 = frac_at(0.1);
         let f09 = frac_at(0.9);
-        assert!(
-            f09 < f01,
-            "beta=0.9 should misplace less than beta=0.1 ({f09} vs {f01})"
-        );
+        assert!(f09 < f01, "beta=0.9 should misplace less than beta=0.1 ({f09} vs {f01})");
     }
 
     #[test]

@@ -56,7 +56,11 @@ pub struct BuildOptions<'a> {
 
 impl Default for BuildOptions<'_> {
     fn default() -> Self {
-        BuildOptions { gossip_sample: None, edge_filter: None, placement: Placement::ByMeasuredDelay }
+        BuildOptions {
+            gossip_sample: None,
+            edge_filter: None,
+            placement: Placement::ByMeasuredDelay,
+        }
     }
 }
 
@@ -178,8 +182,7 @@ impl MeridianOverlay {
         if self.nodes.is_empty() {
             return 0.0;
         }
-        self.nodes.iter().map(|n| n.member_count()).sum::<usize>() as f64
-            / self.nodes.len() as f64
+        self.nodes.iter().map(|n| n.member_count()).sum::<usize>() as f64 / self.nodes.len() as f64
     }
 }
 

@@ -61,9 +61,7 @@ pub fn closest_neighbor(
     let mut visited = vec![current];
 
     loop {
-        let node = overlay
-            .node(current)
-            .expect("query forwarded to a non-member node");
+        let node = overlay.node(current).expect("query forwarded to a non-member node");
         // Ring members eligible to probe the target: entries whose
         // recorded delay falls inside the acceptance annulus. (Entries
         // created by TIV-aware dual placement are recorded under their

@@ -118,10 +118,7 @@ impl<'m> Network<'m> {
     /// Issues probes from `from` to every node in `targets`, returning
     /// the measurable ones as `(target, rtt)`.
     pub fn probe_many(&mut self, from: NodeId, targets: &[NodeId]) -> Vec<(NodeId, f64)> {
-        targets
-            .iter()
-            .filter_map(|&t| self.probe(from, t).map(|d| (t, d)))
-            .collect()
+        targets.iter().filter_map(|&t| self.probe(from, t).map(|d| (t, d))).collect()
     }
 
     fn apply_jitter(&mut self, d: f64) -> f64 {
@@ -220,8 +217,7 @@ mod tests {
     #[test]
     fn spike_jitter_only_increases_delay() {
         let m = matrix3();
-        let mut net =
-            Network::new(&m, JitterModel::Spikes { p_spike: 0.5, mean_ms: 30.0 }, 5);
+        let mut net = Network::new(&m, JitterModel::Spikes { p_spike: 0.5, mean_ms: 30.0 }, 5);
         let samples: Vec<f64> = (0..500).map(|_| net.probe(0, 1).unwrap()).collect();
         assert!(samples.iter().all(|&d| d >= 10.0));
         assert!(samples.iter().any(|&d| d > 10.0), "no spikes occurred");

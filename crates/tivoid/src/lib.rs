@@ -1,0 +1,63 @@
+//! # `tivoid` — the facade over the TIV workspace
+//!
+//! One crate to depend on: re-exports every layer of the
+//! conf_imc_WangZN07 reproduction under stable module paths
+//! (`tivoid::delayspace`, `tivoid::vivaldi`, …) and bundles the
+//! commonly-used types into a [`prelude`]. The workspace's runnable
+//! `examples/` live here.
+//!
+//! | layer | crate | what it provides |
+//! |---|---|---|
+//! | substrate | [`delayspace`] | delay matrices, synthetic TIV-rich generator, clustering, APSP, stats |
+//! | execution | [`simnet`] | deterministic simulated network with probe accounting |
+//! | embeddings | [`vivaldi`], [`ides`] | network coordinates; matrix-factorization prediction |
+//! | overlay | [`meridian`] | concentric-ring closest-neighbor location service |
+//! | core | [`tivcore`] | TIV severity, the TIV alert mechanism, TIV-aware selection |
+//! | harness | [`experiments`] | one function per figure of the paper |
+//!
+//! ```
+//! use tivoid::prelude::*;
+//!
+//! let space = InternetDelaySpace::preset(Dataset::Ds2).with_nodes(60).build(7);
+//! let m = space.matrix();
+//! let sev = Severity::compute(m, 0);
+//! assert!(sev.violating_triangle_fraction() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use delayspace;
+pub use experiments;
+pub use ides;
+pub use meridian;
+pub use simnet;
+pub use tivcore;
+pub use vivaldi;
+
+pub mod prelude {
+    //! The types and functions nearly every user of the workspace
+    //! touches, importable in one line.
+
+    pub use delayspace::apsp::ShortestPaths;
+    pub use delayspace::cluster::{ClusterConfig, ClusterId, Clustering};
+    pub use delayspace::matrix::{DelayMatrix, NodeId};
+    pub use delayspace::rng::DetRng;
+    pub use delayspace::stats::{BinnedStats, Cdf, Percentiles};
+    pub use delayspace::synth::{Dataset, InternetDelaySpace, SynthConfig};
+
+    pub use simnet::net::{JitterModel, Network, ProbeStats};
+
+    pub use vivaldi::{Embedding, VivaldiConfig, VivaldiSystem};
+
+    pub use ides::{Factorization, IdesModel};
+
+    pub use meridian::{
+        closest_neighbor, BuildOptions, MeridianConfig, MeridianOverlay, QueryResult, Termination,
+    };
+
+    pub use tivcore::dynvivaldi::{self, DynVivaldiConfig};
+    pub use tivcore::severity::{estimate_severity, proximity_experiment, Severity};
+    pub use tivcore::tivmeridian::{build_tiv_aware, tiv_aware_query, TivMeridianConfig};
+    pub use tivcore::{EdgeMask, MonitorConfig, TivAlert, TivMonitor};
+}

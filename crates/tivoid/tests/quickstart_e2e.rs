@@ -1,0 +1,100 @@
+//! End-to-end exercise of the facade's re-export surface: the
+//! quickstart path (synthetic delay space → Vivaldi embedding → TIV
+//! alert) on a small, seed-fixed instance, entirely through
+//! `tivoid::prelude` and `tivoid::<crate>` module paths.
+
+use tivoid::prelude::*;
+
+const SEED: u64 = 42;
+const NODES: usize = 80;
+
+fn build_space() -> InternetDelaySpace {
+    InternetDelaySpace::preset(Dataset::Ds2).with_nodes(NODES).build(SEED)
+}
+
+#[test]
+fn quickstart_path_end_to_end() {
+    // 1. Synthetic delay space: right size, positive delays, TIV-rich.
+    let space = build_space();
+    let m = space.matrix();
+    assert_eq!(m.len(), NODES);
+    assert!(m.edges().count() > 0, "no measured edges");
+    for (_, _, d) in m.edges() {
+        assert!(d > 0.0 && d.is_finite(), "bad delay {d}");
+    }
+
+    let sev = Severity::compute(m, 0);
+    let viol = sev.violating_triangle_fraction();
+    assert!(
+        viol > 0.02 && viol < 0.60,
+        "DS² preset should violate a nontrivial fraction of triangles, got {viol}"
+    );
+    // The severity distribution has the paper's long-tail shape: most
+    // edges harmless, a heavy right tail.
+    let cdf = sev.cdf(m);
+    assert!(cdf.median() < cdf.quantile(0.95));
+    assert!(cdf.quantile(1.0) > 1.0, "no severe TIV edge in the tail");
+
+    // 2. Vivaldi embedding converges to a usable error level.
+    let mut sys = VivaldiSystem::new(VivaldiConfig::default(), m.len(), SEED);
+    let mut net = Network::new(m, JitterModel::None, SEED);
+    sys.run_rounds(&mut net, 150);
+    let emb = sys.embedding();
+    let err = emb.abs_error_cdf(m);
+    assert!(err.median() < 150.0, "embedding error unreasonably large: median {} ms", err.median());
+    assert!(net.stats().total() > 0, "embedding probed nothing");
+
+    // 3. The TIV alert flags shrunk edges, and the flagged set is
+    //    enriched in truly severe edges versus the base rate.
+    let alert = TivAlert::new(0.6);
+    let worst: std::collections::HashSet<_> = sev.worst_edges(m, 0.20).into_iter().collect();
+    let mut alarmed = 0usize;
+    let mut alarmed_bad = 0usize;
+    for (i, j, _) in m.edges() {
+        if alert.check(&emb, m, i, j) == Some(true) {
+            alarmed += 1;
+            if worst.contains(&(i, j)) {
+                alarmed_bad += 1;
+            }
+        }
+    }
+    assert!(alarmed > 0, "alert never fired on a TIV-rich space");
+    let precision = alarmed_bad as f64 / alarmed as f64;
+    assert!(precision > 0.4, "alert precision {precision:.2} barely beats the 0.20 base rate");
+}
+
+#[test]
+fn quickstart_path_is_deterministic_in_the_seed() {
+    let a = build_space();
+    let b = build_space();
+    assert_eq!(a.matrix(), b.matrix(), "same seed must rebuild the same space");
+
+    let embed = |m: &DelayMatrix| {
+        let mut sys = VivaldiSystem::new(VivaldiConfig::default(), m.len(), SEED);
+        let mut net = Network::new(m, JitterModel::None, SEED);
+        sys.run_rounds(&mut net, 50);
+        sys.embedding()
+    };
+    let (ea, eb) = (embed(a.matrix()), embed(b.matrix()));
+    for i in 0..NODES {
+        assert_eq!(ea.coord(i), eb.coord(i), "embedding diverged at node {i}");
+    }
+}
+
+#[test]
+fn facade_module_paths_are_wired() {
+    // The re-exported module paths the examples rely on.
+    let text = "# src dst rtt\n0 1 10.0\n1 2 12.5\n0 2 30.0\n";
+    let m = tivoid::delayspace::io::from_pairs_text(text).expect("pair-list parses");
+    assert_eq!(m.len(), 3);
+    assert_eq!(m.get(0, 2), Some(30.0));
+
+    // A 3-node TIV: 0–2 direct (30 ms) beats 0–1–2 (22.5 ms).
+    let sp = tivoid::delayspace::apsp::ShortestPaths::compute(&m, 1);
+    assert!(sp.get(0, 2) < 23.0);
+
+    // Deterministic RNG helpers through the facade path.
+    let mut r = tivoid::delayspace::rng::rng(7);
+    let x = tivoid::delayspace::rng::pareto(&mut r, 1.5, 4.0);
+    assert!((1.0..=4.0).contains(&x));
+}

@@ -86,12 +86,7 @@ impl Coord {
 
     #[inline]
     fn euclidean(&self, other: &Coord) -> f64 {
-        self.v
-            .iter()
-            .zip(&other.v)
-            .map(|(a, b)| (a - b) * (a - b))
-            .sum::<f64>()
-            .sqrt()
+        self.v.iter().zip(&other.v).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt()
     }
 
     /// Euclidean norm of the planar part plus the height.
@@ -111,8 +106,7 @@ impl Coord {
         debug_assert_eq!(self.v.len(), other.v.len());
         let mut dir: Vec<f64> = self.v.iter().zip(&other.v).map(|(a, b)| a - b).collect();
         let dir_h = self.h + other.h;
-        let mut norm =
-            (dir.iter().map(|a| a * a).sum::<f64>() + dir_h * dir_h).sqrt();
+        let mut norm = (dir.iter().map(|a| a * a).sum::<f64>() + dir_h * dir_h).sqrt();
         if norm < 1e-12 {
             // Coincident points: random unit direction (planar only;
             // heights separate naturally once the plane does).

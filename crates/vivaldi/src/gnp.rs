@@ -147,14 +147,7 @@ fn gradient_into(a: &[f64], b: &[f64], d: f64, g: &mut [f64]) {
 }
 
 /// Symmetric pair gradient for the landmark phase.
-fn accumulate_gradient(
-    a: &[f64],
-    b: &[f64],
-    d: f64,
-    grads: &mut [Vec<f64>],
-    ia: usize,
-    ib: usize,
-) {
+fn accumulate_gradient(a: &[f64], b: &[f64], d: f64, grads: &mut [Vec<f64>], ia: usize, ib: usize) {
     let mut ga = vec![0.0; a.len()];
     gradient_into(a, b, d, &mut ga);
     for (k, v) in ga.iter().enumerate() {

@@ -36,9 +36,13 @@ impl LatModel {
         let mut adjust = vec![0.0; n];
         for (x, adj) in adjust.iter_mut().enumerate() {
             let k = samples_per_node.min(n - 1);
-            let sample = rng::sample_indices(&mut r, n - 1, k)
-                .into_iter()
-                .map(|v| if v >= x { v + 1 } else { v });
+            let sample = rng::sample_indices(&mut r, n - 1, k).into_iter().map(|v| {
+                if v >= x {
+                    v + 1
+                } else {
+                    v
+                }
+            });
             let mut sum = 0.0;
             let mut cnt = 0usize;
             for y in sample {
@@ -72,15 +76,11 @@ impl LatModel {
     /// Among `candidates`, the node with the smallest LAT-predicted
     /// delay to `client`.
     pub fn select_nearest(&self, client: NodeId, candidates: &[NodeId]) -> Option<NodeId> {
-        candidates
-            .iter()
-            .copied()
-            .filter(|&c| c != client)
-            .min_by(|&a, &b| {
-                self.predicted(client, a)
-                    .partial_cmp(&self.predicted(client, b))
-                    .expect("predictions are finite")
-            })
+        candidates.iter().copied().filter(|&c| c != client).min_by(|&a, &b| {
+            self.predicted(client, a)
+                .partial_cmp(&self.predicted(client, b))
+                .expect("predictions are finite")
+        })
     }
 }
 
@@ -110,10 +110,7 @@ mod tests {
     #[test]
     fn prediction_is_clamped_at_zero() {
         // Embedding over-predicts: points 100 apart, true delay 2.
-        let emb = Embedding::new(vec![
-            Coord::from_vec(vec![0.0]),
-            Coord::from_vec(vec![100.0]),
-        ]);
+        let emb = Embedding::new(vec![Coord::from_vec(vec![0.0]), Coord::from_vec(vec![100.0])]);
         let m = DelayMatrix::from_complete_fn(2, |_, _| 2.0);
         let lat = LatModel::fit(emb, &m, 1, 1);
         // e_x = (2 − 100)/2 = −49 each; 100 − 98 = 2 → fine, but check

@@ -322,8 +322,10 @@ mod tests {
         let eu = InternetDelaySpace::preset(Dataset::Euclidean).with_nodes(n).build(5);
         let ds = InternetDelaySpace::preset(Dataset::Ds2).with_nodes(n).build(5);
         let cfg = VivaldiConfig { neighbors: 16, ..VivaldiConfig::default() };
-        let med_eu = run_system(eu.matrix(), cfg, 200, 1).embedding().abs_error_cdf(eu.matrix()).median();
-        let med_ds = run_system(ds.matrix(), cfg, 200, 1).embedding().abs_error_cdf(ds.matrix()).median();
+        let med_eu =
+            run_system(eu.matrix(), cfg, 200, 1).embedding().abs_error_cdf(eu.matrix()).median();
+        let med_ds =
+            run_system(ds.matrix(), cfg, 200, 1).embedding().abs_error_cdf(ds.matrix()).median();
         assert!(
             med_eu < med_ds,
             "metric space should embed better: euclidean {med_eu} vs ds2 {med_ds}"
@@ -404,8 +406,7 @@ mod tests {
         let m = DelayMatrix::from_complete_fn(12, |i, j| 8.0 * (i.abs_diff(j)) as f64);
         let cfg = VivaldiConfig { dims: 2, neighbors: 6, ..VivaldiConfig::default() };
         let sys = run_system(&m, cfg, 200, 9);
-        let mean_err: f64 =
-            (0..12).map(|i| sys.local_error(i)).sum::<f64>() / 12.0;
+        let mean_err: f64 = (0..12).map(|i| sys.local_error(i)).sum::<f64>() / 12.0;
         assert!(mean_err < 0.5, "mean local error {mean_err} did not shrink");
     }
 
@@ -418,12 +419,8 @@ mod tests {
         let access: Vec<f64> = (0..24).map(|i| 5.0 + (i % 7) as f64 * 12.0).collect();
         let m = DelayMatrix::from_complete_fn(24, |i, j| access[i] + access[j]);
         let run = |use_height: bool| {
-            let cfg = VivaldiConfig {
-                dims: 2,
-                neighbors: 12,
-                use_height,
-                ..VivaldiConfig::default()
-            };
+            let cfg =
+                VivaldiConfig { dims: 2, neighbors: 12, use_height, ..VivaldiConfig::default() };
             run_system(&m, cfg, 400, 21).embedding().abs_error_cdf(&m).median()
         };
         let plain = run(false);

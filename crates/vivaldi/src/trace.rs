@@ -84,7 +84,12 @@ impl OscillationTracker {
 
     fn new(edges: Vec<(NodeId, NodeId)>) -> Self {
         let n = edges.len();
-        OscillationTracker { edges, min: vec![f64::INFINITY; n], max: vec![f64::NEG_INFINITY; n], samples: 0 }
+        OscillationTracker {
+            edges,
+            min: vec![f64::INFINITY; n],
+            max: vec![f64::NEG_INFINITY; n],
+            samples: 0,
+        }
     }
 
     /// Samples the current predictions; call once per round.
@@ -145,11 +150,8 @@ mod tests {
     #[test]
     fn edge_trace_records_every_round() {
         let m = tiv_triangle();
-        let mut sys = VivaldiSystem::new(
-            VivaldiConfig { neighbors: 2, ..VivaldiConfig::default() },
-            3,
-            1,
-        );
+        let mut sys =
+            VivaldiSystem::new(VivaldiConfig { neighbors: 2, ..VivaldiConfig::default() }, 3, 1);
         let mut net = Network::new(&m, JitterModel::None, 1);
         let mut trace = EdgeTrace::new(vec![(0, 1), (1, 2), (2, 0)]);
         sys.run_rounds_observed(&mut net, 40, |_, s| trace.record(s));
@@ -164,11 +166,8 @@ mod tests {
     #[test]
     fn oscillation_ranges_nonzero_under_tiv() {
         let m = tiv_triangle();
-        let mut sys = VivaldiSystem::new(
-            VivaldiConfig { neighbors: 2, ..VivaldiConfig::default() },
-            3,
-            5,
-        );
+        let mut sys =
+            VivaldiSystem::new(VivaldiConfig { neighbors: 2, ..VivaldiConfig::default() }, 3, 5);
         let mut net = Network::new(&m, JitterModel::None, 5);
         let mut osc = OscillationTracker::all_edges(&m);
         // Skip warmup, then track.
@@ -193,11 +192,8 @@ mod tests {
     #[test]
     fn by_delay_bins_buckets_by_measured_length() {
         let m = tiv_triangle();
-        let mut sys = VivaldiSystem::new(
-            VivaldiConfig { neighbors: 2, ..VivaldiConfig::default() },
-            3,
-            5,
-        );
+        let mut sys =
+            VivaldiSystem::new(VivaldiConfig { neighbors: 2, ..VivaldiConfig::default() }, 3, 5);
         let mut net = Network::new(&m, JitterModel::None, 5);
         let mut osc = OscillationTracker::all_edges(&m);
         sys.run_rounds_observed(&mut net, 60, |_, s| osc.record(s));

@@ -46,10 +46,7 @@ impl Dht {
     /// Builds the ring: node `i`'s ring id is a deterministic hash of
     /// `i`; finger `k` is chosen among the members of its interval by
     /// `select` (PNS hook), falling back to the canonical successor.
-    fn build(
-        n: usize,
-        mut select: impl FnMut(NodeId, &[NodeId]) -> Option<NodeId>,
-    ) -> Dht {
+    fn build(n: usize, mut select: impl FnMut(NodeId, &[NodeId]) -> Option<NodeId>) -> Dht {
         // Deterministic well-spread ids (odd multiplier hash).
         let ids: Vec<u64> = (0..n).map(|i| (i as u64).wrapping_mul(0x9E37_79B1) % RING).collect();
         let mut order: Vec<NodeId> = (0..n).collect();
@@ -157,9 +154,7 @@ fn main() {
     evaluate("PNS: dyn-neighbor Vivaldi", m, &pns_aware, &keys);
 
     // 4. Oracle PNS.
-    let pns_oracle = Dht::build(n, |o, cands| {
-        m.nearest_among(o, cands.iter()).map(|(x, _)| x)
-    });
+    let pns_oracle = Dht::build(n, |o, cands| m.nearest_among(o, cands.iter()).map(|(x, _)| x));
     evaluate("PNS: oracle (measured delays)", m, &pns_oracle, &keys);
 
     println!(

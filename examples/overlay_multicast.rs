@@ -58,14 +58,14 @@ fn build_tree(
     let mut parent: Vec<Option<NodeId>> = vec![None; n];
     let mut children = vec![0usize; n];
     let mut joined: Vec<NodeId> = vec![0];
-    for node in 1..n {
+    for (node, slot) in parent.iter_mut().enumerate().skip(1) {
         let eligible: Vec<NodeId> =
             joined.iter().copied().filter(|&j| children[j] < fanout).collect();
         let choice = select(node, &eligible)
             .filter(|&p| eligible.contains(&p))
             .or_else(|| eligible.first().copied())
             .expect("root always eligible");
-        parent[node] = Some(choice);
+        *slot = Some(choice);
         children[choice] += 1;
         joined.push(node);
     }
@@ -103,17 +103,13 @@ fn main() {
     let mut net = Network::new(m, JitterModel::None, 11);
     sys.run_rounds(&mut net, 200);
     let emb = sys.embedding();
-    let vivaldi_tree = build_tree(m, fanout, |node, eligible| {
-        emb.select_nearest(node, eligible)
-    });
+    let vivaldi_tree = build_tree(m, fanout, |node, eligible| emb.select_nearest(node, eligible));
     summarize("Vivaldi parent", m, &vivaldi_tree);
 
     // 3. Dynamic-neighbor Vivaldi parents (TIV-aware embedding).
     let records = dynvivaldi::run(m, &DynVivaldiConfig::default(), 5, 11);
     let aware = &records.last().unwrap().embedding;
-    let aware_tree = build_tree(m, fanout, |node, eligible| {
-        aware.select_nearest(node, eligible)
-    });
+    let aware_tree = build_tree(m, fanout, |node, eligible| aware.select_nearest(node, eligible));
     summarize("dyn-neighbor Vivaldi parent", m, &aware_tree);
 
     // 4. Oracle parents (true measured delays) as the lower bound.

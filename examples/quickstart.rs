@@ -49,8 +49,7 @@ fn main() {
     let alert = TivAlert::new(0.6);
     let mut alarmed = 0usize;
     let mut alarmed_bad = 0usize;
-    let worst: std::collections::HashSet<_> =
-        severity.worst_edges(m, 0.20).into_iter().collect();
+    let worst: std::collections::HashSet<_> = severity.worst_edges(m, 0.20).into_iter().collect();
     for (i, j, _) in m.edges() {
         if alert.check(&emb, m, i, j) == Some(true) {
             alarmed += 1;

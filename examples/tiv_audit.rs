@@ -50,10 +50,7 @@ fn main() {
 
     // Severity (Section 2.1).
     let sev = Severity::compute(&m, 0);
-    println!(
-        "violating triangles: {:.2}%",
-        sev.violating_triangle_fraction() * 100.0
-    );
+    println!("violating triangles: {:.2}%", sev.violating_triangle_fraction() * 100.0);
     let cdf = sev.cdf(&m);
     println!(
         "edge severity: median {:.4}  p90 {:.4}  p99 {:.3}  max {:.2}",
@@ -94,10 +91,8 @@ fn main() {
 
     // Shortest-path inflation (Figure 8).
     let sp = ShortestPaths::compute(&m, 0);
-    let mut worst: Vec<(NodeId, NodeId, f64)> = sp
-        .inflation_ratios(&m)
-        .map(|(i, j, d, s)| (i, j, d / s))
-        .collect();
+    let mut worst: Vec<(NodeId, NodeId, f64)> =
+        sp.inflation_ratios(&m).map(|(i, j, d, s)| (i, j, d / s)).collect();
     worst.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap());
     println!("\nmost routing-inflated edges (direct/shortest):");
     for &(i, j, r) in worst.iter().take(5) {
