@@ -1,0 +1,166 @@
+//! Serial-versus-parallel scaling of the ported O(n³) kernels.
+//!
+//! Each group runs one kernel at worker counts 1/2/4/8 on a fixed
+//! input, so the `/1` row is the serial baseline and the others show
+//! the multi-core speedup (on a multi-core machine; on a single core
+//! they collapse to the baseline plus scheduling noise). All kernels
+//! are bit-identical across thread counts — the equivalence is
+//! enforced by `tivoid`'s `parallel_equivalence` property test, and
+//! spot-checked here so a bench run can't silently report speedups of
+//! a divergent kernel.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use delayspace::apsp::ShortestPaths;
+use ides::Mat;
+use std::hint::black_box;
+use tivbench::{ds2, embed, SEED};
+use tivcore::accuracy_recall_sweep_threaded;
+use tivcore::severity::{estimate_severity_batch, Severity};
+
+/// Worker counts swept by every group.
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn bench_severity_scale(c: &mut Criterion) {
+    let m = ds2(400);
+    let mut g = c.benchmark_group("scale/severity_400");
+    g.sample_size(10);
+    let serial = Severity::compute(&m, 1);
+    for &t in &THREADS {
+        let sev = Severity::compute(&m, t);
+        for i in 0..m.len() {
+            for j in 0..m.len() {
+                assert_eq!(
+                    sev.severity(i, j).map(f64::to_bits),
+                    serial.severity(i, j).map(f64::to_bits),
+                    "severity({i},{j}) diverged at {t} threads"
+                );
+            }
+        }
+        g.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, &t| {
+            b.iter(|| black_box(Severity::compute(&m, t)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_apsp_scale(c: &mut Criterion) {
+    let m = ds2(400);
+    let mut g = c.benchmark_group("scale/apsp_400");
+    g.sample_size(10);
+    let serial = ShortestPaths::compute(&m, 1);
+    for &t in &THREADS {
+        let sp = ShortestPaths::compute(&m, t);
+        for i in 0..m.len() {
+            for j in 0..m.len() {
+                assert_eq!(
+                    sp.get(i, j).to_bits(),
+                    serial.get(i, j).to_bits(),
+                    "apsp({i},{j}) diverged at {t} threads"
+                );
+            }
+        }
+        g.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, &t| {
+            b.iter(|| black_box(ShortestPaths::compute(&m, t)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_sweep_scale(c: &mut Criterion) {
+    let m = ds2(300);
+    let emb = embed(&m, 60);
+    let sev = Severity::compute(&m, 0);
+    let thresholds: Vec<f64> = (0..=40).map(|i| i as f64 * 0.025).collect();
+    let mut g = c.benchmark_group("scale/alert_sweep_300");
+    g.sample_size(10);
+    for &t in &THREADS {
+        g.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, &t| {
+            b.iter(|| {
+                black_box(accuracy_recall_sweep_threaded(&emb, &m, &sev, 0.2, &thresholds, t))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_estimator_batch_scale(c: &mut Criterion) {
+    let m = ds2(400);
+    let edges: Vec<_> = m.edges().map(|(i, j, _)| (i, j)).take(5_000).collect();
+    let mut g = c.benchmark_group("scale/estimate_batch_5000");
+    g.sample_size(10);
+    for &t in &THREADS {
+        g.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, &t| {
+            b.iter(|| black_box(estimate_severity_batch(&m, &edges, 64, SEED, t)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_nmf_scale(c: &mut Criterion) {
+    // NMF over an imputed 200-node delay matrix; 8 update rounds keep
+    // the bench in the hundreds-of-milliseconds range.
+    let m = ds2(200);
+    let a = Mat::from_fn(m.len(), m.len(), |r, c| m.get(r, c).unwrap_or(0.0));
+    let mut g = c.benchmark_group("scale/nmf_200_rank8");
+    g.sample_size(10);
+    for &t in &THREADS {
+        g.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, &t| {
+            b.iter(|| black_box(ides::factorize_threaded(&a, 8, 8, SEED, t)));
+        });
+    }
+    g.finish();
+}
+
+/// Prints a direct serial-vs-4-thread speedup summary for the two
+/// headline kernels (the ISSUE-2 acceptance numbers), independent of
+/// the harness' sample formatting.
+fn speedup_summary(_c: &mut Criterion) {
+    let m = ds2(400);
+    let time = |f: &dyn Fn()| {
+        f(); // warm
+        let reps = 3;
+        let start = std::time::Instant::now();
+        for _ in 0..reps {
+            f();
+        }
+        start.elapsed().as_secs_f64() / reps as f64
+    };
+    let sev1 = time(&|| {
+        black_box(Severity::compute(&m, 1));
+    });
+    let sev4 = time(&|| {
+        black_box(Severity::compute(&m, 4));
+    });
+    let sp1 = time(&|| {
+        black_box(ShortestPaths::compute(&m, 1));
+    });
+    let sp4 = time(&|| {
+        black_box(ShortestPaths::compute(&m, 4));
+    });
+    let cores = std::thread::available_parallelism().map_or(1, |v| v.get());
+    println!(
+        "speedup (400-node DS2, 4 threads vs serial, {cores} cores available): \
+         severity {:.2}x ({:.0} ms -> {:.0} ms), apsp {:.2}x ({:.0} ms -> {:.0} ms)",
+        sev1 / sev4,
+        sev1 * 1e3,
+        sev4 * 1e3,
+        sp1 / sp4,
+        sp1 * 1e3,
+        sp4 * 1e3,
+    );
+}
+
+fn bench_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = bench_config();
+    targets = bench_severity_scale, bench_apsp_scale, bench_sweep_scale,
+        bench_estimator_batch_scale, bench_nmf_scale, speedup_summary
+}
+criterion_main!(benches);

@@ -6,7 +6,7 @@
 //! scaling curves (severity is O(n³), APSP O(n³), queries O(k·hops)).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 use delayspace::matrix::DelayMatrix;
 use delayspace::synth::{Dataset, InternetDelaySpace};

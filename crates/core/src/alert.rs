@@ -81,13 +81,30 @@ pub struct AlertQuality {
 
 /// Sweeps alert thresholds against a ground-truth "worst `worst_frac`"
 /// severity set, producing the accuracy and recall curves of Figures 20
-/// and 21.
+/// and 21. Runs with automatic parallelism — equivalent to
+/// [`accuracy_recall_sweep_threaded`] with `threads == 0`.
 pub fn accuracy_recall_sweep(
     emb: &Embedding,
     m: &DelayMatrix,
     sev: &Severity,
     worst_frac: f64,
     thresholds: &[f64],
+) -> Vec<AlertQuality> {
+    accuracy_recall_sweep_threaded(emb, m, sev, worst_frac, thresholds, 0)
+}
+
+/// The sweep behind Figures 20–21 with an explicit worker count
+/// ([`tivpar::resolve_threads`] semantics). The worst-set and the
+/// per-edge prediction ratios are computed once; each threshold is then
+/// scored independently, fanned out over up to `threads` workers. The
+/// output is bit-identical at every thread count.
+pub fn accuracy_recall_sweep_threaded(
+    emb: &Embedding,
+    m: &DelayMatrix,
+    sev: &Severity,
+    worst_frac: f64,
+    thresholds: &[f64],
+    threads: usize,
 ) -> Vec<AlertQuality> {
     let worst: HashSet<(NodeId, NodeId)> = sev.worst_edges(m, worst_frac).into_iter().collect();
     // Prediction ratio per measured edge, computed once.
@@ -98,29 +115,27 @@ pub fn accuracy_recall_sweep(
         .collect();
     let total_edges = ratios.len().max(1);
 
-    thresholds
-        .iter()
-        .map(|&t| {
-            let alert = TivAlert::new(t);
-            let mut alerted = 0usize;
-            let mut hits = 0usize;
-            for &(i, j, r) in &ratios {
-                if alert.is_alert(r) {
-                    alerted += 1;
-                    if worst.contains(&(i, j)) {
-                        hits += 1;
-                    }
+    tivpar::par_map_rows(thresholds.len(), threads, |ti| {
+        let t = thresholds[ti];
+        let alert = TivAlert::new(t);
+        let mut alerted = 0usize;
+        let mut hits = 0usize;
+        for &(i, j, r) in &ratios {
+            if alert.is_alert(r) {
+                alerted += 1;
+                if worst.contains(&(i, j)) {
+                    hits += 1;
                 }
             }
-            AlertQuality {
-                threshold: t,
-                worst_frac,
-                accuracy: if alerted > 0 { hits as f64 / alerted as f64 } else { 1.0 },
-                recall: if worst.is_empty() { 1.0 } else { hits as f64 / worst.len() as f64 },
-                alerted_frac: alerted as f64 / total_edges as f64,
-            }
-        })
-        .collect()
+        }
+        AlertQuality {
+            threshold: t,
+            worst_frac,
+            accuracy: if alerted > 0 { hits as f64 / alerted as f64 } else { 1.0 },
+            recall: if worst.is_empty() { 1.0 } else { hits as f64 / worst.len() as f64 },
+            alerted_frac: alerted as f64 / total_edges as f64,
+        }
+    })
 }
 
 #[cfg(test)]
@@ -217,6 +232,25 @@ mod tests {
             "tight accuracy {} too low to be a usable alert",
             tight.accuracy
         );
+    }
+
+    #[test]
+    fn threaded_sweep_is_bit_identical_to_serial() {
+        let s = InternetDelaySpace::preset(Dataset::Ds2).with_nodes(120).build(17);
+        let m = s.matrix();
+        let emb = embed(m, 17);
+        let sev = Severity::compute(m, 0);
+        let ts: Vec<f64> = (0..=20).map(|i| i as f64 * 0.05).collect();
+        let serial = accuracy_recall_sweep_threaded(&emb, m, &sev, 0.1, &ts, 1);
+        for threads in [2usize, 4, 7] {
+            let par = accuracy_recall_sweep_threaded(&emb, m, &sev, 0.1, &ts, threads);
+            assert_eq!(par.len(), serial.len());
+            for (p, s) in par.iter().zip(&serial) {
+                assert_eq!(p.accuracy.to_bits(), s.accuracy.to_bits());
+                assert_eq!(p.recall.to_bits(), s.recall.to_bits());
+                assert_eq!(p.alerted_frac.to_bits(), s.alerted_frac.to_bits());
+            }
+        }
     }
 
     #[test]

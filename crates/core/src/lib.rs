@@ -30,7 +30,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod alert;
 pub mod dynvivaldi;
@@ -40,12 +40,16 @@ pub mod monitor;
 pub mod severity;
 pub mod tivmeridian;
 
-pub use alert::{accuracy_recall_sweep, ratio_severity_bins, AlertQuality, TivAlert};
+pub use alert::{
+    accuracy_recall_sweep, accuracy_recall_sweep_threaded, ratio_severity_bins, AlertQuality,
+    TivAlert,
+};
 pub use dynvivaldi::{DynVivaldiConfig, IterationRecord};
 pub use filter::EdgeMask;
 pub use metrics::{closest_neighbor_loss, relative_rank_loss, PredictorMetrics};
 pub use monitor::{MonitorConfig, TivMonitor};
 pub use severity::{
-    estimate_severity, proximity_experiment, triangulation_ratios, ProximityResult, Severity,
+    estimate_severity, estimate_severity_batch, proximity_experiment, triangulation_ratios,
+    ProximityResult, Severity,
 };
 pub use tivmeridian::{build_tiv_aware, tiv_aware_query, TivMeridianConfig};

@@ -1,7 +1,7 @@
 //! Application-oriented accuracy metrics for delay predictors.
 //!
 //! The paper's related work (Lua, Griffin, Pias, Zheng, Crowcroft —
-//! IMC 2005, its reference [13]) argues that aggregate error hides what
+//! IMC 2005, its reference \[13\]) argues that aggregate error hides what
 //! applications feel, and proposes rank-based metrics. We implement the
 //! two they introduce plus plain relative error, over any predictor
 //! function, so every system in this workspace (Vivaldi, LAT, GNP,

@@ -13,9 +13,10 @@
 //! edge causes and with their *triangulation ratios*, which is why the
 //! paper prefers it over either ingredient alone.
 //!
-//! The exact computation is O(n³); we parallelise over rows with
-//! std scoped threads and exploit NaN-propagation to skip missing
-//! entries without branches.
+//! The exact computation is O(n³); we parallelise over rows with the
+//! shared [`tivpar`] kernels layer (each output row is independent, so
+//! results are bit-identical at every thread count) and exploit
+//! NaN-propagation to skip missing entries without branches.
 
 use delayspace::matrix::{DelayMatrix, NodeId};
 use delayspace::rng;
@@ -34,38 +35,18 @@ pub struct Severity {
 
 impl Severity {
     /// Computes severity for every measured edge, using up to `threads`
-    /// workers (0 = available parallelism).
+    /// workers (0 = auto: the `TIV_THREADS` environment variable, else
+    /// available parallelism — see [`tivpar::resolve_threads`]).
+    ///
+    /// The result is bit-identical at every thread count: each output
+    /// row depends only on the input matrix.
     pub fn compute(m: &DelayMatrix, threads: usize) -> Self {
         let n = m.len();
-        let threads = if threads == 0 {
-            std::thread::available_parallelism().map_or(1, |v| v.get())
-        } else {
-            threads
-        };
         let mut sev = vec![f64::NAN; n * n];
         let mut cnt = vec![0u32; n * n];
-        if n == 0 {
-            return Severity { n, sev, cnt };
-        }
-
-        let chunk = n.div_ceil(threads.max(1)).max(1);
-        std::thread::scope(|scope| {
-            let mut sev_chunks = sev.chunks_mut(chunk * n);
-            let mut cnt_chunks = cnt.chunks_mut(chunk * n);
-            let mut start = 0usize;
-            while let (Some(srows), Some(crows)) = (sev_chunks.next(), cnt_chunks.next()) {
-                let base = start;
-                start += srows.len() / n;
-                scope.spawn(move || {
-                    for (k, (srow, crow)) in
-                        srows.chunks_mut(n).zip(crows.chunks_mut(n)).enumerate()
-                    {
-                        severity_row(m, base + k, srow, crow);
-                    }
-                });
-            }
+        tivpar::par_fill_rows2(&mut sev, &mut cnt, n, threads, |a, srow, crow| {
+            severity_row(m, a, srow, crow)
         });
-
         Severity { n, sev, cnt }
     }
 
@@ -291,6 +272,28 @@ pub fn estimate_severity(
     Some(sum / sampled as f64 * (n - 2) as f64 / n as f64)
 }
 
+/// Estimates severity for a whole batch of edges in parallel, using up
+/// to `threads` workers ([`tivpar::resolve_threads`] semantics).
+///
+/// Edge `i` of the batch is estimated exactly as
+/// `estimate_severity(m, a, c, k, seed + i)` — the per-edge seed offset
+/// decorrelates the witness samples across edges while keeping the
+/// output a pure function of `(m, edges, k, seed)`, independent of the
+/// thread count. This is the kernel a severity monitor sweeping its
+/// whole peer set runs.
+pub fn estimate_severity_batch(
+    m: &DelayMatrix,
+    edges: &[(NodeId, NodeId)],
+    k: usize,
+    seed: u64,
+    threads: usize,
+) -> Vec<Option<f64>> {
+    tivpar::par_map_rows(edges.len(), threads, |i| {
+        let (a, c) = edges[i];
+        estimate_severity(m, a, c, k, seed.wrapping_add(i as u64))
+    })
+}
+
 /// The proximity experiment of Figure 9: severity differences between
 /// each sampled edge and (a) its *nearest-pair* edge, (b) a *random-pair*
 /// edge.
@@ -509,6 +512,18 @@ mod tests {
                 (est - exact).abs() < 1e-9,
                 "full-sample estimate {est} != exact {exact} for ({a},{c})"
             );
+        }
+    }
+
+    #[test]
+    fn batch_estimate_matches_single_calls() {
+        let s = InternetDelaySpace::preset(Dataset::Ds2).with_nodes(80).build(17);
+        let m = s.matrix();
+        let edges: Vec<_> = m.edges().map(|(i, j, _)| (i, j)).take(40).collect();
+        let batch = estimate_severity_batch(m, &edges, 12, 9, 4);
+        assert_eq!(batch.len(), edges.len());
+        for (i, &(a, c)) in edges.iter().enumerate() {
+            assert_eq!(batch[i], estimate_severity(m, a, c, 12, 9 + i as u64));
         }
     }
 

@@ -5,12 +5,23 @@
 //! complete delay graph: edges whose shortest alternative path is much
 //! shorter than the direct edge are exactly the severe TIV causers.
 //!
-//! The delay graph is dense (one weighted edge per measured pair), so we
-//! run flat-array Dijkstra — O(n²) per source without a heap, which
-//! beats binary-heap Dijkstra on dense graphs — and parallelise over
-//! sources with std scoped threads.
+//! The delay graph is dense (one weighted edge per measured pair), so
+//! we run **blocked Floyd–Warshall**: intermediate nodes are processed
+//! in blocks of 64; the block's own rows are finalised serially
+//! (they depend on each other), then every other row is relaxed against
+//! the finalised block in parallel via [`tivpar`]. Each row's
+//! relaxation sequence is a pure function of the matrix and the fixed
+//! block schedule, so the distances are bit-identical at every thread
+//! count, and the barrier count drops from `n` (row-parallel
+//! Floyd–Warshall) to `n / BLOCK`.
 
 use crate::matrix::{DelayMatrix, NodeId};
+
+/// Width of a Floyd–Warshall intermediate-node block. 64 rows keep the
+/// panel (`BLOCK × n` f64s) comfortably in L2 at the workspace's matrix
+/// sizes while amortising one thread-spawn barrier over 64 relaxation
+/// rounds.
+const BLOCK: usize = 64;
 
 /// Shortest-path distances between all pairs of a delay matrix.
 #[derive(Clone, Debug)]
@@ -22,31 +33,65 @@ pub struct ShortestPaths {
 
 impl ShortestPaths {
     /// Computes all-pairs shortest paths over the measured edges of `m`,
-    /// using up to `threads` worker threads (0 = available parallelism).
+    /// using up to `threads` worker threads (0 = auto: the `TIV_THREADS`
+    /// environment variable, else available parallelism — see
+    /// [`tivpar::resolve_threads`]).
+    ///
+    /// Blocked parallel Floyd–Warshall; the result is bit-identical at
+    /// every thread count.
     pub fn compute(m: &DelayMatrix, threads: usize) -> Self {
         let n = m.len();
-        let threads = if threads == 0 {
-            std::thread::available_parallelism().map_or(1, |v| v.get())
-        } else {
-            threads
-        };
         let mut dist = vec![f64::INFINITY; n * n];
         if n == 0 {
             return ShortestPaths { n, dist };
         }
 
-        // Partition output rows into contiguous chunks, one per worker.
-        let chunk = n.div_ceil(threads.max(1)).max(1);
-        std::thread::scope(|scope| {
-            for (t, rows) in dist.chunks_mut(chunk * n).enumerate() {
-                let start = t * chunk;
-                scope.spawn(move || {
-                    for (k, row) in rows.chunks_mut(n).enumerate() {
-                        dijkstra_into(m, start + k, row);
-                    }
-                });
+        // Initialise with the direct edges (NaN = missing stays INF).
+        for (i, drow) in dist.chunks_mut(n).enumerate() {
+            for (d, &w) in drow.iter_mut().zip(m.row(i)) {
+                if !w.is_nan() {
+                    *d = w;
+                }
             }
-        });
+            drow[i] = 0.0;
+        }
+
+        let mut krow = vec![0.0f64; n];
+        let mut panel = vec![0.0f64; BLOCK.min(n) * n];
+        for k0 in (0..n).step_by(BLOCK) {
+            let k1 = (k0 + BLOCK).min(n);
+
+            // Phase 1 (serial): finalise the block's own rows against
+            // every k inside the block. In-place Floyd–Warshall order —
+            // row k is already final for step k when later rows read it.
+            for k in k0..k1 {
+                krow.copy_from_slice(&dist[k * n..(k + 1) * n]);
+                for row in dist[k0 * n..k1 * n].chunks_mut(n) {
+                    let dik = row[k];
+                    if dik.is_finite() {
+                        relax_row(row, dik, &krow);
+                    }
+                }
+            }
+
+            // Phase 2 (parallel): relax every other row against the now
+            // final panel. Rows are independent, so tivpar's contiguous
+            // row chunking keeps the output deterministic.
+            let panel = &mut panel[..(k1 - k0) * n];
+            panel.copy_from_slice(&dist[k0 * n..k1 * n]);
+            let panel = &panel[..];
+            tivpar::par_fill_rows(&mut dist, n, threads, |i, row| {
+                if (k0..k1).contains(&i) {
+                    return; // already final from phase 1
+                }
+                for (kk, krow) in panel.chunks(n).enumerate() {
+                    let dik = row[k0 + kk];
+                    if dik.is_finite() {
+                        relax_row(row, dik, krow);
+                    }
+                }
+            });
+        }
 
         ShortestPaths { n, dist }
     }
@@ -82,34 +127,16 @@ impl ShortestPaths {
     }
 }
 
-/// Dense Dijkstra from `src`, writing distances into `out` (length n).
-fn dijkstra_into(m: &DelayMatrix, src: NodeId, out: &mut [f64]) {
-    let n = m.len();
-    debug_assert_eq!(out.len(), n);
-    out.fill(f64::INFINITY);
-    out[src] = 0.0;
-    let mut done = vec![false; n];
-    for _ in 0..n {
-        // Closest unfinished node.
-        let mut u = usize::MAX;
-        let mut best = f64::INFINITY;
-        for (v, &dv) in out.iter().enumerate() {
-            if !done[v] && dv < best {
-                best = dv;
-                u = v;
-            }
-        }
-        if u == usize::MAX {
-            break; // the rest is unreachable
-        }
-        done[u] = true;
-        let row = m.row(u);
-        for (v, &w) in row.iter().enumerate() {
-            // NaN (missing) fails the comparison and is skipped for free.
-            let cand = best + w;
-            if cand < out[v] {
-                out[v] = cand;
-            }
+/// Relaxes one distance row against intermediate node `k`:
+/// `row[j] = min(row[j], d(i,k) + krow[j])`. `dik` is `row[k]` read
+/// once up front — the only entry of `row` the loop could feed back is
+/// `row[k]` itself, and `dik + krow[k] == dik` is never an improvement.
+#[inline]
+fn relax_row(row: &mut [f64], dik: f64, krow: &[f64]) {
+    for (rj, &kj) in row.iter_mut().zip(krow) {
+        let cand = dik + kj;
+        if cand < *rj {
+            *rj = cand;
         }
     }
 }
@@ -117,6 +144,36 @@ fn dijkstra_into(m: &DelayMatrix, src: NodeId, out: &mut [f64]) {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Reference implementation: dense Dijkstra from `src` (the kernel
+    /// the blocked Floyd–Warshall replaced), for cross-validation.
+    fn dijkstra_into(m: &DelayMatrix, src: NodeId, out: &mut [f64]) {
+        let n = m.len();
+        out.fill(f64::INFINITY);
+        out[src] = 0.0;
+        let mut done = vec![false; n];
+        for _ in 0..n {
+            let mut u = usize::MAX;
+            let mut best = f64::INFINITY;
+            for (v, &dv) in out.iter().enumerate() {
+                if !done[v] && dv < best {
+                    best = dv;
+                    u = v;
+                }
+            }
+            if u == usize::MAX {
+                break; // the rest is unreachable
+            }
+            done[u] = true;
+            for (v, &w) in m.row(u).iter().enumerate() {
+                // NaN (missing) fails the comparison, skipped for free.
+                let cand = best + w;
+                if cand < out[v] {
+                    out[v] = cand;
+                }
+            }
+        }
+    }
 
     #[test]
     fn line_graph_distances() {
@@ -151,12 +208,37 @@ mod tests {
 
     #[test]
     fn parallel_matches_serial() {
-        let m = DelayMatrix::from_complete_fn(40, |i, j| ((i * 31 + j * 17) % 90 + 1) as f64);
+        // 150 nodes spans multiple 64-wide blocks, including a ragged
+        // final one.
+        let m = DelayMatrix::from_complete_fn(150, |i, j| ((i * 31 + j * 17) % 90 + 1) as f64);
         let a = ShortestPaths::compute(&m, 1);
-        let b = ShortestPaths::compute(&m, 4);
-        for i in 0..40 {
-            for j in 0..40 {
-                assert_eq!(a.get(i, j), b.get(i, j));
+        for t in [2usize, 4, 7] {
+            let b = ShortestPaths::compute(&m, t);
+            for i in 0..150 {
+                for j in 0..150 {
+                    assert_eq!(a.get(i, j).to_bits(), b.get(i, j).to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn floyd_warshall_matches_dijkstra() {
+        // Multi-block matrix with missing entries: the blocked kernel
+        // must agree with per-source Dijkstra on every pair.
+        let m = DelayMatrix::from_fn(130, |i, j| {
+            ((i * 7 + j * 13) % 11 != 0).then(|| ((i * 29 + j * 41) % 120 + 1) as f64)
+        });
+        let sp = ShortestPaths::compute(&m, 3);
+        let mut ref_row = vec![0.0f64; m.len()];
+        for src in 0..m.len() {
+            dijkstra_into(&m, src, &mut ref_row);
+            for (j, &want) in ref_row.iter().enumerate() {
+                let got = sp.get(src, j);
+                assert!(
+                    (got - want).abs() <= 1e-9 * want.max(1.0) || (got == want),
+                    "sp({src},{j}) = {got}, dijkstra = {want}"
+                );
             }
         }
     }

@@ -2,7 +2,7 @@
 //!
 //! Section 2.2 of the paper classifies nodes into "major clusters that
 //! correspond to major continents" using the clustering method of the
-//! DS² paper [35], then shows (Figure 3) that intra-cluster edges cause
+//! DS² paper \[35\], then shows (Figure 3) that intra-cluster edges cause
 //! fewer/milder TIVs than cross-cluster edges.
 //!
 //! We implement a medoid-seeded threshold clustering in the same spirit:

@@ -41,10 +41,10 @@ impl Cdf {
         idx as f64 / self.sorted.len() as f64
     }
 
-    /// The q-quantile (q in [0,1]) by the nearest-rank method.
+    /// The q-quantile (q in \[0,1\]) by the nearest-rank method.
     ///
     /// # Panics
-    /// Panics on an empty CDF or q outside [0,1].
+    /// Panics on an empty CDF or q outside \[0,1\].
     pub fn quantile(&self, q: f64) -> f64 {
         assert!(!self.sorted.is_empty(), "quantile of empty CDF");
         assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0,1]");

@@ -4,7 +4,7 @@
 //! 2500, p2psim 1740, PlanetLab 229). Those matrices are not
 //! redistributable, so this module synthesises delay spaces that
 //! reproduce the *mechanism* behind the measured TIV structure, as
-//! identified by the paper and by Zheng et al. [39]: interdomain routing
+//! identified by the paper and by Zheng et al. \[39\]: interdomain routing
 //! policy inflates the direct path between some node pairs while two-hop
 //! detours through well-connected nodes stay short.
 //!
@@ -164,7 +164,7 @@ impl SynthConfig {
     ///
     /// # Panics
     /// Panics if the configuration is structurally invalid (no clusters,
-    /// nonpositive n, fractions outside [0,1]).
+    /// nonpositive n, fractions outside \[0,1\]).
     pub fn build(self, seed: u64) -> InternetDelaySpace {
         InternetDelaySpace::generate(self, seed)
     }

@@ -1,7 +1,7 @@
 //! `repro` — regenerate the paper's figures.
 //!
 //! ```text
-//! repro <figN | all> [--full] [--seed S] [--out DIR]
+//! repro <figN | all> [--full] [--seed S] [--out DIR] [--threads N]
 //! ```
 //!
 //! * `figN` — one experiment id (fig1 … fig25), or `all`.
@@ -11,6 +11,11 @@
 //! * `--out DIR` — write `figN.csv` (and side artifacts such as the
 //!   Figure 3 PGM) into DIR; otherwise only the console summary is
 //!   printed.
+//! * `--threads N` — fan experiments out over N workers (default 0 =
+//!   auto: the `TIV_THREADS` environment variable, else the machine's
+//!   available parallelism). Results are identical at any thread
+//!   count; `--threads 1` keeps the classic serial loop with one
+//!   shared artifact cache.
 
 use experiments::lab::Lab;
 use experiments::scale::ExperimentScale;
@@ -24,6 +29,7 @@ struct Args {
     seed: u64,
     out: Option<PathBuf>,
     report: Option<PathBuf>,
+    threads: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -32,6 +38,7 @@ fn parse_args() -> Result<Args, String> {
     let mut seed = 42u64;
     let mut out = None;
     let mut report = None;
+    let mut threads = 0usize;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         match arg.as_str() {
@@ -40,6 +47,10 @@ fn parse_args() -> Result<Args, String> {
             "--seed" => {
                 let v = argv.next().ok_or("--seed needs a value")?;
                 seed = v.parse().map_err(|e| format!("bad seed: {e}"))?;
+            }
+            "--threads" => {
+                let v = argv.next().ok_or("--threads needs a value")?;
+                threads = v.parse().map_err(|e| format!("bad thread count: {e}"))?;
             }
             "--out" => {
                 let v = argv.next().ok_or("--out needs a directory")?;
@@ -58,14 +69,45 @@ fn parse_args() -> Result<Args, String> {
     if ids.is_empty() && report.is_none() {
         return Err(format!(
             "usage: repro <figN | all | ablations> [--full] [--seed S] [--out DIR] \
-             [--report FILE]\n\
+             [--report FILE] [--threads N]\n\
              figures: {}\n\
              ablations: {}",
             suite::ALL_IDS.join(" "),
             suite::ABLATION_IDS.join(" ")
         ));
     }
-    Ok(Args { ids, scale, seed, out, report })
+    Ok(Args { ids, scale, seed, out, report, threads })
+}
+
+/// Prints one experiment outcome and writes its artifacts.
+fn emit(
+    id: &str,
+    output: Option<experiments::suite::ExperimentOutput>,
+    seconds: f64,
+    args: &Args,
+    failed: &mut bool,
+) {
+    let Some(out) = output else {
+        eprintln!("unknown experiment id: {id}");
+        *failed = true;
+        return;
+    };
+    print!("{}", out.figure.summary());
+    println!("    ({seconds:.1}s)");
+    if let Some(dir) = &args.out {
+        let csv = dir.join(format!("{id}.csv"));
+        if let Err(e) = std::fs::write(&csv, out.figure.to_csv()) {
+            eprintln!("cannot write {}: {e}", csv.display());
+            *failed = true;
+        }
+        for (ext, contents) in &out.artifacts {
+            let path = dir.join(format!("{id}.{ext}"));
+            if let Err(e) = std::fs::write(&path, contents) {
+                eprintln!("cannot write {}: {e}", path.display());
+                *failed = true;
+            }
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -82,33 +124,35 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
-    let mut lab = Lab::new(args.scale, args.seed);
+    let workers = tivpar::resolve_threads(args.threads).min(args.ids.len().max(1));
+    // The full budget flows into this lab's kernels (serial path and
+    // --report); the fan-out path hands the unclamped budget to
+    // run_many, which splits it between workers and their kernels.
+    let mut lab = Lab::with_threads(args.scale, args.seed, args.threads);
     let mut failed = false;
-    for id in &args.ids {
-        let started = std::time::Instant::now();
-        let Some(out) = suite::run(id, &mut lab) else {
-            eprintln!("unknown experiment id: {id}");
-            failed = true;
-            continue;
-        };
-        print!("{}", out.figure.summary());
-        println!("    ({:.1}s)", started.elapsed().as_secs_f64());
-        if let Some(dir) = &args.out {
-            let csv = dir.join(format!("{id}.csv"));
-            if let Err(e) = std::fs::write(&csv, out.figure.to_csv()) {
-                eprintln!("cannot write {}: {e}", csv.display());
-                failed = true;
-            }
-            for (ext, contents) in &out.artifacts {
-                let path = dir.join(format!("{id}.{ext}"));
-                if let Err(e) = std::fs::write(&path, contents) {
-                    eprintln!("cannot write {}: {e}", path.display());
-                    failed = true;
-                }
-            }
+    if workers > 1 {
+        // Fan out; outcomes (and prints) arrive in input order once the
+        // batch completes.
+        println!("running {} experiments on {workers} workers", args.ids.len());
+        for outcome in suite::run_many(&args.ids, args.scale, args.seed, args.threads) {
+            emit(&outcome.id, outcome.output, outcome.seconds, &args, &mut failed);
+        }
+    } else {
+        // Serial: stream each figure as it finishes, sharing one
+        // artifact cache that --report below can reuse.
+        for id in &args.ids {
+            let started = std::time::Instant::now();
+            let output = suite::run(id, &mut lab);
+            emit(id, output, started.elapsed().as_secs_f64(), &args, &mut failed);
         }
     }
     if let Some(path) = &args.report {
+        // The fan-out workers own their labs, so a parallel run leaves
+        // this shared cache cold and the report recomputes what it
+        // needs; say so rather than looking hung.
+        if workers > 1 && !args.ids.is_empty() {
+            println!("generating report (fresh artifact cache; --threads 1 would reuse the run's)");
+        }
         let report = experiments::report::generate(&mut lab);
         if let Err(e) = std::fs::write(path, report) {
             eprintln!("cannot write {}: {e}", path.display());

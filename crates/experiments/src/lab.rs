@@ -17,17 +17,32 @@ use vivaldi::{Embedding, VivaldiConfig, VivaldiSystem};
 pub struct Lab {
     scale: ExperimentScale,
     seed: u64,
+    threads: usize,
     spaces: HashMap<Dataset, Arc<InternetDelaySpace>>,
     severities: HashMap<Dataset, Arc<Severity>>,
     embeddings: HashMap<Dataset, Arc<Embedding>>,
 }
 
 impl Lab {
-    /// A lab at the given scale and master seed.
+    /// A lab at the given scale and master seed, with automatic kernel
+    /// parallelism ([`Lab::with_threads`] with `threads == 0`).
     pub fn new(scale: ExperimentScale, seed: u64) -> Self {
+        Lab::with_threads(scale, seed, 0)
+    }
+
+    /// A lab whose O(n³) kernels (severity, APSP, alert sweeps) run on
+    /// up to `threads` workers ([`tivpar::resolve_threads`] semantics).
+    ///
+    /// When several labs run concurrently — `suite::run_many` gives
+    /// each fan-out worker its own — pass each a slice of the machine
+    /// rather than letting every kernel auto-resolve to all cores and
+    /// oversubscribe multiplicatively. The thread budget never changes
+    /// results, only wall-clock.
+    pub fn with_threads(scale: ExperimentScale, seed: u64, threads: usize) -> Self {
         Lab {
             scale,
             seed,
+            threads,
             spaces: HashMap::new(),
             severities: HashMap::new(),
             embeddings: HashMap::new(),
@@ -37,6 +52,12 @@ impl Lab {
     /// The experiment scale.
     pub fn scale(&self) -> ExperimentScale {
         self.scale
+    }
+
+    /// The worker budget for this lab's compute kernels (0 = auto).
+    /// Figure code should pass this to any kernel it invokes directly.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// The master seed.
@@ -65,7 +86,7 @@ impl Lab {
             return s.clone();
         }
         let space = self.space(ds);
-        let sev = Arc::new(Severity::compute(space.matrix(), 0));
+        let sev = Arc::new(Severity::compute(space.matrix(), self.threads));
         self.severities.insert(ds, sev.clone());
         sev
     }

@@ -13,6 +13,17 @@
 //! | [`sec4`] | §4 strawman solutions | 15–18 |
 //! | [`sec5`] | §5 TIV alert mechanism | 19–25 |
 //!
+//! Supporting modules: [`lab`] caches the expensive per-dataset
+//! artifacts (space, severity, embedding) behind every figure;
+//! [`scale`] sizes every experiment (`Tiny`/`Small`/`Paper`);
+//! [`figure`] is the series/CSV output type; [`report`] renders the
+//! headline-number comparison; [`penalty`] and [`ablations`] hold the
+//! shared penalty metrics and the beyond-the-paper sweeps.
+//!
+//! Batches fan out over worker threads with [`suite::run_many`] (the
+//! `repro` binary's `--threads` flag); every figure is a pure function
+//! of `(scale, seed)`, so fan-out never changes a result.
+//!
 //! ```
 //! use experiments::lab::Lab;
 //! use experiments::scale::ExperimentScale;
@@ -23,7 +34,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod ablations;
 pub mod figure;

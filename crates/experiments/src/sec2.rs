@@ -188,7 +188,7 @@ pub fn fig8(lab: &mut Lab) -> Figure {
     );
 
     // Bottom panel: shortest-path length of each edge, by edge delay.
-    let sp = ShortestPaths::compute(m, 0);
+    let sp = ShortestPaths::compute(m, lab.threads());
     let sp_bins = BinnedStats::build(sp.inflation_ratios(m).map(|(_, _, d, s)| (d, s)), bw, 1000.0);
     let sp_series = Series::from_binned("shortest path length (ms)", &sp_bins);
 

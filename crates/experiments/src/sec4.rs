@@ -33,7 +33,7 @@ pub fn vivaldi_baseline(lab: &mut Lab) -> Cdf {
 /// Figure 15: IDES versus original Vivaldi.
 ///
 /// IDES is fit in its deployable landmark configuration (20 landmarks
-/// in [16]; we scale with the candidate count) — the full-matrix
+/// in \[16\]; we scale with the candidate count) — the full-matrix
 /// factorization would be an oracle no system can run.
 pub fn fig15(lab: &mut Lab) -> Figure {
     let space = lab.space(Dataset::Ds2);

@@ -8,7 +8,7 @@ use crate::scale::ExperimentScale;
 use delayspace::stats::Cdf;
 use delayspace::synth::Dataset;
 use meridian::{closest_neighbor, BuildOptions, MeridianConfig, MeridianOverlay, Termination};
-use tivcore::alert::{accuracy_recall_sweep, ratio_severity_bins};
+use tivcore::alert::{accuracy_recall_sweep_threaded, ratio_severity_bins};
 use tivcore::dynvivaldi::{self, DynVivaldiConfig, IterationRecord};
 use tivcore::tivmeridian::{build_tiv_aware, tiv_aware_query, TivMeridianConfig};
 use vivaldi::VivaldiConfig;
@@ -59,7 +59,7 @@ pub fn fig20_21(lab: &mut Lab) -> (Figure, Figure) {
         "recall",
     );
     for worst in [0.01, 0.05, 0.10, 0.20] {
-        let sweep = accuracy_recall_sweep(&emb, m, &sev, worst, &ts);
+        let sweep = accuracy_recall_sweep_threaded(&emb, m, &sev, worst, &ts, lab.threads());
         let label = format!("worst {:.0}%", worst * 100.0);
         acc.series.push(Series::new(
             label.clone(),

@@ -2,6 +2,7 @@
 
 use crate::figure::Figure;
 use crate::lab::Lab;
+use crate::scale::ExperimentScale;
 use crate::{sec2, sec3, sec4, sec5};
 use delayspace::synth::Dataset;
 
@@ -71,6 +72,53 @@ pub fn run(id: &str, lab: &mut Lab) -> Option<ExperimentOutput> {
     Some(out)
 }
 
+/// The outcome of one experiment inside a [`run_many`] fan-out.
+pub struct RunOutcome {
+    /// The experiment id that was requested.
+    pub id: String,
+    /// The experiment output; `None` for unknown ids.
+    pub output: Option<ExperimentOutput>,
+    /// Wall-clock seconds this experiment took inside its worker.
+    pub seconds: f64,
+}
+
+/// Runs a batch of experiments fanned out over up to `threads` workers
+/// ([`tivpar::resolve_threads`] semantics), returning outcomes in input
+/// order.
+///
+/// The batch is split into contiguous chunks, one per worker; each
+/// worker owns a private [`Lab`] so the expensive per-dataset artifacts
+/// (delay space, severity matrix, embedding) are still shared by every
+/// experiment in its chunk. Every figure is a pure function of
+/// `(scale, seed)`, so the results are identical to a serial
+/// `suite::run` loop at any thread count — only the wall-clock changes.
+///
+/// The resolved thread budget is *divided*, not stacked: with `w`
+/// fan-out workers, each worker's lab gets a `budget / w` kernel
+/// allowance, so `run_many` never oversubscribes the machine by
+/// multiplying experiment-level and kernel-level parallelism.
+pub fn run_many(
+    ids: &[String],
+    scale: ExperimentScale,
+    seed: u64,
+    threads: usize,
+) -> Vec<RunOutcome> {
+    let budget = tivpar::resolve_threads(threads);
+    let workers = budget.min(ids.len().max(1));
+    let inner = (budget / workers.max(1)).max(1);
+    tivpar::par_map_chunks(ids.len(), workers, |range| {
+        let mut lab = Lab::with_threads(scale, seed, inner);
+        ids[range]
+            .iter()
+            .map(|id| {
+                let started = std::time::Instant::now();
+                let output = run(id, &mut lab);
+                RunOutcome { id: id.clone(), output, seconds: started.elapsed().as_secs_f64() }
+            })
+            .collect()
+    })
+}
+
 /// Ablation experiment ids (DESIGN.md §5), runnable like figure ids.
 pub const ABLATION_IDS: [&str; 5] = [
     "ablation-filter",
@@ -109,6 +157,24 @@ mod tests {
             let out = run(id, &mut lab).unwrap();
             assert_eq!(out.figure.id, id);
             assert!(!out.figure.series.is_empty());
+        }
+    }
+
+    #[test]
+    fn run_many_matches_serial_run() {
+        let ids: Vec<String> = ["fig1", "fig12", "fig99"].iter().map(|s| s.to_string()).collect();
+        let fanned = run_many(&ids, ExperimentScale::Tiny, 3, 3);
+        assert_eq!(fanned.len(), ids.len());
+        let mut lab = Lab::new(ExperimentScale::Tiny, 3);
+        for (outcome, id) in fanned.iter().zip(&ids) {
+            assert_eq!(&outcome.id, id);
+            match (&outcome.output, run(id, &mut lab)) {
+                (Some(got), Some(want)) => {
+                    assert_eq!(got.figure.to_csv(), want.figure.to_csv(), "{id} diverged")
+                }
+                (None, None) => assert_eq!(id, "fig99"),
+                _ => panic!("fan-out and serial disagree on {id}"),
+            }
         }
     }
 }

@@ -6,10 +6,18 @@
 //! `i → j` as their inner product — a model that is not constrained by
 //! the triangle inequality and so can, in principle, represent TIVs.
 //!
-//! The factorization backends (truncated [`svd`] via power iteration
-//! with deflation, and Lee–Seung [`nmf`]) are implemented here directly
-//! on a minimal dense-matrix type ([`linalg`]); no external linear
-//! algebra crates are used.
+//! * [`linalg`] — the minimal dense-matrix type ([`Mat`]) plus the
+//!   parallel products and solvers everything else is built on; no
+//!   external linear-algebra crates are used,
+//! * [`svd`] — truncated SVD by power iteration with deflation,
+//! * [`nmf`] — non-negative factorization by Lee–Seung multiplicative
+//!   updates,
+//! * [`model`] — the [`IdesModel`] predictor over either backend,
+//!   including the deployable landmark variant the paper evaluates.
+//!
+//! The factorization inner loops run on the [`tivpar`] kernels layer
+//! (see [`nmf::factorize_threaded`] and [`svd::truncated_svd_threaded`])
+//! and are bit-identical at every thread count.
 //!
 //! ```
 //! use delayspace::synth::{Dataset, InternetDelaySpace};
@@ -22,7 +30,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod linalg;
 pub mod model;
@@ -31,5 +39,5 @@ pub mod svd;
 
 pub use linalg::Mat;
 pub use model::{Factorization, IdesModel};
-pub use nmf::Nmf;
-pub use svd::{truncated_svd, SingularTriplet};
+pub use nmf::{factorize_threaded, Nmf};
+pub use svd::{truncated_svd, truncated_svd_threaded, SingularTriplet};

@@ -4,6 +4,12 @@
 //! transposed products, outer-product deflation — so we implement them
 //! directly rather than pulling in a linear-algebra crate (DESIGN.md
 //! keeps the dependency set to the allowed list).
+//!
+//! The matrix products ([`mul`], [`t_mul`], [`mul_t`]) and the
+//! matrix–vector products parallelise over output rows (or elements)
+//! with [`tivpar`]; each output element keeps the serial loop's exact
+//! accumulation order, so every product is bit-identical at every
+//! thread count.
 
 /// A dense row-major matrix of f64.
 #[derive(Clone, Debug, PartialEq)]
@@ -64,13 +70,26 @@ impl Mat {
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
-    /// `y = self · x` (matrix–vector product).
+    /// `y = self · x` (matrix–vector product). Serial; see
+    /// [`Mat::matvec_threaded`] for the parallel form.
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
-        (0..self.rows).map(|r| self.row(r).iter().zip(x).map(|(a, b)| a * b).sum()).collect()
+        self.matvec_threaded(x, 1)
     }
 
-    /// `y = selfᵀ · x` (transposed matrix–vector product).
+    /// `y = self · x` with up to `threads` workers
+    /// ([`tivpar::resolve_threads`] semantics). Each output element is
+    /// one row dot product, so the result is bit-identical to
+    /// [`Mat::matvec`] at every thread count.
+    pub fn matvec_threaded(&self, x: &[f64], threads: usize) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
+        let threads = effective_threads(self.rows * self.cols, threads);
+        tivpar::par_map_rows(self.rows, threads, |r| {
+            self.row(r).iter().zip(x).map(|(a, b)| a * b).sum()
+        })
+    }
+
+    /// `y = selfᵀ · x` (transposed matrix–vector product). Serial; see
+    /// [`Mat::matvec_t_threaded`] for the parallel form.
     pub fn matvec_t(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.rows, "matvec_t dimension mismatch");
         let mut y = vec![0.0; self.cols];
@@ -80,6 +99,24 @@ impl Mat {
             }
         }
         y
+    }
+
+    /// `y = selfᵀ · x` with up to `threads` workers. Parallel over
+    /// output elements; `y[c]` accumulates over rows in ascending
+    /// order, exactly as [`Mat::matvec_t`] does, so the result is
+    /// bit-identical to the serial product at every thread count (at
+    /// the cost of a strided column walk per element). With one
+    /// effective worker it delegates to the cache-friendly row-sweeping
+    /// [`Mat::matvec_t`] — same accumulation order, same bits.
+    pub fn matvec_t_threaded(&self, x: &[f64], threads: usize) -> Vec<f64> {
+        let threads = effective_threads(self.rows * self.cols, threads);
+        if tivpar::resolve_threads(threads) <= 1 {
+            return self.matvec_t(x);
+        }
+        assert_eq!(x.len(), self.rows, "matvec_t dimension mismatch");
+        tivpar::par_map_rows(self.cols, threads, |c| {
+            x.iter().enumerate().map(|(r, &xr)| self.data[r * self.cols + c] * xr).sum()
+        })
     }
 
     /// Subtracts the rank-1 outer product `σ·u·vᵀ` in place (deflation).
@@ -98,6 +135,72 @@ impl Mat {
     pub fn frobenius(&self) -> f64 {
         self.data.iter().map(|a| a * a).sum::<f64>().sqrt()
     }
+}
+
+/// Products below this many multiply-adds run serially regardless of
+/// the requested worker count: thread-spawn overhead would dominate
+/// (the rank×rank Gram matrices of an NMF update are the typical
+/// case). Safe for determinism — every product here is bit-identical
+/// to its serial form, and the gate depends only on the input shapes.
+const MIN_PAR_WORK: usize = 1 << 15;
+
+/// Forces small products onto the calling thread.
+fn effective_threads(work: usize, threads: usize) -> usize {
+    if work < MIN_PAR_WORK {
+        1
+    } else {
+        threads
+    }
+}
+
+/// `AB` for A (n×k), B (k×m) → n×m, parallel over output rows with up
+/// to `threads` workers. Per output row the accumulation order matches
+/// the textbook serial triple loop, so the product is bit-identical at
+/// every thread count.
+pub fn mul(a: &Mat, b: &Mat, threads: usize) -> Mat {
+    assert_eq!(a.cols(), b.rows(), "mul dimension mismatch");
+    let threads = effective_threads(a.rows() * a.cols() * b.cols(), threads);
+    let mut out = Mat::zeros(a.rows(), b.cols());
+    tivpar::par_fill_rows(&mut out.data, a.rows, threads, |r, orow| {
+        for (i, &av) in a.row(r).iter().enumerate() {
+            for (o, &bv) in orow.iter_mut().zip(b.row(i)) {
+                *o += av * bv;
+            }
+        }
+    });
+    out
+}
+
+/// `AᵀB` for A (n×k), B (n×m) → k×m, parallel over the k output rows.
+/// Output row `i` scans all n rows of both inputs, accumulating in
+/// ascending row order — bit-identical at every thread count.
+pub fn t_mul(a: &Mat, b: &Mat, threads: usize) -> Mat {
+    assert_eq!(a.rows(), b.rows(), "t_mul dimension mismatch");
+    let threads = effective_threads(a.rows() * a.cols() * b.cols(), threads);
+    let mut out = Mat::zeros(a.cols(), b.cols());
+    tivpar::par_fill_rows(&mut out.data, a.cols, threads, |i, orow| {
+        for r in 0..a.rows() {
+            let av = a.get(r, i);
+            for (o, &bv) in orow.iter_mut().zip(b.row(r)) {
+                *o += av * bv;
+            }
+        }
+    });
+    out
+}
+
+/// `ABᵀ` for A (n×m), B (k×m) → n×k, parallel over output rows; each
+/// element is one row-dot-row product.
+pub fn mul_t(a: &Mat, b: &Mat, threads: usize) -> Mat {
+    assert_eq!(a.cols(), b.cols(), "mul_t dimension mismatch");
+    let threads = effective_threads(a.rows() * a.cols() * b.rows(), threads);
+    let mut out = Mat::zeros(a.rows(), b.rows());
+    tivpar::par_fill_rows(&mut out.data, a.rows, threads, |r, orow| {
+        for (c, o) in orow.iter_mut().enumerate() {
+            *o = dot(a.row(r), b.row(c));
+        }
+    });
+    out
 }
 
 /// Euclidean norm of a vector.
@@ -205,6 +308,45 @@ mod tests {
     #[should_panic(expected = "dimension mismatch")]
     fn matvec_checks_dims() {
         Mat::zeros(2, 3).matvec(&[1.0]);
+    }
+
+    #[test]
+    fn products_match_naive_and_are_thread_invariant() {
+        let a = Mat::from_fn(17, 5, |r, c| ((r * 3 + c * 7) % 13) as f64 - 4.0);
+        let b = Mat::from_fn(5, 11, |r, c| ((r * 5 + c * 2) % 9) as f64 * 0.25);
+        let naive = Mat::from_fn(17, 11, |r, c| (0..5).map(|i| a.get(r, i) * b.get(i, c)).sum());
+        for t in [1usize, 2, 4, 7] {
+            assert_eq!(mul(&a, &b, t), mul(&a, &b, 1));
+            assert_eq!(t_mul(&a, &a, t), t_mul(&a, &a, 1));
+            assert_eq!(mul_t(&b, &b, t), mul_t(&b, &b, 1));
+        }
+        let p = mul(&a, &b, 4);
+        for r in 0..17 {
+            for c in 0..11 {
+                assert!((p.get(r, c) - naive.get(r, c)).abs() < 1e-12);
+            }
+        }
+        // Transposed product against its definition (AᵀC needs matching
+        // row counts).
+        let c2 = Mat::from_fn(17, 11, |r, c| ((r + 3 * c) % 7) as f64 - 2.0);
+        let tp = t_mul(&a, &c2, 3);
+        for i in 0..5 {
+            for j in 0..11 {
+                let want: f64 = (0..17).map(|r| a.get(r, i) * c2.get(r, j)).sum();
+                assert!((tp.get(i, j) - want).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn threaded_matvecs_are_bit_identical_to_serial() {
+        let m = Mat::from_fn(23, 9, |r, c| 1.0 / ((r + 2 * c + 1) as f64));
+        let x: Vec<f64> = (0..9).map(|i| (i as f64).sin()).collect();
+        let y: Vec<f64> = (0..23).map(|i| (i as f64).cos()).collect();
+        for t in [2usize, 4, 7] {
+            assert_eq!(m.matvec_threaded(&x, t), m.matvec(&x));
+            assert_eq!(m.matvec_t_threaded(&y, t), m.matvec_t(&y));
+        }
     }
 
     #[test]

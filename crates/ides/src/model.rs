@@ -1,6 +1,6 @@
 //! The IDES predictor: per-node incoming/outgoing vectors.
 //!
-//! IDES (Mao & Saul [16]) drops the metric-space constraint: node `i`
+//! IDES (Mao & Saul \[16\]) drops the metric-space constraint: node `i`
 //! gets an outgoing vector `o_i` and an incoming vector `n_j`, and the
 //! predicted delay is the inner product `o_i · n_j`. Because inner
 //! products need not satisfy the triangle inequality, the model can in
@@ -72,7 +72,7 @@ impl IdesModel {
     /// `landmarks × landmarks` delay sub-matrix, then solve each
     /// ordinary node's outgoing/incoming vectors by least squares
     /// against its measured delays **to the landmarks only** (the
-    /// architecture of Mao & Saul [16]; each node needs O(landmarks)
+    /// architecture of Mao & Saul \[16\]; each node needs O(landmarks)
     /// measurements rather than the full matrix).
     ///
     /// This is the variant Section 4.2 evaluates — the full-matrix

@@ -5,8 +5,12 @@
 //! minimising the Frobenius reconstruction error. Non-negativity is a
 //! natural fit for delays (predictions can never go negative, unlike
 //! SVD's).
+//!
+//! The update loop is built on the parallel products of [`linalg`]
+//! ([`linalg::mul`], [`linalg::t_mul`], [`linalg::mul_t`]), so a fit is
+//! bit-identical at every thread count.
 
-use crate::linalg::Mat;
+use crate::linalg::{self, Mat};
 use delayspace::rng;
 use rand::Rng;
 
@@ -21,11 +25,24 @@ pub struct Nmf {
     pub residual: f64,
 }
 
-/// Runs `iters` multiplicative updates for a rank-`k` factorization.
+/// Runs `iters` multiplicative updates for a rank-`k` factorization
+/// with automatic parallelism — [`factorize_threaded`] with
+/// `threads == 0`.
 ///
 /// # Panics
 /// Panics if `a` contains negative entries or `k` is zero.
 pub fn factorize(a: &Mat, k: usize, iters: usize, seed: u64) -> Nmf {
+    factorize_threaded(a, k, iters, seed, 0)
+}
+
+/// [`factorize`] with an explicit worker count
+/// ([`tivpar::resolve_threads`] semantics). The O(n·m·k) products of
+/// every update run row-parallel; the fit is a pure function of
+/// `(a, k, iters, seed)`, bit-identical at every thread count.
+///
+/// # Panics
+/// Panics if `a` contains negative entries or `k` is zero.
+pub fn factorize_threaded(a: &Mat, k: usize, iters: usize, seed: u64, threads: usize) -> Nmf {
     assert!(k > 0, "rank must be positive");
     let (n, m) = (a.rows(), a.cols());
     for r in 0..n {
@@ -42,9 +59,9 @@ pub fn factorize(a: &Mat, k: usize, iters: usize, seed: u64) -> Nmf {
     const EPS: f64 = 1e-12;
     for _ in 0..iters {
         // H ← H ∘ (WᵀA) / (WᵀWH)
-        let wt_a = mat_t_mul(&w, a); // k×m
-        let wt_w = mat_t_mul(&w, &w); // k×k
-        let wt_w_h = mat_mul(&wt_w, &h); // k×m
+        let wt_a = linalg::t_mul(&w, a, threads); // k×m
+        let wt_w = linalg::t_mul(&w, &w, threads); // k×k
+        let wt_w_h = linalg::mul(&wt_w, &h, threads); // k×m
         for r in 0..k {
             for c in 0..m {
                 let v = h.get(r, c) * wt_a.get(r, c) / (wt_w_h.get(r, c) + EPS);
@@ -52,9 +69,9 @@ pub fn factorize(a: &Mat, k: usize, iters: usize, seed: u64) -> Nmf {
             }
         }
         // W ← W ∘ (AHᵀ) / (WHHᵀ)
-        let a_ht = mat_mul_t(a, &h); // n×k
-        let h_ht = mat_mul_t(&h, &h); // k×k
-        let w_h_ht = mat_mul(&w, &h_ht); // n×k
+        let a_ht = linalg::mul_t(a, &h, threads); // n×k
+        let h_ht = linalg::mul_t(&h, &h, threads); // k×k
+        let w_h_ht = linalg::mul(&w, &h_ht, threads); // n×k
         for r in 0..n {
             for c in 0..k {
                 let v = w.get(r, c) * a_ht.get(r, c) / (w_h_ht.get(r, c) + EPS);
@@ -63,53 +80,17 @@ pub fn factorize(a: &Mat, k: usize, iters: usize, seed: u64) -> Nmf {
         }
     }
 
-    let mut resid = 0.0;
-    for r in 0..n {
+    // Per-row partial residuals folded in row order: deterministic in
+    // the thread count (see `tivpar::par_sum_rows`).
+    let resid = tivpar::par_sum_rows(n, threads, |r| {
+        let mut row_sum = 0.0;
         for c in 0..m {
             let p: f64 = (0..k).map(|x| w.get(r, x) * h.get(x, c)).sum();
-            resid += (a.get(r, c) - p).powi(2);
+            row_sum += (a.get(r, c) - p).powi(2);
         }
-    }
+        row_sum
+    });
     Nmf { w, h, residual: resid.sqrt() }
-}
-
-/// `AᵀB` for A (n×k), B (n×m) → k×m.
-fn mat_t_mul(a: &Mat, b: &Mat) -> Mat {
-    assert_eq!(a.rows(), b.rows());
-    let mut out = Mat::zeros(a.cols(), b.cols());
-    for r in 0..a.rows() {
-        let ar = a.row(r);
-        let br = b.row(r);
-        for (i, &av) in ar.iter().enumerate() {
-            let orow = out.row_mut(i);
-            for (j, &bv) in br.iter().enumerate() {
-                orow[j] += av * bv;
-            }
-        }
-    }
-    out
-}
-
-/// `AB` for A (n×k), B (k×m) → n×m.
-fn mat_mul(a: &Mat, b: &Mat) -> Mat {
-    assert_eq!(a.cols(), b.rows());
-    let mut out = Mat::zeros(a.rows(), b.cols());
-    for r in 0..a.rows() {
-        for (i, &av) in a.row(r).iter().enumerate() {
-            let brow = b.row(i);
-            let orow = out.row_mut(r);
-            for (j, &bv) in brow.iter().enumerate() {
-                orow[j] += av * bv;
-            }
-        }
-    }
-    out
-}
-
-/// `ABᵀ` for A (n×m), B (k×m) → n×k.
-fn mat_mul_t(a: &Mat, b: &Mat) -> Mat {
-    assert_eq!(a.cols(), b.cols());
-    Mat::from_fn(a.rows(), b.rows(), |r, c| a.row(r).iter().zip(b.row(c)).map(|(x, y)| x * y).sum())
 }
 
 #[cfg(test)]
@@ -152,6 +133,18 @@ mod tests {
     fn negative_input_rejected() {
         let a = Mat::from_fn(2, 2, |r, c| if r == c { -1.0 } else { 1.0 });
         factorize(&a, 1, 10, 1);
+    }
+
+    #[test]
+    fn threaded_fit_is_bit_identical_to_serial() {
+        let a = Mat::from_fn(24, 24, |r, c| ((r * 5 + c * 11) % 17) as f64 + 0.5);
+        let serial = factorize_threaded(&a, 4, 40, 9, 1);
+        for t in [2usize, 4, 7] {
+            let par = factorize_threaded(&a, 4, 40, 9, t);
+            assert_eq!(par.w, serial.w);
+            assert_eq!(par.h, serial.h);
+            assert_eq!(par.residual.to_bits(), serial.residual.to_bits());
+        }
     }
 
     #[test]

@@ -23,25 +23,46 @@ pub struct SingularTriplet {
     pub v: Vec<f64>,
 }
 
-/// Computes the top `k` singular triplets of `a`.
+/// Computes the top `k` singular triplets of `a` with automatic
+/// parallelism — [`truncated_svd_threaded`] with `threads == 0`.
 ///
 /// `iters` power iterations per triplet (50 is plenty for the
 /// well-separated spectra of delay matrices). Stops early when the
 /// residual matrix is numerically zero.
 pub fn truncated_svd(a: &Mat, k: usize, iters: usize, seed: u64) -> Vec<SingularTriplet> {
+    truncated_svd_threaded(a, k, iters, seed, 0)
+}
+
+/// [`truncated_svd`] with an explicit worker count
+/// ([`tivpar::resolve_threads`] semantics). The O(n²) matrix–vector
+/// products inside the power iteration run row-parallel; they are
+/// bit-identical to the serial products, so the decomposition does not
+/// depend on the thread count.
+pub fn truncated_svd_threaded(
+    a: &Mat,
+    k: usize,
+    iters: usize,
+    seed: u64,
+    threads: usize,
+) -> Vec<SingularTriplet> {
     assert!(k > 0, "rank must be positive");
     let mut work = a.clone();
     let mut rng = rng::sub_rng(seed, "svd");
     let mut out = Vec::with_capacity(k);
     for _ in 0..k.min(a.rows().min(a.cols())) {
-        let Some(t) = dominant_triplet(&work, iters, &mut rng) else { break };
+        let Some(t) = dominant_triplet(&work, iters, &mut rng, threads) else { break };
         work.deflate(t.sigma, &t.u, &t.v);
         out.push(t);
     }
     out
 }
 
-fn dominant_triplet(a: &Mat, iters: usize, rng: &mut DetRng) -> Option<SingularTriplet> {
+fn dominant_triplet(
+    a: &Mat,
+    iters: usize,
+    rng: &mut DetRng,
+    threads: usize,
+) -> Option<SingularTriplet> {
     let cols = a.cols();
     let mut v: Vec<f64> = (0..cols).map(|_| rng.gen_range(-1.0..1.0)).collect();
     if normalize(&mut v) == 0.0 {
@@ -49,19 +70,19 @@ fn dominant_triplet(a: &Mat, iters: usize, rng: &mut DetRng) -> Option<SingularT
     }
     let mut sigma = 0.0;
     for _ in 0..iters {
-        let av = a.matvec(&v);
-        let mut next = a.matvec_t(&av);
+        let av = a.matvec_threaded(&v, threads);
+        let mut next = a.matvec_t_threaded(&av, threads);
         let n = normalize(&mut next);
         if n == 0.0 {
             return None; // residual is (numerically) zero
         }
         v = next;
-        sigma = norm(&a.matvec(&v));
+        sigma = norm(&a.matvec_threaded(&v, threads));
     }
     if sigma < 1e-10 {
         return None;
     }
-    let mut u = a.matvec(&v);
+    let mut u = a.matvec_threaded(&v, threads);
     for x in u.iter_mut() {
         *x /= sigma;
     }

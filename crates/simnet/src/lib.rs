@@ -13,7 +13,16 @@
 //!
 //! Determinism is a design goal inherited from the measurement study we
 //! reproduce: every simulation is a pure function of (delay matrix,
-//! seed), so every figure regenerates bit-identically.
+//! seed), so every figure regenerates bit-identically. The same
+//! contract extends to the parallel kernels layer (`tivpar`) the
+//! analysis crates run on — parallelism never changes a result, so a
+//! simulation followed by an analysis is reproducible end to end at
+//! any thread count.
+//!
+//! | module | provides |
+//! |---|---|
+//! | [`sim`] | [`SimTime`], [`EventQueue`], [`Simulation`] driver |
+//! | [`net`] | [`Network`], [`JitterModel`], [`ProbeStats`] accounting |
 //!
 //! ```
 //! use delayspace::DelayMatrix;
@@ -27,7 +36,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod net;
 pub mod sim;

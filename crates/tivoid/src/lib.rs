@@ -8,12 +8,18 @@
 //!
 //! | layer | crate | what it provides |
 //! |---|---|---|
+//! | parallelism | [`tivpar`] | scoped-thread chunked map/fill kernels, `TIV_THREADS` resolution |
 //! | substrate | [`delayspace`] | delay matrices, synthetic TIV-rich generator, clustering, APSP, stats |
 //! | execution | [`simnet`] | deterministic simulated network with probe accounting |
 //! | embeddings | [`vivaldi`], [`ides`] | network coordinates; matrix-factorization prediction |
 //! | overlay | [`meridian`] | concentric-ring closest-neighbor location service |
 //! | core | [`tivcore`] | TIV severity, the TIV alert mechanism, TIV-aware selection |
 //! | harness | [`experiments`] | one function per figure of the paper |
+//!
+//! Every O(n³) kernel (severity, APSP, the alert sweeps, the
+//! factorization updates) runs on [`tivpar`] and is **bit-identical at
+//! every thread count**; set `TIV_THREADS` to pin the worker count
+//! process-wide. See `ARCHITECTURE.md` for the paper-to-code map.
 //!
 //! ```
 //! use tivoid::prelude::*;
@@ -25,7 +31,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub use delayspace;
 pub use experiments;
@@ -33,6 +39,7 @@ pub use ides;
 pub use meridian;
 pub use simnet;
 pub use tivcore;
+pub use tivpar;
 pub use vivaldi;
 
 pub mod prelude {
@@ -47,6 +54,8 @@ pub mod prelude {
     pub use delayspace::synth::{Dataset, InternetDelaySpace, SynthConfig};
 
     pub use simnet::net::{JitterModel, Network, ProbeStats};
+
+    pub use tivpar::resolve_threads;
 
     pub use vivaldi::{Embedding, VivaldiConfig, VivaldiSystem};
 

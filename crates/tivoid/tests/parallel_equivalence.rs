@@ -1,0 +1,160 @@
+//! Serial-equivalence property tests for the parallel kernels layer.
+//!
+//! Every kernel ported onto `tivpar` promises the same contract: the
+//! output is a pure function of its inputs, **bit-identical at every
+//! thread count**. These properties pin that contract on seeded DS²
+//! delay spaces across worker counts {1, 2, 4, 7} — including counts
+//! that exceed this machine's cores and a prime count that makes the
+//! row chunking ragged.
+
+use ides::Mat;
+use proptest::prelude::*;
+use tivoid::prelude::*;
+use tivoid::tivcore::severity::estimate_severity_batch;
+use tivoid::tivcore::{accuracy_recall_sweep_threaded, Severity};
+
+/// The non-serial worker counts the properties sweep.
+const THREADS: [usize; 3] = [2, 4, 7];
+
+fn ds2(n: usize, seed: u64) -> DelayMatrix {
+    InternetDelaySpace::preset(Dataset::Ds2).with_nodes(n).build(seed).into_matrix()
+}
+
+/// `Option<f64>` to comparable bits (`None` ≠ any measured value).
+fn bits(v: Option<f64>) -> Option<u64> {
+    v.map(f64::to_bits)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn severity_bit_identical_across_thread_counts(n in 30usize..80, seed in 0u64..1_000) {
+        let m = ds2(n, seed);
+        let serial = Severity::compute(&m, 1);
+        for &t in &THREADS {
+            let par = Severity::compute(&m, t);
+            for i in 0..n {
+                for j in 0..n {
+                    prop_assert_eq!(
+                        bits(par.severity(i, j)),
+                        bits(serial.severity(i, j)),
+                        "severity({},{}) diverged at {} threads", i, j, t
+                    );
+                    prop_assert_eq!(par.count(i, j), serial.count(i, j));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn apsp_bit_identical_across_thread_counts(n in 30usize..80, seed in 0u64..1_000) {
+        let m = ds2(n, seed);
+        let serial = ShortestPaths::compute(&m, 1);
+        for &t in &THREADS {
+            let par = ShortestPaths::compute(&m, t);
+            for i in 0..n {
+                for j in 0..n {
+                    prop_assert_eq!(
+                        par.get(i, j).to_bits(),
+                        serial.get(i, j).to_bits(),
+                        "apsp({},{}) diverged at {} threads", i, j, t
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn estimator_batch_bit_identical_across_thread_counts(
+        n in 30usize..80,
+        seed in 0u64..1_000,
+        k in 4usize..32,
+    ) {
+        let m = ds2(n, seed);
+        let edges: Vec<(NodeId, NodeId)> = m.edges().map(|(i, j, _)| (i, j)).collect();
+        let serial = estimate_severity_batch(&m, &edges, k, seed, 1);
+        for &t in &THREADS {
+            let par = estimate_severity_batch(&m, &edges, k, seed, t);
+            prop_assert_eq!(par.len(), serial.len());
+            for (p, s) in par.iter().zip(&serial) {
+                prop_assert_eq!(bits(*p), bits(*s), "estimator diverged at {} threads", t);
+            }
+        }
+    }
+
+    #[test]
+    fn nmf_bit_identical_across_thread_counts(n in 10usize..30, seed in 0u64..1_000) {
+        let m = ds2(n, seed);
+        let a = Mat::from_fn(n, n, |r, c| m.get(r, c).unwrap_or(0.0));
+        let serial = ides::factorize_threaded(&a, 3, 25, seed, 1);
+        for &t in &THREADS {
+            let par = ides::factorize_threaded(&a, 3, 25, seed, t);
+            prop_assert_eq!(&par.w, &serial.w, "NMF W diverged at {} threads", t);
+            prop_assert_eq!(&par.h, &serial.h, "NMF H diverged at {} threads", t);
+            prop_assert_eq!(par.residual.to_bits(), serial.residual.to_bits());
+        }
+    }
+
+    #[test]
+    fn svd_bit_identical_across_thread_counts(n in 10usize..30, seed in 0u64..1_000) {
+        let m = ds2(n, seed);
+        let a = Mat::from_fn(n, n, |r, c| m.get(r, c).unwrap_or(0.0));
+        let serial = ides::truncated_svd_threaded(&a, 4, 30, seed, 1);
+        for &t in &THREADS {
+            let par = ides::truncated_svd_threaded(&a, 4, 30, seed, t);
+            prop_assert_eq!(par.len(), serial.len());
+            for (p, s) in par.iter().zip(&serial) {
+                prop_assert_eq!(p.sigma.to_bits(), s.sigma.to_bits());
+                prop_assert_eq!(&p.u, &s.u, "SVD u diverged at {} threads", t);
+                prop_assert_eq!(&p.v, &s.v, "SVD v diverged at {} threads", t);
+            }
+        }
+    }
+}
+
+/// The alert sweep needs an embedding, which is the expensive part, so
+/// it runs as one deterministic case rather than a property.
+#[test]
+fn alert_sweep_bit_identical_across_thread_counts() {
+    let m = ds2(100, 5);
+    let mut sys = VivaldiSystem::new(VivaldiConfig::default(), m.len(), 5);
+    let mut net = Network::new(&m, JitterModel::None, 5);
+    sys.run_rounds(&mut net, 60);
+    let emb = sys.embedding();
+    let sev = Severity::compute(&m, 0);
+    let thresholds: Vec<f64> = (0..=20).map(|i| i as f64 * 0.05).collect();
+    let serial = accuracy_recall_sweep_threaded(&emb, &m, &sev, 0.2, &thresholds, 1);
+    for &t in &THREADS {
+        let par = accuracy_recall_sweep_threaded(&emb, &m, &sev, 0.2, &thresholds, t);
+        assert_eq!(par.len(), serial.len());
+        for (p, s) in par.iter().zip(&serial) {
+            assert_eq!(p.accuracy.to_bits(), s.accuracy.to_bits());
+            assert_eq!(p.recall.to_bits(), s.recall.to_bits());
+            assert_eq!(p.alerted_frac.to_bits(), s.alerted_frac.to_bits());
+        }
+    }
+}
+
+/// The experiment fan-out produces the same figures at any worker
+/// count (each figure is a pure function of scale and seed).
+#[test]
+fn experiment_fanout_matches_serial() {
+    use tivoid::experiments::scale::ExperimentScale;
+    use tivoid::experiments::suite;
+    let ids: Vec<String> = ["fig1", "fig2", "fig12"].iter().map(|s| s.to_string()).collect();
+    let serial = suite::run_many(&ids, ExperimentScale::Tiny, 7, 1);
+    for &t in &THREADS {
+        let par = suite::run_many(&ids, ExperimentScale::Tiny, 7, t);
+        for (p, s) in par.iter().zip(&serial) {
+            assert_eq!(p.id, s.id);
+            assert_eq!(
+                p.output.as_ref().unwrap().figure.to_csv(),
+                s.output.as_ref().unwrap().figure.to_csv(),
+                "figure {} diverged at {} threads",
+                p.id,
+                t
+            );
+        }
+    }
+}

@@ -1,0 +1,394 @@
+//! # `tivpar` — the shared parallel-execution layer
+//!
+//! Every headline analysis of the reproduced paper sits on an O(n³)
+//! kernel — TIV severity, all-pairs shortest paths, the accuracy/recall
+//! sweeps, matrix-factorization updates. They all parallelise the same
+//! way: the output decomposes into rows (or items) that can be computed
+//! independently, so the work is split into contiguous chunks, one per
+//! worker, over std scoped threads. This crate owns that pattern so
+//! every kernel in the workspace shares one implementation instead of
+//! hand-rolling `std::thread::scope` plumbing.
+//!
+//! ## Design rules
+//!
+//! * **Deterministic result order.** Work is partitioned into
+//!   *contiguous index ranges* and results are placed (or concatenated)
+//!   by range, so the output is the same `Vec` a serial loop would
+//!   produce. Each item's computation never depends on which worker ran
+//!   it — kernels built on these primitives are **bit-identical across
+//!   thread counts** (enforced by property tests in `tivoid`).
+//! * **Graceful 1-thread fallback.** When one worker suffices (or the
+//!   machine has one core), the primitives run inline on the calling
+//!   thread — no spawn, no overhead, identical results.
+//! * **Worker-count resolution.** Every primitive takes a `threads`
+//!   argument: any positive value is used as-is (the per-call config
+//!   override); `0` means *auto* — the [`THREADS_ENV`] environment
+//!   variable (`TIV_THREADS`) if set, else
+//!   [`std::thread::available_parallelism`].
+//!
+//! ```
+//! // Square each row index, in parallel, in order.
+//! let squares = tivpar::par_map_rows(6, 0, |i| i * i);
+//! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25]);
+//!
+//! // Fill a 3x4 row-major matrix, one row per work item.
+//! let mut m = vec![0usize; 12];
+//! tivpar::par_fill_rows(&mut m, 3, 2, |row, out| out.fill(row));
+//! assert_eq!(m, vec![0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::ops::Range;
+use std::sync::OnceLock;
+
+/// The environment variable consulted when a kernel is called with
+/// `threads == 0`: set `TIV_THREADS=4` to cap the whole process at four
+/// workers without touching any call site.
+///
+/// Read once per process (the first auto-resolving call) and cached;
+/// changing the variable afterwards has no effect.
+pub const THREADS_ENV: &str = "TIV_THREADS";
+
+/// `TIV_THREADS` parsed once; `None` when unset or unparsable.
+fn env_threads() -> Option<usize> {
+    static CACHE: OnceLock<Option<usize>> = OnceLock::new();
+    *CACHE.get_or_init(|| {
+        std::env::var(THREADS_ENV).ok().and_then(|v| v.trim().parse().ok()).filter(|&t| t >= 1)
+    })
+}
+
+/// Resolves a requested worker count to an effective one.
+///
+/// Precedence: an explicit `requested > 0` wins; then the
+/// [`THREADS_ENV`] environment variable; then the machine's available
+/// parallelism. Always returns at least 1.
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    if let Some(t) = env_threads() {
+        return t;
+    }
+    std::thread::available_parallelism().map_or(1, |v| v.get())
+}
+
+/// Splits `0..items` into at most `workers` contiguous ranges of nearly
+/// equal length, in ascending order. Empty ranges are not produced.
+fn chunk_ranges(items: usize, workers: usize) -> Vec<Range<usize>> {
+    let chunk = items.div_ceil(workers.max(1)).max(1);
+    (0..items.div_ceil(chunk)).map(|c| (c * chunk)..((c + 1) * chunk).min(items)).collect()
+}
+
+/// Joins a scoped worker, re-raising its panic on the caller.
+fn join<T>(handle: std::thread::ScopedJoinHandle<'_, T>) -> T {
+    match handle.join() {
+        Ok(v) => v,
+        Err(payload) => std::panic::resume_unwind(payload),
+    }
+}
+
+/// Maps `f` over `0..rows` with up to `threads` workers, returning the
+/// results in index order (exactly `(0..rows).map(f).collect()`).
+///
+/// `threads` follows [`resolve_threads`]; with one effective worker the
+/// map runs inline on the calling thread.
+pub fn par_map_rows<R, F>(rows: usize, threads: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let workers = resolve_threads(threads).min(rows.max(1));
+    if workers <= 1 {
+        return (0..rows).map(f).collect();
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunk_ranges(rows, workers)
+            .into_iter()
+            .map(|range| {
+                let f = &f;
+                scope.spawn(move || range.map(f).collect::<Vec<R>>())
+            })
+            .collect();
+        handles.into_iter().flat_map(join).collect()
+    })
+}
+
+/// Maps `f` over contiguous chunks of `0..items` (one chunk per worker)
+/// and concatenates the per-chunk results in index order.
+///
+/// Unlike [`par_map_rows`] the closure sees the whole chunk at once, so
+/// it can amortise per-worker setup (a scratch buffer, a cache, an
+/// experiment `Lab`) across the chunk's items. The chunking varies with
+/// the worker count, so this is only deterministic when `f`'s output
+/// for an item does not depend on which chunk contained it.
+pub fn par_map_chunks<R, F>(items: usize, threads: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(Range<usize>) -> Vec<R> + Sync,
+{
+    if items == 0 {
+        return Vec::new(); // no chunks, no calls
+    }
+    let workers = resolve_threads(threads).min(items);
+    if workers <= 1 {
+        return f(0..items);
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunk_ranges(items, workers)
+            .into_iter()
+            .map(|range| {
+                let f = &f;
+                scope.spawn(move || f(range))
+            })
+            .collect();
+        handles.into_iter().flat_map(join).collect()
+    })
+}
+
+/// Fills a row-major buffer in parallel: `out` is treated as `rows`
+/// equal rows and `f(row_index, row_slice)` is called once per row,
+/// rows partitioned contiguously across up to `threads` workers.
+///
+/// # Panics
+/// Panics when `out.len()` is not a multiple of `rows`.
+pub fn par_fill_rows<T, F>(out: &mut [T], rows: usize, threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    if rows == 0 {
+        assert!(out.is_empty(), "non-empty buffer with zero rows");
+        return;
+    }
+    assert_eq!(out.len() % rows, 0, "buffer length {} not divisible into {rows} rows", out.len());
+    let cols = out.len() / rows;
+    let workers = resolve_threads(threads).min(rows);
+    if workers <= 1 || cols == 0 {
+        // Inline path; split_at_mut (unlike chunks_mut) also handles a
+        // zero-width buffer, calling f once per row with an empty slice.
+        let mut rest = out;
+        for i in 0..rows {
+            let (row, tail) = rest.split_at_mut(cols);
+            rest = tail;
+            f(i, row);
+        }
+        return;
+    }
+    std::thread::scope(|scope| {
+        let mut rest = out;
+        for range in chunk_ranges(rows, workers) {
+            let (chunk, tail) = rest.split_at_mut((range.end - range.start) * cols);
+            rest = tail;
+            let f = &f;
+            let base = range.start;
+            scope.spawn(move || {
+                for (k, row) in chunk.chunks_mut(cols).enumerate() {
+                    f(base + k, row);
+                }
+            });
+        }
+    });
+}
+
+/// Like [`par_fill_rows`] but fills two row-major buffers in lockstep:
+/// `f(row_index, a_row, b_row)` gets the matching row of each. The
+/// buffers may have different column widths but must describe the same
+/// number of rows.
+///
+/// # Panics
+/// Panics when either buffer's length is not a multiple of `rows`.
+pub fn par_fill_rows2<T, U, F>(a: &mut [T], b: &mut [U], rows: usize, threads: usize, f: F)
+where
+    T: Send,
+    U: Send,
+    F: Fn(usize, &mut [T], &mut [U]) + Sync,
+{
+    if rows == 0 || (a.is_empty() && b.is_empty()) {
+        assert!(a.is_empty() && b.is_empty(), "non-empty buffers with zero rows");
+        return;
+    }
+    assert_eq!(a.len() % rows, 0, "first buffer not divisible into {rows} rows");
+    assert_eq!(b.len() % rows, 0, "second buffer not divisible into {rows} rows");
+    let (ca, cb) = (a.len() / rows, b.len() / rows);
+    let workers = resolve_threads(threads).min(rows);
+    if workers <= 1 || ca == 0 || cb == 0 {
+        // Inline path; split_at_mut (unlike chunks_mut) also handles a
+        // zero-width buffer, handing f an empty slice for that side.
+        let (mut rest_a, mut rest_b) = (a, b);
+        for i in 0..rows {
+            let (ra, tail_a) = rest_a.split_at_mut(ca);
+            let (rb, tail_b) = rest_b.split_at_mut(cb);
+            (rest_a, rest_b) = (tail_a, tail_b);
+            f(i, ra, rb);
+        }
+        return;
+    }
+    std::thread::scope(|scope| {
+        let (mut rest_a, mut rest_b) = (a, b);
+        for range in chunk_ranges(rows, workers) {
+            let len = range.end - range.start;
+            let (chunk_a, tail_a) = rest_a.split_at_mut(len * ca);
+            let (chunk_b, tail_b) = rest_b.split_at_mut(len * cb);
+            (rest_a, rest_b) = (tail_a, tail_b);
+            let f = &f;
+            let base = range.start;
+            scope.spawn(move || {
+                for (k, (ra, rb)) in chunk_a.chunks_mut(ca).zip(chunk_b.chunks_mut(cb)).enumerate()
+                {
+                    f(base + k, ra, rb);
+                }
+            });
+        }
+    });
+}
+
+/// Sums `f(i)` over `0..rows` in parallel, folding the per-row values
+/// **in index order** so the floating-point association — and therefore
+/// the result, to the bit — is independent of the worker count.
+///
+/// Note this fixed association differs from a hand-written serial loop
+/// that accumulates element-by-element inside each row; kernels that
+/// migrate onto this primitive define their serial reference as the
+/// same call with `threads == 1`.
+pub fn par_sum_rows<F>(rows: usize, threads: usize, f: F) -> f64
+where
+    F: Fn(usize) -> f64 + Sync,
+{
+    par_map_rows(rows, threads, f).into_iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_explicit_wins() {
+        assert_eq!(resolve_threads(3), 3);
+        assert_eq!(resolve_threads(1), 1);
+        assert!(resolve_threads(0) >= 1);
+    }
+
+    #[test]
+    fn chunk_ranges_cover_exactly() {
+        for items in [0usize, 1, 5, 16, 17, 100] {
+            for workers in [1usize, 2, 4, 7, 32] {
+                let ranges = chunk_ranges(items, workers);
+                assert!(ranges.len() <= workers.max(1));
+                let mut next = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, next, "gap before {r:?}");
+                    assert!(r.end > r.start, "empty range {r:?}");
+                    next = r.end;
+                }
+                assert_eq!(next, items, "ranges must cover 0..{items}");
+            }
+        }
+    }
+
+    #[test]
+    fn map_rows_preserves_order_across_thread_counts() {
+        let serial: Vec<usize> = (0..103).map(|i| i * 31 % 17).collect();
+        for t in [1usize, 2, 4, 7, 16] {
+            assert_eq!(par_map_rows(103, t, |i| i * 31 % 17), serial);
+        }
+        assert_eq!(par_map_rows(0, 4, |i| i), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn map_chunks_concatenates_in_order() {
+        for t in [1usize, 2, 5] {
+            let got = par_map_chunks(20, t, |r| r.map(|i| i * 2).collect());
+            assert_eq!(got, (0..20).map(|i| i * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn fill_rows_matches_serial() {
+        let fill = |t: usize| {
+            let mut buf = vec![0usize; 9 * 5];
+            par_fill_rows(&mut buf, 9, t, |row, out| {
+                for (c, v) in out.iter_mut().enumerate() {
+                    *v = row * 100 + c;
+                }
+            });
+            buf
+        };
+        let serial = fill(1);
+        for t in [2usize, 3, 4, 8] {
+            assert_eq!(fill(t), serial);
+        }
+    }
+
+    #[test]
+    fn fill_rows2_zips_matching_rows() {
+        let fill = |t: usize| {
+            let mut a = vec![0u64; 7 * 3];
+            let mut b = vec![0u8; 7 * 2];
+            par_fill_rows2(&mut a, &mut b, 7, t, |row, ra, rb| {
+                ra.fill(row as u64);
+                rb.fill(row as u8 + 1);
+            });
+            (a, b)
+        };
+        let serial = fill(1);
+        for t in [2usize, 4, 7] {
+            assert_eq!(fill(t), serial);
+        }
+    }
+
+    #[test]
+    fn sum_rows_bit_identical_across_thread_counts() {
+        // Values chosen so association would matter if it drifted.
+        let f = |i: usize| 1.0 / (i as f64 + 1.0).powi(2);
+        let serial = par_sum_rows(1000, 1, f);
+        for t in [2usize, 3, 4, 7, 13] {
+            assert_eq!(par_sum_rows(1000, t, f).to_bits(), serial.to_bits());
+        }
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs() {
+        let mut empty: Vec<f64> = Vec::new();
+        par_fill_rows(&mut empty, 0, 4, |_, _| unreachable!());
+        // 5 rows x 0 cols: f still runs once per row, on empty slices.
+        let zero_width_calls = std::sync::atomic::AtomicUsize::new(0);
+        par_fill_rows(&mut empty, 5, 4, |_, row| {
+            assert!(row.is_empty());
+            zero_width_calls.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        });
+        assert_eq!(zero_width_calls.load(std::sync::atomic::Ordering::Relaxed), 5);
+        let mut b: Vec<u8> = Vec::new();
+        par_fill_rows2(&mut empty, &mut b, 0, 4, |_, _, _| unreachable!());
+        // One zero-width buffer: f still runs per row with an empty
+        // slice on that side.
+        let mut wide = vec![0u64; 3 * 2];
+        let mut none: Vec<u8> = Vec::new();
+        par_fill_rows2(&mut wide, &mut none, 3, 4, |row, ra, rb| {
+            assert!(rb.is_empty());
+            ra.fill(row as u64 + 1);
+        });
+        assert_eq!(wide, vec![1, 1, 2, 2, 3, 3]);
+        assert_eq!(par_map_chunks(0, 4, |_| vec![0u8]), Vec::<u8>::new()); // no chunks
+        assert_eq!(par_sum_rows(0, 4, |_| 1.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn fill_rows_rejects_ragged_buffer() {
+        let mut buf = vec![0u8; 10];
+        par_fill_rows(&mut buf, 3, 2, |_, _| {});
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let caught = std::panic::catch_unwind(|| {
+            par_map_rows(16, 4, |i| {
+                assert!(i != 9, "poison row");
+                i
+            })
+        });
+        assert!(caught.is_err());
+    }
+}

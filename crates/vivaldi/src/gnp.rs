@@ -1,7 +1,7 @@
 //! GNP — Global Network Positioning (Ng & Zhang, INFOCOM 2002).
 //!
 //! The centralized landmark predecessor of Vivaldi, cited by the paper
-//! as the origin of the coordinates approach ([17]). Architecture:
+//! as the origin of the coordinates approach (\[17\]). Architecture:
 //!
 //! 1. A fixed set of **landmarks** measure each other and solve their
 //!    own coordinates by minimising squared embedding error.

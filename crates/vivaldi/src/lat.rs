@@ -1,4 +1,4 @@
-//! LAT — the localized adjustment term of Lee et al. [11].
+//! LAT — the localized adjustment term of Lee et al. \[11\].
 //!
 //! Each node `x` keeps, besides its Euclidean coordinate `c_x`, a scalar
 //! adjustment `e_x` equal to half the average residual over a set `S` of
