@@ -115,6 +115,9 @@ fn bench_nmf_scale(c: &mut Criterion) {
 /// headline kernels (the ISSUE-2 acceptance numbers), independent of
 /// the harness' sample formatting.
 fn speedup_summary(_c: &mut Criterion) {
+    if criterion::smoke_mode() {
+        return; // hand-timed summary is meaningless in a one-shot run
+    }
     let m = ds2(400);
     let time = |f: &dyn Fn()| {
         f(); // warm

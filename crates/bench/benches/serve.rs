@@ -1,0 +1,110 @@
+//! The `tivserve` serving-layer benchmark: shard-count sweep.
+//!
+//! Two views of the same fixed workload (256-node DS² space, Zipf 0.9,
+//! read-only closed loop) at shard counts {1, 2, 4, 8}:
+//!
+//! * `serve/batch_256/<shards>` — criterion timing of one warm
+//!   64-query `estimate_batch` call (the per-request latency the
+//!   sharding is supposed to improve on multi-core machines);
+//! * a full closed-loop run per shard count, recorded as
+//!   `serve/shards/<s>/throughput_qps` and `serve/shards/<s>/p99_us`
+//!   metrics for the `BENCH_serve.json` artifact the CI bench-smoke
+//!   job regression-checks.
+//!
+//! Before timing anything, the sweep asserts the batched answers at
+//! every shard count are bit-identical to the unsharded path — a bench
+//! run can't report speedups of a divergent service.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use experiments::serve::{build_service, ServeOptions};
+use std::hint::black_box;
+use tivserve::loadgen::{self, ObservePath};
+use tivserve::service::TivServe;
+
+/// Shard counts swept by every group.
+const SHARDS: [usize; 4] = [1, 2, 4, 8];
+
+/// The fixed bench workload. `parallel_threshold: 0` forces the
+/// fan-out path so the sweep measures the sharded code itself; the
+/// closed-loop metrics below use the default config (gated), which is
+/// what a deployment would run.
+fn opts() -> ServeOptions {
+    ServeOptions {
+        nodes: 256,
+        queries: 4_000,
+        batch: 64,
+        observe_frac: 0.0, // read-only: epochs are the loadgen's business
+        epoch_every: 0,
+        parallel_threshold: 0,
+        seed: tivbench::SEED,
+        ..ServeOptions::default()
+    }
+}
+
+fn workload(o: &ServeOptions) -> (Vec<loadgen::QueryBatch>, TivServe) {
+    let (service, _, matrix) = build_service(o, o.shards);
+    (loadgen::generate(&o.workload(), &matrix), service)
+}
+
+fn bench_estimate_batch(c: &mut Criterion) {
+    let o = opts();
+    let (batches, reference) = workload(&ServeOptions { shards: 1, ..o });
+    let reference_answers = loadgen::run_closed_loop(&reference, &batches, ObservePath::Drop).1;
+    let mut g = c.benchmark_group("serve/batch_256");
+    g.sample_size(10);
+    for &s in &SHARDS {
+        let (service, _, _) = build_service(&ServeOptions { shards: s, ..o }, s);
+        // Equivalence gate: the sharded answers must match the
+        // unsharded ones bit for bit before we time anything.
+        let answers = loadgen::run_closed_loop(&service, &batches, ObservePath::Drop).1;
+        for (gb, rb) in answers.iter().zip(&reference_answers) {
+            assert_eq!(gb, rb, "sharded answers diverged at {s} shards");
+        }
+        let hot = &batches[0].pairs;
+        g.bench_with_input(BenchmarkId::from_parameter(s), &s, |b, _| {
+            b.iter(|| black_box(service.estimate_batch(hot)));
+        });
+    }
+    g.finish();
+}
+
+/// Closed-loop throughput/latency per shard count, exported as metrics
+/// (not criterion timings: the loop's wall-clock is the measurement).
+fn closed_loop_metrics(_c: &mut Criterion) {
+    if criterion::smoke_mode() {
+        return; // one-shot smoke runs don't produce meaningful rates
+    }
+    let o = ServeOptions { parallel_threshold: 256, ..opts() };
+    for &s in &SHARDS {
+        let so = ServeOptions { shards: s, ..o };
+        let (batches, service) = workload(&so);
+        // Warm pass fills the caches, measured pass is the steady state
+        // a long-running service sees.
+        let _ = loadgen::run_closed_loop(&service, &batches, ObservePath::Drop);
+        let (report, _) = loadgen::run_closed_loop(&service, &batches, ObservePath::Drop);
+        criterion::record_metric(format!("serve/shards/{s}/throughput_qps"), report.qps);
+        criterion::record_metric(format!("serve/shards/{s}/p99_us"), report.p99_us);
+        println!(
+            "serve closed loop: {s} shard(s): {:.0} q/s, p50 {:.0} us, p99 {:.0} us, \
+             cache hit {:.1}%",
+            report.qps,
+            report.p50_us,
+            report.p99_us,
+            report.cache.hit_rate() * 100.0
+        );
+    }
+}
+
+fn bench_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = bench_config();
+    targets = bench_estimate_batch, closed_loop_metrics
+}
+criterion_main!(benches);

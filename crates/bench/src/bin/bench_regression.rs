@@ -1,0 +1,117 @@
+//! `bench_regression` — the CI bench-smoke gate.
+//!
+//! ```text
+//! bench_regression --baseline ci/bench-baseline.json [--factor 2.0] CURRENT.json...
+//! ```
+//!
+//! Reads the checked-in baseline and one or more `BENCH_*.json` metric
+//! files (written by the bench targets via `TIV_BENCH_JSON`), merges
+//! the current files, and fails (exit 1) when any metric regressed by
+//! more than the tolerance factor — times by growing, `_qps`
+//! throughputs by shrinking. New and missing metrics are reported but
+//! never fail the gate, so adding a bench does not require touching
+//! the baseline in the same commit.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+use tivbench::regression::{check, flatten_metrics, higher_is_better, informational};
+
+fn load(path: &str) -> Result<BTreeMap<String, f64>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let value = serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))?;
+    flatten_metrics(&value).map_err(|e| format!("{path}: {e}"))
+}
+
+fn run() -> Result<bool, String> {
+    let mut argv = std::env::args().skip(1);
+    let mut baseline_path: Option<String> = None;
+    let mut factor = 2.0f64;
+    let mut current_paths = Vec::new();
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--baseline" => {
+                baseline_path = Some(argv.next().ok_or("--baseline needs a file")?);
+            }
+            "--factor" => {
+                let v = argv.next().ok_or("--factor needs a value")?;
+                factor = v.parse().map_err(|e| format!("bad --factor: {e}"))?;
+                if factor <= 1.0 {
+                    return Err("--factor must exceed 1".to_string());
+                }
+            }
+            path => current_paths.push(path.to_string()),
+        }
+    }
+    let baseline_path = baseline_path.ok_or(
+        "usage: bench_regression --baseline FILE [--factor F] CURRENT.json...".to_string(),
+    )?;
+    if current_paths.is_empty() {
+        return Err("no current metric files given".to_string());
+    }
+    let baseline = load(&baseline_path)?;
+    let mut current = BTreeMap::new();
+    for path in &current_paths {
+        for (k, v) in load(path)? {
+            current.insert(k, v);
+        }
+    }
+    let report = check(&baseline, &current, factor);
+    println!(
+        "bench regression gate: {} metrics compared against {} (factor {factor}x)",
+        report.compared.len(),
+        baseline_path
+    );
+    for c in &report.compared {
+        let direction = if informational(&c.name) {
+            "info only"
+        } else if higher_is_better(&c.name) {
+            "qps"
+        } else {
+            "time"
+        };
+        let flag = if c.regressed { "  REGRESSED" } else { "" };
+        println!(
+            "  {:<52} base {:>14.1}  now {:>14.1}  ratio {:>6.2}x ({direction}){flag}",
+            c.name, c.baseline, c.current, c.regression_ratio
+        );
+    }
+    for name in &report.new_metrics {
+        println!("  {name:<52} (new metric, no baseline — ignored)");
+    }
+    for name in &report.missing_metrics {
+        println!("  {name:<52} (in baseline but not measured this run)");
+    }
+    // A wholesale rename/removal of benches would make every current
+    // metric "new" and every baseline metric "missing", leaving nothing
+    // compared — that must not pass as a vacuous green.
+    if report.compared.is_empty() && !baseline.is_empty() && !current.is_empty() {
+        return Err("no metric overlaps the baseline: the gate would check nothing \
+             (bench renamed? regenerate ci/bench-baseline.json)"
+            .to_string());
+    }
+    let regressions = report.regressions();
+    if regressions.is_empty() {
+        println!("no regressions beyond {factor}x");
+        Ok(true)
+    } else {
+        eprintln!("{} metric(s) regressed beyond {factor}x:", regressions.len());
+        for c in regressions {
+            eprintln!(
+                "  {}: {:.1} -> {:.1} ({:.2}x worse)",
+                c.name, c.baseline, c.current, c.regression_ratio
+            );
+        }
+        Ok(false)
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -15,12 +15,95 @@
 //! are the min / median / max of the per-iteration sample means. No
 //! statistics beyond that — the workspace uses benches for scaling
 //! curves and regression eyeballing, not for rigorous inference.
+//!
+//! Two extensions for the bench-regression CI:
+//!
+//! * **Smoke mode** (`cargo bench -- --test`, mirroring real
+//!   criterion): each benchmark body runs exactly once, unmeasured, so
+//!   CI can cheaply prove every target still executes.
+//! * **Metric export**: every measured median is recorded (benches can
+//!   add domain metrics like throughput via [`record_metric`]), and
+//!   when the `TIV_BENCH_JSON` environment variable names a file,
+//!   `criterion_main!` writes the collected `{name: value}` map there
+//!   as JSON on exit — the `BENCH_*.json` artifacts the CI
+//!   bench-smoke job uploads and regression-checks.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
+
+/// Environment variable naming the JSON file `criterion_main!` writes
+/// the recorded metrics to (skipped when unset or in smoke mode).
+pub const BENCH_JSON_ENV: &str = "TIV_BENCH_JSON";
+
+/// The process-wide metric collector.
+fn records() -> &'static Mutex<BTreeMap<String, f64>> {
+    static RECORDS: OnceLock<Mutex<BTreeMap<String, f64>>> = OnceLock::new();
+    RECORDS.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// True when the harness was invoked in smoke mode (`-- --test`):
+/// bodies run once, nothing is measured or recorded.
+pub fn smoke_mode() -> bool {
+    static SMOKE: OnceLock<bool> = OnceLock::new();
+    *SMOKE.get_or_init(|| std::env::args().any(|a| a == "--test"))
+}
+
+/// Records a named metric for the JSON export. Benchmark timings are
+/// recorded automatically (median ns/iter under the benchmark's name);
+/// bench targets use this for domain metrics such as throughput
+/// (suffix the name `_qps` so the regression checker knows higher is
+/// better).
+pub fn record_metric(name: impl Into<String>, value: f64) {
+    records().lock().expect("metric collector poisoned").insert(name.into(), value);
+}
+
+/// Renders the collected metrics as a deterministic JSON object.
+pub fn metrics_json() -> String {
+    let map = records().lock().expect("metric collector poisoned");
+    let mut out = String::from("{\n");
+    for (i, (k, v)) in map.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        // Bench names are plain identifiers with '/', but escape the
+        // JSON-significant characters anyway.
+        let escaped: String = k
+            .chars()
+            .flat_map(|c| match c {
+                '"' | '\\' => vec!['\\', c],
+                c => vec![c],
+            })
+            .collect();
+        out.push_str(&format!("  \"{escaped}\": {v:.3}"));
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+/// Writes the metrics JSON to the `TIV_BENCH_JSON` file, if requested.
+/// Called by `criterion_main!` after all groups ran; a no-op in smoke
+/// mode (one unmeasured iteration produces no meaningful numbers).
+pub fn flush_metrics() {
+    if smoke_mode() {
+        return;
+    }
+    if let Ok(path) = std::env::var(BENCH_JSON_ENV) {
+        if path.is_empty() {
+            return;
+        }
+        let json = metrics_json();
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("cannot write {BENCH_JSON_ENV}={path}: {e}");
+            std::process::exit(1);
+        }
+        println!("bench metrics written to {path}");
+    }
+}
 
 /// The benchmark harness configuration and entry point.
 pub struct Criterion {
@@ -184,6 +267,13 @@ impl Bencher {
 }
 
 fn run_one(c: &mut Criterion, name: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    if smoke_mode() {
+        // Smoke mode: prove the body executes, measure nothing.
+        let mut b = Bencher { iters: 1, samples: Vec::new(), calibration: None, calibrating: true };
+        f(&mut b);
+        println!("bench: {name:<48} ok (smoke)");
+        return;
+    }
     // Calibrate: how long is one iteration?
     let mut b = Bencher { iters: 1, samples: Vec::new(), calibration: None, calibrating: true };
     let calib_start = Instant::now();
@@ -212,6 +302,7 @@ fn run_one(c: &mut Criterion, name: &str, f: &mut dyn FnMut(&mut Bencher)) {
         [] => (once, once, once),
         s => (s[0], s[s.len() / 2], s[s.len() - 1]),
     };
+    record_metric(name, med.as_nanos() as f64);
     println!(
         "bench: {name:<48} {:>12} /iter  [{} .. {}]  ({} samples x {iters} iters)",
         fmt_duration(med),
@@ -253,18 +344,20 @@ macro_rules! criterion_group {
 }
 
 /// Declares the benchmark binary's `main`, mirroring criterion's macro.
+///
+/// `--list` prints nothing and exits (well-formed empty answer for
+/// target enumeration); `--test` runs every body once in smoke mode;
+/// otherwise the full harness runs and, when `TIV_BENCH_JSON` is set,
+/// the recorded metrics are written there on exit.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
-            // `cargo bench` passes `--bench`; `cargo test --benches`
-            // passes `--test`. Run the full harness either way — the
-            // stub is fast — but honour `--list` so tooling that
-            // enumerates targets gets a well-formed, empty answer.
             if std::env::args().any(|a| a == "--list") {
                 return;
             }
             $( $group(); )+
+            $crate::flush_metrics();
         }
     };
 }
@@ -297,5 +390,21 @@ mod tests {
     fn benchmark_id_formats() {
         assert_eq!(BenchmarkId::new("exact", 100).0, "exact/100");
         assert_eq!(BenchmarkId::from_parameter(64).0, "64");
+    }
+
+    #[test]
+    fn metrics_are_recorded_and_rendered() {
+        record_metric("unit/throughput_qps", 1234.5);
+        record_metric("unit/needs \"escape\"", 1.0);
+        let json = metrics_json();
+        assert!(json.contains("\"unit/throughput_qps\": 1234.500"), "{json}");
+        assert!(json.contains("\\\"escape\\\""), "{json}");
+        // Benchmarks record their median automatically.
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5))
+            .sample_size(2);
+        c.bench_function("unit/auto_recorded", |b| b.iter(|| std::hint::black_box(1 + 1)));
+        assert!(metrics_json().contains("\"unit/auto_recorded\""));
     }
 }

@@ -1,10 +1,13 @@
 //! Offline stand-in for `serde_json`: a self-contained JSON [`Value`]
-//! tree with a spec-compliant writer.
+//! tree with a spec-compliant writer and a [`from_str`] parser.
 //!
 //! The real crate serializes any `serde::Serialize` type; this stub
 //! (the build environment cannot fetch crates.io) only serializes
 //! explicitly constructed [`Value`]s, which is all the workspace needs
-//! for report/figure emission until serde is vendored for real.
+//! for report/figure emission until serde is vendored for real. The
+//! parser covers the full JSON grammar into [`Value`] (objects, arrays,
+//! strings with escapes, numbers, booleans, null) — enough for the
+//! bench-regression checker to read the `BENCH_*.json` metric files.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -127,6 +130,259 @@ pub fn to_string(value: &Value) -> String {
     value.to_string()
 }
 
+/// A parse failure: what went wrong and the byte offset it happened at.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Error {
+    /// Human-readable cause.
+    pub message: String,
+    /// Byte offset into the input.
+    pub offset: usize,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Parses a JSON document into a [`Value`] (named after the real
+/// crate's entry point; this stub always parses to `Value`).
+pub fn from_str(s: &str) -> Result<Value, Error> {
+    let mut p = Parser { bytes: s.as_bytes(), pos: 0, depth: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after the document"));
+    }
+    Ok(v)
+}
+
+/// Maximum nesting depth of arrays/objects (matches the real
+/// serde_json's default recursion limit): the parser recurses per
+/// level, so unbounded nesting would overflow the stack instead of
+/// returning the `Err` the API promises.
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: &str) -> Error {
+        Error { message: message.to_string(), offset: self.pos }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected '{lit}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string().map(Value::String),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn enter(&mut self) -> Result<(), Error> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err("nesting deeper than 128 levels"));
+        }
+        Ok(())
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.enter()?;
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            map.insert(key, val);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.enter()?;
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(c) = self.peek() else {
+                return Err(self.err("unterminated string"));
+            };
+            self.pos += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not reassembled; the
+                            // replacement character is good enough for
+                            // this stub's consumers (metric files are
+                            // ASCII).
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                _ => {
+                    // Consume the full UTF-8 sequence starting here.
+                    let start = self.pos - 1;
+                    let len = utf8_len(c);
+                    let end = start + len;
+                    let chunk = self
+                        .bytes
+                        .get(start..end)
+                        .and_then(|b| std::str::from_utf8(b).ok())
+                        .ok_or_else(|| self.err("invalid UTF-8 in string"))?;
+                    out.push_str(chunk);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
+        text.parse::<f64>()
+            .map(Value::Number)
+            .map_err(|_| Error { message: format!("bad number '{text}'"), offset: start })
+    }
+}
+
+/// Length in bytes of the UTF-8 sequence starting with `first`.
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -151,5 +407,64 @@ mod tests {
     #[test]
     fn control_characters_are_escaped() {
         assert_eq!(to_string(&Value::from("a\nb\u{1}")), "\"a\\nb\\u0001\"");
+    }
+
+    #[test]
+    fn parses_every_value_kind() {
+        let v = from_str(
+            r#"{ "a": [1, -2.5, 1e3], "b": {"nested": true}, "c": null, "s": "x\n\"y\" ü" }"#,
+        )
+        .unwrap();
+        let Value::Object(map) = &v else { panic!("not an object: {v:?}") };
+        assert_eq!(
+            map["a"],
+            Value::Array(vec![Value::Number(1.0), Value::Number(-2.5), Value::Number(1000.0)])
+        );
+        assert_eq!(
+            map["b"],
+            Value::Object(BTreeMap::from([("nested".to_string(), Value::Bool(true))]))
+        );
+        assert_eq!(map["c"], Value::Null);
+        assert_eq!(map["s"], Value::from("x\n\"y\" ü"));
+    }
+
+    #[test]
+    fn roundtrips_through_the_writer() {
+        let mut obj = BTreeMap::new();
+        obj.insert("scale/severity_400/1".to_string(), Value::Number(123456.789));
+        obj.insert("serve/shards/4/throughput_qps".to_string(), Value::Number(52000.0));
+        let original = Value::Object(obj);
+        assert_eq!(from_str(&to_string(&original)).unwrap(), original);
+    }
+
+    #[test]
+    fn parses_unicode_escapes() {
+        assert_eq!(from_str(r#""A\t""#).unwrap(), Value::from("A\t"));
+        assert_eq!(from_str("[]").unwrap(), Value::Array(Vec::new()));
+        assert_eq!(from_str("{}").unwrap(), Value::Object(BTreeMap::new()));
+    }
+
+    #[test]
+    fn deep_nesting_errs_instead_of_overflowing() {
+        // Within the cap: fine.
+        let ok = format!("{}1{}", "[".repeat(100), "]".repeat(100));
+        assert!(from_str(&ok).is_ok());
+        // Far past the cap: a clean Err, not a stack overflow.
+        let deep = format!("{}1{}", "[".repeat(50_000), "]".repeat(50_000));
+        let err = from_str(&deep).unwrap_err();
+        assert!(err.message.contains("nesting"), "{err}");
+    }
+
+    #[test]
+    fn rejects_garbage_with_offsets() {
+        assert!(from_str("").is_err());
+        assert!(from_str("{").is_err());
+        assert!(from_str("[1,]").is_err());
+        assert!(from_str("{\"a\" 1}").is_err());
+        assert!(from_str("12 34").is_err());
+        assert!(from_str("\"unterminated").is_err());
+        let err = from_str("[1, x]").unwrap_err();
+        assert_eq!(err.offset, 4);
+        assert!(err.to_string().contains("byte 4"));
     }
 }

@@ -47,7 +47,7 @@ pub use alert::{
 pub use dynvivaldi::{DynVivaldiConfig, IterationRecord};
 pub use filter::EdgeMask;
 pub use metrics::{closest_neighbor_loss, relative_rank_loss, PredictorMetrics};
-pub use monitor::{MonitorConfig, TivMonitor};
+pub use monitor::{MonitorConfig, MonitorSummary, TivMonitor};
 pub use severity::{
     estimate_severity, estimate_severity_batch, proximity_experiment, triangulation_ratios,
     ProximityResult, Severity,

@@ -53,6 +53,26 @@ struct PeerState {
     alerted: bool,
 }
 
+/// An immutable export of one peer's smoothed monitor state.
+///
+/// A serving layer freezes these into its epoch snapshots: the summary
+/// carries everything a reader needs (smoothed RTT, smoothed prediction
+/// ratio, the hysteresis alert state) without holding the live, mutable
+/// [`TivMonitor`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MonitorSummary {
+    /// The observed peer.
+    pub peer: NodeId,
+    /// Smoothed measured RTT (ms).
+    pub rtt_ewma: f64,
+    /// Smoothed prediction ratio.
+    pub ratio_ewma: f64,
+    /// Samples folded into the EWMAs so far.
+    pub samples: u32,
+    /// Hysteresis alert state after the last sample.
+    pub alerted: bool,
+}
+
 /// The monitor a node runs over its own measurements.
 #[derive(Clone, Debug)]
 pub struct TivMonitor {
@@ -122,6 +142,26 @@ impl TivMonitor {
     /// All currently alerted peers, unsorted.
     pub fn alerted_peers(&self) -> Vec<NodeId> {
         self.peers.iter().filter(|(_, s)| s.alerted).map(|(&p, _)| p).collect()
+    }
+
+    /// Immutable summary of one peer's smoothed state, if observed.
+    pub fn summary(&self, peer: NodeId) -> Option<MonitorSummary> {
+        self.peers.get(&peer).map(|s| MonitorSummary {
+            peer,
+            rtt_ewma: s.rtt_ewma,
+            ratio_ewma: s.ratio_ewma,
+            samples: s.samples,
+            alerted: s.alerted,
+        })
+    }
+
+    /// Summaries of every tracked peer, sorted by peer id so the export
+    /// is deterministic regardless of hash-map iteration order.
+    pub fn summaries(&self) -> Vec<MonitorSummary> {
+        let mut out: Vec<MonitorSummary> =
+            self.peers.keys().filter_map(|&p| self.summary(p)).collect();
+        out.sort_by_key(|s| s.peer);
+        out
     }
 
     /// Drops a peer's state (it left the neighbor set).
@@ -235,6 +275,23 @@ mod tests {
     }
 
     #[test]
+    fn summaries_export_sorted_state() {
+        let mut mon = monitor();
+        for _ in 0..5 {
+            mon.observe(9, 100.0, 10.0); // alerted
+            mon.observe(2, 50.0, 49.0); // healthy
+        }
+        let all = mon.summaries();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].peer, 2);
+        assert_eq!(all[1].peer, 9);
+        assert!(all[1].alerted && !all[0].alerted);
+        assert_eq!(mon.summary(9), Some(all[1]));
+        assert_eq!(mon.summary(2).unwrap().rtt_ewma, mon.rtt(2).unwrap());
+        assert_eq!(mon.summary(77), None);
+    }
+
+    #[test]
     fn integrates_with_live_vivaldi() {
         use delayspace::synth::{Dataset, InternetDelaySpace};
         use simnet::net::{JitterModel, Network};
@@ -265,6 +322,65 @@ mod tests {
             assert!(ratio < 0.75, "alerted peer with healthy ratio {ratio}");
             // And most should cause at least *some* violations.
             let _ = sev.severity(0, peer);
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The hysteresis contract, as a property: once the observed
+        /// ratios oscillate *strictly inside* the band
+        /// `(raise_below, clear_above)`, the alert state changes at most
+        /// once more, ever. (The single allowed transition is a raise
+        /// that was already pending: a pre-band history can leave the
+        /// smoothed ratio below `raise_below` while `min_samples` has
+        /// not been reached; the alarm then arms on an in-band sample.
+        /// After that, in-band samples can drag the EWMA neither below
+        /// `raise_below` nor above `clear_above`, so it never flaps.)
+        #[test]
+        fn never_flaps_inside_the_hysteresis_band(
+            alpha in 0.05f64..1.0,
+            raise_below in 0.2f64..0.7,
+            band_width in 0.05f64..0.3,
+            min_samples in 1u32..6,
+            prefix in proptest::collection::vec(0.01f64..3.0, 0..12),
+            band_positions in proptest::collection::vec(0.001f64..0.999, 1..80),
+        ) {
+            let cfg = MonitorConfig {
+                alpha,
+                raise_below,
+                clear_above: raise_below + band_width,
+                min_samples,
+            };
+            let mut mon = TivMonitor::new(cfg);
+            let rtt = 100.0;
+            // Arbitrary pre-band history: the smoothed ratio and alert
+            // state may end up anywhere.
+            for r in &prefix {
+                mon.observe(1, rtt, r * rtt);
+            }
+            // In-band phase: every sample's ratio is strictly inside
+            // (raise_below, clear_above).
+            let mut prev = mon.is_alerted(1);
+            let mut transitions = 0u32;
+            for p in &band_positions {
+                let ratio = raise_below + band_width * p;
+                let now = mon.observe(1, rtt, ratio * rtt);
+                if now != prev {
+                    transitions += 1;
+                    prev = now;
+                }
+            }
+            prop_assert!(
+                transitions <= 1,
+                "alert flapped: {} transitions during the in-band phase", transitions
+            );
         }
     }
 }

@@ -24,11 +24,14 @@ pub fn to_pairs_text(m: &DelayMatrix) -> String {
 /// Parses `i j rtt_ms` lines into a matrix.
 ///
 /// Accepts `#`-prefixed comments; an optional `# nodes N` header fixes
-/// the node count, otherwise it is inferred as `max id + 1`. Duplicate
+/// the node count, otherwise it is inferred as `max id + 1`. A header
+/// smaller than any node id in the file is a hard parse error with the
+/// offending line's number — whether the undersized header precedes the
+/// data or follows it — never a later out-of-bounds panic. Duplicate
 /// pairs keep the **minimum** measurement (the convention of the King
 /// data set: repeated probes, minimum RTT is the propagation estimate).
 pub fn from_pairs_text(s: &str) -> Result<DelayMatrix, String> {
-    let mut n: Option<usize> = None;
+    let mut declared: Option<usize> = None;
     let mut triples: Vec<(NodeId, NodeId, f64)> = Vec::new();
     let mut max_id = 0usize;
     for (lineno, line) in s.lines().enumerate() {
@@ -40,10 +43,18 @@ pub fn from_pairs_text(s: &str) -> Result<DelayMatrix, String> {
             let mut it = rest.split_whitespace();
             if it.next() == Some("nodes") {
                 if let Some(v) = it.next() {
-                    n = Some(
-                        v.parse()
-                            .map_err(|e| format!("line {}: bad node count: {e}", lineno + 1))?,
-                    );
+                    let n: usize = v
+                        .parse()
+                        .map_err(|e| format!("line {}: bad node count: {e}", lineno + 1))?;
+                    // A header arriving after data must still cover
+                    // every id already seen.
+                    if !triples.is_empty() && max_id >= n {
+                        return Err(format!(
+                            "line {}: header declares {n} nodes but id {max_id} already seen",
+                            lineno + 1
+                        ));
+                    }
+                    declared = Some(n);
                 }
             }
             continue;
@@ -67,10 +78,22 @@ pub fn from_pairs_text(s: &str) -> Result<DelayMatrix, String> {
         if !(d.is_finite() && d >= 0.0) {
             return Err(format!("line {}: invalid rtt {d}", lineno + 1));
         }
+        if let Some(n) = declared {
+            if i >= n || j >= n {
+                return Err(format!(
+                    "line {}: node id {} exceeds declared count {n}",
+                    lineno + 1,
+                    i.max(j)
+                ));
+            }
+        }
         max_id = max_id.max(i).max(j);
         triples.push((i, j, d));
     }
-    let n = n.unwrap_or(if triples.is_empty() { 0 } else { max_id + 1 });
+    let n = declared.unwrap_or(if triples.is_empty() { 0 } else { max_id + 1 });
+    // Both header positions were validated eagerly above; this is the
+    // backstop that keeps `set` below panic-free even if a new code
+    // path forgets to.
     if max_id >= n && !triples.is_empty() {
         return Err(format!("node id {max_id} exceeds declared count {n}"));
     }
@@ -162,6 +185,35 @@ mod tests {
     fn pairs_duplicates_keep_minimum() {
         let m = from_pairs_text("0 1 20.0\n1 0 10.0\n0 1 30.0\n").unwrap();
         assert_eq!(m.get(0, 1), Some(10.0));
+    }
+
+    #[test]
+    fn pairs_duplicates_keep_minimum_with_header() {
+        // The min-of-repeats rule must survive the header path too, in
+        // either pair orientation.
+        let m = from_pairs_text("# nodes 3\n2 1 50.0\n1 2 42.5\n2 1 61.0\n").unwrap();
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.get(1, 2), Some(42.5));
+        assert_eq!(m.get(2, 1), Some(42.5));
+    }
+
+    #[test]
+    fn undersized_header_is_a_line_numbered_error() {
+        // Header first: the data line referencing the out-of-range id
+        // is the one reported.
+        let err = from_pairs_text("# nodes 4\n0 1 5.0\n0 9 7.0\n").unwrap_err();
+        assert!(err.contains("line 3"), "wrong line in {err:?}");
+        assert!(err.contains("node id 9"), "wrong id in {err:?}");
+        assert!(err.contains("declared count 4"), "wrong count in {err:?}");
+        // Header last: the header line itself is reported.
+        let err = from_pairs_text("0 9 7.0\n# nodes 4\n").unwrap_err();
+        assert!(err.contains("line 2"), "wrong line in {err:?}");
+        assert!(err.contains("id 9 already seen"), "wrong cause in {err:?}");
+        // Boundary: id == count is already out of range (ids are
+        // 0-based).
+        assert!(from_pairs_text("# nodes 2\n0 2 1.0\n").is_err());
+        // A covering header stays fine.
+        assert!(from_pairs_text("0 9 7.0\n# nodes 10\n").is_ok());
     }
 
     #[test]

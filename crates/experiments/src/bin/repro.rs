@@ -1,7 +1,10 @@
-//! `repro` — regenerate the paper's figures.
+//! `repro` — regenerate the paper's figures, or serve them.
 //!
 //! ```text
 //! repro <figN | all> [--full] [--seed S] [--out DIR] [--threads N]
+//! repro serve [--nodes N] [--shards S] [--queries Q] [--batch B]
+//!             [--zipf Z] [--observe F] [--epoch-every K]
+//!             [--cache C] [--witnesses W] [--seed S]
 //! ```
 //!
 //! * `figN` — one experiment id (fig1 … fig25), or `all`.
@@ -16,9 +19,16 @@
 //!   available parallelism). Results are identical at any thread
 //!   count; `--threads 1` keeps the classic serial loop with one
 //!   shared artifact cache.
+//!
+//! `repro serve` runs the sharded `tivserve` estimation service
+//! against a synthetic DS²-style space under a Zipf-skewed closed-loop
+//! workload and prints throughput, batch-latency percentiles and cache
+//! behaviour. Batched answers are bit-identical at every `--shards`
+//! value; see `experiments::serve` for the flag semantics.
 
 use experiments::lab::Lab;
 use experiments::scale::ExperimentScale;
+use experiments::serve::{run_serve, ServeOptions};
 use experiments::suite;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -30,6 +40,60 @@ struct Args {
     out: Option<PathBuf>,
     report: Option<PathBuf>,
     threads: usize,
+}
+
+/// Parses the flags of the `serve` subcommand into [`ServeOptions`].
+fn parse_serve_args(argv: impl Iterator<Item = String>) -> Result<ServeOptions, String> {
+    fn value<T: std::str::FromStr>(
+        argv: &mut impl Iterator<Item = String>,
+        flag: &str,
+    ) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        let v = argv.next().ok_or(format!("{flag} needs a value"))?;
+        v.parse().map_err(|e| format!("bad {flag} value: {e}"))
+    }
+    let mut opts = ServeOptions::default();
+    let mut argv = argv;
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--nodes" => opts.nodes = value(&mut argv, "--nodes")?,
+            "--shards" => opts.shards = value(&mut argv, "--shards")?,
+            "--queries" => opts.queries = value(&mut argv, "--queries")?,
+            "--batch" => opts.batch = value(&mut argv, "--batch")?,
+            "--zipf" => opts.zipf_s = value(&mut argv, "--zipf")?,
+            "--observe" => opts.observe_frac = value(&mut argv, "--observe")?,
+            "--epoch-every" => opts.epoch_every = value(&mut argv, "--epoch-every")?,
+            "--cache" => opts.cache_capacity = value(&mut argv, "--cache")?,
+            "--witnesses" => opts.witnesses = value(&mut argv, "--witnesses")?,
+            "--seed" => opts.seed = value(&mut argv, "--seed")?,
+            other => {
+                return Err(format!(
+                    "unknown serve argument: {other}\n\
+                     usage: repro serve [--nodes N] [--shards S] [--queries Q] [--batch B] \
+                     [--zipf Z] [--observe F] [--epoch-every K] [--cache C] [--witnesses W] \
+                     [--seed S]"
+                ))
+            }
+        }
+    }
+    if opts.nodes < 2 {
+        return Err("--nodes must be at least 2".to_string());
+    }
+    if opts.shards < 1 {
+        return Err("--shards must be at least 1".to_string());
+    }
+    if !(0.0..1.0).contains(&opts.observe_frac) {
+        return Err("--observe must be in [0, 1)".to_string());
+    }
+    if opts.batch < 1 {
+        return Err("--batch must be at least 1".to_string());
+    }
+    if !opts.zipf_s.is_finite() || opts.zipf_s < 0.0 {
+        return Err("--zipf must be a finite non-negative exponent".to_string());
+    }
+    Ok(opts)
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -70,6 +134,8 @@ fn parse_args() -> Result<Args, String> {
         return Err(format!(
             "usage: repro <figN | all | ablations> [--full] [--seed S] [--out DIR] \
              [--report FILE] [--threads N]\n\
+             \x20      repro serve [--nodes N] [--shards S] [--queries Q] ... \
+             (run the estimation service)\n\
              figures: {}\n\
              ablations: {}",
             suite::ALL_IDS.join(" "),
@@ -111,6 +177,21 @@ fn emit(
 }
 
 fn main() -> ExitCode {
+    let mut argv = std::env::args().skip(1).peekable();
+    if argv.peek().map(String::as_str) == Some("serve") {
+        argv.next();
+        return match parse_serve_args(argv) {
+            Ok(opts) => {
+                println!("{}", run_serve(&opts));
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    drop(argv);
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {

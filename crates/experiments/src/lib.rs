@@ -18,7 +18,9 @@
 //! [`scale`] sizes every experiment (`Tiny`/`Small`/`Paper`);
 //! [`figure`] is the series/CSV output type; [`report`] renders the
 //! headline-number comparison; [`penalty`] and [`ablations`] hold the
-//! shared penalty metrics and the beyond-the-paper sweeps.
+//! shared penalty metrics and the beyond-the-paper sweeps; [`serve`]
+//! drives the sharded `tivserve` estimation service (the `repro serve`
+//! subcommand).
 //!
 //! Batches fan out over worker threads with [`suite::run_many`] (the
 //! `repro` binary's `--threads` flag); every figure is a pure function
@@ -46,6 +48,7 @@ pub mod sec2;
 pub mod sec3;
 pub mod sec4;
 pub mod sec5;
+pub mod serve;
 pub mod suite;
 
 pub use figure::{Figure, Series};

@@ -14,7 +14,8 @@
 //! | embeddings | [`vivaldi`], [`ides`] | network coordinates; matrix-factorization prediction |
 //! | overlay | [`meridian`] | concentric-ring closest-neighbor location service |
 //! | core | [`tivcore`] | TIV severity, the TIV alert mechanism, TIV-aware selection |
-//! | harness | [`experiments`] | one function per figure of the paper |
+//! | serving | [`tivserve`] | sharded, epoch-snapshot estimation service + load generator |
+//! | harness | [`experiments`] | one function per figure of the paper, `repro` binary |
 //!
 //! Every O(n³) kernel (severity, APSP, the alert sweeps, the
 //! factorization updates) runs on [`tivpar`] and is **bit-identical at
@@ -40,6 +41,7 @@ pub use meridian;
 pub use simnet;
 pub use tivcore;
 pub use tivpar;
+pub use tivserve;
 pub use vivaldi;
 
 pub mod prelude {
@@ -68,5 +70,10 @@ pub mod prelude {
     pub use tivcore::dynvivaldi::{self, DynVivaldiConfig};
     pub use tivcore::severity::{estimate_severity, proximity_experiment, Severity};
     pub use tivcore::tivmeridian::{build_tiv_aware, tiv_aware_query, TivMeridianConfig};
-    pub use tivcore::{EdgeMask, MonitorConfig, TivAlert, TivMonitor};
+    pub use tivcore::{EdgeMask, MonitorConfig, MonitorSummary, TivAlert, TivMonitor};
+
+    pub use tivserve::{
+        EdgeEstimate, EpochBuilder, EpochConfig, EpochSnapshot, EstimateConfig, Observation,
+        ServeConfig, TivServe, WorkloadConfig,
+    };
 }

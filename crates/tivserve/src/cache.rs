@@ -1,0 +1,215 @@
+//! A bounded LRU cache of edge-level results, one per shard.
+//!
+//! The cache is an optimisation only: every value it stores is a pure
+//! function of the snapshot that produced it (the entry carries the
+//! epoch and is ignored when it no longer matches), so hits and misses
+//! can never change a query's answer — only its latency. That is what
+//! lets the sharded service promise bit-identical results at every
+//! shard count while still caching aggressively.
+//!
+//! Implementation: a `HashMap` keyed by the ordered query pair plus a
+//! `BTreeMap` recency index over a monotonic tick. Both operations are
+//! O(log n); a doubly-linked-list LRU would be O(1) but needs `unsafe`
+//! (or index juggling), which this workspace forbids, and shard caches
+//! are consulted once per query — the map lookup dominates either way.
+
+use crate::snapshot::EdgeEstimate;
+use delayspace::matrix::NodeId;
+use std::collections::{BTreeMap, HashMap};
+
+/// Aggregated cache counters (additive across shards).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to evaluate.
+    pub misses: u64,
+    /// Entries evicted by the capacity bound.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub len: usize,
+}
+
+impl CacheStats {
+    /// Hit fraction of all lookups (0 when none were made).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Merges another shard's counters into this one.
+    pub fn absorb(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+        self.len += other.len;
+    }
+}
+
+struct Slot {
+    value: EdgeEstimate,
+    tick: u64,
+}
+
+/// A bounded least-recently-used map from ordered query pairs to
+/// [`EdgeEstimate`]s.
+pub struct EdgeCache {
+    cap: usize,
+    map: HashMap<(NodeId, NodeId), Slot>,
+    /// tick → key, the recency order (smallest tick = least recent).
+    recency: BTreeMap<u64, (NodeId, NodeId)>,
+    next_tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl EdgeCache {
+    /// A cache holding at most `capacity` entries (0 disables caching).
+    pub fn new(capacity: usize) -> Self {
+        EdgeCache {
+            cap: capacity,
+            map: HashMap::new(),
+            recency: BTreeMap::new(),
+            next_tick: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Looks up the pair, counting a hit or a miss. An entry whose
+    /// epoch differs from `epoch` is stale (published over) and is
+    /// treated as a miss.
+    pub fn get(&mut self, key: (NodeId, NodeId), epoch: u64) -> Option<EdgeEstimate> {
+        match self.map.get_mut(&key) {
+            Some(slot) if slot.value.epoch == epoch => {
+                self.hits += 1;
+                // Refresh recency.
+                self.recency.remove(&slot.tick);
+                slot.tick = self.next_tick;
+                self.recency.insert(self.next_tick, key);
+                self.next_tick += 1;
+                Some(slot.value)
+            }
+            _ => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts (or overwrites) the pair's value, evicting the least
+    /// recently used entry when over capacity.
+    pub fn insert(&mut self, key: (NodeId, NodeId), value: EdgeEstimate) {
+        if self.cap == 0 {
+            return;
+        }
+        if let Some(old) = self.map.remove(&key) {
+            self.recency.remove(&old.tick);
+        }
+        while self.map.len() >= self.cap {
+            let (&tick, &victim) = self.recency.iter().next().expect("recency tracks map");
+            self.recency.remove(&tick);
+            self.map.remove(&victim);
+            self.evictions += 1;
+        }
+        self.map.insert(key, Slot { value, tick: self.next_tick });
+        self.recency.insert(self.next_tick, key);
+        self.next_tick += 1;
+    }
+
+    /// Drops every entry (epoch change), keeping the counters.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.recency.clear();
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            len: self.map.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn est(epoch: u64, predicted: f64) -> EdgeEstimate {
+        EdgeEstimate { epoch, predicted, measured: None, ratio: None, severity: None, alert: false }
+    }
+
+    #[test]
+    fn hit_after_insert_miss_before() {
+        let mut c = EdgeCache::new(4);
+        assert_eq!(c.get((0, 1), 0), None);
+        c.insert((0, 1), est(0, 5.0));
+        assert_eq!(c.get((0, 1), 0), Some(est(0, 5.0)));
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.len), (1, 1, 1));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacity_evicts_least_recently_used() {
+        let mut c = EdgeCache::new(2);
+        c.insert((0, 1), est(0, 1.0));
+        c.insert((0, 2), est(0, 2.0));
+        // Touch (0,1) so (0,2) is now the LRU entry.
+        assert!(c.get((0, 1), 0).is_some());
+        c.insert((0, 3), est(0, 3.0));
+        assert_eq!(c.get((0, 2), 0), None, "LRU entry should have been evicted");
+        assert!(c.get((0, 1), 0).is_some());
+        assert!(c.get((0, 3), 0).is_some());
+        assert_eq!(c.stats().evictions, 1);
+        assert_eq!(c.stats().len, 2);
+    }
+
+    #[test]
+    fn stale_epoch_is_a_miss() {
+        let mut c = EdgeCache::new(4);
+        c.insert((1, 2), est(0, 9.0));
+        assert_eq!(c.get((1, 2), 1), None, "entry from epoch 0 must not serve epoch 1");
+        c.insert((1, 2), est(1, 10.0));
+        assert_eq!(c.get((1, 2), 1), Some(est(1, 10.0)));
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = EdgeCache::new(0);
+        c.insert((0, 1), est(0, 1.0));
+        assert_eq!(c.get((0, 1), 0), None);
+        assert_eq!(c.stats().len, 0);
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_counters() {
+        let mut c = EdgeCache::new(4);
+        c.insert((0, 1), est(0, 1.0));
+        let _ = c.get((0, 1), 0);
+        c.clear();
+        assert_eq!(c.stats().len, 0);
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.get((0, 1), 0), None);
+    }
+
+    #[test]
+    fn overwrite_does_not_grow() {
+        let mut c = EdgeCache::new(2);
+        for i in 0..10u64 {
+            c.insert((0, 1), est(0, i as f64));
+        }
+        assert_eq!(c.stats().len, 1);
+        assert_eq!(c.get((0, 1), 0), Some(est(0, 9.0)));
+        assert_eq!(c.stats().evictions, 0);
+    }
+}

@@ -1,0 +1,296 @@
+//! The epoch builder: folds streamed RTT observations into the next
+//! snapshot.
+//!
+//! Readers only ever see immutable [`EpochSnapshot`]s; all mutation
+//! lives here. An [`EpochBuilder`] owns the working delay matrix, the
+//! last embedding, and one [`TivMonitor`] per node (the paper's §5.1
+//! hysteresis alarm, reused verbatim): each observation updates the
+//! source node's monitor against the *current* embedding's prediction
+//! and folds the smoothed RTT back into the matrix. [`EpochBuilder::build`]
+//! then re-embeds and freezes everything into the next snapshot, which
+//! the caller publishes into a [`TivServe`] — readers never stall,
+//! they just keep answering from the previous epoch until the swap.
+//!
+//! [`spawn`] runs the fold on a background thread fed by an mpsc
+//! channel, publishing every `observations_per_epoch` observations.
+
+use crate::service::TivServe;
+use crate::snapshot::EpochSnapshot;
+use delayspace::matrix::{DelayMatrix, NodeId};
+use simnet::net::{JitterModel, Network};
+use std::sync::mpsc;
+use std::sync::Arc;
+use tivcore::{MonitorConfig, TivMonitor};
+use vivaldi::{Embedding, VivaldiConfig, VivaldiSystem};
+
+/// One streamed RTT measurement: `src` measured `rtt_ms` to `dst`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Observation {
+    /// The measuring node.
+    pub src: NodeId,
+    /// The measured peer.
+    pub dst: NodeId,
+    /// The measured round-trip time, ms (must be finite and positive).
+    pub rtt_ms: f64,
+}
+
+/// Epoch-building parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct EpochConfig {
+    /// Hysteresis monitor configuration (per node).
+    pub monitor: MonitorConfig,
+    /// Vivaldi parameters of the re-embedding.
+    pub vivaldi: VivaldiConfig,
+    /// Rounds of the initial bootstrap embedding.
+    pub bootstrap_rounds: usize,
+    /// Rounds of each per-epoch re-embedding.
+    pub epoch_rounds: usize,
+    /// Seed of the embedding runs (folded with the epoch number, so
+    /// every epoch is still a pure function of the builder's inputs).
+    pub seed: u64,
+}
+
+impl Default for EpochConfig {
+    fn default() -> Self {
+        EpochConfig {
+            monitor: MonitorConfig::default(),
+            vivaldi: VivaldiConfig::default(),
+            bootstrap_rounds: 60,
+            epoch_rounds: 30,
+            seed: 0,
+        }
+    }
+}
+
+/// Builds successive epoch snapshots from streamed observations.
+#[derive(Clone, Debug)]
+pub struct EpochBuilder {
+    cfg: EpochConfig,
+    matrix: DelayMatrix,
+    embedding: Embedding,
+    monitors: Vec<TivMonitor>,
+    epoch: u64,
+    pending: usize,
+}
+
+impl EpochBuilder {
+    /// Bootstraps a builder from a measured delay matrix: embeds it
+    /// once (`bootstrap_rounds`) and returns the builder together with
+    /// the epoch-0 snapshot to start a service on.
+    pub fn bootstrap(matrix: DelayMatrix, cfg: EpochConfig) -> (Self, EpochSnapshot) {
+        let embedding = embed(&matrix, &cfg, cfg.bootstrap_rounds, 0);
+        let monitors = vec![TivMonitor::new(cfg.monitor); matrix.len()];
+        let builder = EpochBuilder {
+            cfg,
+            matrix: matrix.clone(),
+            embedding: embedding.clone(),
+            monitors,
+            epoch: 0,
+            pending: 0,
+        };
+        let snapshot = EpochSnapshot::without_monitors(0, matrix, embedding);
+        (builder, snapshot)
+    }
+
+    /// Observations folded in since the last [`build`](Self::build).
+    pub fn pending(&self) -> usize {
+        self.pending
+    }
+
+    /// Epoch of the last built snapshot (0 = bootstrap).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Folds one observation in: the source node's monitor absorbs the
+    /// sample (hysteresis alert state updates against the current
+    /// embedding's prediction), and the smoothed RTT is written back to
+    /// the working matrix.
+    ///
+    /// # Panics
+    /// Panics on self-loops, out-of-range nodes, or a non-positive RTT
+    /// (the monitor's own contract).
+    pub fn ingest(&mut self, obs: Observation) {
+        let n = self.matrix.len();
+        assert!(
+            obs.src < n && obs.dst < n,
+            "observation ({},{}) outside {n} nodes",
+            obs.src,
+            obs.dst
+        );
+        assert_ne!(obs.src, obs.dst, "self-observation at node {}", obs.src);
+        let predicted = self.embedding.predicted(obs.src, obs.dst);
+        self.monitors[obs.src].observe(obs.dst, obs.rtt_ms, predicted);
+        let smoothed = self.monitors[obs.src].rtt(obs.dst).expect("observe tracked the peer");
+        self.matrix.set(obs.src, obs.dst, smoothed);
+        self.pending += 1;
+    }
+
+    /// Builds the next snapshot: re-embeds the working matrix
+    /// (`epoch_rounds`, seeded by `seed ⊕ epoch`) and freezes the
+    /// monitor summaries. Resets the pending counter.
+    pub fn build(&mut self) -> EpochSnapshot {
+        self.epoch += 1;
+        self.embedding = embed(&self.matrix, &self.cfg, self.cfg.epoch_rounds, self.epoch);
+        self.pending = 0;
+        let summaries = self.monitors.iter().map(TivMonitor::summaries).collect();
+        EpochSnapshot::new(self.epoch, self.matrix.clone(), self.embedding.clone(), summaries)
+    }
+}
+
+/// Runs one deterministic Vivaldi embedding of `matrix`.
+fn embed(matrix: &DelayMatrix, cfg: &EpochConfig, rounds: usize, epoch: u64) -> Embedding {
+    let seed = cfg.seed ^ epoch.wrapping_mul(0x2545_f491_4f6c_dd1d);
+    let mut sys = VivaldiSystem::new(cfg.vivaldi, matrix.len(), seed);
+    let mut net = Network::new(matrix, JitterModel::None, seed);
+    sys.run_rounds(&mut net, rounds);
+    sys.embedding()
+}
+
+/// Handle to a background epoch-builder thread.
+pub struct EpochStream {
+    tx: mpsc::Sender<Observation>,
+    handle: std::thread::JoinHandle<EpochBuilder>,
+}
+
+impl EpochStream {
+    /// The observation sender; clone freely. Dropping every sender (and
+    /// this handle via [`join`](Self::join)) shuts the builder down.
+    pub fn sender(&self) -> mpsc::Sender<Observation> {
+        self.tx.clone()
+    }
+
+    /// Closes the stream, waits for the builder thread to publish any
+    /// tail observations, and returns the builder.
+    pub fn join(self) -> EpochBuilder {
+        drop(self.tx);
+        self.handle.join().expect("epoch builder thread panicked")
+    }
+}
+
+/// Spawns the epoch builder on a background thread: it drains streamed
+/// observations, and each time `observations_per_epoch` have been
+/// folded in it builds the next snapshot and publishes it into
+/// `service`. Remaining observations are published as a final epoch on
+/// shutdown (all senders dropped).
+pub fn spawn(
+    service: Arc<TivServe>,
+    mut builder: EpochBuilder,
+    observations_per_epoch: usize,
+) -> EpochStream {
+    assert!(observations_per_epoch >= 1, "need at least one observation per epoch");
+    let (tx, rx) = mpsc::channel::<Observation>();
+    let handle = std::thread::spawn(move || {
+        for obs in rx {
+            builder.ingest(obs);
+            if builder.pending() >= observations_per_epoch {
+                service.publish(builder.build());
+            }
+        }
+        if builder.pending() > 0 {
+            service.publish(builder.build());
+        }
+        builder
+    });
+    EpochStream { tx, handle }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServeConfig;
+    use delayspace::synth::{Dataset, InternetDelaySpace};
+
+    fn ds2(n: usize, seed: u64) -> DelayMatrix {
+        InternetDelaySpace::preset(Dataset::Ds2).with_nodes(n).build(seed).into_matrix()
+    }
+
+    fn cfg() -> EpochConfig {
+        EpochConfig { bootstrap_rounds: 20, epoch_rounds: 10, seed: 3, ..EpochConfig::default() }
+    }
+
+    #[test]
+    fn bootstrap_yields_epoch_zero() {
+        let (builder, snap) = EpochBuilder::bootstrap(ds2(30, 1), cfg());
+        assert_eq!(snap.epoch(), 0);
+        assert_eq!(builder.epoch(), 0);
+        assert_eq!(builder.pending(), 0);
+        assert_eq!(snap.len(), 30);
+    }
+
+    #[test]
+    fn ingest_then_build_advances_epoch_deterministically() {
+        let m = ds2(30, 2);
+        let (mut a, _) = EpochBuilder::bootstrap(m.clone(), cfg());
+        let (mut b, _) = EpochBuilder::bootstrap(m, cfg());
+        let obs = [
+            Observation { src: 0, dst: 5, rtt_ms: 80.0 },
+            Observation { src: 0, dst: 5, rtt_ms: 90.0 },
+            Observation { src: 7, dst: 2, rtt_ms: 33.0 },
+        ];
+        for &o in &obs {
+            a.ingest(o);
+            b.ingest(o);
+        }
+        assert_eq!(a.pending(), 3);
+        let sa = a.build();
+        let sb = b.build();
+        assert_eq!(sa.epoch(), 1);
+        assert_eq!(a.pending(), 0);
+        // Same inputs, same snapshot — matrices and coordinates match.
+        assert_eq!(sa.matrix(), sb.matrix());
+        for i in 0..30 {
+            for j in 0..30 {
+                assert_eq!(
+                    sa.embedding().predicted(i, j).to_bits(),
+                    sb.embedding().predicted(i, j).to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn observations_move_the_matrix_and_raise_alerts() {
+        let (mut builder, snap) = EpochBuilder::bootstrap(ds2(30, 4), cfg());
+        // Repeatedly report a much larger RTT than the snapshot has for
+        // (3, 9): the smoothed matrix entry climbs and, because the
+        // prediction ratio collapses, the monitor alerts.
+        let original = snap.matrix().get(3, 9).unwrap();
+        let reported = (original + 50.0) * 20.0;
+        for _ in 0..8 {
+            builder.ingest(Observation { src: 3, dst: 9, rtt_ms: reported });
+        }
+        let next = builder.build();
+        let updated = next.matrix().get(3, 9).unwrap();
+        assert!(updated > original, "smoothed RTT {updated} should exceed original {original}");
+        let summary = next.monitor_summary(3, 9).expect("peer tracked");
+        assert!(summary.alerted, "collapsed ratio must alert: {summary:?}");
+        assert!(next.evaluate(3, 9, &crate::snapshot::EstimateConfig::default()).alert);
+    }
+
+    #[test]
+    fn background_stream_publishes_epochs() {
+        let (builder, snap) = EpochBuilder::bootstrap(ds2(30, 5), cfg());
+        let service = Arc::new(TivServe::new(ServeConfig::default(), snap));
+        let stream = spawn(Arc::clone(&service), builder, 4);
+        let tx = stream.sender();
+        for k in 0..10 {
+            let src = k % 7;
+            tx.send(Observation { src, dst: src + 10, rtt_ms: 40.0 + k as f64 }).unwrap();
+        }
+        drop(tx);
+        let builder = stream.join();
+        // 10 observations at 4 per epoch: two full epochs plus a tail
+        // publish of the remaining two.
+        assert_eq!(builder.epoch(), 3);
+        assert_eq!(service.epoch(), 3);
+        assert_eq!(builder.pending(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-observation")]
+    fn self_observation_rejected() {
+        let (mut builder, _) = EpochBuilder::bootstrap(ds2(10, 6), cfg());
+        builder.ingest(Observation { src: 2, dst: 2, rtt_ms: 10.0 });
+    }
+}

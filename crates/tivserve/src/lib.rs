@@ -1,0 +1,60 @@
+//! # `tivserve` — the sharded TIV-aware estimation service
+//!
+//! The analysis layers of this workspace *compute* the paper's signals
+//! (predicted RTTs, prediction ratios, TIV severity, alert states);
+//! this crate *serves* them, the way the paper's §5 deployments assume
+//! an online component applications can query. The design is built
+//! around three ideas:
+//!
+//! 1. **Immutable epoch snapshots** ([`snapshot::EpochSnapshot`]):
+//!    a frozen `(delay matrix, Vivaldi embedding, per-node
+//!    [`TivMonitor`](tivcore::TivMonitor) summaries)` triple behind an
+//!    `Arc`, swapped wholesale when a new epoch is published — readers
+//!    never lock while computing and never observe a half-updated
+//!    state.
+//! 2. **Hash-sharded, batch-first reads** ([`service::TivServe`]):
+//!    nodes are hash-sharded; each shard owns a bounded LRU cache of
+//!    edge results, and the batch APIs (`estimate_batch`,
+//!    `severity_batch`, `alerts_batch`) fan a batch across shards with
+//!    one [`tivpar`] worker per shard. Every answer is a pure function
+//!    of the snapshot, so results are **bit-identical at every shard
+//!    count**.
+//! 3. **A background epoch builder** ([`epoch::EpochBuilder`]):
+//!    streamed RTT observations update per-node hysteresis monitors
+//!    (reusing `tivcore::monitor`) and the working matrix; a rebuilt
+//!    snapshot is published without stalling readers.
+//!
+//! [`loadgen`] generates Zipf-skewed closed-loop workloads and
+//! measures throughput and batch-latency percentiles; the `repro
+//! serve` subcommand and the `serve` bench target drive it.
+//!
+//! ```
+//! use delayspace::synth::{Dataset, InternetDelaySpace};
+//! use tivserve::epoch::{EpochBuilder, EpochConfig};
+//! use tivserve::service::{ServeConfig, TivServe};
+//!
+//! let m = InternetDelaySpace::preset(Dataset::Ds2).with_nodes(40).build(7).into_matrix();
+//! let cfg = EpochConfig { bootstrap_rounds: 15, ..EpochConfig::default() };
+//! let (_builder, snapshot) = EpochBuilder::bootstrap(m, cfg);
+//! let service = TivServe::new(ServeConfig::default(), snapshot);
+//! let answers = service.estimate_batch(&[(0, 1), (2, 3)]);
+//! assert_eq!(answers.len(), 2);
+//! assert!(answers[0].predicted >= 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod cache;
+pub mod epoch;
+pub mod loadgen;
+pub mod service;
+pub mod snapshot;
+
+pub use cache::CacheStats;
+pub use epoch::{
+    spawn as spawn_epoch_builder, EpochBuilder, EpochConfig, EpochStream, Observation,
+};
+pub use loadgen::{LoadReport, ObservePath, WorkloadConfig};
+pub use service::{ServeConfig, TivServe};
+pub use snapshot::{EdgeEstimate, EpochSnapshot, EstimateConfig};

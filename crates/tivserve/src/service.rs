@@ -1,0 +1,347 @@
+//! The sharded, batch-first estimation service.
+//!
+//! [`TivServe`] answers edge queries (predicted RTT, prediction ratio,
+//! sampled severity, TIV alert state) from the current
+//! [`EpochSnapshot`]. The snapshot lives behind an `Arc` that readers
+//! clone and then compute against lock-free; publishing a new epoch
+//! swaps the `Arc` without stalling in-flight batches (they finish on
+//! the snapshot they started with).
+//!
+//! Nodes are hash-sharded: each shard owns a bounded LRU cache of
+//! edge results, and a batch is fanned across shards with one
+//! [`tivpar`] worker per shard. Because every cached value is a pure
+//! function of the snapshot (stale epochs are rejected on lookup),
+//! the batch APIs return **bit-identical results at every shard
+//! count** — pinned by `tivoid`'s `serve_equivalence` integration
+//! test.
+
+use crate::cache::{CacheStats, EdgeCache};
+use crate::snapshot::{EdgeEstimate, EpochSnapshot, EstimateConfig};
+use delayspace::matrix::NodeId;
+use std::sync::{Arc, Mutex, RwLock};
+
+/// Service construction parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Number of shards (≥ 1). A batch fans out over one worker per
+    /// shard; `1` is the unsharded single-thread reference path.
+    pub shards: usize,
+    /// Per-shard LRU capacity, in edges (0 disables caching).
+    pub cache_capacity: usize,
+    /// Batches smaller than this run inline on the calling thread
+    /// (visiting each shard's cache in order) instead of spawning one
+    /// scoped thread per shard — the same serial gate the `ides`
+    /// kernels use, so a warm 64-query batch never pays spawn/join
+    /// latency. `0` forces the fan-out path (used by the equivalence
+    /// tests). Answers are identical either way.
+    pub parallel_threshold: usize,
+    /// Per-edge evaluation tuning (witness count, alert threshold,
+    /// sampling seed).
+    pub estimate: EstimateConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            shards: 4,
+            cache_capacity: 65_536,
+            parallel_threshold: 256,
+            estimate: EstimateConfig::default(),
+        }
+    }
+}
+
+/// The concurrent TIV estimation service.
+pub struct TivServe {
+    cfg: ServeConfig,
+    /// The published snapshot. Readers take the lock only long enough
+    /// to clone the `Arc` (no allocation, no computation under it);
+    /// writers only to swap it. All query work happens lock-free on the
+    /// cloned snapshot.
+    current: RwLock<Arc<EpochSnapshot>>,
+    /// One cache per shard. During a batch each shard is visited by
+    /// exactly one worker, so these mutexes are uncontended within a
+    /// batch; they serialise shard access across concurrent batches.
+    shards: Vec<Mutex<EdgeCache>>,
+}
+
+impl TivServe {
+    /// Starts a service on an initial snapshot.
+    ///
+    /// # Panics
+    /// Panics when `cfg.shards` is zero.
+    pub fn new(cfg: ServeConfig, initial: EpochSnapshot) -> Self {
+        assert!(cfg.shards >= 1, "a service needs at least one shard");
+        let shards =
+            (0..cfg.shards).map(|_| Mutex::new(EdgeCache::new(cfg.cache_capacity))).collect();
+        TivServe { cfg, current: RwLock::new(Arc::new(initial)), shards }
+    }
+
+    /// The construction parameters.
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    /// The currently published snapshot.
+    pub fn snapshot(&self) -> Arc<EpochSnapshot> {
+        self.current.read().expect("snapshot lock poisoned").clone()
+    }
+
+    /// Epoch of the currently published snapshot.
+    pub fn epoch(&self) -> u64 {
+        self.snapshot().epoch()
+    }
+
+    /// Publishes a new snapshot, swapping it in atomically and dropping
+    /// the shard caches' now-stale entries. In-flight batches keep the
+    /// snapshot they started with; their late cache inserts carry the
+    /// old epoch and are rejected on lookup, so a publish can never
+    /// make a reader mix epochs.
+    pub fn publish(&self, snapshot: EpochSnapshot) -> u64 {
+        let epoch = snapshot.epoch();
+        *self.current.write().expect("snapshot lock poisoned") = Arc::new(snapshot);
+        for shard in &self.shards {
+            shard.lock().expect("shard cache poisoned").clear();
+        }
+        epoch
+    }
+
+    /// The shard owning queries sourced at node `a` (multiplicative
+    /// hash, stable for the service's lifetime).
+    pub fn shard_of(&self, a: NodeId) -> usize {
+        let h = (a as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        ((h >> 32) as usize) % self.shards.len()
+    }
+
+    /// Answers one shard's query group against its cache, in group
+    /// order. The answers depend only on the snapshot, never on which
+    /// thread runs this.
+    fn answer_group(
+        &self,
+        snap: &EpochSnapshot,
+        pairs: &[(NodeId, NodeId)],
+        si: usize,
+        group: &[u32],
+    ) -> Vec<(u32, EdgeEstimate)> {
+        let mut cache = self.shards[si].lock().expect("shard cache poisoned");
+        group
+            .iter()
+            .map(|&idx| {
+                let key = pairs[idx as usize];
+                let est = match cache.get(key, snap.epoch()) {
+                    Some(hit) => hit,
+                    None => {
+                        let fresh = snap.evaluate(key.0, key.1, &self.cfg.estimate);
+                        cache.insert(key, fresh);
+                        fresh
+                    }
+                };
+                (idx, est)
+            })
+            .collect()
+    }
+
+    /// Answers a batch of `(source, peer)` edge queries, in input
+    /// order.
+    ///
+    /// Queries are grouped by the source node's shard and each group is
+    /// answered against the shard's cache — on one scoped worker per
+    /// shard for large batches, inline on the calling thread below
+    /// [`ServeConfig::parallel_threshold`] (spawn/join would dominate a
+    /// small batch) — and the answers are scattered back to input
+    /// positions. Either way the output equals a serial
+    /// `snapshot.evaluate` loop, bit for bit, at every shard count.
+    ///
+    /// # Panics
+    /// Panics when a query names a node outside the snapshot.
+    pub fn estimate_batch(&self, pairs: &[(NodeId, NodeId)]) -> Vec<EdgeEstimate> {
+        let snap = self.snapshot();
+        let n = snap.len();
+        let shard_count = self.shards.len();
+        let mut groups: Vec<Vec<u32>> = vec![Vec::new(); shard_count];
+        for (idx, &(a, c)) in pairs.iter().enumerate() {
+            assert!(a < n && c < n, "query ({a},{c}) outside the {n}-node snapshot");
+            groups[self.shard_of(a)].push(idx as u32);
+        }
+        let inline = shard_count == 1
+            || (self.cfg.parallel_threshold > 0 && pairs.len() < self.cfg.parallel_threshold);
+        let answered: Vec<Vec<(u32, EdgeEstimate)>> = if inline {
+            (0..shard_count).map(|si| self.answer_group(&snap, pairs, si, &groups[si])).collect()
+        } else {
+            tivpar::par_map_rows(shard_count, shard_count, |si| {
+                self.answer_group(&snap, pairs, si, &groups[si])
+            })
+        };
+        let mut out: Vec<Option<EdgeEstimate>> = vec![None; pairs.len()];
+        for (idx, est) in answered.into_iter().flatten() {
+            out[idx as usize] = Some(est);
+        }
+        out.into_iter().map(|e| e.expect("every query answered by its shard")).collect()
+    }
+
+    /// Batch severity estimates: `None` for unmeasured edges.
+    pub fn severity_batch(&self, pairs: &[(NodeId, NodeId)]) -> Vec<Option<f64>> {
+        self.estimate_batch(pairs).into_iter().map(|e| e.severity).collect()
+    }
+
+    /// Batch TIV alert states.
+    pub fn alerts_batch(&self, pairs: &[(NodeId, NodeId)]) -> Vec<bool> {
+        self.estimate_batch(pairs).into_iter().map(|e| e.alert).collect()
+    }
+
+    /// Cache counters summed over all shards.
+    pub fn cache_stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for shard in &self.shards {
+            total.absorb(&shard.lock().expect("shard cache poisoned").stats());
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use delayspace::matrix::DelayMatrix;
+    use delayspace::synth::{Dataset, InternetDelaySpace};
+    use simnet::net::{JitterModel, Network};
+    use vivaldi::{VivaldiConfig, VivaldiSystem};
+
+    fn snapshot(n: usize, seed: u64, epoch: u64) -> EpochSnapshot {
+        let m = InternetDelaySpace::preset(Dataset::Ds2).with_nodes(n).build(seed).into_matrix();
+        let mut sys = VivaldiSystem::new(VivaldiConfig::default(), n, seed);
+        let mut net = Network::new(&m, JitterModel::None, seed);
+        sys.run_rounds(&mut net, 40);
+        let emb = sys.embedding();
+        EpochSnapshot::without_monitors(epoch, m, emb)
+    }
+
+    fn queries(n: usize, count: usize, seed: u64) -> Vec<(NodeId, NodeId)> {
+        use rand::Rng;
+        let mut r = delayspace::rng::rng(seed);
+        (0..count)
+            .map(|_| {
+                let a = r.gen_range(0..n);
+                let mut c = r.gen_range(0..n);
+                while c == a {
+                    c = r.gen_range(0..n);
+                }
+                (a, c)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_matches_serial_evaluate() {
+        let snap = snapshot(60, 3, 0);
+        let cfg = ServeConfig { shards: 3, ..ServeConfig::default() };
+        let estimate = cfg.estimate;
+        let service = TivServe::new(cfg, snap.clone());
+        let q = queries(60, 300, 9);
+        let got = service.estimate_batch(&q);
+        for (i, &(a, c)) in q.iter().enumerate() {
+            assert_eq!(got[i], snap.evaluate(a, c, &estimate), "query {i} ({a},{c})");
+        }
+    }
+
+    #[test]
+    fn inline_gate_matches_fanout_path() {
+        let snap = snapshot(50, 11, 0);
+        // Same service config except the gate: one always inline, one
+        // always fanned out.
+        let inline = TivServe::new(
+            ServeConfig { shards: 4, parallel_threshold: usize::MAX, ..ServeConfig::default() },
+            snap.clone(),
+        );
+        let fanout = TivServe::new(
+            ServeConfig { shards: 4, parallel_threshold: 0, ..ServeConfig::default() },
+            snap,
+        );
+        let q = queries(50, 120, 5);
+        assert_eq!(inline.estimate_batch(&q), fanout.estimate_batch(&q));
+    }
+
+    #[test]
+    fn repeated_batches_hit_the_cache_without_changing_answers() {
+        let service = TivServe::new(ServeConfig::default(), snapshot(50, 5, 0));
+        let q = queries(50, 200, 1);
+        let cold = service.estimate_batch(&q);
+        let warm = service.estimate_batch(&q);
+        assert_eq!(cold, warm);
+        let stats = service.cache_stats();
+        assert!(stats.hits >= q.len() as u64, "second pass should be all hits: {stats:?}");
+        assert!(stats.len > 0);
+    }
+
+    #[test]
+    fn projections_agree_with_estimates() {
+        let service = TivServe::new(ServeConfig::default(), snapshot(40, 7, 0));
+        let q = queries(40, 80, 2);
+        let full = service.estimate_batch(&q);
+        assert_eq!(service.severity_batch(&q), full.iter().map(|e| e.severity).collect::<Vec<_>>());
+        assert_eq!(service.alerts_batch(&q), full.iter().map(|e| e.alert).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn publish_swaps_epoch_and_invalidates_cache() {
+        let service = TivServe::new(ServeConfig::default(), snapshot(40, 7, 0));
+        let q = queries(40, 50, 3);
+        let before = service.estimate_batch(&q);
+        assert!(before.iter().all(|e| e.epoch == 0));
+        // Publish a different snapshot (new seed → new matrix).
+        service.publish(snapshot(40, 8, 1));
+        assert_eq!(service.epoch(), 1);
+        let after = service.estimate_batch(&q);
+        assert!(after.iter().all(|e| e.epoch == 1));
+        assert_ne!(before, after, "a new epoch should change answers");
+    }
+
+    #[test]
+    fn readers_survive_concurrent_publishes() {
+        let service = Arc::new(TivServe::new(ServeConfig::default(), snapshot(40, 9, 0)));
+        let q = queries(40, 40, 4);
+        std::thread::scope(|scope| {
+            let svc = Arc::clone(&service);
+            let qs = q.clone();
+            let reader = scope.spawn(move || {
+                for _ in 0..30 {
+                    let got = svc.estimate_batch(&qs);
+                    // Every answer in one batch comes from one snapshot.
+                    let epoch = got[0].epoch;
+                    assert!(got.iter().all(|e| e.epoch == epoch), "mixed epochs in a batch");
+                }
+            });
+            for e in 1..6 {
+                service.publish(snapshot(40, 9 + e, e));
+            }
+            reader.join().expect("reader panicked");
+        });
+    }
+
+    #[test]
+    fn shard_routing_is_total() {
+        let service =
+            TivServe::new(ServeConfig { shards: 5, ..ServeConfig::default() }, snapshot(30, 1, 0));
+        for a in 0..30 {
+            assert!(service.shard_of(a) < 5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the")]
+    fn out_of_range_query_rejected() {
+        let service = TivServe::new(ServeConfig::default(), snapshot(10, 1, 0));
+        let _ = service.estimate_batch(&[(0, 10)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        let m = DelayMatrix::from_complete_fn(4, |i, j| (i + j) as f64 + 1.0);
+        let mut sys = VivaldiSystem::new(VivaldiConfig::default(), 4, 1);
+        let mut net = Network::new(&m, JitterModel::None, 1);
+        sys.run_rounds(&mut net, 5);
+        let snap = EpochSnapshot::without_monitors(0, m, sys.embedding());
+        TivServe::new(ServeConfig { shards: 0, ..ServeConfig::default() }, snap);
+    }
+}

@@ -1,0 +1,249 @@
+//! Immutable epoch snapshots: the state a query is answered from.
+//!
+//! The service never answers from mutable state. All reads go through an
+//! [`EpochSnapshot`] — a frozen `(delay matrix, embedding, per-node
+//! monitor summaries)` triple tagged with an epoch number — shared
+//! behind an `Arc` and swapped wholesale when the epoch builder
+//! publishes. Everything a snapshot computes is a pure function of the
+//! snapshot and the query, which is what makes the sharded service
+//! bit-identical to a serial loop (see `service`).
+
+use delayspace::matrix::{DelayMatrix, NodeId};
+use tivcore::severity::estimate_severity;
+use tivcore::MonitorSummary;
+use vivaldi::Embedding;
+
+/// Tuning of the per-edge evaluation.
+#[derive(Clone, Copy, Debug)]
+pub struct EstimateConfig {
+    /// Witnesses sampled by the severity estimator (`k` of
+    /// [`tivcore::severity::estimate_severity`]).
+    pub severity_witnesses: usize,
+    /// Prediction-ratio alarm threshold used when the querying node has
+    /// no monitor state for the peer (the paper deploys 0.6).
+    pub alert_threshold: f64,
+    /// Base seed of the witness sampling. The effective per-edge seed
+    /// also folds in the epoch and the (unordered) edge, so estimates
+    /// are decorrelated across edges yet a pure function of
+    /// `(snapshot, edge, config)`.
+    pub seed: u64,
+}
+
+impl Default for EstimateConfig {
+    fn default() -> Self {
+        EstimateConfig { severity_witnesses: 16, alert_threshold: 0.6, seed: 0 }
+    }
+}
+
+/// The edge-level answer the service returns.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EdgeEstimate {
+    /// Epoch of the snapshot that answered.
+    pub epoch: u64,
+    /// Delay predicted by the embedding (ms).
+    pub predicted: f64,
+    /// Measured delay, when the snapshot has one.
+    pub measured: Option<f64>,
+    /// Prediction ratio `predicted / measured` (`None` when unmeasured
+    /// or the measurement is zero).
+    pub ratio: Option<f64>,
+    /// Sampled TIV-severity estimate of the edge (`None` when
+    /// unmeasured).
+    pub severity: Option<f64>,
+    /// TIV alert state: the querying node's hysteresis monitor when it
+    /// tracks the peer, else the snapshot-ratio alarm.
+    pub alert: bool,
+}
+
+/// A frozen service state: delay matrix + embedding + monitor
+/// summaries, tagged with the epoch that produced it.
+#[derive(Clone, Debug)]
+pub struct EpochSnapshot {
+    epoch: u64,
+    matrix: DelayMatrix,
+    embedding: Embedding,
+    /// `monitors[i]` is node `i`'s exported [`TivMonitor`] state,
+    /// sorted by peer id (possibly empty).
+    monitors: Vec<Vec<MonitorSummary>>,
+}
+
+impl EpochSnapshot {
+    /// Freezes a snapshot.
+    ///
+    /// # Panics
+    /// Panics when the matrix, embedding and monitor table disagree on
+    /// the node count, or when a monitor export is not sorted by peer.
+    pub fn new(
+        epoch: u64,
+        matrix: DelayMatrix,
+        embedding: Embedding,
+        monitors: Vec<Vec<MonitorSummary>>,
+    ) -> Self {
+        let n = matrix.len();
+        assert_eq!(embedding.len(), n, "embedding covers {} of {n} nodes", embedding.len());
+        assert_eq!(monitors.len(), n, "monitor table covers {} of {n} nodes", monitors.len());
+        for (i, peers) in monitors.iter().enumerate() {
+            assert!(
+                peers.windows(2).all(|w| w[0].peer < w[1].peer),
+                "node {i}: monitor summaries not sorted by peer"
+            );
+            assert!(peers.iter().all(|s| s.peer < n), "node {i}: summary of unknown peer");
+        }
+        EpochSnapshot { epoch, matrix, embedding, monitors }
+    }
+
+    /// A snapshot with no monitor state (alerts fall back to the ratio
+    /// rule for every edge).
+    pub fn without_monitors(epoch: u64, matrix: DelayMatrix, embedding: Embedding) -> Self {
+        let n = matrix.len();
+        Self::new(epoch, matrix, embedding, vec![Vec::new(); n])
+    }
+
+    /// The epoch tag.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of nodes served.
+    pub fn len(&self) -> usize {
+        self.matrix.len()
+    }
+
+    /// True when the snapshot serves no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.matrix.is_empty()
+    }
+
+    /// The frozen delay matrix.
+    pub fn matrix(&self) -> &DelayMatrix {
+        &self.matrix
+    }
+
+    /// The frozen embedding.
+    pub fn embedding(&self) -> &Embedding {
+        &self.embedding
+    }
+
+    /// Node `a`'s monitor summary of `peer`, if `a` tracks it.
+    pub fn monitor_summary(&self, a: NodeId, peer: NodeId) -> Option<&MonitorSummary> {
+        let peers = &self.monitors[a];
+        peers.binary_search_by_key(&peer, |s| s.peer).ok().map(|idx| &peers[idx])
+    }
+
+    /// Total alerted `(observer, peer)` monitor entries in the snapshot.
+    pub fn alerted_monitor_entries(&self) -> usize {
+        self.monitors.iter().flatten().filter(|s| s.alerted).count()
+    }
+
+    /// The witness-sampling seed of one unordered edge: a pure function
+    /// of `(config seed, epoch, {a, c})`, so estimates are symmetric in
+    /// the endpoints and stable for the snapshot's lifetime.
+    fn edge_seed(&self, cfg: &EstimateConfig, a: NodeId, c: NodeId) -> u64 {
+        let (lo, hi) = if a < c { (a, c) } else { (c, a) };
+        cfg.seed
+            ^ self.epoch.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            ^ (((lo as u64) << 32) | hi as u64).wrapping_mul(0xd605_0bb5_1656_57a1)
+    }
+
+    /// Evaluates one edge query against the frozen state.
+    ///
+    /// Pure: the result depends only on `(self, a, c, cfg)` — never on
+    /// caches, shard layout or thread count — which is the invariant the
+    /// sharded service's equivalence tests pin.
+    pub fn evaluate(&self, a: NodeId, c: NodeId, cfg: &EstimateConfig) -> EdgeEstimate {
+        let predicted = self.embedding.predicted(a, c);
+        let measured = self.matrix.get(a, c);
+        let ratio = measured.filter(|&d| d > 0.0).map(|d| predicted / d);
+        let severity = if measured.is_some() && a != c {
+            estimate_severity(&self.matrix, a, c, cfg.severity_witnesses, self.edge_seed(cfg, a, c))
+        } else {
+            None
+        };
+        let alert = match self.monitor_summary(a, c) {
+            Some(s) => s.alerted,
+            None => ratio.is_some_and(|r| r < cfg.alert_threshold),
+        };
+        EdgeEstimate { epoch: self.epoch, predicted, measured, ratio, severity, alert }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use delayspace::synth::{Dataset, InternetDelaySpace};
+    use simnet::net::{JitterModel, Network};
+    use tivcore::{MonitorConfig, TivMonitor};
+    use vivaldi::{VivaldiConfig, VivaldiSystem};
+
+    fn fixture(n: usize, seed: u64) -> (DelayMatrix, Embedding) {
+        let m = InternetDelaySpace::preset(Dataset::Ds2).with_nodes(n).build(seed).into_matrix();
+        let mut sys = VivaldiSystem::new(VivaldiConfig::default(), n, seed);
+        let mut net = Network::new(&m, JitterModel::None, seed);
+        sys.run_rounds(&mut net, 40);
+        let emb = sys.embedding();
+        (m, emb)
+    }
+
+    #[test]
+    fn evaluate_is_pure_and_symmetric_in_severity() {
+        let (m, emb) = fixture(60, 3);
+        let snap = EpochSnapshot::without_monitors(5, m, emb);
+        let cfg = EstimateConfig::default();
+        let ab = snap.evaluate(7, 21, &cfg);
+        assert_eq!(ab, snap.evaluate(7, 21, &cfg), "evaluate must be deterministic");
+        let ba = snap.evaluate(21, 7, &cfg);
+        // Predicted, measured, ratio and the sampled severity are all
+        // symmetric; only the alert may differ (it is observer-local).
+        assert_eq!(ab.predicted.to_bits(), ba.predicted.to_bits());
+        assert_eq!(ab.measured, ba.measured);
+        assert_eq!(ab.severity.map(f64::to_bits), ba.severity.map(f64::to_bits));
+        assert_eq!(ab.epoch, 5);
+    }
+
+    #[test]
+    fn monitor_state_overrides_ratio_alarm() {
+        let (m, emb) = fixture(40, 7);
+        // Node 0's monitor has peer 1 alerted regardless of the ratio.
+        let mut mon = TivMonitor::new(MonitorConfig::default());
+        for _ in 0..5 {
+            mon.observe(1, 100.0, 10.0);
+        }
+        let mut monitors = vec![Vec::new(); m.len()];
+        monitors[0] = mon.summaries();
+        let snap = EpochSnapshot::new(1, m, emb, monitors);
+        let cfg = EstimateConfig { alert_threshold: 0.0, ..EstimateConfig::default() };
+        // Threshold 0 never alerts by ratio, yet (0, 1) alerts via the
+        // monitor; (1, 0) has no monitor state and stays quiet.
+        assert!(snap.evaluate(0, 1, &cfg).alert);
+        assert!(!snap.evaluate(1, 0, &cfg).alert);
+        assert_eq!(snap.alerted_monitor_entries(), 1);
+    }
+
+    #[test]
+    fn ratio_alarm_fires_without_monitors() {
+        let (m, emb) = fixture(50, 11);
+        let snap = EpochSnapshot::without_monitors(0, m, emb);
+        // An absurdly high threshold alerts every measured edge.
+        let cfg = EstimateConfig { alert_threshold: f64::MAX, ..EstimateConfig::default() };
+        let est = snap.evaluate(2, 3, &cfg);
+        assert_eq!(est.alert, est.ratio.is_some());
+    }
+
+    #[test]
+    fn edge_seed_changes_with_epoch_and_edge() {
+        let (m, emb) = fixture(30, 1);
+        let cfg = EstimateConfig::default();
+        let a = EpochSnapshot::without_monitors(1, m.clone(), emb.clone());
+        let b = EpochSnapshot::without_monitors(2, m, emb);
+        assert_ne!(a.edge_seed(&cfg, 1, 2), b.edge_seed(&cfg, 1, 2));
+        assert_ne!(a.edge_seed(&cfg, 1, 2), a.edge_seed(&cfg, 1, 3));
+        assert_eq!(a.edge_seed(&cfg, 2, 1), a.edge_seed(&cfg, 1, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "monitor table covers")]
+    fn mismatched_monitor_table_rejected() {
+        let (m, emb) = fixture(30, 2);
+        EpochSnapshot::new(0, m, emb, vec![Vec::new(); 7]);
+    }
+}
