@@ -1,0 +1,100 @@
+//! The detour-routing benchmark: thread sweep of the offline k-best
+//! table, shard sweep of the online `route_batch` query.
+//!
+//! Two views of the same 256-node DS² space:
+//!
+//! * `route/table_256/<threads>` — criterion timing of
+//!   `DetourTable::compute` (k = 4) at worker counts {1, 2, 4, 8}; the
+//!   `/1` row is the serial baseline of the O(n³) search;
+//! * `route/batch_256/<shards>` — criterion timing of one warm
+//!   64-query `route_batch` call at shard counts {1, 2, 4, 8}.
+//!
+//! Before timing anything, each sweep asserts its answers are
+//! bit-identical to the serial/unsharded reference — a bench run can't
+//! report speedups of a divergent kernel.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use experiments::serve::{build_service, ServeOptions};
+use std::hint::black_box;
+use tivbench::ds2;
+use tivroute::DetourTable;
+use tivserve::loadgen;
+
+/// Worker counts swept by the table group.
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// Shard counts swept by the batch group.
+const SHARDS: [usize; 4] = [1, 2, 4, 8];
+
+/// Relays kept per pair (rank 0 is what `route_batch` serves).
+const K: usize = 4;
+
+fn bench_detour_table(c: &mut Criterion) {
+    let m = ds2(256);
+    let serial = DetourTable::compute(&m, K, 1);
+    let mut g = c.benchmark_group("route/table_256");
+    g.sample_size(10);
+    for &t in &THREADS {
+        // Equivalence gate: the parallel table must match the serial
+        // one bit for bit before we time anything.
+        let par = DetourTable::compute(&m, K, t);
+        for a in 0..m.len() {
+            for c2 in 0..m.len() {
+                let s: Vec<_> =
+                    serial.relays(a, c2).map(|r| (r.relay, r.via_ms.to_bits())).collect();
+                let p: Vec<_> = par.relays(a, c2).map(|r| (r.relay, r.via_ms.to_bits())).collect();
+                assert_eq!(s, p, "detour table diverged at {t} threads, pair ({a},{c2})");
+            }
+        }
+        g.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, &t| {
+            b.iter(|| black_box(DetourTable::compute(&m, K, t)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_route_batch(c: &mut Criterion) {
+    let o = ServeOptions {
+        nodes: 256,
+        queries: 4_000,
+        batch: 64,
+        observe_frac: 0.0,
+        epoch_every: 0,
+        parallel_threshold: 0, // measure the sharded code itself
+        seed: tivbench::SEED,
+        ..ServeOptions::default()
+    };
+    let (reference, _, matrix) = build_service(&o, 1);
+    let batches = loadgen::generate(&o.workload(), &matrix);
+    let reference_answers: Vec<_> =
+        batches.iter().map(|b| reference.route_batch(&b.pairs)).collect();
+    let mut g = c.benchmark_group("route/batch_256");
+    g.sample_size(10);
+    for &s in &SHARDS {
+        let (service, _, _) = build_service(&o, s);
+        // Equivalence gate: the sharded route answers must match the
+        // unsharded ones before we time anything.
+        for (batch, expect) in batches.iter().zip(&reference_answers) {
+            assert_eq!(&service.route_batch(&batch.pairs), expect, "route diverged at {s} shards");
+        }
+        let hot = &batches[0].pairs;
+        g.bench_with_input(BenchmarkId::from_parameter(s), &s, |b, _| {
+            b.iter(|| black_box(service.route_batch(hot)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = bench_config();
+    targets = bench_detour_table, bench_route_batch
+}
+criterion_main!(benches);

@@ -7,9 +7,11 @@
 //!   64-query `estimate_batch` call (the per-request latency the
 //!   sharding is supposed to improve on multi-core machines);
 //! * a full closed-loop run per shard count, recorded as
-//!   `serve/shards/<s>/throughput_qps` and `serve/shards/<s>/p99_us`
-//!   metrics for the `BENCH_serve.json` artifact the CI bench-smoke
-//!   job regression-checks.
+//!   `serve/shards/<s>/throughput_qps`, `serve/shards/<s>/p99_us` and
+//!   `serve/shards/<s>/occupancy_max_over_mean` (per-shard load
+//!   balance of the Zipf-skewed stream under the ordered-pair shard
+//!   hash) metrics for the `BENCH_serve.json` artifact the CI
+//!   bench-smoke job regression-checks.
 //!
 //! Before timing anything, the sweep asserts the batched answers at
 //! every shard count are bit-identical to the unsharded path — a bench
@@ -78,6 +80,29 @@ fn closed_loop_metrics(_c: &mut Criterion) {
     for &s in &SHARDS {
         let so = ServeOptions { shards: s, ..o };
         let (batches, service) = workload(&so);
+        // Per-shard occupancy of the whole Zipf-skewed query stream:
+        // sharding by the ordered pair must spread hot sources evenly
+        // (hashing the source alone used to pin them to one shard).
+        // Deterministic — a pure function of (workload, hash) — so it
+        // is asserted here like the equivalence gates, not left to the
+        // regression checker: the 2x factor there is tuned for timing
+        // noise, and the source-only hash bug this pins against only
+        // costs 1.1-1.8x on this workload, which 2x would wave
+        // through. Measured balance under the pair hash is <= 1.06 at
+        // every shard count.
+        let pairs: Vec<_> = batches.iter().flat_map(|b| b.pairs.iter().copied()).collect();
+        let hist = service.shard_histogram(&pairs);
+        let mean = pairs.len() as f64 / s as f64;
+        let max_over_mean = hist.iter().copied().max().unwrap_or(0) as f64 / mean;
+        assert!(
+            max_over_mean <= 1.1,
+            "shard occupancy skewed at {s} shards: max/mean {max_over_mean:.3} ({hist:?}) — \
+             did the shard hash stop covering both endpoints?"
+        );
+        criterion::record_metric(
+            format!("serve/shards/{s}/occupancy_max_over_mean"),
+            max_over_mean,
+        );
         // Warm pass fills the caches, measured pass is the steady state
         // a long-running service sees.
         let _ = loadgen::run_closed_loop(&service, &batches, ObservePath::Drop);
@@ -86,11 +111,13 @@ fn closed_loop_metrics(_c: &mut Criterion) {
         criterion::record_metric(format!("serve/shards/{s}/p99_us"), report.p99_us);
         println!(
             "serve closed loop: {s} shard(s): {:.0} q/s, p50 {:.0} us, p99 {:.0} us, \
-             cache hit {:.1}%",
+             cache hit {:.1}%, occupancy {:?} (max/mean {:.2})",
             report.qps,
             report.p50_us,
             report.p99_us,
-            report.cache.hit_rate() * 100.0
+            report.cache.hit_rate() * 100.0,
+            hist,
+            max_over_mean
         );
     }
 }

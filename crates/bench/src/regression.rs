@@ -38,7 +38,9 @@ pub struct CheckReport {
     /// Per-metric comparisons, in name order.
     pub compared: Vec<Comparison>,
     /// Metrics present now but absent from the baseline (informational:
-    /// new benches are fine, they get baselined next time).
+    /// new benches are fine, they get baselined next time — the
+    /// `bench_regression` binary warns, never fails, on these, even
+    /// when *no* metric overlaps the baseline).
     pub new_metrics: Vec<String>,
     /// Baseline metrics that were not measured this run (informational;
     /// a renamed or deleted bench shows up here).

@@ -72,6 +72,14 @@ impl Severity {
     }
 
     /// Iterator over `(i, j, severity)` for measured unordered edges.
+    ///
+    /// The severity of an edge is `NaN` when it was not measured in the
+    /// matrix this `Severity` was computed from — which happens whenever
+    /// `m` carries measurements the severity pass never saw (an epoch
+    /// builder folding in fresh observations, a mask being lifted).
+    /// Consumers that aggregate ([`Severity::cdf`],
+    /// [`Severity::worst_edges`], [`Severity::by_delay_bins`]) skip
+    /// those entries rather than choke on them.
     pub fn edges<'a>(
         &'a self,
         m: &'a DelayMatrix,
@@ -79,13 +87,19 @@ impl Severity {
         m.edges().map(move |(i, j, _)| (i, j, self.sev[i * self.n + j]))
     }
 
-    /// CDF of edge severities (Figure 2).
+    /// CDF of edge severities (Figure 2). Edges without a computed
+    /// severity (NaN) are skipped.
     pub fn cdf(&self, m: &DelayMatrix) -> Cdf {
+        // Cdf::from_samples drops non-finite samples, so NaN severities
+        // of newly-measured edges can never poison the distribution.
         Cdf::from_samples(self.edges(m).map(|(_, _, s)| s))
     }
 
     /// Severity versus edge delay, in `bin_ms`-wide bins (Figures 4–7).
+    /// Edges without a computed severity (NaN) are skipped.
     pub fn by_delay_bins(&self, m: &DelayMatrix, bin_ms: f64, max_ms: f64) -> BinnedStats {
+        // BinnedStats::build drops non-finite y-values for the same
+        // reason cdf() relies on from_samples doing it.
         BinnedStats::build(m.edges().map(|(i, j, d)| (d, self.sev[i * self.n + j])), bin_ms, max_ms)
     }
 
@@ -114,11 +128,16 @@ impl Severity {
 
     /// The `frac` (e.g. 0.2 = worst 20%) of measured edges with the
     /// highest severity, as unordered pairs sorted by descending
-    /// severity.
+    /// severity. Edges of `m` without a computed severity (NaN — see
+    /// [`Severity::edges`]) are excluded before the fraction is taken.
     pub fn worst_edges(&self, m: &DelayMatrix, frac: f64) -> Vec<(NodeId, NodeId)> {
         assert!((0.0..=1.0).contains(&frac), "fraction {frac} outside [0,1]");
-        let mut edges: Vec<(NodeId, NodeId, f64)> = self.edges(m).collect();
-        edges.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap());
+        let mut edges: Vec<(NodeId, NodeId, f64)> =
+            self.edges(m).filter(|(_, _, s)| !s.is_nan()).collect();
+        // total_cmp, not partial_cmp().unwrap(): even though NaNs are
+        // filtered above, a comparator that cannot panic keeps this
+        // safe against any future source of non-finite severities.
+        edges.sort_by(|a, b| b.2.total_cmp(&a.2));
         let k = ((edges.len() as f64) * frac).round() as usize;
         edges.truncate(k);
         edges.into_iter().map(|(i, j, _)| (i, j)).collect()
@@ -217,7 +236,7 @@ pub fn triangulation_ratios(m: &DelayMatrix, a: NodeId, c: NodeId) -> Vec<f64> {
             out.push(dac / alt);
         }
     }
-    out.sort_by(|x, y| x.partial_cmp(y).unwrap());
+    out.sort_by(f64::total_cmp);
     out
 }
 
@@ -533,6 +552,41 @@ mod tests {
         for seed in 0..8 {
             assert_eq!(estimate_severity(&m, 0, 10, 8, seed), Some(0.0));
         }
+    }
+
+    #[test]
+    fn consumers_survive_edges_measured_after_the_severity_pass() {
+        // Regression test: the severity matrix is seeded with NaN, and
+        // an edge measured *after* the pass (the epoch builder folding
+        // in a fresh observation, a sparser sampling matrix) keeps that
+        // NaN. worst_edges used to feed it to partial_cmp().unwrap()
+        // and panic; cdf/by_delay_bins must also skip it, not fold it
+        // into the aggregates.
+        let s = InternetDelaySpace::preset(Dataset::Ds2).with_nodes(40).build(11);
+        let mut sparse = s.matrix().clone();
+        // Hold out a band of edges from the severity pass...
+        for j in 1..sparse.len() {
+            sparse.clear(0, j);
+        }
+        let sev = Severity::compute(&sparse, 1);
+        // ...then hand the consumers the fully-measured matrix, as a
+        // service whose matrix keeps growing would.
+        let full = s.matrix();
+        let measured: Vec<_> = sev.edges(full).filter(|(_, _, v)| !v.is_nan()).collect();
+        let held_out = full.edges().count() - measured.len();
+        assert!(held_out > 0, "fixture must contain newly-measured edges");
+
+        let worst = sev.worst_edges(full, 1.0); // used to panic here
+        assert_eq!(worst.len(), measured.len(), "NaN edges must not count toward the fraction");
+        assert!(worst.iter().all(|&(i, _)| i != 0), "held-out edges must be excluded");
+        // Descending order over the retained edges.
+        let ranked: Vec<f64> = worst.iter().map(|&(i, j)| sev.severity(i, j).unwrap()).collect();
+        assert!(ranked.windows(2).all(|w| w[0] >= w[1]));
+
+        assert_eq!(sev.cdf(full).len(), measured.len());
+        let binned = sev.by_delay_bins(full, 50.0, 2_000.0);
+        let samples: usize = binned.bins.iter().filter_map(|b| b.stats.map(|st| st.count)).sum();
+        assert!(samples <= measured.len(), "binned stats must skip NaN severities");
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! repro serve [--nodes N] [--shards S] [--queries Q] [--batch B]
 //!             [--zipf Z] [--observe F] [--epoch-every K]
 //!             [--cache C] [--witnesses W] [--seed S]
+//! repro route [--nodes N] [--k K] [--threads T] [--seed S] [--out DIR]
 //! ```
 //!
 //! * `figN` — one experiment id (fig1 … fig25), or `all`.
@@ -25,8 +26,14 @@
 //! workload and prints throughput, batch-latency percentiles and cache
 //! behaviour. Batched answers are bit-identical at every `--shards`
 //! value; see `experiments::serve` for the flag semantics.
+//!
+//! `repro route` runs the TIV-exploiting one-hop detour search over a
+//! DS²-style space and prints the detour-gain summary; with `--out` it
+//! writes the `route-savings` and `route-vs-severity` figure CSVs. See
+//! `experiments::route`.
 
 use experiments::lab::Lab;
+use experiments::route::{run_route, RouteOptions};
 use experiments::scale::ExperimentScale;
 use experiments::serve::{run_serve, ServeOptions};
 use experiments::suite;
@@ -96,6 +103,79 @@ fn parse_serve_args(argv: impl Iterator<Item = String>) -> Result<ServeOptions, 
     Ok(opts)
 }
 
+/// Parses the flags of the `route` subcommand into [`RouteOptions`]
+/// plus the optional output directory.
+fn parse_route_args(
+    argv: impl Iterator<Item = String>,
+) -> Result<(RouteOptions, Option<PathBuf>), String> {
+    fn value<T: std::str::FromStr>(
+        argv: &mut impl Iterator<Item = String>,
+        flag: &str,
+    ) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        let v = argv.next().ok_or(format!("{flag} needs a value"))?;
+        v.parse().map_err(|e| format!("bad {flag} value: {e}"))
+    }
+    let mut opts = RouteOptions::default();
+    let mut out = None;
+    let mut argv = argv;
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--nodes" => opts.nodes = value(&mut argv, "--nodes")?,
+            "--k" => opts.k = value(&mut argv, "--k")?,
+            "--threads" => opts.threads = value(&mut argv, "--threads")?,
+            "--seed" => opts.seed = value(&mut argv, "--seed")?,
+            "--out" => {
+                let v = argv.next().ok_or("--out needs a directory")?;
+                out = Some(PathBuf::from(v));
+            }
+            other => {
+                return Err(format!(
+                    "unknown route argument: {other}\n\
+                     usage: repro route [--nodes N] [--k K] [--threads T] [--seed S] [--out DIR]"
+                ))
+            }
+        }
+    }
+    if opts.nodes < 3 {
+        return Err("--nodes must be at least 3 (a detour needs a relay)".to_string());
+    }
+    if opts.k < 1 {
+        return Err("--k must be at least 1".to_string());
+    }
+    Ok((opts, out))
+}
+
+/// Runs the `route` subcommand end to end.
+fn run_route_command(argv: impl Iterator<Item = String>) -> ExitCode {
+    let (opts, out) = match parse_route_args(argv) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = run_route(&opts);
+    print!("{report}");
+    if let Some(dir) = out {
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+        for fig in &report.figures {
+            let path = dir.join(format!("{}.csv", fig.id));
+            if let Err(e) = std::fs::write(&path, fig.to_csv()) {
+                eprintln!("cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            println!("figure written to {}", path.display());
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn parse_args() -> Result<Args, String> {
     let mut ids = Vec::new();
     let mut scale = ExperimentScale::Small;
@@ -136,6 +216,8 @@ fn parse_args() -> Result<Args, String> {
              [--report FILE] [--threads N]\n\
              \x20      repro serve [--nodes N] [--shards S] [--queries Q] ... \
              (run the estimation service)\n\
+             \x20      repro route [--nodes N] [--k K] [--threads T] [--seed S] [--out DIR] \
+             (run the detour search)\n\
              figures: {}\n\
              ablations: {}",
             suite::ALL_IDS.join(" "),
@@ -178,18 +260,25 @@ fn emit(
 
 fn main() -> ExitCode {
     let mut argv = std::env::args().skip(1).peekable();
-    if argv.peek().map(String::as_str) == Some("serve") {
-        argv.next();
-        return match parse_serve_args(argv) {
-            Ok(opts) => {
-                println!("{}", run_serve(&opts));
-                ExitCode::SUCCESS
-            }
-            Err(e) => {
-                eprintln!("{e}");
-                ExitCode::FAILURE
-            }
-        };
+    match argv.peek().map(String::as_str) {
+        Some("serve") => {
+            argv.next();
+            return match parse_serve_args(argv) {
+                Ok(opts) => {
+                    println!("{}", run_serve(&opts));
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
+        Some("route") => {
+            argv.next();
+            return run_route_command(argv);
+        }
+        _ => {}
     }
     drop(argv);
     let args = match parse_args() {

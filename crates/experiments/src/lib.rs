@@ -20,7 +20,8 @@
 //! headline-number comparison; [`penalty`] and [`ablations`] hold the
 //! shared penalty metrics and the beyond-the-paper sweeps; [`serve`]
 //! drives the sharded `tivserve` estimation service (the `repro serve`
-//! subcommand).
+//! subcommand); [`route`] runs the TIV-exploiting one-hop detour
+//! search (the `repro route` subcommand).
 //!
 //! Batches fan out over worker threads with [`suite::run_many`] (the
 //! `repro` binary's `--threads` flag); every figure is a pure function
@@ -43,6 +44,7 @@ pub mod figure;
 pub mod lab;
 pub mod penalty;
 pub mod report;
+pub mod route;
 pub mod scale;
 pub mod sec2;
 pub mod sec3;

@@ -14,7 +14,8 @@
 //! | embeddings | [`vivaldi`], [`ides`] | network coordinates; matrix-factorization prediction |
 //! | overlay | [`meridian`] | concentric-ring closest-neighbor location service |
 //! | core | [`tivcore`] | TIV severity, the TIV alert mechanism, TIV-aware selection |
-//! | serving | [`tivserve`] | sharded, epoch-snapshot estimation service + load generator |
+//! | routing | [`tivroute`] | k-best one-hop detour search, detour-gain statistics |
+//! | serving | [`tivserve`] | sharded, epoch-snapshot estimation + routing service, load generator |
 //! | harness | [`experiments`] | one function per figure of the paper, `repro` binary |
 //!
 //! Every O(n³) kernel (severity, APSP, the alert sweeps, the
@@ -41,6 +42,7 @@ pub use meridian;
 pub use simnet;
 pub use tivcore;
 pub use tivpar;
+pub use tivroute;
 pub use tivserve;
 pub use vivaldi;
 
@@ -72,8 +74,10 @@ pub mod prelude {
     pub use tivcore::tivmeridian::{build_tiv_aware, tiv_aware_query, TivMeridianConfig};
     pub use tivcore::{EdgeMask, MonitorConfig, MonitorSummary, TivAlert, TivMonitor};
 
+    pub use tivroute::{best_detour, DetourGain, DetourStats, DetourTable};
+
     pub use tivserve::{
         EdgeEstimate, EpochBuilder, EpochConfig, EpochSnapshot, EstimateConfig, Observation,
-        ServeConfig, TivServe, WorkloadConfig,
+        RouteEstimate, ServeConfig, TivServe, WorkloadConfig,
     };
 }

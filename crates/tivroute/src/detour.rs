@@ -1,0 +1,360 @@
+//! The k-best one-hop detour search.
+//!
+//! For an ordered pair `(a, c)`, a *detour* is a relay `b` (distinct
+//! from both endpoints) whose two measured hops give an alternative
+//! path delay `via = d(a,b) + d(b,c)`. The search keeps the `k`
+//! relays with the smallest `via` — ties broken by the smaller relay
+//! id, so the ranking is a total order and the whole computation is a
+//! pure function of `(matrix, k)`.
+//!
+//! The exact table is O(n³) like the severity kernel, and parallelises
+//! identically: every output row (one source node) is independent, so
+//! [`DetourTable::compute`] fans rows out over [`tivpar`] and is
+//! bit-identical at every thread count.
+
+use delayspace::matrix::{DelayMatrix, NodeId};
+
+/// Sentinel marking an unused relay slot in the table's backing store.
+const NO_RELAY: u32 = u32::MAX;
+
+/// One ranked relay for an ordered pair.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Relay {
+    /// The relay node `b`.
+    pub relay: NodeId,
+    /// The detour delay `d(a,b) + d(b,c)` in milliseconds.
+    pub via_ms: f64,
+}
+
+/// The detour gain of one edge: the best relay compared against the
+/// measured direct path.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DetourGain {
+    /// The best relay.
+    pub relay: NodeId,
+    /// Detour delay through the relay (ms).
+    pub via_ms: f64,
+    /// Measured direct delay (ms).
+    pub direct_ms: f64,
+    /// `direct - via` in ms; positive iff the detour beats the direct
+    /// path (i.e. the edge is part of a triangle inequality violation).
+    pub saving_ms: f64,
+    /// `saving_ms / direct_ms` (0 when the direct delay is zero).
+    pub saving_frac: f64,
+}
+
+impl DetourGain {
+    /// True when the detour strictly beats the direct path.
+    pub fn beneficial(&self) -> bool {
+        self.saving_ms > 0.0
+    }
+}
+
+/// The k-best one-hop detours of every ordered pair of a delay space.
+#[derive(Clone, Debug)]
+pub struct DetourTable {
+    n: usize,
+    k: usize,
+    /// Row-major `[a][c][rank]` relay ids; [`NO_RELAY`] marks unused
+    /// slots (ranks are filled left to right, so used slots are a
+    /// prefix).
+    relays: Vec<u32>,
+    /// Detour delays, parallel to `relays` (NaN in unused slots).
+    via: Vec<f64>,
+}
+
+impl DetourTable {
+    /// Computes the `k` best relays for every ordered pair, using up to
+    /// `threads` workers (0 = auto, [`tivpar::resolve_threads`]
+    /// semantics).
+    ///
+    /// The result is bit-identical at every thread count: each output
+    /// row depends only on the input matrix.
+    ///
+    /// # Panics
+    /// Panics when `k` is zero or the matrix has 2³²−1 nodes or more.
+    pub fn compute(m: &DelayMatrix, k: usize, threads: usize) -> Self {
+        assert!(k >= 1, "a detour table needs k >= 1");
+        let n = m.len();
+        assert!((n as u64) < NO_RELAY as u64, "node ids must fit in u32");
+        let mut relays = vec![NO_RELAY; n * n * k];
+        let mut via = vec![f64::NAN; n * n * k];
+        tivpar::par_fill_rows2(&mut relays, &mut via, n, threads, |a, rrow, vrow| {
+            detour_row(m, k, a, rrow, vrow)
+        });
+        DetourTable { n, k, relays, via }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the table covers no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The `k` the table was built with.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The ranked relays of `(a, c)`, best first (possibly empty).
+    pub fn relays(&self, a: NodeId, c: NodeId) -> impl Iterator<Item = Relay> + '_ {
+        let base = (a * self.n + c) * self.k;
+        let ids = &self.relays[base..base + self.k];
+        let via = &self.via[base..base + self.k];
+        ids.iter()
+            .zip(via)
+            .take_while(|(&r, _)| r != NO_RELAY)
+            .map(|(&r, &v)| Relay { relay: r as NodeId, via_ms: v })
+    }
+
+    /// The best relay of `(a, c)`, when any two-hop path is measured.
+    pub fn best(&self, a: NodeId, c: NodeId) -> Option<Relay> {
+        self.relays(a, c).next()
+    }
+
+    /// The best relay of `(a, c)` compared against the direct path of
+    /// `m` (which must be the matrix the table was computed from).
+    /// `None` when the direct edge is unmeasured or no relay exists.
+    pub fn gain(&self, m: &DelayMatrix, a: NodeId, c: NodeId) -> Option<DetourGain> {
+        let direct_ms = m.get(a, c)?;
+        let best = self.best(a, c)?;
+        let saving_ms = direct_ms - best.via_ms;
+        let saving_frac = if direct_ms > 0.0 { saving_ms / direct_ms } else { 0.0 };
+        Some(DetourGain {
+            relay: best.relay,
+            via_ms: best.via_ms,
+            direct_ms,
+            saving_ms,
+            saving_frac,
+        })
+    }
+}
+
+/// Fills one source row of the table: for every destination `c`, the
+/// `k` best relays of `(a, c)` by `(via, relay id)` order, written as a
+/// prefix of the pair's `k` slots.
+fn detour_row(m: &DelayMatrix, k: usize, a: usize, rrow: &mut [u32], vrow: &mut [f64]) {
+    let n = m.len();
+    let row_a = m.row(a);
+    for c in 0..n {
+        if c == a {
+            continue; // no detour to yourself; slots stay empty
+        }
+        let row_c = m.row(c);
+        let base = c * k;
+        let mut len = 0usize;
+        for b in 0..n {
+            if b == a || b == c {
+                continue;
+            }
+            let alt = row_a[b] + row_c[b];
+            if alt.is_nan() {
+                continue; // either hop unmeasured
+            }
+            // Insertion position among the current best, ordered by
+            // (via, relay id). Scanning from the end keeps the common
+            // no-op case (alt worse than everything, list full) cheap.
+            let mut pos = len;
+            while pos > 0 && ranks_before(alt, b as u32, vrow[base + pos - 1], rrow[base + pos - 1])
+            {
+                pos -= 1;
+            }
+            if pos >= k {
+                continue;
+            }
+            if len < k {
+                len += 1;
+            }
+            // Shift the tail right and insert.
+            for slot in (pos + 1..len).rev() {
+                rrow[base + slot] = rrow[base + slot - 1];
+                vrow[base + slot] = vrow[base + slot - 1];
+            }
+            rrow[base + pos] = b as u32;
+            vrow[base + pos] = alt;
+        }
+    }
+}
+
+/// The ranking order of the search: smaller detour delay first, ties by
+/// smaller relay id. Total over the finite `via` values the scan feeds
+/// it, which is what makes the k-best list (and every consumer)
+/// deterministic.
+fn ranks_before(via_a: f64, relay_a: u32, via_b: f64, relay_b: u32) -> bool {
+    match via_a.total_cmp(&via_b) {
+        std::cmp::Ordering::Less => true,
+        std::cmp::Ordering::Equal => relay_a < relay_b,
+        std::cmp::Ordering::Greater => false,
+    }
+}
+
+/// The single-pair scan: the best relay of `(a, c)` by the same
+/// `(via, relay id)` order the table uses, so this returns exactly
+/// [`DetourTable::best`] without building the table. This is the
+/// kernel behind the serving layer's `route_batch` query.
+pub fn best_detour(m: &DelayMatrix, a: NodeId, c: NodeId) -> Option<Relay> {
+    if a == c {
+        return None; // matches the table: self pairs have no detour
+    }
+    let n = m.len();
+    let (row_a, row_c) = (m.row(a), m.row(c));
+    let mut best: Option<(f64, usize)> = None;
+    for b in 0..n {
+        if b == a || b == c {
+            continue;
+        }
+        let alt = row_a[b] + row_c[b];
+        if alt.is_nan() {
+            continue;
+        }
+        // Strict improvement only: ties keep the earlier (smaller) id.
+        if best.map_or(true, |(bv, _)| alt.total_cmp(&bv).is_lt()) {
+            best = Some((alt, b));
+        }
+    }
+    best.map(|(via_ms, relay)| Relay { relay, via_ms })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiv_triangle() -> DelayMatrix {
+        let mut m = DelayMatrix::new(3);
+        m.set(0, 1, 5.0);
+        m.set(1, 2, 5.0);
+        m.set(0, 2, 100.0);
+        m
+    }
+
+    #[test]
+    fn finds_the_obvious_relay() {
+        let m = tiv_triangle();
+        let t = DetourTable::compute(&m, 2, 1);
+        let best = t.best(0, 2).unwrap();
+        assert_eq!(best.relay, 1);
+        assert_eq!(best.via_ms, 10.0);
+        // Symmetric matrix: the reverse direction agrees.
+        assert_eq!(t.best(2, 0), Some(best));
+        // The short edges only have the long detour through 2 (or 0).
+        assert_eq!(t.best(0, 1), Some(Relay { relay: 2, via_ms: 105.0 }));
+        // Self pairs have no detour.
+        assert_eq!(t.best(0, 0), None);
+    }
+
+    #[test]
+    fn gain_measures_savings() {
+        let m = tiv_triangle();
+        let t = DetourTable::compute(&m, 1, 1);
+        let g = t.gain(&m, 0, 2).unwrap();
+        assert_eq!(g.saving_ms, 90.0);
+        assert!((g.saving_frac - 0.9).abs() < 1e-12);
+        assert!(g.beneficial());
+        // The short edge's best detour is worse than direct.
+        let g01 = t.gain(&m, 0, 1).unwrap();
+        assert_eq!(g01.saving_ms, -100.0);
+        assert!(!g01.beneficial());
+    }
+
+    #[test]
+    fn k_best_are_sorted_and_distinct() {
+        let m = DelayMatrix::from_complete_fn(20, |i, j| ((i * 7 + j * 13) % 50) as f64 + 1.0);
+        let t = DetourTable::compute(&m, 5, 1);
+        for a in 0..20 {
+            for c in 0..20 {
+                let rs: Vec<Relay> = t.relays(a, c).collect();
+                if a == c {
+                    assert!(rs.is_empty());
+                    continue;
+                }
+                assert_eq!(rs.len(), 5);
+                for w in rs.windows(2) {
+                    assert!(
+                        w[0].via_ms < w[1].via_ms
+                            || (w[0].via_ms == w[1].via_ms && w[0].relay < w[1].relay),
+                        "ranking out of order at ({a},{c}): {w:?}"
+                    );
+                }
+                for r in &rs {
+                    assert!(r.relay != a && r.relay != c);
+                    assert_eq!(r.via_ms, m.raw(a, r.relay) + m.raw(r.relay, c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn best_detour_matches_table_rank_zero() {
+        let m = DelayMatrix::from_complete_fn(30, |i, j| ((i * 31 + j * 17) % 97) as f64 + 0.5);
+        let t = DetourTable::compute(&m, 3, 1);
+        for a in 0..30 {
+            for c in 0..30 {
+                assert_eq!(best_detour(&m, a, c), t.best(a, c), "pair ({a},{c})");
+            }
+        }
+    }
+
+    #[test]
+    fn equal_via_ties_break_by_relay_id() {
+        // Relays 1 and 2 both give via = 20; rank 0 must be relay 1.
+        let mut m = DelayMatrix::new(4);
+        m.set(0, 3, 100.0);
+        m.set(0, 1, 10.0);
+        m.set(1, 3, 10.0);
+        m.set(0, 2, 10.0);
+        m.set(2, 3, 10.0);
+        let t = DetourTable::compute(&m, 2, 1);
+        let rs: Vec<Relay> = t.relays(0, 3).collect();
+        assert_eq!(rs[0], Relay { relay: 1, via_ms: 20.0 });
+        assert_eq!(rs[1], Relay { relay: 2, via_ms: 20.0 });
+        assert_eq!(best_detour(&m, 0, 3), Some(rs[0]));
+    }
+
+    #[test]
+    fn missing_hops_are_skipped() {
+        let mut m = tiv_triangle();
+        m.clear(0, 1); // relay 1 loses a hop: (0,2) now has no detour
+        let t = DetourTable::compute(&m, 2, 1);
+        assert_eq!(t.best(0, 2), None);
+        assert_eq!(best_detour(&m, 0, 2), None);
+        // Gain over an unmeasured direct edge is also None.
+        let mut m2 = tiv_triangle();
+        m2.clear(0, 2);
+        let t2 = DetourTable::compute(&m2, 2, 1);
+        assert!(t2.best(0, 2).is_some());
+        assert_eq!(t2.gain(&m2, 0, 2), None);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let m = DelayMatrix::from_fn(40, |i, j| {
+            ((i + j) % 7 != 0).then(|| ((i * 13 + j * 29) % 83) as f64 + 1.0)
+        });
+        let serial = DetourTable::compute(&m, 4, 1);
+        for t in [2usize, 4, 7] {
+            let par = DetourTable::compute(&m, 4, t);
+            assert_eq!(par.relays, serial.relays, "relays diverged at {t} threads");
+            let sb: Vec<u64> = serial.via.iter().map(|v| v.to_bits()).collect();
+            let pb: Vec<u64> = par.via.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(pb, sb, "via delays diverged at {t} threads");
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_matrices() {
+        let t = DetourTable::compute(&DelayMatrix::new(0), 3, 1);
+        assert!(t.is_empty());
+        let t2 = DetourTable::compute(&DelayMatrix::new(2), 3, 1);
+        assert_eq!(t2.best(0, 1), None); // no third node to relay through
+    }
+
+    #[test]
+    #[should_panic(expected = "k >= 1")]
+    fn zero_k_rejected() {
+        DetourTable::compute(&DelayMatrix::new(3), 0, 1);
+    }
+}

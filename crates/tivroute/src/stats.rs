@@ -1,0 +1,178 @@
+//! Detour-gain statistics: how much latency the one-hop detours
+//! recover, and how the gains line up with TIV severity.
+//!
+//! The headline numbers the `repro route` figure plots:
+//!
+//! * the CDF of per-edge latency savings (absolute and relative to the
+//!   direct delay) when each edge takes its best one-hop detour;
+//! * the fraction of measured edges with a *beneficial* detour — by
+//!   construction exactly the edges with positive TIV severity;
+//! * relative savings binned by severity, showing the paper's payoff:
+//!   the more severe the violation, the more latency a detour recovers.
+
+use crate::detour::DetourTable;
+use delayspace::matrix::DelayMatrix;
+use delayspace::stats::{BinnedStats, Cdf};
+use tivcore::severity::Severity;
+
+/// Aggregated detour gains over the measured edges of a delay space.
+#[derive(Clone, Debug)]
+pub struct DetourStats {
+    /// Measured unordered edges considered.
+    pub edges: usize,
+    /// Edges with at least one fully-measured two-hop path.
+    pub routable: usize,
+    /// Edges whose best detour strictly beats the direct path.
+    pub beneficial: usize,
+    /// Per-edge absolute saving in ms, clamped at 0 (an edge whose best
+    /// detour loses to the direct path saves nothing — it simply keeps
+    /// the direct path). One sample per measured edge.
+    pub abs_savings_ms: Cdf,
+    /// Per-edge relative saving (fraction of the direct delay), clamped
+    /// at 0. One sample per measured edge.
+    pub rel_savings: Cdf,
+    /// Relative saving binned by the edge's TIV severity, when a
+    /// severity matrix was supplied.
+    pub savings_vs_severity: Option<BinnedStats>,
+}
+
+impl DetourStats {
+    /// Computes the gain statistics of `table` against the matrix it
+    /// was built from. When `sev` is given (computed from the same
+    /// matrix), relative savings are additionally binned by severity
+    /// in `sev_bin`-wide bins up to `sev_max`; edges whose severity is
+    /// missing (NaN — e.g. measured after the severity pass) are
+    /// skipped in that series, never folded in as garbage.
+    pub fn compute(
+        table: &DetourTable,
+        m: &DelayMatrix,
+        sev: Option<&Severity>,
+        sev_bin: f64,
+        sev_max: f64,
+    ) -> Self {
+        let mut edges = 0usize;
+        let mut routable = 0usize;
+        let mut beneficial = 0usize;
+        let mut abs = Vec::new();
+        let mut rel = Vec::new();
+        let mut by_sev = Vec::new();
+        for (i, j, _) in m.edges() {
+            edges += 1;
+            let (abs_s, rel_s) = match table.gain(m, i, j) {
+                Some(g) => {
+                    routable += 1;
+                    if g.beneficial() {
+                        beneficial += 1;
+                    }
+                    (g.saving_ms.max(0.0), g.saving_frac.max(0.0))
+                }
+                None => (0.0, 0.0),
+            };
+            abs.push(abs_s);
+            rel.push(rel_s);
+            if let Some(sev) = sev {
+                // severity() is None for NaN entries, which keeps
+                // partially-covered severity matrices safe here.
+                if let Some(s) = sev.severity(i, j) {
+                    by_sev.push((s, rel_s));
+                }
+            }
+        }
+        DetourStats {
+            edges,
+            routable,
+            beneficial,
+            abs_savings_ms: Cdf::from_samples(abs),
+            rel_savings: Cdf::from_samples(rel),
+            savings_vs_severity: sev.map(|_| BinnedStats::build(by_sev, sev_bin, sev_max)),
+        }
+    }
+
+    /// Fraction of measured edges with a beneficial detour (the paper
+    /// reports the fraction of violating edges; these coincide).
+    pub fn beneficial_fraction(&self) -> f64 {
+        if self.edges == 0 {
+            0.0
+        } else {
+            self.beneficial as f64 / self.edges as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use delayspace::synth::{Dataset, InternetDelaySpace};
+
+    fn ds2(n: usize, seed: u64) -> DelayMatrix {
+        InternetDelaySpace::preset(Dataset::Ds2).with_nodes(n).build(seed).into_matrix()
+    }
+
+    #[test]
+    fn beneficial_iff_severity_positive() {
+        // The detour layer is the operational face of the severity
+        // metric: an edge has a beneficial one-hop detour exactly when
+        // its severity is positive.
+        let m = ds2(80, 7);
+        let table = DetourTable::compute(&m, 1, 0);
+        let sev = Severity::compute(&m, 0);
+        for (i, j, _) in m.edges() {
+            let g = table.gain(&m, i, j).expect("complete matrix is routable");
+            let s = sev.severity(i, j).expect("measured edge has severity");
+            assert_eq!(g.beneficial(), s > 0.0, "edge ({i},{j}): saving {} sev {s}", g.saving_ms);
+        }
+    }
+
+    #[test]
+    fn stats_count_and_bound_savings() {
+        let m = ds2(60, 3);
+        let table = DetourTable::compute(&m, 2, 0);
+        let sev = Severity::compute(&m, 0);
+        let stats = DetourStats::compute(&table, &m, Some(&sev), 0.05, 2.0);
+        assert_eq!(stats.edges, m.edges().count());
+        assert_eq!(stats.routable, stats.edges, "complete matrix: every edge routable");
+        assert!(stats.beneficial > 0, "DS2 has TIVs, so some edges must gain");
+        assert!(stats.beneficial < stats.edges);
+        assert_eq!(stats.rel_savings.len(), stats.edges);
+        // Relative savings live in [0, 1): a detour can't be negative
+        // length.
+        let (lo, hi) = stats.rel_savings.range().unwrap();
+        assert!(lo >= 0.0 && hi < 1.0, "relative savings out of range: [{lo}, {hi}]");
+        let frac = stats.beneficial_fraction();
+        assert!((0.0..=1.0).contains(&frac));
+        // Fraction of edges saving nothing matches the CDF at 0.
+        assert!((stats.rel_savings.eval(0.0) - (1.0 - frac)).abs() < 1e-12);
+        assert!(stats.savings_vs_severity.is_some());
+    }
+
+    #[test]
+    fn savings_grow_with_severity() {
+        let m = ds2(150, 21);
+        let table = DetourTable::compute(&m, 1, 0);
+        let sev = Severity::compute(&m, 0);
+        let stats = DetourStats::compute(&table, &m, Some(&sev), 0.05, 2.0);
+        let series = stats.savings_vs_severity.as_ref().unwrap().median_series();
+        assert!(series.len() >= 3, "need a few populated severity bins");
+        // The paper's payoff: median savings in the most severe bin
+        // beat the least severe bin.
+        let first = series.first().unwrap().1;
+        let last = series.last().unwrap().1;
+        assert!(last > first, "savings should grow with severity: {first} .. {last}");
+    }
+
+    #[test]
+    fn sparse_matrix_has_unroutable_edges() {
+        // A 3-node path graph: edge (0,1) has relay 2 only via the
+        // unmeasured (0,2) hop — no detour, but the edge still counts.
+        let mut m = DelayMatrix::new(3);
+        m.set(0, 1, 5.0);
+        m.set(1, 2, 5.0);
+        let table = DetourTable::compute(&m, 1, 1);
+        let stats = DetourStats::compute(&table, &m, None, 0.05, 2.0);
+        assert_eq!(stats.edges, 2);
+        assert_eq!(stats.routable, 0);
+        assert_eq!(stats.beneficial, 0);
+        assert_eq!(stats.beneficial_fraction(), 0.0);
+        assert!(stats.savings_vs_severity.is_none());
+    }
+}

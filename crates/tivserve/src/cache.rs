@@ -7,13 +7,17 @@
 //! lets the sharded service promise bit-identical results at every
 //! shard count while still caching aggressively.
 //!
+//! The cache is generic over the cached value so every query kind the
+//! service answers (edge estimates, route answers) shares one eviction
+//! and epoch-validation implementation; the epoch lives in the slot,
+//! not the value, so value types owe the cache nothing.
+//!
 //! Implementation: a `HashMap` keyed by the ordered query pair plus a
 //! `BTreeMap` recency index over a monotonic tick. Both operations are
 //! O(log n); a doubly-linked-list LRU would be O(1) but needs `unsafe`
 //! (or index juggling), which this workspace forbids, and shard caches
 //! are consulted once per query — the map lookup dominates either way.
 
-use crate::snapshot::EdgeEstimate;
 use delayspace::matrix::NodeId;
 use std::collections::{BTreeMap, HashMap};
 
@@ -50,16 +54,19 @@ impl CacheStats {
     }
 }
 
-struct Slot {
-    value: EdgeEstimate,
+struct Slot<V> {
+    value: V,
+    /// Epoch of the snapshot that produced the value; a lookup under a
+    /// different epoch treats the entry as stale.
+    epoch: u64,
     tick: u64,
 }
 
-/// A bounded least-recently-used map from ordered query pairs to
-/// [`EdgeEstimate`]s.
-pub struct EdgeCache {
+/// A bounded least-recently-used map from ordered query pairs to cached
+/// per-edge answers of type `V`.
+pub struct EdgeCache<V> {
     cap: usize,
-    map: HashMap<(NodeId, NodeId), Slot>,
+    map: HashMap<(NodeId, NodeId), Slot<V>>,
     /// tick → key, the recency order (smallest tick = least recent).
     recency: BTreeMap<u64, (NodeId, NodeId)>,
     next_tick: u64,
@@ -68,7 +75,7 @@ pub struct EdgeCache {
     evictions: u64,
 }
 
-impl EdgeCache {
+impl<V: Copy> EdgeCache<V> {
     /// A cache holding at most `capacity` entries (0 disables caching).
     pub fn new(capacity: usize) -> Self {
         EdgeCache {
@@ -85,9 +92,9 @@ impl EdgeCache {
     /// Looks up the pair, counting a hit or a miss. An entry whose
     /// epoch differs from `epoch` is stale (published over) and is
     /// treated as a miss.
-    pub fn get(&mut self, key: (NodeId, NodeId), epoch: u64) -> Option<EdgeEstimate> {
+    pub fn get(&mut self, key: (NodeId, NodeId), epoch: u64) -> Option<V> {
         match self.map.get_mut(&key) {
-            Some(slot) if slot.value.epoch == epoch => {
+            Some(slot) if slot.epoch == epoch => {
                 self.hits += 1;
                 // Refresh recency.
                 self.recency.remove(&slot.tick);
@@ -103,9 +110,10 @@ impl EdgeCache {
         }
     }
 
-    /// Inserts (or overwrites) the pair's value, evicting the least
-    /// recently used entry when over capacity.
-    pub fn insert(&mut self, key: (NodeId, NodeId), value: EdgeEstimate) {
+    /// Inserts (or overwrites) the pair's value as produced by the
+    /// snapshot of `epoch`, evicting the least recently used entry when
+    /// over capacity.
+    pub fn insert(&mut self, key: (NodeId, NodeId), epoch: u64, value: V) {
         if self.cap == 0 {
             return;
         }
@@ -118,7 +126,7 @@ impl EdgeCache {
             self.map.remove(&victim);
             self.evictions += 1;
         }
-        self.map.insert(key, Slot { value, tick: self.next_tick });
+        self.map.insert(key, Slot { value, epoch, tick: self.next_tick });
         self.recency.insert(self.next_tick, key);
         self.next_tick += 1;
     }
@@ -138,11 +146,54 @@ impl EdgeCache {
             len: self.map.len(),
         }
     }
+
+    /// Checks the structural invariants the LRU bookkeeping must keep:
+    /// the recency index and the map describe the same entries (no
+    /// leaked ticks, no untracked keys), residency never exceeds the
+    /// capacity, and every recency entry round-trips to its slot.
+    /// Intended for tests; O(n log n).
+    #[doc(hidden)]
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.recency.len() != self.map.len() {
+            return Err(format!(
+                "recency tracks {} entries but the map holds {}",
+                self.recency.len(),
+                self.map.len()
+            ));
+        }
+        if self.cap == 0 && !self.map.is_empty() {
+            return Err("zero-capacity cache holds entries".to_string());
+        }
+        if self.cap > 0 && self.map.len() > self.cap {
+            return Err(format!(
+                "{} resident entries exceed capacity {}",
+                self.map.len(),
+                self.cap
+            ));
+        }
+        for (&tick, key) in &self.recency {
+            let slot = self
+                .map
+                .get(key)
+                .ok_or_else(|| format!("recency tick {tick} names evicted key {key:?}"))?;
+            if slot.tick != tick {
+                return Err(format!(
+                    "key {key:?} holds tick {} but recency lists it at {tick}",
+                    slot.tick
+                ));
+            }
+            if tick >= self.next_tick {
+                return Err(format!("tick {tick} at or beyond next_tick {}", self.next_tick));
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::snapshot::EdgeEstimate;
 
     fn est(epoch: u64, predicted: f64) -> EdgeEstimate {
         EdgeEstimate { epoch, predicted, measured: None, ratio: None, severity: None, alert: false }
@@ -152,7 +203,7 @@ mod tests {
     fn hit_after_insert_miss_before() {
         let mut c = EdgeCache::new(4);
         assert_eq!(c.get((0, 1), 0), None);
-        c.insert((0, 1), est(0, 5.0));
+        c.insert((0, 1), 0, est(0, 5.0));
         assert_eq!(c.get((0, 1), 0), Some(est(0, 5.0)));
         let s = c.stats();
         assert_eq!((s.hits, s.misses, s.len), (1, 1, 1));
@@ -162,11 +213,11 @@ mod tests {
     #[test]
     fn capacity_evicts_least_recently_used() {
         let mut c = EdgeCache::new(2);
-        c.insert((0, 1), est(0, 1.0));
-        c.insert((0, 2), est(0, 2.0));
+        c.insert((0, 1), 0, est(0, 1.0));
+        c.insert((0, 2), 0, est(0, 2.0));
         // Touch (0,1) so (0,2) is now the LRU entry.
         assert!(c.get((0, 1), 0).is_some());
-        c.insert((0, 3), est(0, 3.0));
+        c.insert((0, 3), 0, est(0, 3.0));
         assert_eq!(c.get((0, 2), 0), None, "LRU entry should have been evicted");
         assert!(c.get((0, 1), 0).is_some());
         assert!(c.get((0, 3), 0).is_some());
@@ -177,24 +228,25 @@ mod tests {
     #[test]
     fn stale_epoch_is_a_miss() {
         let mut c = EdgeCache::new(4);
-        c.insert((1, 2), est(0, 9.0));
+        c.insert((1, 2), 0, est(0, 9.0));
         assert_eq!(c.get((1, 2), 1), None, "entry from epoch 0 must not serve epoch 1");
-        c.insert((1, 2), est(1, 10.0));
+        c.insert((1, 2), 1, est(1, 10.0));
         assert_eq!(c.get((1, 2), 1), Some(est(1, 10.0)));
     }
 
     #[test]
     fn zero_capacity_disables_caching() {
         let mut c = EdgeCache::new(0);
-        c.insert((0, 1), est(0, 1.0));
+        c.insert((0, 1), 0, est(0, 1.0));
         assert_eq!(c.get((0, 1), 0), None);
         assert_eq!(c.stats().len, 0);
+        c.check_invariants().unwrap();
     }
 
     #[test]
     fn clear_empties_but_keeps_counters() {
         let mut c = EdgeCache::new(4);
-        c.insert((0, 1), est(0, 1.0));
+        c.insert((0, 1), 0, est(0, 1.0));
         let _ = c.get((0, 1), 0);
         c.clear();
         assert_eq!(c.stats().len, 0);
@@ -206,10 +258,59 @@ mod tests {
     fn overwrite_does_not_grow() {
         let mut c = EdgeCache::new(2);
         for i in 0..10u64 {
-            c.insert((0, 1), est(0, i as f64));
+            c.insert((0, 1), 0, est(0, i as f64));
         }
         assert_eq!(c.stats().len, 1);
         assert_eq!(c.get((0, 1), 0), Some(est(0, 9.0)));
         assert_eq!(c.stats().evictions, 0);
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn caches_any_copy_value() {
+        // The generic cache serves route answers (or anything Copy)
+        // with the same epoch validation.
+        let mut c: EdgeCache<(u32, f64)> = EdgeCache::new(2);
+        c.insert((3, 4), 7, (9, 1.5));
+        assert_eq!(c.get((3, 4), 7), Some((9, 1.5)));
+        assert_eq!(c.get((3, 4), 8), None);
+    }
+
+    /// The ISSUE-4 randomized-ops invariant test: a few thousand
+    /// random get/insert/clear operations (with a key space larger
+    /// than the capacity, repeated overwrites, and epoch churn) must
+    /// keep `recency.len() == map.len()`, residency within capacity,
+    /// and every recency tick pointing at a live, matching slot — i.e.
+    /// insert-overwrite leaks no recency ticks.
+    #[test]
+    fn randomized_ops_keep_invariants() {
+        use rand::Rng;
+        for cap in [0usize, 1, 3, 8] {
+            let mut c: EdgeCache<u64> = EdgeCache::new(cap);
+            let mut r = delayspace::rng::rng(0xCAC4E + cap as u64);
+            let mut inserts = 0u64;
+            for step in 0..4_000 {
+                let key = (r.gen_range(0..6), r.gen_range(0..6));
+                let epoch = r.gen_range(0..3u64);
+                match r.gen_range(0..100u32) {
+                    0..=54 => {
+                        c.insert(key, epoch, step as u64);
+                        inserts += 1;
+                    }
+                    55..=97 => {
+                        if let Some(v) = c.get(key, epoch) {
+                            assert!(v <= step as u64, "cache invented a value");
+                        }
+                    }
+                    _ => c.clear(),
+                }
+                if let Err(e) = c.check_invariants() {
+                    panic!("invariant broken at step {step} (cap {cap}): {e}");
+                }
+            }
+            let s = c.stats();
+            assert!(inserts > 0 && s.hits + s.misses > 0, "workload exercised the cache");
+            assert!(s.evictions <= inserts, "more evictions than inserts");
+        }
     }
 }

@@ -13,9 +13,11 @@
 //!    never lock while computing and never observe a half-updated
 //!    state.
 //! 2. **Hash-sharded, batch-first reads** ([`service::TivServe`]):
-//!    nodes are hash-sharded; each shard owns a bounded LRU cache of
-//!    edge results, and the batch APIs (`estimate_batch`,
-//!    `severity_batch`, `alerts_batch`) fan a batch across shards with
+//!    queries are hash-sharded by the ordered pair (never by the
+//!    source alone, which concentrates Zipf-hot sources on one shard);
+//!    each shard owns bounded LRU caches of edge and route results,
+//!    and the batch APIs (`estimate_batch`, `severity_batch`,
+//!    `alerts_batch`, `route_batch`) fan a batch across shards with
 //!    one [`tivpar`] worker per shard. Every answer is a pure function
 //!    of the snapshot, so results are **bit-identical at every shard
 //!    count**.
@@ -57,4 +59,4 @@ pub use epoch::{
 };
 pub use loadgen::{LoadReport, ObservePath, WorkloadConfig};
 pub use service::{ServeConfig, TivServe};
-pub use snapshot::{EdgeEstimate, EpochSnapshot, EstimateConfig};
+pub use snapshot::{EdgeEstimate, EpochSnapshot, EstimateConfig, RouteEstimate};

@@ -1,22 +1,26 @@
-//! The sharded, batch-first estimation service.
+//! The sharded, batch-first estimation and routing service.
 //!
 //! [`TivServe`] answers edge queries (predicted RTT, prediction ratio,
-//! sampled severity, TIV alert state) from the current
+//! sampled severity, TIV alert state) and detour-routing queries (best
+//! one-hop relay + predicted saving) from the current
 //! [`EpochSnapshot`]. The snapshot lives behind an `Arc` that readers
 //! clone and then compute against lock-free; publishing a new epoch
 //! swaps the `Arc` without stalling in-flight batches (they finish on
 //! the snapshot they started with).
 //!
-//! Nodes are hash-sharded: each shard owns a bounded LRU cache of
-//! edge results, and a batch is fanned across shards with one
-//! [`tivpar`] worker per shard. Because every cached value is a pure
-//! function of the snapshot (stale epochs are rejected on lookup),
-//! the batch APIs return **bit-identical results at every shard
-//! count** — pinned by `tivoid`'s `serve_equivalence` integration
-//! test.
+//! Queries are hash-sharded **by the ordered query pair** (hashing the
+//! source alone concentrates a Zipf-skewed workload's hot sources on
+//! one shard — the load imbalance the `serve` bench's occupancy report
+//! tracks): each shard owns bounded LRU caches of edge and route
+//! results, and a batch is fanned across shards with one [`tivpar`]
+//! worker per shard. Because every cached value is a pure function of
+//! the snapshot (stale epochs are rejected on lookup), the batch APIs
+//! return **bit-identical results at every shard count** — pinned by
+//! `tivoid`'s `serve_equivalence` and `route_equivalence` integration
+//! tests.
 
 use crate::cache::{CacheStats, EdgeCache};
-use crate::snapshot::{EdgeEstimate, EpochSnapshot, EstimateConfig};
+use crate::snapshot::{EdgeEstimate, EpochSnapshot, EstimateConfig, RouteEstimate};
 use delayspace::matrix::NodeId;
 use std::sync::{Arc, Mutex, RwLock};
 
@@ -26,7 +30,8 @@ pub struct ServeConfig {
     /// Number of shards (≥ 1). A batch fans out over one worker per
     /// shard; `1` is the unsharded single-thread reference path.
     pub shards: usize,
-    /// Per-shard LRU capacity, in edges (0 disables caching).
+    /// Per-shard LRU capacity, in edges, for each query kind (0
+    /// disables caching).
     pub cache_capacity: usize,
     /// Batches smaller than this run inline on the calling thread
     /// (visiting each shard's cache in order) instead of spawning one
@@ -51,7 +56,14 @@ impl Default for ServeConfig {
     }
 }
 
-/// The concurrent TIV estimation service.
+/// One shard's caches: every query kind the service answers keeps its
+/// own LRU so a route sweep cannot evict the estimate working set.
+struct Shard {
+    edges: Mutex<EdgeCache<EdgeEstimate>>,
+    routes: Mutex<EdgeCache<RouteEstimate>>,
+}
+
+/// The concurrent TIV estimation and detour-routing service.
 pub struct TivServe {
     cfg: ServeConfig,
     /// The published snapshot. Readers take the lock only long enough
@@ -59,10 +71,10 @@ pub struct TivServe {
     /// writers only to swap it. All query work happens lock-free on the
     /// cloned snapshot.
     current: RwLock<Arc<EpochSnapshot>>,
-    /// One cache per shard. During a batch each shard is visited by
-    /// exactly one worker, so these mutexes are uncontended within a
+    /// One cache pair per shard. During a batch each shard is visited
+    /// by exactly one worker, so these mutexes are uncontended within a
     /// batch; they serialise shard access across concurrent batches.
-    shards: Vec<Mutex<EdgeCache>>,
+    shards: Vec<Shard>,
 }
 
 impl TivServe {
@@ -72,8 +84,12 @@ impl TivServe {
     /// Panics when `cfg.shards` is zero.
     pub fn new(cfg: ServeConfig, initial: EpochSnapshot) -> Self {
         assert!(cfg.shards >= 1, "a service needs at least one shard");
-        let shards =
-            (0..cfg.shards).map(|_| Mutex::new(EdgeCache::new(cfg.cache_capacity))).collect();
+        let shards = (0..cfg.shards)
+            .map(|_| Shard {
+                edges: Mutex::new(EdgeCache::new(cfg.cache_capacity)),
+                routes: Mutex::new(EdgeCache::new(cfg.cache_capacity)),
+            })
+            .collect();
         TivServe { cfg, current: RwLock::new(Arc::new(initial)), shards }
     }
 
@@ -101,82 +117,132 @@ impl TivServe {
         let epoch = snapshot.epoch();
         *self.current.write().expect("snapshot lock poisoned") = Arc::new(snapshot);
         for shard in &self.shards {
-            shard.lock().expect("shard cache poisoned").clear();
+            shard.edges.lock().expect("shard cache poisoned").clear();
+            shard.routes.lock().expect("shard cache poisoned").clear();
         }
         epoch
     }
 
-    /// The shard owning queries sourced at node `a` (multiplicative
-    /// hash, stable for the service's lifetime).
-    pub fn shard_of(&self, a: NodeId) -> usize {
-        let h = (a as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
-        ((h >> 32) as usize) % self.shards.len()
+    /// The shard owning the ordered query pair `(a, c)`.
+    ///
+    /// Both endpoints feed the hash: sharding by the source alone sent
+    /// every query from a Zipf-hot source to the same shard, collapsing
+    /// the fan-out to one effective worker under realistic skew. The
+    /// pair hash spreads a hot source's queries across all shards while
+    /// keeping repeat queries for the same pair on the same cache
+    /// (stable for the service's lifetime — and irrelevant to results,
+    /// which depend only on the snapshot).
+    pub fn shard_of(&self, a: NodeId, c: NodeId) -> usize {
+        let h = (a as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            ^ (c as u64).wrapping_mul(0xd605_0bb5_1656_57a1);
+        ((h.wrapping_mul(0x2545_f491_4f6c_dd1d) >> 32) as usize) % self.shards.len()
     }
 
-    /// Answers one shard's query group against its cache, in group
-    /// order. The answers depend only on the snapshot, never on which
-    /// thread runs this.
-    fn answer_group(
-        &self,
+    /// How many of `pairs` each shard would own — the occupancy the
+    /// `serve` bench reports to show hot-source workloads stay
+    /// balanced.
+    pub fn shard_histogram(&self, pairs: &[(NodeId, NodeId)]) -> Vec<usize> {
+        let mut counts = vec![0usize; self.shards.len()];
+        for &(a, c) in pairs {
+            counts[self.shard_of(a, c)] += 1;
+        }
+        counts
+    }
+
+    /// Answers one shard's query group against one of its caches, in
+    /// group order. The answers depend only on the snapshot, never on
+    /// which thread runs this.
+    fn answer_group<V: Copy>(
         snap: &EpochSnapshot,
+        cache: &Mutex<EdgeCache<V>>,
         pairs: &[(NodeId, NodeId)],
-        si: usize,
         group: &[u32],
-    ) -> Vec<(u32, EdgeEstimate)> {
-        let mut cache = self.shards[si].lock().expect("shard cache poisoned");
+        eval: &(impl Fn(&EpochSnapshot, NodeId, NodeId) -> V + Sync),
+    ) -> Vec<(u32, V)> {
+        let mut cache = cache.lock().expect("shard cache poisoned");
         group
             .iter()
             .map(|&idx| {
                 let key = pairs[idx as usize];
-                let est = match cache.get(key, snap.epoch()) {
+                let v = match cache.get(key, snap.epoch()) {
                     Some(hit) => hit,
                     None => {
-                        let fresh = snap.evaluate(key.0, key.1, &self.cfg.estimate);
-                        cache.insert(key, fresh);
+                        let fresh = eval(snap, key.0, key.1);
+                        cache.insert(key, snap.epoch(), fresh);
                         fresh
                     }
                 };
-                (idx, est)
+                (idx, v)
             })
             .collect()
     }
 
-    /// Answers a batch of `(source, peer)` edge queries, in input
-    /// order.
-    ///
-    /// Queries are grouped by the source node's shard and each group is
-    /// answered against the shard's cache — on one scoped worker per
-    /// shard for large batches, inline on the calling thread below
-    /// [`ServeConfig::parallel_threshold`] (spawn/join would dominate a
-    /// small batch) — and the answers are scattered back to input
-    /// positions. Either way the output equals a serial
-    /// `snapshot.evaluate` loop, bit for bit, at every shard count.
+    /// The shared batch path of every query kind: group by shard, fan
+    /// out (or run inline below the threshold), scatter back to input
+    /// order. `select` picks the query kind's cache off a shard; `eval`
+    /// computes a miss from the snapshot.
     ///
     /// # Panics
     /// Panics when a query names a node outside the snapshot.
-    pub fn estimate_batch(&self, pairs: &[(NodeId, NodeId)]) -> Vec<EdgeEstimate> {
+    fn answer_batch<V: Copy + Send>(
+        &self,
+        pairs: &[(NodeId, NodeId)],
+        select: impl Fn(&Shard) -> &Mutex<EdgeCache<V>> + Sync,
+        eval: impl Fn(&EpochSnapshot, NodeId, NodeId) -> V + Sync,
+    ) -> Vec<V> {
         let snap = self.snapshot();
         let n = snap.len();
         let shard_count = self.shards.len();
         let mut groups: Vec<Vec<u32>> = vec![Vec::new(); shard_count];
         for (idx, &(a, c)) in pairs.iter().enumerate() {
             assert!(a < n && c < n, "query ({a},{c}) outside the {n}-node snapshot");
-            groups[self.shard_of(a)].push(idx as u32);
+            groups[self.shard_of(a, c)].push(idx as u32);
         }
         let inline = shard_count == 1
             || (self.cfg.parallel_threshold > 0 && pairs.len() < self.cfg.parallel_threshold);
-        let answered: Vec<Vec<(u32, EdgeEstimate)>> = if inline {
-            (0..shard_count).map(|si| self.answer_group(&snap, pairs, si, &groups[si])).collect()
-        } else {
-            tivpar::par_map_rows(shard_count, shard_count, |si| {
-                self.answer_group(&snap, pairs, si, &groups[si])
-            })
+        let answer = |si: usize| {
+            Self::answer_group(&snap, select(&self.shards[si]), pairs, &groups[si], &eval)
         };
-        let mut out: Vec<Option<EdgeEstimate>> = vec![None; pairs.len()];
-        for (idx, est) in answered.into_iter().flatten() {
-            out[idx as usize] = Some(est);
+        let answered: Vec<Vec<(u32, V)>> = if inline {
+            (0..shard_count).map(answer).collect()
+        } else {
+            tivpar::par_map_rows(shard_count, shard_count, answer)
+        };
+        let mut out: Vec<Option<V>> = vec![None; pairs.len()];
+        for (idx, v) in answered.into_iter().flatten() {
+            out[idx as usize] = Some(v);
         }
-        out.into_iter().map(|e| e.expect("every query answered by its shard")).collect()
+        out.into_iter().map(|v| v.expect("every query answered by its shard")).collect()
+    }
+
+    /// Answers a batch of `(source, peer)` edge queries, in input
+    /// order.
+    ///
+    /// Queries are grouped by the pair's shard and each group is
+    /// answered against the shard's estimate cache — on one scoped
+    /// worker per shard for large batches, inline on the calling thread
+    /// below [`ServeConfig::parallel_threshold`] (spawn/join would
+    /// dominate a small batch) — and the answers are scattered back to
+    /// input positions. Either way the output equals a serial
+    /// `snapshot.evaluate` loop, bit for bit, at every shard count.
+    ///
+    /// # Panics
+    /// Panics when a query names a node outside the snapshot.
+    pub fn estimate_batch(&self, pairs: &[(NodeId, NodeId)]) -> Vec<EdgeEstimate> {
+        let estimate = self.cfg.estimate;
+        self.answer_batch(pairs, |s| &s.edges, move |snap, a, c| snap.evaluate(a, c, &estimate))
+    }
+
+    /// Answers a batch of detour-routing queries, in input order: for
+    /// each ordered pair, the best one-hop relay and its predicted
+    /// saving ([`EpochSnapshot::route`]), resolved from the epoch
+    /// snapshot and cached per shard exactly like the edge estimates —
+    /// so the answers are bit-identical at every shard count too.
+    ///
+    /// # Panics
+    /// Panics when a query names a node outside the snapshot.
+    pub fn route_batch(&self, pairs: &[(NodeId, NodeId)]) -> Vec<RouteEstimate> {
+        self.answer_batch(pairs, |s| &s.routes, |snap, a, c| snap.route(a, c))
     }
 
     /// Batch severity estimates: `None` for unmeasured edges.
@@ -189,11 +255,20 @@ impl TivServe {
         self.estimate_batch(pairs).into_iter().map(|e| e.alert).collect()
     }
 
-    /// Cache counters summed over all shards.
+    /// Estimate-cache counters summed over all shards.
     pub fn cache_stats(&self) -> CacheStats {
         let mut total = CacheStats::default();
         for shard in &self.shards {
-            total.absorb(&shard.lock().expect("shard cache poisoned").stats());
+            total.absorb(&shard.edges.lock().expect("shard cache poisoned").stats());
+        }
+        total
+    }
+
+    /// Route-cache counters summed over all shards.
+    pub fn route_cache_stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for shard in &self.shards {
+            total.absorb(&shard.routes.lock().expect("shard cache poisoned").stats());
         }
         total
     }
@@ -245,6 +320,25 @@ mod tests {
     }
 
     #[test]
+    fn route_batch_matches_serial_route() {
+        let snap = snapshot(60, 3, 0);
+        let service =
+            TivServe::new(ServeConfig { shards: 3, ..ServeConfig::default() }, snap.clone());
+        let q = queries(60, 300, 9);
+        let got = service.route_batch(&q);
+        for (i, &(a, c)) in q.iter().enumerate() {
+            assert_eq!(got[i], snap.route(a, c), "route query {i} ({a},{c})");
+        }
+        // And a warm second pass is answered from the route caches.
+        let warm = service.route_batch(&q);
+        assert_eq!(got, warm);
+        let stats = service.route_cache_stats();
+        assert!(stats.hits >= q.len() as u64, "second pass should be all hits: {stats:?}");
+        // Route queries never touch the estimate caches.
+        assert_eq!(service.cache_stats().misses, 0);
+    }
+
+    #[test]
     fn inline_gate_matches_fanout_path() {
         let snap = snapshot(50, 11, 0);
         // Same service config except the gate: one always inline, one
@@ -259,6 +353,7 @@ mod tests {
         );
         let q = queries(50, 120, 5);
         assert_eq!(inline.estimate_batch(&q), fanout.estimate_batch(&q));
+        assert_eq!(inline.route_batch(&q), fanout.route_batch(&q));
     }
 
     #[test]
@@ -287,13 +382,17 @@ mod tests {
         let service = TivServe::new(ServeConfig::default(), snapshot(40, 7, 0));
         let q = queries(40, 50, 3);
         let before = service.estimate_batch(&q);
+        let routes_before = service.route_batch(&q);
         assert!(before.iter().all(|e| e.epoch == 0));
+        assert!(routes_before.iter().all(|r| r.epoch == 0));
         // Publish a different snapshot (new seed → new matrix).
         service.publish(snapshot(40, 8, 1));
         assert_eq!(service.epoch(), 1);
         let after = service.estimate_batch(&q);
         assert!(after.iter().all(|e| e.epoch == 1));
         assert_ne!(before, after, "a new epoch should change answers");
+        let routes_after = service.route_batch(&q);
+        assert!(routes_after.iter().all(|r| r.epoch == 1));
     }
 
     #[test]
@@ -319,12 +418,24 @@ mod tests {
     }
 
     #[test]
-    fn shard_routing_is_total() {
+    fn shard_routing_is_total_and_pair_sensitive() {
         let service =
             TivServe::new(ServeConfig { shards: 5, ..ServeConfig::default() }, snapshot(30, 1, 0));
         for a in 0..30 {
-            assert!(service.shard_of(a) < 5);
+            for c in 0..30 {
+                assert!(service.shard_of(a, c) < 5);
+            }
         }
+        // A single hot source must spread across shards (the Zipf
+        // hot-shard fix): with 29 destinations and 5 shards, every
+        // shard should see some of source 0's queries.
+        let hot: Vec<_> = (1..30).map(|c| (0usize, c)).collect();
+        let hist = service.shard_histogram(&hot);
+        assert_eq!(hist.iter().sum::<usize>(), hot.len());
+        assert!(
+            hist.iter().all(|&count| count > 0),
+            "hot source pinned to a shard subset: {hist:?}"
+        );
     }
 
     #[test]
@@ -332,6 +443,13 @@ mod tests {
     fn out_of_range_query_rejected() {
         let service = TivServe::new(ServeConfig::default(), snapshot(10, 1, 0));
         let _ = service.estimate_batch(&[(0, 10)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the")]
+    fn out_of_range_route_rejected() {
+        let service = TivServe::new(ServeConfig::default(), snapshot(10, 1, 0));
+        let _ = service.route_batch(&[(0, 10)]);
     }
 
     #[test]

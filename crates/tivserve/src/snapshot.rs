@@ -35,6 +35,40 @@ impl Default for EstimateConfig {
     }
 }
 
+/// The answer of a `route_batch` query: the best one-hop relay for an
+/// ordered pair, resolved against the frozen snapshot.
+///
+/// `relay`/`via_ms` are present whenever *any* fully-measured two-hop
+/// path exists (so a detour can be offered even for an unmeasured
+/// direct edge); the saving fields additionally need a measured direct
+/// delay to compare against. `saving_ms` is signed — a negative value
+/// means the best detour loses to the direct path and the querier
+/// should route directly.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RouteEstimate {
+    /// Epoch of the snapshot that answered.
+    pub epoch: u64,
+    /// Measured direct delay (ms), when the snapshot has one.
+    pub direct_ms: Option<f64>,
+    /// The best relay by `(via delay, relay id)` order, when any
+    /// two-hop path is measured.
+    pub relay: Option<NodeId>,
+    /// Detour delay `d(a,relay) + d(relay,c)` in ms.
+    pub via_ms: Option<f64>,
+    /// `direct - via` in ms (needs both measured).
+    pub saving_ms: Option<f64>,
+    /// `saving_ms / direct_ms` (`None` when undefined, 0 for a zero
+    /// direct delay).
+    pub saving_frac: Option<f64>,
+}
+
+impl RouteEstimate {
+    /// True when the detour strictly beats the measured direct path.
+    pub fn beneficial(&self) -> bool {
+        self.saving_ms.is_some_and(|s| s > 0.0)
+    }
+}
+
 /// The edge-level answer the service returns.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct EdgeEstimate {
@@ -165,6 +199,40 @@ impl EpochSnapshot {
         };
         EdgeEstimate { epoch: self.epoch, predicted, measured, ratio, severity, alert }
     }
+
+    /// Evaluates one detour-routing query against the frozen state: the
+    /// best one-hop relay of `(a, c)` and its predicted saving.
+    ///
+    /// Pure in `(self, a, c)` like [`EpochSnapshot::evaluate`] — the
+    /// relay search is [`tivroute::best_detour`], whose `(via, relay
+    /// id)` ranking is a total order, so the sharded `route_batch` stays
+    /// bit-identical at every shard count.
+    pub fn route(&self, a: NodeId, c: NodeId) -> RouteEstimate {
+        let direct_ms = self.matrix.get(a, c);
+        match tivroute::best_detour(&self.matrix, a, c) {
+            Some(best) => {
+                let saving_ms = direct_ms.map(|d| d - best.via_ms);
+                let saving_frac =
+                    direct_ms.map(|d| if d > 0.0 { (d - best.via_ms) / d } else { 0.0 });
+                RouteEstimate {
+                    epoch: self.epoch,
+                    direct_ms,
+                    relay: Some(best.relay),
+                    via_ms: Some(best.via_ms),
+                    saving_ms,
+                    saving_frac,
+                }
+            }
+            None => RouteEstimate {
+                epoch: self.epoch,
+                direct_ms,
+                relay: None,
+                via_ms: None,
+                saving_ms: None,
+                saving_frac: None,
+            },
+        }
+    }
 }
 
 #[cfg(test)]
@@ -238,6 +306,55 @@ mod tests {
         assert_ne!(a.edge_seed(&cfg, 1, 2), b.edge_seed(&cfg, 1, 2));
         assert_ne!(a.edge_seed(&cfg, 1, 2), a.edge_seed(&cfg, 1, 3));
         assert_eq!(a.edge_seed(&cfg, 2, 1), a.edge_seed(&cfg, 1, 2));
+    }
+
+    #[test]
+    fn route_is_pure_symmetric_and_matches_tivroute() {
+        let (m, emb) = fixture(50, 9);
+        let snap = EpochSnapshot::without_monitors(3, m.clone(), emb);
+        for (a, c) in [(0usize, 1usize), (7, 21), (30, 4)] {
+            let r = snap.route(a, c);
+            assert_eq!(r, snap.route(a, c), "route must be deterministic");
+            assert_eq!(r.epoch, 3);
+            // Symmetric matrix: the reverse route uses the same relay.
+            let rev = snap.route(c, a);
+            assert_eq!(r.relay, rev.relay);
+            assert_eq!(r.via_ms.map(f64::to_bits), rev.via_ms.map(f64::to_bits));
+            // And it is exactly the offline kernel's answer.
+            let best = tivroute::best_detour(&m, a, c).unwrap();
+            assert_eq!(r.relay, Some(best.relay));
+            assert_eq!(r.via_ms, Some(best.via_ms));
+            let (d, via) = (r.direct_ms.unwrap(), best.via_ms);
+            assert_eq!(r.saving_ms, Some(d - via));
+            assert_eq!(r.beneficial(), via < d);
+        }
+    }
+
+    #[test]
+    fn route_handles_missing_and_degenerate_edges() {
+        let mut m = DelayMatrix::new(3);
+        m.set(0, 1, 5.0);
+        m.set(1, 2, 5.0);
+        let mut sys = VivaldiSystem::new(VivaldiConfig::default(), 3, 1);
+        let mut net = Network::new(&m, JitterModel::None, 1);
+        sys.run_rounds(&mut net, 3);
+        let snap = EpochSnapshot::without_monitors(0, m, sys.embedding());
+        // (0,2) is unmeasured but has a two-hop path: a relay with no
+        // saving numbers.
+        let r = snap.route(0, 2);
+        assert_eq!(r.direct_ms, None);
+        assert_eq!(r.relay, Some(1));
+        assert_eq!(r.via_ms, Some(10.0));
+        assert_eq!(r.saving_ms, None);
+        assert!(!r.beneficial());
+        // (0,1) is measured but its only relay path crosses the
+        // unmeasured (0,2) hop: direct only.
+        let r01 = snap.route(0, 1);
+        assert_eq!(r01.direct_ms, Some(5.0));
+        assert_eq!(r01.relay, None);
+        // Self-routes offer nothing.
+        let r00 = snap.route(0, 0);
+        assert_eq!((r00.relay, r00.direct_ms), (None, Some(0.0)));
     }
 
     #[test]
