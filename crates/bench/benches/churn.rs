@@ -1,0 +1,174 @@
+//! The incremental-epoch benchmark: delta repair vs full rebuild.
+//!
+//! The `tivflux` pipeline's pitch is that a lightly-churning delay
+//! space should pay O(|dirty|·n²) per epoch, not O(n³). This bench
+//! measures exactly that claim on a 512-node DS² space:
+//!
+//! * `churn/rebuild_512/full_ns` — one full epoch build (dirty-local
+//!   embedding refinement + from-scratch severity and detour passes);
+//! * `churn/rebuild_512/incr_2pct_ns` / `incr_10pct_ns` — the same
+//!   observation state built through the incremental path at ~2% and
+//!   ~10% dirty rows;
+//! * `churn/speedup_2pct_qps` — the full/incremental ratio at 2%
+//!   dirty, exported as a higher-is-better metric and **asserted to be
+//!   at least 5x** (the ISSUE-5 acceptance bar).
+//!
+//! Before timing anything, the bench asserts the two paths produce
+//! bit-identical snapshots — a run can't report speedups of a divergent
+//! builder. In `--test` smoke mode only the equivalence gate runs (a
+//! single-shot timing of a sub-second build says nothing).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use delayspace::matrix::DelayMatrix;
+use std::time::Instant;
+use tivflux::RebuildPolicy;
+use tivserve::epoch::{EpochConfig, Observation};
+use tivserve::flux::{FluxBuilder, FluxConfig};
+
+/// Node count of the measured sweep (the smoke gate uses a small one).
+const N: usize = 512;
+
+fn flux_cfg(policy: RebuildPolicy) -> FluxConfig {
+    FluxConfig {
+        epoch: EpochConfig { bootstrap_rounds: 30, seed: tivbench::SEED, ..Default::default() },
+        policy,
+        threads: 0,
+        ..FluxConfig::default()
+    }
+}
+
+/// Observations confined to the first `rows` nodes, so the dirty set is
+/// exactly those rows: chained pairs `(s0,s1), (s1,s2), …` inside the
+/// subset.
+fn dirtying_observations(rows: usize, reps: usize) -> Vec<Observation> {
+    assert!(rows >= 2, "need at least one pair");
+    let mut obs = Vec::new();
+    for r in 0..reps {
+        for i in 0..rows - 1 {
+            obs.push(Observation {
+                src: i,
+                dst: i + 1,
+                rtt_ms: 40.0 + ((i * 7 + r * 13) % 60) as f64,
+            });
+        }
+    }
+    obs
+}
+
+/// Ingests `obs` into a clone of `base` and times one build; returns
+/// (elapsed ns, snapshot) so callers can both record and compare.
+fn timed_build(
+    base: &FluxBuilder,
+    obs: &[Observation],
+) -> (f64, tivserve::snapshot::EpochSnapshot) {
+    let mut b = base.clone();
+    for &o in obs {
+        b.ingest(o);
+    }
+    let t0 = Instant::now();
+    let snap = b.build();
+    (t0.elapsed().as_nanos() as f64, snap)
+}
+
+fn assert_snapshots_bit_identical(
+    a: &tivserve::snapshot::EpochSnapshot,
+    b: &tivserve::snapshot::EpochSnapshot,
+    what: &str,
+) {
+    assert_eq!(a.matrix(), b.matrix(), "{what}: matrices diverged");
+    let n = a.len();
+    for i in 0..n {
+        for j in 0..n {
+            assert_eq!(
+                a.embedding().predicted(i, j).to_bits(),
+                b.embedding().predicted(i, j).to_bits(),
+                "{what}: embedding diverged at ({i},{j})"
+            );
+            assert_eq!(
+                a.exact_severity(i, j).map(f64::to_bits),
+                b.exact_severity(i, j).map(f64::to_bits),
+                "{what}: severity diverged at ({i},{j})"
+            );
+            assert_eq!(a.route(i, j), b.route(i, j), "{what}: route diverged at ({i},{j})");
+        }
+    }
+}
+
+/// The always-on equivalence gate: incremental == full, bit for bit.
+fn equivalence_gate(_c: &mut Criterion) {
+    let n = if criterion::smoke_mode() { 80 } else { 128 };
+    let m: DelayMatrix = tivbench::ds2(n);
+    let (incr, _) =
+        FluxBuilder::bootstrap(m.clone(), flux_cfg(RebuildPolicy::always_incremental()));
+    let (full, _) = FluxBuilder::bootstrap(m, flux_cfg(RebuildPolicy::always_full()));
+    for rows in [2usize, n / 10, n] {
+        let obs = dirtying_observations(rows, 2);
+        let (_, si) = timed_build(&incr, &obs);
+        let (_, sf) = timed_build(&full, &obs);
+        assert_snapshots_bit_identical(&si, &sf, &format!("{rows} dirty rows"));
+    }
+    println!("churn equivalence gate: incremental == full rebuild at n={n}, bit for bit");
+}
+
+/// The measured sweep, exported for the regression gate.
+fn rebuild_metrics(_c: &mut Criterion) {
+    if criterion::smoke_mode() {
+        return; // one-shot timings of sub-second builds are noise
+    }
+    let m: DelayMatrix = tivbench::ds2(N);
+    let (incr, _) =
+        FluxBuilder::bootstrap(m.clone(), flux_cfg(RebuildPolicy::always_incremental()));
+    let (full, _) = FluxBuilder::bootstrap(m, flux_cfg(RebuildPolicy::always_full()));
+
+    let median = |mut xs: Vec<f64>| -> f64 {
+        xs.sort_by(f64::total_cmp);
+        xs[xs.len() / 2]
+    };
+    // ~2% and ~10% dirty rows (the acceptance bar is "<= 2%").
+    let rows_2pct = N / 50; // 10 rows = 1.95%
+    let rows_10pct = N / 10;
+    let obs_2 = dirtying_observations(rows_2pct, 3);
+    let obs_10 = dirtying_observations(rows_10pct, 3);
+
+    let full_ns = median((0..3).map(|_| timed_build(&full, &obs_2).0).collect());
+    let incr2_ns = median((0..5).map(|_| timed_build(&incr, &obs_2).0).collect());
+    let incr10_ns = median((0..5).map(|_| timed_build(&incr, &obs_10).0).collect());
+    // One cross-check at the measured size too (cheap next to the
+    // timings themselves).
+    let (_, si) = timed_build(&incr, &obs_2);
+    let (_, sf) = timed_build(&full, &obs_2);
+    assert_eq!(si.matrix(), sf.matrix(), "n={N} matrices diverged");
+
+    let speedup = full_ns / incr2_ns;
+    criterion::record_metric("churn/rebuild_512/full_ns", full_ns);
+    criterion::record_metric("churn/rebuild_512/incr_2pct_ns", incr2_ns);
+    criterion::record_metric("churn/rebuild_512/incr_10pct_ns", incr10_ns);
+    criterion::record_metric("churn/speedup_2pct_qps", speedup);
+    println!(
+        "churn rebuild n={N}: full {:.1} ms, incremental {:.2} ms @2% / {:.2} ms @10% dirty, \
+         speedup {speedup:.1}x @2%",
+        full_ns / 1e6,
+        incr2_ns / 1e6,
+        incr10_ns / 1e6,
+    );
+    assert!(
+        speedup >= 5.0,
+        "ISSUE-5 acceptance: incremental build must be >= 5x faster than a full rebuild \
+         at n={N} with <= 2% dirty rows; measured {speedup:.2}x \
+         (full {full_ns:.0} ns vs incremental {incr2_ns:.0} ns)"
+    );
+}
+
+fn bench_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_secs(1))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = bench_config();
+    targets = equivalence_gate, rebuild_metrics
+}
+criterion_main!(benches);

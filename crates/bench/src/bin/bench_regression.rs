@@ -2,22 +2,37 @@
 //!
 //! ```text
 //! bench_regression --baseline ci/bench-baseline.json [--factor 2.0] CURRENT.json...
+//! bench_regression --baseline ci/bench-baseline.json --bless CURRENT.json...
+//! bench_regression --check-baseline ci/bench-baseline.json
 //! ```
 //!
-//! Reads the checked-in baseline and one or more `BENCH_*.json` metric
-//! files (written by the bench targets via `TIV_BENCH_JSON`), merges
-//! the current files, and fails (exit 1) when any metric regressed by
-//! more than the tolerance factor — times by growing, `_qps`
-//! throughputs by shrinking. New and missing metrics are reported but
-//! never fail the gate, so adding a bench does not require touching
-//! the baseline in the same commit — and a run where *every* metric is
-//! new (a brand-new bench gated before its baseline entry exists)
-//! warns loudly instead of failing, so a bench and its baseline can
-//! land in the same PR in either order.
+//! **Gate mode** (default): reads the checked-in baseline and one or
+//! more `BENCH_*.json` metric files (written by the bench targets via
+//! `TIV_BENCH_JSON`), merges the current files, and fails (exit 1)
+//! when any metric regressed by more than the tolerance factor — times
+//! by growing, `_qps` throughputs by shrinking. New and missing
+//! metrics are reported but never fail the gate, so adding a bench
+//! does not require touching the baseline in the same commit — and a
+//! run where *every* metric is new (a brand-new bench gated before its
+//! baseline entry exists) warns loudly instead of failing, so a bench
+//! and its baseline can land in the same PR in either order.
+//!
+//! **`--bless`**: regenerates the baseline file from the given current
+//! metric files (pass *every* `BENCH_*.json` — bless replaces the
+//! whole file, it does not merge with the old baseline) in the
+//! canonical sorted format, after validating the merged metrics.
+//!
+//! **`--check-baseline`**: schema sanity check only — the file must
+//! parse, flatten to a non-empty map, and contain only finite,
+//! strictly-positive values with clean names. The `bench-smoke` job
+//! runs this first so a hand-edited baseline fails loudly at the top
+//! of the job instead of producing confusing ratios at the bottom.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
-use tivbench::regression::{check, flatten_metrics, higher_is_better, informational};
+use tivbench::regression::{
+    check, flatten_metrics, higher_is_better, informational, render_baseline, validate_baseline,
+};
 
 fn load(path: &str) -> Result<BTreeMap<String, f64>, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -28,6 +43,8 @@ fn load(path: &str) -> Result<BTreeMap<String, f64>, String> {
 fn run() -> Result<bool, String> {
     let mut argv = std::env::args().skip(1);
     let mut baseline_path: Option<String> = None;
+    let mut check_path: Option<String> = None;
+    let mut bless = false;
     let mut factor = 2.0f64;
     let mut current_paths = Vec::new();
     while let Some(arg) = argv.next() {
@@ -35,6 +52,10 @@ fn run() -> Result<bool, String> {
             "--baseline" => {
                 baseline_path = Some(argv.next().ok_or("--baseline needs a file")?);
             }
+            "--check-baseline" => {
+                check_path = Some(argv.next().ok_or("--check-baseline needs a file")?);
+            }
+            "--bless" => bless = true,
             "--factor" => {
                 let v = argv.next().ok_or("--factor needs a value")?;
                 factor = v.parse().map_err(|e| format!("bad --factor: {e}"))?;
@@ -45,11 +66,37 @@ fn run() -> Result<bool, String> {
             path => current_paths.push(path.to_string()),
         }
     }
+    if let Some(path) = check_path {
+        // Pure schema check: no current files involved.
+        let baseline = load(&path)?;
+        validate_baseline(&baseline).map_err(|e| format!("{path}: {e}"))?;
+        println!("baseline {path} is sane: {} metrics, all finite and positive", baseline.len());
+        return Ok(true);
+    }
     let baseline_path = baseline_path.ok_or(
-        "usage: bench_regression --baseline FILE [--factor F] CURRENT.json...".to_string(),
+        "usage: bench_regression --baseline FILE [--factor F] [--bless] CURRENT.json... \
+         | --check-baseline FILE"
+            .to_string(),
     )?;
     if current_paths.is_empty() {
         return Err("no current metric files given".to_string());
+    }
+    if bless {
+        let mut merged = BTreeMap::new();
+        for path in &current_paths {
+            for (k, v) in load(path)? {
+                merged.insert(k, v);
+            }
+        }
+        validate_baseline(&merged).map_err(|e| format!("refusing to bless: {e}"))?;
+        std::fs::write(&baseline_path, render_baseline(&merged))
+            .map_err(|e| format!("cannot write {baseline_path}: {e}"))?;
+        println!(
+            "blessed {baseline_path}: {} metrics from {} file(s)",
+            merged.len(),
+            current_paths.len()
+        );
+        return Ok(true);
     }
     let baseline = load(&baseline_path)?;
     let mut current = BTreeMap::new();

@@ -52,6 +52,63 @@ impl CheckReport {
     pub fn regressions(&self) -> Vec<&Comparison> {
         self.compared.iter().filter(|c| c.regressed).collect()
     }
+
+    /// True when at least one measured metric was actually compared
+    /// against the baseline. A report without overlap gated nothing —
+    /// the `bench_regression` binary warns loudly on it (a brand-new
+    /// bench landing before its baseline entry) instead of either
+    /// passing silently or vacuous-failing.
+    pub fn has_overlap(&self) -> bool {
+        !self.compared.is_empty()
+    }
+}
+
+/// Validates a baseline metric map: non-empty, no empty or
+/// padded-whitespace names, every value finite and strictly positive.
+/// A hand-edited baseline that drifts outside this schema would
+/// otherwise fail in confusing ways (a zero baseline turns every ratio
+/// infinite; a NaN compares as never-regressed) — the `bench-smoke` job
+/// runs this check first so it fails loudly instead.
+pub fn validate_baseline(map: &BTreeMap<String, f64>) -> Result<(), String> {
+    if map.is_empty() {
+        return Err("baseline contains no metrics".to_string());
+    }
+    for (name, &value) in map {
+        if name.trim().is_empty() {
+            return Err("baseline contains an empty metric name".to_string());
+        }
+        if name.trim() != name {
+            return Err(format!("metric name '{name}' has leading/trailing whitespace"));
+        }
+        if !value.is_finite() || value <= 0.0 {
+            return Err(format!(
+                "metric '{name}' has non-positive or non-finite baseline value {value}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Renders a metric map as the canonical baseline JSON: one flat
+/// object, keys sorted (the `BTreeMap` order), three decimals — the
+/// exact shape `--bless` writes to `ci/bench-baseline.json`, chosen so
+/// re-blessing produces minimal diffs.
+pub fn render_baseline(map: &BTreeMap<String, f64>) -> String {
+    let mut out = String::from("{\n");
+    for (i, (name, value)) in map.iter().enumerate() {
+        let escaped: String = name
+            .chars()
+            .flat_map(|c| match c {
+                '"' | '\\' => vec!['\\', c],
+                c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+                c => vec![c],
+            })
+            .collect();
+        let comma = if i + 1 < map.len() { "," } else { "" };
+        out.push_str(&format!("  \"{escaped}\": {value:.3}{comma}\n"));
+    }
+    out.push_str("}\n");
+    out
 }
 
 /// True when a metric is higher-is-better (throughput).
@@ -208,6 +265,82 @@ mod tests {
         let base = map(&[("t_qps", 10.0)]);
         let cur = map(&[("t_qps", 0.0)]);
         assert_eq!(check(&base, &cur, 2.0).regressions().len(), 1);
+    }
+
+    #[test]
+    fn exactly_at_the_factor_is_not_a_regression() {
+        // The gate is strict-greater: exactly 2x is tolerated, a hair
+        // beyond is not — for both metric directions.
+        let base = map(&[("k/ns", 100.0), ("k/throughput_qps", 1000.0)]);
+        let at = map(&[("k/ns", 200.0), ("k/throughput_qps", 500.0)]);
+        let report = check(&base, &at, 2.0);
+        assert!(report.regressions().is_empty(), "exact 2.0x must pass: {report:?}");
+        let over = map(&[("k/ns", 200.1), ("k/throughput_qps", 499.0)]);
+        assert_eq!(check(&base, &over, 2.0).regressions().len(), 2);
+    }
+
+    #[test]
+    fn qps_direction_is_inverted() {
+        let base = map(&[("a_qps", 100.0), ("a", 100.0)]);
+        let cur = map(&[("a_qps", 50.0), ("a", 50.0)]);
+        let report = check(&base, &cur, 2.0);
+        // Halving throughput is a 2.0 ratio; halving a time is 0.5.
+        let by_name: std::collections::HashMap<_, _> =
+            report.compared.iter().map(|c| (c.name.as_str(), c.regression_ratio)).collect();
+        assert_eq!(by_name["a_qps"], 2.0);
+        assert_eq!(by_name["a"], 0.5);
+        assert!(higher_is_better("a_qps") && !higher_is_better("a"));
+        assert!(higher_is_better("churn/speedup_2pct_qps"));
+    }
+
+    #[test]
+    fn disjoint_maps_have_no_overlap_and_never_regress() {
+        let base = map(&[("old/ns", 1.0), ("old_qps", 2.0)]);
+        let cur = map(&[("new/ns", 10.0), ("new_qps", 20.0)]);
+        let report = check(&base, &cur, 2.0);
+        assert!(!report.has_overlap(), "nothing overlaps: {report:?}");
+        assert!(report.regressions().is_empty());
+        assert_eq!(report.new_metrics.len(), 2);
+        assert_eq!(report.missing_metrics.len(), 2);
+        // And a report with any comparison has overlap.
+        assert!(check(&base, &map(&[("old/ns", 1.5)]), 2.0).has_overlap());
+    }
+
+    #[test]
+    fn baseline_validation_catches_hand_edit_damage() {
+        assert!(validate_baseline(&map(&[("a/ns", 10.0), ("b_qps", 0.5)])).is_ok());
+        assert!(validate_baseline(&map(&[])).unwrap_err().contains("no metrics"));
+        assert!(validate_baseline(&map(&[("a", 0.0)])).unwrap_err().contains("non-positive"));
+        assert!(validate_baseline(&map(&[("a", -3.0)])).unwrap_err().contains("non-positive"));
+        assert!(validate_baseline(&map(&[("a", f64::NAN)])).unwrap_err().contains("non-finite"));
+        assert!(validate_baseline(&map(&[("a", f64::INFINITY)]))
+            .unwrap_err()
+            .contains("non-finite"));
+        assert!(validate_baseline(&map(&[(" padded", 1.0)])).unwrap_err().contains("whitespace"));
+        assert!(validate_baseline(&map(&[("", 1.0)])).unwrap_err().contains("empty"));
+    }
+
+    #[test]
+    fn render_baseline_round_trips_through_the_loader() {
+        let metrics = map(&[("scale/apsp_400/1", 51944656.5), ("serve/qps", 3068707.203)]);
+        let text = render_baseline(&metrics);
+        // Canonical shape: flat object, sorted keys, trailing newline.
+        assert!(text.starts_with("{\n") && text.ends_with("}\n"), "{text}");
+        assert!(text.find("scale/").unwrap() < text.find("serve/").unwrap());
+        let parsed = flatten_metrics(&serde_json::from_str(&text).unwrap()).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert!((parsed["scale/apsp_400/1"] - 51944656.5).abs() < 1e-3);
+        assert!((parsed["serve/qps"] - 3068707.203).abs() < 1e-3);
+        // Rendering is idempotent: bless twice, diff nothing.
+        assert_eq!(render_baseline(&parsed), text);
+    }
+
+    #[test]
+    fn render_baseline_escapes_hostile_names() {
+        let metrics = map(&[("quo\"te\\back", 1.0)]);
+        let text = render_baseline(&metrics);
+        let parsed = flatten_metrics(&serde_json::from_str(&text).unwrap()).unwrap();
+        assert!(parsed.contains_key("quo\"te\\back"), "{text}");
     }
 
     #[test]

@@ -143,6 +143,61 @@ impl Severity {
         edges.into_iter().map(|(i, j, _)| (i, j)).collect()
     }
 
+    /// Repairs the matrices after `m` changed on edges incident to the
+    /// `dirty` nodes: recomputes exactly those rows (in parallel over
+    /// the dirty set, [`tivpar::resolve_threads`] semantics) and patches
+    /// the symmetric column entries of every clean row.
+    ///
+    /// Severity is a pure, symmetric function of the matrix in which an
+    /// edge change can only affect pairs touching one of its endpoints
+    /// (`severity(a,c)` reads delays incident to `a` or `c` only), so
+    /// after this repair the result is **bit-identical** to
+    /// `Severity::compute(m, _)` from scratch — the incremental epoch
+    /// pipeline's core invariant, pinned by `tivoid`'s
+    /// `flux_equivalence` test.
+    ///
+    /// # Panics
+    /// Panics when the matrix size differs from this instance's, or
+    /// when `dirty` is not strictly increasing or names a node `>= n`.
+    pub fn repair_rows(&mut self, m: &DelayMatrix, dirty: &[NodeId], threads: usize) {
+        let n = self.n;
+        assert_eq!(m.len(), n, "matrix has {} nodes, severity covers {n}", m.len());
+        assert!(dirty.windows(2).all(|w| w[0] < w[1]), "dirty rows must be strictly increasing");
+        if let Some(&last) = dirty.last() {
+            assert!(last < n, "dirty row {last} outside {n} nodes");
+        }
+        // Recompute each dirty row from the current matrix — the same
+        // kernel the full pass runs, on the same scratch initial state
+        // (NaN severities, zero counts).
+        let rows: Vec<(Vec<f64>, Vec<u32>)> = tivpar::par_map_rows(dirty.len(), threads, |k| {
+            let a = dirty[k];
+            let mut srow = vec![f64::NAN; n];
+            let mut crow = vec![0u32; n];
+            severity_row(m, a, &mut srow, &mut crow);
+            (srow, crow)
+        });
+        for (k, (srow, crow)) in rows.into_iter().enumerate() {
+            let a = dirty[k];
+            self.sev[a * n..(a + 1) * n].copy_from_slice(&srow);
+            self.cnt[a * n..(a + 1) * n].copy_from_slice(&crow);
+        }
+        // Patch the dirty *columns* of every clean row by symmetry:
+        // severity_row scans witnesses in the same ascending order for
+        // (a,c) and (c,a), and f64 addition is commutative, so the
+        // mirrored entry is bit-identical to what a recompute of the
+        // clean row would produce.
+        let mut is_dirty = vec![false; n];
+        for &d in dirty {
+            is_dirty[d] = true;
+        }
+        for a in (0..n).filter(|&a| !is_dirty[a]) {
+            for &d in dirty {
+                self.sev[a * n + d] = self.sev[d * n + a];
+                self.cnt[a * n + d] = self.cnt[d * n + a];
+            }
+        }
+    }
+
     /// Mean violation count for edges within the same cluster versus
     /// edges crossing clusters (the paper: 80 within vs 206 across for
     /// DS²). Noise-cluster edges count as crossing.
@@ -587,6 +642,56 @@ mod tests {
         let binned = sev.by_delay_bins(full, 50.0, 2_000.0);
         let samples: usize = binned.bins.iter().filter_map(|b| b.stats.map(|st| st.count)).sum();
         assert!(samples <= measured.len(), "binned stats must skip NaN severities");
+    }
+
+    #[test]
+    fn repair_rows_matches_full_recompute() {
+        let s = InternetDelaySpace::preset(Dataset::Ds2).with_nodes(90).build(13);
+        let mut m = s.matrix().clone();
+        let mut sev = Severity::compute(&m, 2);
+        // Mutate a handful of edges: grown, shrunk, cleared, and one
+        // newly measured — the dirty set is the incident nodes.
+        m.set(3, 40, m.get(3, 40).unwrap() * 6.0);
+        m.set(17, 60, 0.25);
+        m.clear(40, 61);
+        let dirty = vec![3usize, 17, 40, 60, 61];
+        for threads in [1usize, 2, 4] {
+            let mut repaired = sev.clone();
+            repaired.repair_rows(&m, &dirty, threads);
+            let full = Severity::compute(&m, 1);
+            for i in 0..90 {
+                for j in 0..90 {
+                    assert_eq!(
+                        repaired.sev[i * 90 + j].to_bits(),
+                        full.sev[i * 90 + j].to_bits(),
+                        "severity diverged at ({i},{j}), {threads} threads"
+                    );
+                    assert_eq!(repaired.cnt[i * 90 + j], full.cnt[i * 90 + j]);
+                }
+            }
+        }
+        // An empty dirty set is a no-op.
+        let before = sev.sev.clone();
+        sev.repair_rows(s.matrix(), &[], 4);
+        assert_eq!(sev.sev.iter().map(|v| v.to_bits()).collect::<Vec<_>>(), {
+            before.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn repair_rejects_unsorted_dirty_set() {
+        let m = tiv_triangle();
+        let mut sev = Severity::compute(&m, 1);
+        sev.repair_rows(&m, &[2, 1], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn repair_rejects_out_of_range_row() {
+        let m = tiv_triangle();
+        let mut sev = Severity::compute(&m, 1);
+        sev.repair_rows(&m, &[7], 1);
     }
 
     #[test]

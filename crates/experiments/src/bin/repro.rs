@@ -6,6 +6,10 @@
 //!             [--zipf Z] [--observe F] [--epoch-every K]
 //!             [--cache C] [--witnesses W] [--seed S]
 //! repro route [--nodes N] [--k K] [--threads T] [--seed S] [--out DIR]
+//! repro churn [--nodes N] [--ticks T] [--epoch-ticks E] [--obs O]
+//!             [--churn-prob P] [--spike-rate R] [--diurnal-amp A]
+//!             [--threshold F] [--k K] [--threads T] [--seed S]
+//!             [--out DIR]
 //! ```
 //!
 //! * `figN` — one experiment id (fig1 … fig25), or `all`.
@@ -31,7 +35,14 @@
 //! DS²-style space and prints the detour-gain summary; with `--out` it
 //! writes the `route-savings` and `route-vs-severity` figure CSVs. See
 //! `experiments::route`.
+//!
+//! `repro churn` drives the incremental epoch pipeline (`tivflux` +
+//! `tivserve::flux`) against a deterministically churning delay space
+//! and prints staleness/freshness and rebuild-latency figures; with
+//! `--out` it writes the `churn-staleness` and `churn-rebuild` CSVs.
+//! See `experiments::churn`.
 
+use experiments::churn::{run_churn, ChurnOptions};
 use experiments::lab::Lab;
 use experiments::route::{run_route, RouteOptions};
 use experiments::scale::ExperimentScale;
@@ -148,6 +159,103 @@ fn parse_route_args(
     Ok((opts, out))
 }
 
+/// Parses the flags of the `churn` subcommand into [`ChurnOptions`]
+/// plus the optional output directory.
+fn parse_churn_args(
+    argv: impl Iterator<Item = String>,
+) -> Result<(ChurnOptions, Option<PathBuf>), String> {
+    fn value<T: std::str::FromStr>(
+        argv: &mut impl Iterator<Item = String>,
+        flag: &str,
+    ) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        let v = argv.next().ok_or(format!("{flag} needs a value"))?;
+        v.parse().map_err(|e| format!("bad {flag} value: {e}"))
+    }
+    let mut opts = ChurnOptions::default();
+    let mut out = None;
+    let mut argv = argv;
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--nodes" => opts.nodes = value(&mut argv, "--nodes")?,
+            "--ticks" => opts.ticks = value(&mut argv, "--ticks")?,
+            "--epoch-ticks" => opts.epoch_ticks = value(&mut argv, "--epoch-ticks")?,
+            "--obs" => opts.obs_per_tick = value(&mut argv, "--obs")?,
+            "--churn-prob" => opts.churn_prob = value(&mut argv, "--churn-prob")?,
+            "--spike-rate" => opts.spike_rate = value(&mut argv, "--spike-rate")?,
+            "--diurnal-amp" => opts.diurnal_amp = value(&mut argv, "--diurnal-amp")?,
+            "--threshold" => opts.full_rebuild_fraction = value(&mut argv, "--threshold")?,
+            "--k" => opts.detour_k = value(&mut argv, "--k")?,
+            "--threads" => opts.threads = value(&mut argv, "--threads")?,
+            "--seed" => opts.seed = value(&mut argv, "--seed")?,
+            "--out" => {
+                let v = argv.next().ok_or("--out needs a directory")?;
+                out = Some(PathBuf::from(v));
+            }
+            other => {
+                return Err(format!(
+                    "unknown churn argument: {other}\n\
+                     usage: repro churn [--nodes N] [--ticks T] [--epoch-ticks E] [--obs O] \
+                     [--churn-prob P] [--spike-rate R] [--diurnal-amp A] [--threshold F] \
+                     [--k K] [--threads T] [--seed S] [--out DIR]"
+                ))
+            }
+        }
+    }
+    if opts.nodes < 3 {
+        return Err("--nodes must be at least 3".to_string());
+    }
+    if opts.ticks < 1 || opts.epoch_ticks < 1 {
+        return Err("--ticks and --epoch-ticks must be at least 1".to_string());
+    }
+    if !(0.0..=1.0).contains(&opts.churn_prob) {
+        return Err("--churn-prob must be in [0, 1]".to_string());
+    }
+    if !(0.0..1.0).contains(&opts.diurnal_amp) {
+        return Err("--diurnal-amp must be in [0, 1)".to_string());
+    }
+    if !opts.spike_rate.is_finite() || opts.spike_rate < 0.0 {
+        return Err("--spike-rate must be a finite non-negative rate".to_string());
+    }
+    if opts.detour_k < 1 {
+        return Err("--k must be at least 1".to_string());
+    }
+    if !opts.full_rebuild_fraction.is_finite() || opts.full_rebuild_fraction < 0.0 {
+        return Err("--threshold must be a finite non-negative fraction".to_string());
+    }
+    Ok((opts, out))
+}
+
+/// Runs the `churn` subcommand end to end.
+fn run_churn_command(argv: impl Iterator<Item = String>) -> ExitCode {
+    let (opts, out) = match parse_churn_args(argv) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = run_churn(&opts);
+    print!("{report}");
+    if let Some(dir) = out {
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+        for fig in &report.figures {
+            let path = dir.join(format!("{}.csv", fig.id));
+            if let Err(e) = std::fs::write(&path, fig.to_csv()) {
+                eprintln!("cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            println!("figure written to {}", path.display());
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 /// Runs the `route` subcommand end to end.
 fn run_route_command(argv: impl Iterator<Item = String>) -> ExitCode {
     let (opts, out) = match parse_route_args(argv) {
@@ -218,6 +326,8 @@ fn parse_args() -> Result<Args, String> {
              (run the estimation service)\n\
              \x20      repro route [--nodes N] [--k K] [--threads T] [--seed S] [--out DIR] \
              (run the detour search)\n\
+             \x20      repro churn [--nodes N] [--ticks T] [--epoch-ticks E] [--obs O] ... \
+             (run the incremental epoch pipeline under churn)\n\
              figures: {}\n\
              ablations: {}",
             suite::ALL_IDS.join(" "),
@@ -277,6 +387,10 @@ fn main() -> ExitCode {
         Some("route") => {
             argv.next();
             return run_route_command(argv);
+        }
+        Some("churn") => {
+            argv.next();
+            return run_churn_command(argv);
         }
         _ => {}
     }

@@ -21,7 +21,9 @@
 //! shared penalty metrics and the beyond-the-paper sweeps; [`serve`]
 //! drives the sharded `tivserve` estimation service (the `repro serve`
 //! subcommand); [`route`] runs the TIV-exploiting one-hop detour
-//! search (the `repro route` subcommand).
+//! search (the `repro route` subcommand); [`churn`] drives the
+//! incremental epoch pipeline against a churning delay space (the
+//! `repro churn` subcommand).
 //!
 //! Batches fan out over worker threads with [`suite::run_many`] (the
 //! `repro` binary's `--threads` flag); every figure is a pure function
@@ -40,6 +42,7 @@
 #![deny(missing_docs)]
 
 pub mod ablations;
+pub mod churn;
 pub mod figure;
 pub mod lab;
 pub mod penalty;

@@ -1,0 +1,427 @@
+//! Time-varying delay processes: the churn that makes epochs necessary.
+//!
+//! The reproduced paper studies *static* snapshots of Internet delay
+//! spaces, but its deployment sections assume the signals are kept
+//! fresh online — severities drift as routing and congestion change.
+//! This module models that drift deterministically, so the incremental
+//! epoch pipeline (`tivflux`, `tivserve::flux`) can be driven, measured
+//! and regression-tested against a reproducible churning world:
+//!
+//! * **diurnal drift** — each node's delays swell and shrink on a slow
+//!   multiplicative sinusoid with a per-node phase (the classic
+//!   load-follows-the-sun pattern);
+//! * **congestion spikes** — transient episodes that multiply one
+//!   edge's delay for a few ticks and then clear;
+//! * **node churn** — occasional per-node resets that re-draw the
+//!   node's delay scale (a re-homed or re-routed host) and trigger a
+//!   burst of re-measurements of its whole row.
+//!
+//! A [`ChurnProcess`] advances in integer ticks. Each
+//! [`advance`](ChurnProcess::advance) emits the tick's *observations*
+//! — [`EdgeSample`]s of the current true delays, with measurement
+//! jitter — which is exactly the stream an epoch builder folds in. The
+//! true (un-jittered, fully fresh) delay of any edge is exposed via
+//! [`ChurnProcess::true_delay`] so experiments can measure the served
+//! state's staleness against ground truth. The whole process is a pure
+//! function of `(base matrix, config)`: two processes with the same
+//! inputs emit bit-identical streams.
+
+use delayspace::matrix::{DelayMatrix, NodeId};
+use delayspace::rng::{self, DetRng};
+use rand::Rng;
+
+/// One observed RTT sample emitted by the process.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EdgeSample {
+    /// The measuring node.
+    pub a: NodeId,
+    /// The measured peer.
+    pub b: NodeId,
+    /// The observed round-trip time, ms (jittered true delay).
+    pub rtt_ms: f64,
+}
+
+/// Shape of the time-varying delay process.
+#[derive(Clone, Copy, Debug)]
+pub struct ChurnConfig {
+    /// Relative amplitude of the diurnal sinusoid (0 disables; 0.15
+    /// swings a node's contribution ±15%).
+    pub diurnal_amp: f64,
+    /// Period of the diurnal cycle, in ticks.
+    pub diurnal_period: f64,
+    /// Expected congestion spikes spawned per tick.
+    pub spike_rate: f64,
+    /// Peak relative magnitude of a spike: an affected edge is
+    /// multiplied by up to `1 + spike_mag`.
+    pub spike_mag: f64,
+    /// Lifetime of a spike, ticks.
+    pub spike_ticks: u32,
+    /// Per-node probability of a churn reset per tick.
+    pub churn_prob: f64,
+    /// Random edge observations sampled per tick.
+    pub obs_per_tick: usize,
+    /// Re-measurement burst after a node reset: how many of the
+    /// churned node's edges are observed immediately.
+    pub churn_resample: usize,
+    /// Measurement jitter applied to every emitted RTT
+    /// ([`crate::JitterModel::Multiplicative`] sigma; 0 emits true
+    /// delays).
+    pub jitter_sigma: f64,
+    /// Master seed of the process.
+    pub seed: u64,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> Self {
+        ChurnConfig {
+            diurnal_amp: 0.15,
+            diurnal_period: 48.0,
+            spike_rate: 2.0,
+            spike_mag: 3.0,
+            spike_ticks: 3,
+            churn_prob: 0.001,
+            obs_per_tick: 256,
+            churn_resample: 64,
+            jitter_sigma: 0.02,
+            seed: 42,
+        }
+    }
+}
+
+/// A transient congestion episode on one unordered edge.
+#[derive(Clone, Copy, Debug)]
+struct Spike {
+    a: NodeId,
+    b: NodeId,
+    /// Last tick (inclusive) the spike is active.
+    until: u64,
+    /// Multiplicative factor applied while active (≥ 1).
+    factor: f64,
+}
+
+/// The outcome of one tick.
+#[derive(Clone, Debug)]
+pub struct TickReport {
+    /// The tick just completed (first `advance` reports 1).
+    pub tick: u64,
+    /// Observations emitted this tick, in emission order (churn bursts
+    /// first, then the random sweep).
+    pub samples: Vec<EdgeSample>,
+    /// Nodes that churn-reset this tick.
+    pub churned: Vec<NodeId>,
+    /// Congestion spikes active during this tick.
+    pub active_spikes: usize,
+}
+
+/// A deterministic time-varying delay process over a base matrix.
+#[derive(Clone, Debug)]
+pub struct ChurnProcess {
+    base: DelayMatrix,
+    cfg: ChurnConfig,
+    /// Per-node diurnal phase, radians.
+    phase: Vec<f64>,
+    /// Per-node churn scale (re-drawn on reset).
+    scale: Vec<f64>,
+    spikes: Vec<Spike>,
+    tick: u64,
+    rng: DetRng,
+}
+
+impl ChurnProcess {
+    /// A process over `base` (cloned) with the given shape.
+    ///
+    /// # Panics
+    /// Panics on a base matrix with fewer than 2 nodes, a non-positive
+    /// diurnal period, or an amplitude outside `[0, 1)`.
+    pub fn new(base: &DelayMatrix, cfg: ChurnConfig) -> Self {
+        assert!(base.len() >= 2, "churn needs at least two nodes");
+        assert!(cfg.diurnal_period > 0.0, "diurnal period must be positive");
+        assert!(
+            (0.0..1.0).contains(&cfg.diurnal_amp),
+            "diurnal amplitude {} outside [0, 1)",
+            cfg.diurnal_amp
+        );
+        assert!(cfg.spike_mag >= 0.0 && cfg.spike_rate >= 0.0, "spike shape must be non-negative");
+        assert!((0.0..=1.0).contains(&cfg.churn_prob), "churn probability outside [0, 1]");
+        let mut r = rng::sub_rng(cfg.seed, "simnet/churn");
+        let phase = (0..base.len()).map(|_| r.gen_range(0.0..std::f64::consts::TAU)).collect();
+        ChurnProcess {
+            base: base.clone(),
+            cfg,
+            phase,
+            scale: vec![1.0; base.len()],
+            spikes: Vec::new(),
+            tick: 0,
+            rng: r,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    /// True when the process covers no nodes (never; API symmetry).
+    pub fn is_empty(&self) -> bool {
+        self.base.is_empty()
+    }
+
+    /// The current tick (0 before the first [`advance`](Self::advance)).
+    pub fn tick(&self) -> u64 {
+        self.tick
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ChurnConfig {
+        &self.cfg
+    }
+
+    /// Node `i`'s diurnal factor at the current tick.
+    fn diurnal(&self, i: NodeId) -> f64 {
+        1.0 + self.cfg.diurnal_amp
+            * (std::f64::consts::TAU * self.tick as f64 / self.cfg.diurnal_period + self.phase[i])
+                .sin()
+    }
+
+    /// The *true* current delay of `{a, b}`: base delay under the
+    /// diurnal factors, churn scales, and any active spike. `None` when
+    /// the base pair is unmeasured. This is the ground truth staleness
+    /// is measured against; emitted observations are this value plus
+    /// measurement jitter.
+    pub fn true_delay(&self, a: NodeId, b: NodeId) -> Option<f64> {
+        let d = self.base.get(a, b)?;
+        if a == b {
+            return Some(0.0);
+        }
+        let drift = 0.5 * (self.diurnal(a) + self.diurnal(b));
+        let mut v = d * drift * self.scale[a] * self.scale[b];
+        for s in &self.spikes {
+            if (s.a == a && s.b == b) || (s.a == b && s.b == a) {
+                v *= s.factor;
+            }
+        }
+        Some(v.max(0.05))
+    }
+
+    /// Draws one random measured off-diagonal pair of the base matrix.
+    /// Synthetic spaces are complete, so the retry bound is generous.
+    fn random_edge(&mut self) -> Option<(NodeId, NodeId)> {
+        let n = self.base.len();
+        for _ in 0..64 {
+            let a = self.rng.gen_range(0..n);
+            let mut b = self.rng.gen_range(0..n - 1);
+            if b >= a {
+                b += 1;
+            }
+            if self.base.get(a, b).is_some() {
+                return Some((a, b));
+            }
+        }
+        None
+    }
+
+    /// Emits one jittered observation of the current true delay — the
+    /// same multiplicative rule as [`crate::JitterModel::Multiplicative`],
+    /// inlined here because a [`crate::Network`] borrows its matrix for
+    /// its whole lifetime while this process owns a drifting one.
+    fn sample_edge(&mut self, a: NodeId, b: NodeId) -> Option<EdgeSample> {
+        let truth = self.true_delay(a, b)?;
+        let rtt = if self.cfg.jitter_sigma > 0.0 {
+            let z = rng::sample_standard_normal(&mut self.rng);
+            (truth * (1.0 + self.cfg.jitter_sigma * z)).max(0.05)
+        } else {
+            truth
+        };
+        Some(EdgeSample { a, b, rtt_ms: rtt })
+    }
+
+    /// Advances one tick: expires and spawns congestion spikes, applies
+    /// node churn (with re-measurement bursts), and samples the tick's
+    /// random observations. Deterministic given `(base, config)`.
+    pub fn advance(&mut self) -> TickReport {
+        self.tick += 1;
+        let tick = self.tick;
+        // Expire finished spikes, then spawn this tick's new ones.
+        self.spikes.retain(|s| s.until >= tick);
+        let whole = self.cfg.spike_rate.floor() as usize;
+        let frac = self.cfg.spike_rate - self.cfg.spike_rate.floor();
+        let spawn = whole + usize::from(frac > 0.0 && self.rng.gen_range(0.0..1.0) < frac);
+        for _ in 0..spawn {
+            if let Some((a, b)) = self.random_edge() {
+                let factor = 1.0 + self.cfg.spike_mag * self.rng.gen_range(0.0..1.0);
+                self.spikes.push(Spike { a, b, until: tick + self.cfg.spike_ticks as u64, factor });
+            }
+        }
+        // Node churn: re-draw the node's scale, then burst-remeasure a
+        // slice of its row (a rebooted host probes its peers).
+        let mut churned = Vec::new();
+        let mut samples = Vec::new();
+        if self.cfg.churn_prob > 0.0 {
+            for i in 0..self.base.len() {
+                if self.rng.gen_range(0.0..1.0) < self.cfg.churn_prob {
+                    self.scale[i] = rng::lognormal(&mut self.rng, 1.0, 0.4).clamp(0.4, 2.5);
+                    churned.push(i);
+                }
+            }
+        }
+        for i in churned.clone() {
+            let n = self.base.len();
+            let burst = self.cfg.churn_resample.min(n - 1);
+            for idx in rng::sample_indices(&mut self.rng, n - 1, burst) {
+                let j = if idx >= i { idx + 1 } else { idx };
+                if let Some(s) = self.sample_edge(i, j) {
+                    samples.push(s);
+                }
+            }
+        }
+        // The tick's random observation sweep.
+        for _ in 0..self.cfg.obs_per_tick {
+            if let Some((a, b)) = self.random_edge() {
+                if let Some(s) = self.sample_edge(a, b) {
+                    samples.push(s);
+                }
+            }
+        }
+        TickReport { tick, samples, churned, active_spikes: self.spikes.len() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base(n: usize) -> DelayMatrix {
+        DelayMatrix::from_complete_fn(n, |i, j| 10.0 + ((i * 13 + j * 7) % 90) as f64)
+    }
+
+    fn quiet() -> ChurnConfig {
+        ChurnConfig {
+            spike_rate: 0.0,
+            churn_prob: 0.0,
+            jitter_sigma: 0.0,
+            obs_per_tick: 32,
+            ..ChurnConfig::default()
+        }
+    }
+
+    #[test]
+    fn stream_is_deterministic() {
+        let m = base(30);
+        let cfg = ChurnConfig { churn_prob: 0.05, ..ChurnConfig::default() };
+        let mut a = ChurnProcess::new(&m, cfg);
+        let mut b = ChurnProcess::new(&m, cfg);
+        for _ in 0..10 {
+            let (ra, rb) = (a.advance(), b.advance());
+            assert_eq!(ra.samples, rb.samples);
+            assert_eq!(ra.churned, rb.churned);
+            assert_eq!(ra.active_spikes, rb.active_spikes);
+        }
+        assert_eq!(a.tick(), 10);
+    }
+
+    #[test]
+    fn samples_are_positive_finite_and_in_range() {
+        let m = base(25);
+        let mut p = ChurnProcess::new(&m, ChurnConfig { churn_prob: 0.02, ..Default::default() });
+        for _ in 0..20 {
+            for s in p.advance().samples {
+                assert!(s.a != s.b && s.a < 25 && s.b < 25);
+                assert!(s.rtt_ms > 0.0 && s.rtt_ms.is_finite(), "bad rtt {}", s.rtt_ms);
+            }
+        }
+    }
+
+    #[test]
+    fn diurnal_drift_moves_true_delays_and_comes_back() {
+        let m = base(10);
+        let cfg = ChurnConfig { diurnal_period: 20.0, ..quiet() };
+        let mut p = ChurnProcess::new(&m, cfg);
+        let at_zero = p.true_delay(0, 1).unwrap();
+        let mut seen_change = false;
+        for _ in 0..10 {
+            p.advance();
+            if (p.true_delay(0, 1).unwrap() - at_zero).abs() > 0.1 {
+                seen_change = true;
+            }
+        }
+        assert!(seen_change, "diurnal drift never moved the delay");
+        // A full period later the sinusoid is back where it started.
+        for _ in 0..10 {
+            p.advance();
+        }
+        let after_period = p.true_delay(0, 1).unwrap();
+        assert!(
+            (after_period - at_zero).abs() < 1e-9 * at_zero.max(1.0),
+            "period did not close: {at_zero} vs {after_period}"
+        );
+    }
+
+    #[test]
+    fn spikes_only_increase_and_expire() {
+        let m = base(12);
+        let cfg = ChurnConfig {
+            spike_rate: 5.0,
+            spike_ticks: 2,
+            diurnal_amp: 0.0,
+            churn_prob: 0.0,
+            jitter_sigma: 0.0,
+            obs_per_tick: 0,
+            ..ChurnConfig::default()
+        };
+        let mut p = ChurnProcess::new(&m, cfg);
+        let r = p.advance();
+        assert!(r.active_spikes > 0);
+        // Every spiked edge is at or above its base delay (amp 0, no
+        // churn, so the only factor left is the spike's, which is ≥ 1).
+        for i in 0..12 {
+            for j in (i + 1)..12 {
+                assert!(p.true_delay(i, j).unwrap() >= m.get(i, j).unwrap() - 1e-12);
+            }
+        }
+        // Spikes expire after their lifetime.
+        let quiet_cfg = ChurnConfig { spike_rate: 0.0, ..cfg };
+        let mut q = ChurnProcess::new(&m, quiet_cfg);
+        for _ in 0..5 {
+            assert_eq!(q.advance().active_spikes, 0);
+        }
+    }
+
+    #[test]
+    fn churn_resets_emit_bursts_and_move_rows() {
+        let m = base(20);
+        let cfg = ChurnConfig {
+            churn_prob: 1.0, // every node resets every tick
+            churn_resample: 8,
+            spike_rate: 0.0,
+            diurnal_amp: 0.0,
+            jitter_sigma: 0.0,
+            obs_per_tick: 0,
+            ..ChurnConfig::default()
+        };
+        let mut p = ChurnProcess::new(&m, cfg);
+        let r = p.advance();
+        assert_eq!(r.churned.len(), 20);
+        assert_eq!(r.samples.len(), 20 * 8);
+        // Scales moved at least one row away from base.
+        let moved = (0..20)
+            .flat_map(|i| (0..20).map(move |j| (i, j)))
+            .filter(|&(i, j)| i != j)
+            .any(|(i, j)| (p.true_delay(i, j).unwrap() - m.get(i, j).unwrap()).abs() > 0.5);
+        assert!(moved, "churn resets never moved a delay");
+    }
+
+    #[test]
+    fn unmeasured_pairs_have_no_truth() {
+        let mut m = base(5);
+        m.clear(0, 1);
+        let p = ChurnProcess::new(&m, quiet());
+        assert_eq!(p.true_delay(0, 1), None);
+        assert_eq!(p.true_delay(2, 2), Some(0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two nodes")]
+    fn tiny_base_rejected() {
+        ChurnProcess::new(&DelayMatrix::new(1), ChurnConfig::default());
+    }
+}

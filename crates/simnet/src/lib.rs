@@ -23,6 +23,7 @@
 //! |---|---|
 //! | [`sim`] | [`SimTime`], [`EventQueue`], [`Simulation`] driver |
 //! | [`net`] | [`Network`], [`JitterModel`], [`ProbeStats`] accounting |
+//! | [`churn`] | [`ChurnProcess`]: diurnal drift, congestion spikes, node churn — deterministic observation streams for the incremental epoch pipeline |
 //!
 //! ```
 //! use delayspace::DelayMatrix;
@@ -38,8 +39,10 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod churn;
 pub mod net;
 pub mod sim;
 
+pub use churn::{ChurnConfig, ChurnProcess, EdgeSample, TickReport};
 pub use net::{JitterModel, Network, ProbeStats};
 pub use sim::{EventQueue, SimTime, Simulation};

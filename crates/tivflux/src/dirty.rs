@@ -1,0 +1,169 @@
+//! The dirty-row tracker.
+//!
+//! A [`DirtySet`] records which nodes' delay-matrix rows changed since
+//! the last epoch. Edges are the unit of change (a folded observation
+//! rewrites one symmetric entry), and an edge change dirties both
+//! endpoint rows — the exact granularity the row-repair kernels in
+//! `tivcore`/`tivroute` and the dirty-local embedding refinement
+//! consume.
+
+use delayspace::matrix::NodeId;
+
+/// Tracks the set of dirty rows (nodes) between two epochs.
+///
+/// Marking is O(1) and idempotent; [`DirtySet::sorted_nodes`] returns
+/// the strictly-increasing row list the repair kernels require.
+#[derive(Clone, Debug)]
+pub struct DirtySet {
+    /// `flags[i]` — node `i`'s row changed since the last clear.
+    flags: Vec<bool>,
+    /// Dirty nodes in first-marked order (deduplicated via `flags`).
+    nodes: Vec<NodeId>,
+    /// Distinct-edge upper bound: every `mark_edge` call, including
+    /// repeats of the same edge (the tracker does not keep per-edge
+    /// state — rows are what repairs operate on).
+    edge_marks: usize,
+}
+
+impl DirtySet {
+    /// An all-clean tracker over `n` nodes.
+    pub fn new(n: usize) -> Self {
+        DirtySet { flags: vec![false; n], nodes: Vec::new(), edge_marks: 0 }
+    }
+
+    /// Number of nodes tracked.
+    pub fn universe(&self) -> usize {
+        self.flags.len()
+    }
+
+    /// Marks the edge `{a, b}` changed: both endpoint rows become
+    /// dirty.
+    ///
+    /// # Panics
+    /// Panics when either endpoint is out of range.
+    pub fn mark_edge(&mut self, a: NodeId, b: NodeId) {
+        self.mark_node(a);
+        self.mark_node(b);
+        self.edge_marks += 1;
+    }
+
+    /// Marks one node's row for recomputation. This is the low-level
+    /// building block behind [`DirtySet::mark_edge`] — **it is not a
+    /// shortcut for "this node's edges changed"**: a changed edge
+    /// `{i, j}` affects *both* endpoint rows (row `j` reads `d(i, j)`
+    /// through witness `i` for every destination), so every edge-level
+    /// change must go through `mark_edge`, which marks both ends.
+    /// Marking only the node whose row drifted would leave its peers'
+    /// rows stale and break the repair kernels' bit-identity contract.
+    ///
+    /// # Panics
+    /// Panics when `node` is out of range.
+    pub fn mark_node(&mut self, node: NodeId) {
+        assert!(node < self.flags.len(), "node {node} outside {} nodes", self.flags.len());
+        if !self.flags[node] {
+            self.flags[node] = true;
+            self.nodes.push(node);
+        }
+    }
+
+    /// True when nothing changed since the last clear.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Number of dirty rows.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of `mark_edge` calls since the last clear (repeats of the
+    /// same edge count — a load measure, not a distinct-edge count).
+    pub fn edge_marks(&self) -> usize {
+        self.edge_marks
+    }
+
+    /// Dirty rows as a fraction of the universe (0 for an empty
+    /// universe).
+    pub fn fraction(&self) -> f64 {
+        if self.flags.is_empty() {
+            0.0
+        } else {
+            self.nodes.len() as f64 / self.flags.len() as f64
+        }
+    }
+
+    /// True when `node`'s row is dirty.
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.flags[node]
+    }
+
+    /// The dirty rows, strictly increasing — the shape the repair
+    /// kernels (`Severity::repair_rows`, `DetourTable::repair_rows`)
+    /// and [`crate::refine_embedding`] require.
+    pub fn sorted_nodes(&self) -> Vec<NodeId> {
+        let mut nodes = self.nodes.clone();
+        nodes.sort_unstable();
+        nodes
+    }
+
+    /// Resets to all-clean (the epoch boundary).
+    pub fn clear(&mut self) {
+        for &n in &self.nodes {
+            self.flags[n] = false;
+        }
+        self.nodes.clear();
+        self.edge_marks = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn marking_is_idempotent_and_sorted() {
+        let mut d = DirtySet::new(10);
+        assert!(d.is_empty());
+        d.mark_edge(7, 2);
+        d.mark_edge(2, 7);
+        d.mark_edge(2, 5);
+        assert_eq!(d.node_count(), 3);
+        assert_eq!(d.edge_marks(), 3);
+        assert_eq!(d.sorted_nodes(), vec![2, 5, 7]);
+        assert!(d.contains(2) && d.contains(5) && d.contains(7));
+        assert!(!d.contains(0));
+        assert!((d.fraction() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn node_marks_are_idempotent_and_count_no_edges() {
+        let mut d = DirtySet::new(4);
+        d.mark_node(3);
+        d.mark_node(3);
+        assert_eq!(d.sorted_nodes(), vec![3]);
+        assert_eq!(d.edge_marks(), 0);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut d = DirtySet::new(6);
+        d.mark_edge(0, 5);
+        d.clear();
+        assert!(d.is_empty());
+        assert_eq!(d.fraction(), 0.0);
+        assert_eq!(d.edge_marks(), 0);
+        d.mark_edge(1, 2); // reusable after clear
+        assert_eq!(d.sorted_nodes(), vec![1, 2]);
+    }
+
+    #[test]
+    fn empty_universe_has_zero_fraction() {
+        assert_eq!(DirtySet::new(0).fraction(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn out_of_range_mark_rejected() {
+        DirtySet::new(3).mark_node(3);
+    }
+}

@@ -1,0 +1,183 @@
+//! The derived-state bundle and the repair-vs-rebuild policy.
+//!
+//! An incremental epoch snapshot carries two O(n³) analyses derived
+//! from its delay matrix: the exact TIV-severity matrix
+//! ([`tivcore::severity::Severity`]) and the k-best one-hop detour
+//! table ([`tivroute::DetourTable`]). [`DerivedState`] bundles them and
+//! offers the two ways of bringing them up to date with a changed
+//! matrix:
+//!
+//! * [`DerivedState::rebuild`] — from scratch, O(n³);
+//! * [`DerivedState::repair`] — dirty rows only, O(|D|·n²) plus an
+//!   O(|D|·n) symmetric column patch.
+//!
+//! Both produce bit-identical results (each analysis is a pure,
+//! symmetric, row-decomposable function of the matrix); the
+//! [`RebuildPolicy`] picks whichever is cheaper for the epoch's
+//! dirtiness.
+
+use delayspace::matrix::{DelayMatrix, NodeId};
+use tivcore::severity::Severity;
+use tivroute::DetourTable;
+
+/// The O(n³) analyses an epoch snapshot serves, kept fresh together.
+#[derive(Clone, Debug)]
+pub struct DerivedState {
+    /// Exact severity of every measured edge of the epoch's matrix.
+    pub severity: Severity,
+    /// The k-best one-hop detours of every ordered pair.
+    pub detour: DetourTable,
+}
+
+impl DerivedState {
+    /// Computes both analyses from scratch, using up to `threads`
+    /// workers ([`tivpar::resolve_threads`] semantics).
+    pub fn compute(m: &DelayMatrix, k: usize, threads: usize) -> Self {
+        DerivedState {
+            severity: Severity::compute(m, threads),
+            detour: DetourTable::compute(m, k, threads),
+        }
+    }
+
+    /// Number of nodes covered.
+    pub fn len(&self) -> usize {
+        self.severity.len()
+    }
+
+    /// True when the state covers no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.severity.is_empty()
+    }
+
+    /// Replaces both analyses with a from-scratch recompute of `m`
+    /// (the full-rebuild path of the policy).
+    pub fn rebuild(&mut self, m: &DelayMatrix, threads: usize) {
+        let k = self.detour.k();
+        *self = DerivedState::compute(m, k, threads);
+    }
+
+    /// Repairs both analyses after `m` changed on edges incident to
+    /// the `dirty` nodes (strictly increasing, as produced by
+    /// [`crate::DirtySet::sorted_nodes`]). Bit-identical to
+    /// [`DerivedState::rebuild`] on the same matrix.
+    pub fn repair(&mut self, m: &DelayMatrix, dirty: &[NodeId], threads: usize) {
+        self.severity.repair_rows(m, dirty, threads);
+        self.detour.repair_rows(m, dirty, threads);
+    }
+}
+
+/// How an epoch's derived state was (or would be) brought up to date.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BuildKind {
+    /// Row-by-row repair over the dirty set.
+    Incremental,
+    /// From-scratch recompute of every row.
+    Full,
+}
+
+/// The fallback rule: repair below the threshold, rebuild at or above
+/// it.
+///
+/// Repairing `|D|` dirty rows costs O(|D|·n²) against the full pass's
+/// O(n³), so repair wins whenever the dirty fraction is small; past a
+/// threshold the bookkeeping (scratch rows, column patches) stops
+/// paying for itself. The threshold is a pure *cost* knob: both paths
+/// produce bit-identical state, so flipping it can never change a
+/// served answer — the invariant `tivoid`'s `flux_equivalence` test
+/// pins by running the same observation state through both policies.
+#[derive(Clone, Copy, Debug)]
+pub struct RebuildPolicy {
+    /// Dirty-row fraction at or above which the builder recomputes from
+    /// scratch. `0.0` forces every build full; anything `> 1.0` forces
+    /// every build incremental.
+    pub full_rebuild_fraction: f64,
+}
+
+impl Default for RebuildPolicy {
+    fn default() -> Self {
+        RebuildPolicy { full_rebuild_fraction: 0.25 }
+    }
+}
+
+impl RebuildPolicy {
+    /// A policy that never falls back to a full rebuild (equivalence
+    /// tests pin the incremental path with this).
+    pub fn always_incremental() -> Self {
+        RebuildPolicy { full_rebuild_fraction: f64::INFINITY }
+    }
+
+    /// A policy that rebuilds from scratch on every epoch (the
+    /// reference the equivalence tests compare against).
+    pub fn always_full() -> Self {
+        RebuildPolicy { full_rebuild_fraction: 0.0 }
+    }
+
+    /// Picks the build kind for an epoch with `dirty_nodes` dirty rows
+    /// out of `n`.
+    pub fn decide(&self, dirty_nodes: usize, n: usize) -> BuildKind {
+        if n == 0 {
+            return BuildKind::Incremental; // nothing to rebuild either way
+        }
+        if dirty_nodes as f64 / n as f64 >= self.full_rebuild_fraction {
+            BuildKind::Full
+        } else {
+            BuildKind::Incremental
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use delayspace::synth::{Dataset, InternetDelaySpace};
+
+    fn ds2(n: usize, seed: u64) -> DelayMatrix {
+        InternetDelaySpace::preset(Dataset::Ds2).with_nodes(n).build(seed).into_matrix()
+    }
+
+    #[test]
+    fn repair_equals_rebuild_bitwise() {
+        let mut m = ds2(70, 3);
+        let mut repaired = DerivedState::compute(&m, 2, 2);
+        let mut rebuilt = repaired.clone();
+        m.set(4, 50, m.get(4, 50).unwrap() * 8.0);
+        m.set(12, 33, 0.75);
+        let dirty = vec![4usize, 12, 33, 50];
+        repaired.repair(&m, &dirty, 4);
+        rebuilt.rebuild(&m, 1);
+        for i in 0..70 {
+            for j in 0..70 {
+                assert_eq!(
+                    repaired.severity.severity(i, j).map(f64::to_bits),
+                    rebuilt.severity.severity(i, j).map(f64::to_bits),
+                    "severity diverged at ({i},{j})"
+                );
+                let a: Vec<_> = repaired.detour.relays(i, j).collect();
+                let b: Vec<_> = rebuilt.detour.relays(i, j).collect();
+                assert_eq!(a, b, "detours diverged at ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn policy_thresholds() {
+        let p = RebuildPolicy { full_rebuild_fraction: 0.25 };
+        assert_eq!(p.decide(0, 100), BuildKind::Incremental);
+        assert_eq!(p.decide(24, 100), BuildKind::Incremental);
+        assert_eq!(p.decide(25, 100), BuildKind::Full); // at threshold: full
+        assert_eq!(p.decide(100, 100), BuildKind::Full);
+        assert_eq!(RebuildPolicy::always_full().decide(0, 100), BuildKind::Full);
+        assert_eq!(RebuildPolicy::always_incremental().decide(100, 100), BuildKind::Incremental);
+        assert_eq!(p.decide(0, 0), BuildKind::Incremental);
+    }
+
+    #[test]
+    fn rebuild_keeps_k() {
+        let m = ds2(20, 1);
+        let mut s = DerivedState::compute(&m, 3, 1);
+        s.rebuild(&m, 1);
+        assert_eq!(s.detour.k(), 3);
+        assert_eq!(s.len(), 20);
+        assert!(!s.is_empty());
+    }
+}

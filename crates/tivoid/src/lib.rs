@@ -15,7 +15,8 @@
 //! | overlay | [`meridian`] | concentric-ring closest-neighbor location service |
 //! | core | [`tivcore`] | TIV severity, the TIV alert mechanism, TIV-aware selection |
 //! | routing | [`tivroute`] | k-best one-hop detour search, detour-gain statistics |
-//! | serving | [`tivserve`] | sharded, epoch-snapshot estimation + routing service, load generator |
+//! | incremental | [`tivflux`] | dirty-row tracking, delta repair of the O(n³) analyses, rebuild policy |
+//! | serving | [`tivserve`] | sharded, epoch-snapshot estimation + routing service, incremental epoch builder, load generator |
 //! | harness | [`experiments`] | one function per figure of the paper, `repro` binary |
 //!
 //! Every O(n³) kernel (severity, APSP, the alert sweeps, the
@@ -41,6 +42,7 @@ pub use ides;
 pub use meridian;
 pub use simnet;
 pub use tivcore;
+pub use tivflux;
 pub use tivpar;
 pub use tivroute;
 pub use tivserve;
@@ -76,8 +78,10 @@ pub mod prelude {
 
     pub use tivroute::{best_detour, DetourGain, DetourStats, DetourTable};
 
+    pub use tivflux::{BuildKind, DerivedState, DirtySet, RebuildPolicy, RefineConfig};
+
     pub use tivserve::{
-        EdgeEstimate, EpochBuilder, EpochConfig, EpochSnapshot, EstimateConfig, Observation,
-        RouteEstimate, ServeConfig, TivServe, WorkloadConfig,
+        EdgeEstimate, EpochBuilder, EpochConfig, EpochSnapshot, EstimateConfig, FluxBuilder,
+        FluxConfig, Observation, RouteEstimate, ServeConfig, TivServe, WorkloadConfig,
     };
 }

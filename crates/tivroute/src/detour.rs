@@ -85,6 +85,60 @@ impl DetourTable {
         DetourTable { n, k, relays, via }
     }
 
+    /// Repairs the table after `m` changed on edges incident to the
+    /// `dirty` nodes: recomputes exactly those source rows (in parallel
+    /// over the dirty set, [`tivpar::resolve_threads`] semantics) and
+    /// patches the dirty destination slots of every clean row by
+    /// symmetry.
+    ///
+    /// The k-best list of `(a, c)` reads only delays incident to `a` or
+    /// `c` (`via = d(a,b) + d(b,c)`), so an edge change can only affect
+    /// pairs touching one of its endpoints; and the relay scan visits
+    /// witnesses in the same ascending order for `(a, c)` and `(c, a)`
+    /// over a symmetric matrix, so the mirrored slots are bit-identical.
+    /// After this repair the table equals `DetourTable::compute(m, k, _)`
+    /// from scratch, bit for bit — pinned by `tivoid`'s
+    /// `flux_equivalence` test.
+    ///
+    /// # Panics
+    /// Panics when the matrix size differs from the table's, or when
+    /// `dirty` is not strictly increasing or names a node `>= n`.
+    pub fn repair_rows(&mut self, m: &DelayMatrix, dirty: &[NodeId], threads: usize) {
+        let (n, k) = (self.n, self.k);
+        assert_eq!(m.len(), n, "matrix has {} nodes, table covers {n}", m.len());
+        assert!(dirty.windows(2).all(|w| w[0] < w[1]), "dirty rows must be strictly increasing");
+        if let Some(&last) = dirty.last() {
+            assert!(last < n, "dirty row {last} outside {n} nodes");
+        }
+        // Recompute each dirty source row with the full pass's kernel on
+        // the full pass's scratch initial state (empty slots).
+        let rows: Vec<(Vec<u32>, Vec<f64>)> = tivpar::par_map_rows(dirty.len(), threads, |i| {
+            let a = dirty[i];
+            let mut rrow = vec![NO_RELAY; n * k];
+            let mut vrow = vec![f64::NAN; n * k];
+            detour_row(m, k, a, &mut rrow, &mut vrow);
+            (rrow, vrow)
+        });
+        for (i, (rrow, vrow)) in rows.into_iter().enumerate() {
+            let a = dirty[i];
+            self.relays[a * n * k..(a + 1) * n * k].copy_from_slice(&rrow);
+            self.via[a * n * k..(a + 1) * n * k].copy_from_slice(&vrow);
+        }
+        // Mirror the dirty destinations into every clean source row.
+        let mut is_dirty = vec![false; n];
+        for &d in dirty {
+            is_dirty[d] = true;
+        }
+        for a in (0..n).filter(|&a| !is_dirty[a]) {
+            for &d in dirty {
+                for slot in 0..k {
+                    self.relays[(a * n + d) * k + slot] = self.relays[(d * n + a) * k + slot];
+                    self.via[(a * n + d) * k + slot] = self.via[(d * n + a) * k + slot];
+                }
+            }
+        }
+    }
+
     /// Number of nodes.
     pub fn len(&self) -> usize {
         self.n
@@ -342,6 +396,50 @@ mod tests {
             let pb: Vec<u64> = par.via.iter().map(|v| v.to_bits()).collect();
             assert_eq!(pb, sb, "via delays diverged at {t} threads");
         }
+    }
+
+    #[test]
+    fn repair_rows_matches_full_recompute() {
+        let mut m = DelayMatrix::from_fn(50, |i, j| {
+            ((i + j) % 9 != 0).then(|| ((i * 17 + j * 23) % 71) as f64 + 1.0)
+        });
+        let mut table = DetourTable::compute(&m, 3, 2);
+        // Grow, shrink, clear and newly-measure edges; the dirty set is
+        // the incident nodes.
+        m.set(2, 30, 500.0);
+        m.set(11, 44, 0.5);
+        m.clear(30, 12);
+        m.set(9, 18, 3.0);
+        let dirty = vec![2usize, 9, 11, 12, 18, 30, 44];
+        for threads in [1usize, 2, 4] {
+            let mut repaired = table.clone();
+            repaired.repair_rows(&m, &dirty, threads);
+            let full = DetourTable::compute(&m, 3, 1);
+            assert_eq!(repaired.relays, full.relays, "relays diverged at {threads} threads");
+            let rb: Vec<u64> = repaired.via.iter().map(|v| v.to_bits()).collect();
+            let fb: Vec<u64> = full.via.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(rb, fb, "via delays diverged at {threads} threads");
+        }
+        // An empty dirty set is a no-op.
+        let before = table.relays.clone();
+        table.repair_rows(&DelayMatrix::from_fn(50, |_, _| Some(1.0)), &[], 1);
+        assert_eq!(table.relays, before);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn repair_rejects_unsorted_dirty_set() {
+        let m = tiv_triangle();
+        let mut t = DetourTable::compute(&m, 1, 1);
+        t.repair_rows(&m, &[1, 1], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn repair_rejects_out_of_range_row() {
+        let m = tiv_triangle();
+        let mut t = DetourTable::compute(&m, 1, 1);
+        t.repair_rows(&m, &[3], 1);
     }
 
     #[test]

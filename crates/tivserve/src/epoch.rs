@@ -62,6 +62,23 @@ impl Default for EpochConfig {
     }
 }
 
+/// Anything that can fold streamed observations into successive epoch
+/// snapshots: the classic full-rebuild [`EpochBuilder`] and the
+/// incremental [`FluxBuilder`](crate::flux::FluxBuilder). The
+/// background publish loop ([`spawn`]) is generic over this, so both
+/// builders share one hardened ingest/publish path.
+pub trait EpochSource: Send + 'static {
+    /// Folds one observation into the working state.
+    fn ingest(&mut self, obs: Observation);
+    /// Observations folded in since the last [`build`](Self::build).
+    fn pending(&self) -> usize;
+    /// Total observations ever folded in — the no-loss accounting the
+    /// observe/publish interleaving regression tests assert on.
+    fn ingested_total(&self) -> u64;
+    /// Builds and returns the next snapshot, resetting `pending`.
+    fn build(&mut self) -> EpochSnapshot;
+}
+
 /// Builds successive epoch snapshots from streamed observations.
 #[derive(Clone, Debug)]
 pub struct EpochBuilder {
@@ -71,6 +88,7 @@ pub struct EpochBuilder {
     monitors: Vec<TivMonitor>,
     epoch: u64,
     pending: usize,
+    ingested_total: u64,
 }
 
 impl EpochBuilder {
@@ -87,6 +105,7 @@ impl EpochBuilder {
             monitors,
             epoch: 0,
             pending: 0,
+            ingested_total: 0,
         };
         let snapshot = EpochSnapshot::without_monitors(0, matrix, embedding);
         (builder, snapshot)
@@ -95,6 +114,11 @@ impl EpochBuilder {
     /// Observations folded in since the last [`build`](Self::build).
     pub fn pending(&self) -> usize {
         self.pending
+    }
+
+    /// Total observations ever folded in.
+    pub fn ingested_total(&self) -> u64 {
+        self.ingested_total
     }
 
     /// Epoch of the last built snapshot (0 = bootstrap).
@@ -124,6 +148,7 @@ impl EpochBuilder {
         let smoothed = self.monitors[obs.src].rtt(obs.dst).expect("observe tracked the peer");
         self.matrix.set(obs.src, obs.dst, smoothed);
         self.pending += 1;
+        self.ingested_total += 1;
     }
 
     /// Builds the next snapshot: re-embeds the working matrix
@@ -138,8 +163,28 @@ impl EpochBuilder {
     }
 }
 
+impl EpochSource for EpochBuilder {
+    fn ingest(&mut self, obs: Observation) {
+        EpochBuilder::ingest(self, obs);
+    }
+    fn pending(&self) -> usize {
+        EpochBuilder::pending(self)
+    }
+    fn ingested_total(&self) -> u64 {
+        EpochBuilder::ingested_total(self)
+    }
+    fn build(&mut self) -> EpochSnapshot {
+        EpochBuilder::build(self)
+    }
+}
+
 /// Runs one deterministic Vivaldi embedding of `matrix`.
-fn embed(matrix: &DelayMatrix, cfg: &EpochConfig, rounds: usize, epoch: u64) -> Embedding {
+pub(crate) fn embed(
+    matrix: &DelayMatrix,
+    cfg: &EpochConfig,
+    rounds: usize,
+    epoch: u64,
+) -> Embedding {
     let seed = cfg.seed ^ epoch.wrapping_mul(0x2545_f491_4f6c_dd1d);
     let mut sys = VivaldiSystem::new(cfg.vivaldi, matrix.len(), seed);
     let mut net = Network::new(matrix, JitterModel::None, seed);
@@ -148,12 +193,12 @@ fn embed(matrix: &DelayMatrix, cfg: &EpochConfig, rounds: usize, epoch: u64) -> 
 }
 
 /// Handle to a background epoch-builder thread.
-pub struct EpochStream {
+pub struct EpochStream<B: EpochSource = EpochBuilder> {
     tx: mpsc::Sender<Observation>,
-    handle: std::thread::JoinHandle<EpochBuilder>,
+    handle: std::thread::JoinHandle<B>,
 }
 
-impl EpochStream {
+impl<B: EpochSource> EpochStream<B> {
     /// The observation sender; clone freely. Dropping every sender (and
     /// this handle via [`join`](Self::join)) shuts the builder down.
     pub fn sender(&self) -> mpsc::Sender<Observation> {
@@ -162,27 +207,48 @@ impl EpochStream {
 
     /// Closes the stream, waits for the builder thread to publish any
     /// tail observations, and returns the builder.
-    pub fn join(self) -> EpochBuilder {
+    pub fn join(self) -> B {
         drop(self.tx);
         self.handle.join().expect("epoch builder thread panicked")
     }
 }
 
-/// Spawns the epoch builder on a background thread: it drains streamed
+/// Spawns an epoch builder on a background thread: it drains streamed
 /// observations, and each time `observations_per_epoch` have been
 /// folded in it builds the next snapshot and publishes it into
 /// `service`. Remaining observations are published as a final epoch on
 /// shutdown (all senders dropped).
-pub fn spawn(
+///
+/// A build-and-publish can take a while (a full O(n³) rebuild on the
+/// classic builder); observations that arrive during it are **never
+/// dropped** — they queue in the channel and are folded into the *next*
+/// epoch on the following loop pass. The loop drains the channel
+/// non-blockingly between publishes so a burst arriving mid-build is
+/// absorbed in one sweep, and the no-loss accounting
+/// (`ingested_total == observations sent`) is pinned by the
+/// observe/publish interleaving regression tests.
+pub fn spawn<B: EpochSource>(
     service: Arc<TivServe>,
-    mut builder: EpochBuilder,
+    mut builder: B,
     observations_per_epoch: usize,
-) -> EpochStream {
+) -> EpochStream<B> {
     assert!(observations_per_epoch >= 1, "need at least one observation per epoch");
     let (tx, rx) = mpsc::channel::<Observation>();
     let handle = std::thread::spawn(move || {
-        for obs in rx {
-            builder.ingest(obs);
+        'run: loop {
+            // Block for the next observation; a closed channel (every
+            // sender dropped) ends the stream.
+            let Ok(first) = rx.recv() else { break 'run };
+            builder.ingest(first);
+            // Absorb whatever else is already buffered — including
+            // anything that arrived while the previous build/publish
+            // was running — up to the epoch boundary, without blocking.
+            while builder.pending() < observations_per_epoch {
+                match rx.try_recv() {
+                    Ok(obs) => builder.ingest(obs),
+                    Err(_) => break,
+                }
+            }
             if builder.pending() >= observations_per_epoch {
                 service.publish(builder.build());
             }
@@ -285,6 +351,52 @@ mod tests {
         assert_eq!(builder.epoch(), 3);
         assert_eq!(service.epoch(), 3);
         assert_eq!(builder.pending(), 0);
+    }
+
+    #[test]
+    fn interleaved_observe_publish_loses_nothing() {
+        // Regression test for the publish-swap path: observations keep
+        // streaming while epochs publish, and every single one must be
+        // folded into *some* epoch — none dropped on the floor during a
+        // swap. The builder thread is deliberately forced through many
+        // small epochs so sends race publishes constantly.
+        let (builder, snap) = EpochBuilder::bootstrap(ds2(30, 8), cfg());
+        let service = Arc::new(TivServe::new(ServeConfig::default(), snap));
+        let stream = spawn(Arc::clone(&service), builder, 3);
+        let tx = stream.sender();
+        let sent = 200u64;
+        for k in 0..sent {
+            let src = (k % 9) as usize;
+            tx.send(Observation { src, dst: src + 11, rtt_ms: 30.0 + (k % 40) as f64 }).unwrap();
+            if k % 7 == 0 {
+                // Interleave some reads so publishes overlap queries too.
+                let _ = service.estimate_batch(&[(0, 1)]);
+            }
+        }
+        drop(tx);
+        let builder = stream.join();
+        assert_eq!(builder.ingested_total(), sent, "observations were dropped");
+        assert_eq!(builder.pending(), 0, "tail observations not published");
+        // Epoch arithmetic: every observation landed in some epoch.
+        assert!(builder.epoch() >= sent / 3, "too few epochs published");
+        assert_eq!(service.epoch(), builder.epoch());
+    }
+
+    #[test]
+    fn synchronous_interleave_accounts_every_observation() {
+        let (mut builder, _) = EpochBuilder::bootstrap(ds2(20, 9), cfg());
+        let mut sent = 0u64;
+        for round in 0..10u64 {
+            for k in 0..(round % 4 + 1) {
+                let src = ((round + k) % 5) as usize;
+                builder.ingest(Observation { src, dst: src + 7, rtt_ms: 25.0 + k as f64 });
+                sent += 1;
+            }
+            let snap = builder.build(); // publish boundary
+            assert_eq!(snap.epoch(), round + 1);
+            assert_eq!(builder.pending(), 0);
+        }
+        assert_eq!(builder.ingested_total(), sent);
     }
 
     #[test]

@@ -24,7 +24,16 @@
 //! 3. **A background epoch builder** ([`epoch::EpochBuilder`]):
 //!    streamed RTT observations update per-node hysteresis monitors
 //!    (reusing `tivcore::monitor`) and the working matrix; a rebuilt
-//!    snapshot is published without stalling readers.
+//!    snapshot is published without stalling readers — and
+//!    observations arriving *during* a publish are buffered into the
+//!    next epoch, never dropped.
+//! 4. **Incremental epochs** ([`flux::FluxBuilder`]): the delta
+//!    builder keeps the O(n³) derived analyses (exact severity, detour
+//!    table) materialised across epochs and repairs only the rows
+//!    dirtied since the last publish (falling back to a full rebuild
+//!    past a dirtiness threshold), so a lightly-churning space pays
+//!    O(dirty·n²) per epoch instead of O(n³). Both paths are
+//!    bit-identical — see `tivflux` and `ARCHITECTURE.md`.
 //!
 //! [`loadgen`] generates Zipf-skewed closed-loop workloads and
 //! measures throughput and batch-latency percentiles; the `repro
@@ -49,14 +58,16 @@
 
 pub mod cache;
 pub mod epoch;
+pub mod flux;
 pub mod loadgen;
 pub mod service;
 pub mod snapshot;
 
 pub use cache::CacheStats;
 pub use epoch::{
-    spawn as spawn_epoch_builder, EpochBuilder, EpochConfig, EpochStream, Observation,
+    spawn as spawn_epoch_builder, EpochBuilder, EpochConfig, EpochSource, EpochStream, Observation,
 };
+pub use flux::{BuildOutcome, FluxBuilder, FluxConfig};
 pub use loadgen::{LoadReport, ObservePath, WorkloadConfig};
 pub use service::{ServeConfig, TivServe};
 pub use snapshot::{EdgeEstimate, EpochSnapshot, EstimateConfig, RouteEstimate};

@@ -156,8 +156,14 @@ pub enum ObservePath<'a> {
 pub struct LoadReport {
     /// Queries answered.
     pub queries: usize,
-    /// Observations streamed (or dropped).
+    /// Observations the workload attempted to stream (or deliberately
+    /// dropped via [`ObservePath::Drop`]).
     pub observations: usize,
+    /// Observations that could not be delivered to the epoch builder
+    /// (its channel was closed — e.g. the builder thread died). Always
+    /// 0 in a healthy run; surfaced instead of silently discarded so a
+    /// wedged builder cannot masquerade as a fresh one.
+    pub observations_undelivered: usize,
     /// Batches issued.
     pub batches: usize,
     /// Wall-clock seconds of the whole loop.
@@ -188,13 +194,17 @@ pub fn run_closed_loop(
     let mut answers = Vec::with_capacity(batches.len());
     let mut queries = 0usize;
     let mut observations = 0usize;
+    let mut undelivered = 0usize;
     let mut final_epoch = service.epoch();
     let started = std::time::Instant::now();
     for batch in batches {
         if let ObservePath::Channel(tx) = &observe {
             for &obs in &batch.observations {
-                // The builder shutting down early just drops the tail.
-                let _ = tx.send(obs);
+                // A closed channel means the builder is gone; count the
+                // loss instead of silently discarding it.
+                if tx.send(obs).is_err() {
+                    undelivered += 1;
+                }
             }
         }
         observations += batch.observations.len();
@@ -219,6 +229,7 @@ pub fn run_closed_loop(
     let report = LoadReport {
         queries,
         observations,
+        observations_undelivered: undelivered,
         batches: batches.len(),
         elapsed_s,
         qps: if elapsed_s > 0.0 { queries as f64 / elapsed_s } else { 0.0 },

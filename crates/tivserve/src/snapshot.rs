@@ -9,8 +9,10 @@
 //! bit-identical to a serial loop (see `service`).
 
 use delayspace::matrix::{DelayMatrix, NodeId};
+use std::sync::Arc;
 use tivcore::severity::estimate_severity;
 use tivcore::MonitorSummary;
+use tivflux::DerivedState;
 use vivaldi::Embedding;
 
 /// Tuning of the per-edge evaluation.
@@ -99,6 +101,13 @@ pub struct EpochSnapshot {
     /// `monitors[i]` is node `i`'s exported [`TivMonitor`] state,
     /// sorted by peer id (possibly empty).
     monitors: Vec<Vec<MonitorSummary>>,
+    /// Precomputed O(n³) analyses (exact severity + detour table) kept
+    /// fresh by the incremental epoch pipeline. When present, `route`
+    /// answers from the table's rank 0 — bit-identical to the O(n)
+    /// scan, O(1) per query — and [`EpochSnapshot::exact_severity`]
+    /// serves the exact metric. Snapshots from the classic builder
+    /// carry `None` and keep the scan path.
+    derived: Option<Arc<DerivedState>>,
 }
 
 impl EpochSnapshot {
@@ -123,7 +132,43 @@ impl EpochSnapshot {
             );
             assert!(peers.iter().all(|s| s.peer < n), "node {i}: summary of unknown peer");
         }
-        EpochSnapshot { epoch, matrix, embedding, monitors }
+        EpochSnapshot { epoch, matrix, embedding, monitors, derived: None }
+    }
+
+    /// Attaches precomputed derived state (the incremental pipeline's
+    /// exact severity matrix and detour table). The caller contracts
+    /// that the state was computed from **this snapshot's matrix** —
+    /// the `FluxBuilder` construction path guarantees it, and the
+    /// `flux_equivalence` test pins that table-served answers equal the
+    /// scan-served ones.
+    ///
+    /// # Panics
+    /// Panics when the derived state covers a different node count.
+    pub fn with_derived(mut self, derived: Arc<DerivedState>) -> Self {
+        assert_eq!(
+            derived.len(),
+            self.matrix.len(),
+            "derived state covers {} of {} nodes",
+            derived.len(),
+            self.matrix.len()
+        );
+        self.derived = Some(derived);
+        self
+    }
+
+    /// The attached derived state, when the snapshot was built by the
+    /// incremental pipeline.
+    pub fn derived(&self) -> Option<&DerivedState> {
+        self.derived.as_deref()
+    }
+
+    /// The exact TIV severity of `(a, c)` from the precomputed severity
+    /// matrix; `None` when the snapshot carries no derived state or the
+    /// edge is unmeasured. (The sampled estimator behind
+    /// [`EpochSnapshot::evaluate`] stays available either way — it
+    /// models what a deployed node could measure with `2k` probes.)
+    pub fn exact_severity(&self, a: NodeId, c: NodeId) -> Option<f64> {
+        self.derived.as_ref()?.severity.severity(a, c)
     }
 
     /// A snapshot with no monitor state (alerts fall back to the ratio
@@ -206,10 +251,18 @@ impl EpochSnapshot {
     /// Pure in `(self, a, c)` like [`EpochSnapshot::evaluate`] — the
     /// relay search is [`tivroute::best_detour`], whose `(via, relay
     /// id)` ranking is a total order, so the sharded `route_batch` stays
-    /// bit-identical at every shard count.
+    /// bit-identical at every shard count. Snapshots carrying derived
+    /// state answer from the detour table's rank 0 instead — exactly
+    /// `best_detour`'s answer (pinned by `tivroute`'s
+    /// `best_detour_matches_table_rank_zero` and the `flux_equivalence`
+    /// integration test), at O(1) per query instead of O(n).
     pub fn route(&self, a: NodeId, c: NodeId) -> RouteEstimate {
         let direct_ms = self.matrix.get(a, c);
-        match tivroute::best_detour(&self.matrix, a, c) {
+        let best = match &self.derived {
+            Some(d) => d.detour.best(a, c),
+            None => tivroute::best_detour(&self.matrix, a, c),
+        };
+        match best {
             Some(best) => {
                 let saving_ms = direct_ms.map(|d| d - best.via_ms);
                 let saving_frac =
@@ -355,6 +408,39 @@ mod tests {
         // Self-routes offer nothing.
         let r00 = snap.route(0, 0);
         assert_eq!((r00.relay, r00.direct_ms), (None, Some(0.0)));
+    }
+
+    #[test]
+    fn derived_route_matches_scan_route_bitwise() {
+        let (m, emb) = fixture(60, 13);
+        let scan = EpochSnapshot::without_monitors(2, m.clone(), emb.clone());
+        let derived = Arc::new(DerivedState::compute(&m, 1, 2));
+        let table = EpochSnapshot::without_monitors(2, m.clone(), emb).with_derived(derived);
+        for a in 0..60 {
+            for c in 0..60 {
+                assert_eq!(table.route(a, c), scan.route(a, c), "pair ({a},{c})");
+            }
+        }
+        // Exact severity is served from the derived matrix and agrees
+        // with a direct computation.
+        let sev = tivcore::severity::Severity::compute(&m, 1);
+        for (a, c) in [(0usize, 1usize), (5, 40), (59, 3)] {
+            assert_eq!(
+                table.exact_severity(a, c).map(f64::to_bits),
+                sev.severity(a, c).map(f64::to_bits)
+            );
+        }
+        assert_eq!(scan.exact_severity(0, 1), None, "no derived state, no exact severity");
+        assert!(table.derived().is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "derived state covers")]
+    fn mismatched_derived_state_rejected() {
+        let (m, emb) = fixture(30, 2);
+        let small = DelayMatrix::from_complete_fn(5, |i, j| (i + j) as f64 + 1.0);
+        let derived = Arc::new(DerivedState::compute(&small, 1, 1));
+        let _ = EpochSnapshot::without_monitors(0, m, emb).with_derived(derived);
     }
 
     #[test]
