@@ -27,11 +27,26 @@
 //! strictly-positive values with clean names. The `bench-smoke` job
 //! runs this first so a hand-edited baseline fails loudly at the top
 //! of the job instead of producing confusing ratios at the bottom.
+//!
+//! **`--check-scaling`**: thread-scaling sanity gate. Reads one metric
+//! file and computes `group/1 ÷ group/N` (default group
+//! `scale/severity_400`, N from `--workers`, default 4); fails when the
+//! speedup is below `--min-speedup` (default 1.5). The gate is
+//! *core-aware*: on a runner with fewer than N cores the speedup is
+//! physically unreachable, so the check prints the measured ratio and
+//! passes with a loud warning instead of failing — it gates real
+//! multi-core runners without false-failing constrained containers.
+//!
+//! ```text
+//! bench_regression --check-scaling BENCH_scale.json \
+//!     [--group scale/severity_400] [--workers 4] [--min-speedup 1.5]
+//! ```
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 use tivbench::regression::{
-    check, flatten_metrics, higher_is_better, informational, render_baseline, validate_baseline,
+    check, flatten_metrics, higher_is_better, informational, render_baseline, thread_scaling,
+    validate_baseline,
 };
 
 fn load(path: &str) -> Result<BTreeMap<String, f64>, String> {
@@ -44,6 +59,10 @@ fn run() -> Result<bool, String> {
     let mut argv = std::env::args().skip(1);
     let mut baseline_path: Option<String> = None;
     let mut check_path: Option<String> = None;
+    let mut scaling_path: Option<String> = None;
+    let mut group = "scale/severity_400".to_string();
+    let mut workers = 4usize;
+    let mut min_speedup = 1.5f64;
     let mut bless = false;
     let mut factor = 2.0f64;
     let mut current_paths = Vec::new();
@@ -54,6 +73,26 @@ fn run() -> Result<bool, String> {
             }
             "--check-baseline" => {
                 check_path = Some(argv.next().ok_or("--check-baseline needs a file")?);
+            }
+            "--check-scaling" => {
+                scaling_path = Some(argv.next().ok_or("--check-scaling needs a file")?);
+            }
+            "--group" => {
+                group = argv.next().ok_or("--group needs a bench group name")?;
+            }
+            "--workers" => {
+                let v = argv.next().ok_or("--workers needs a value")?;
+                workers = v.parse().map_err(|e| format!("bad --workers: {e}"))?;
+                if workers < 2 {
+                    return Err("--workers must be at least 2".to_string());
+                }
+            }
+            "--min-speedup" => {
+                let v = argv.next().ok_or("--min-speedup needs a value")?;
+                min_speedup = v.parse().map_err(|e| format!("bad --min-speedup: {e}"))?;
+                if min_speedup <= 1.0 {
+                    return Err("--min-speedup must exceed 1".to_string());
+                }
             }
             "--bless" => bless = true,
             "--factor" => {
@@ -66,6 +105,31 @@ fn run() -> Result<bool, String> {
             path => current_paths.push(path.to_string()),
         }
     }
+    if let Some(path) = scaling_path {
+        let metrics = load(&path)?;
+        let speedup = thread_scaling(&metrics, &group, workers)?;
+        let cores = std::thread::available_parallelism().map_or(1, |v| v.get());
+        println!(
+            "thread-scaling check: {group} at {workers} workers is {speedup:.2}x serial \
+             (floor {min_speedup}x, {cores} core(s) available)"
+        );
+        if cores < workers {
+            eprintln!(
+                "WARNING: only {cores} core(s) available — a {workers}-worker speedup is \
+                 physically unreachable here, so the scaling floor is not enforced. \
+                 Run on a >= {workers}-core machine to gate."
+            );
+            return Ok(true);
+        }
+        if speedup < min_speedup {
+            eprintln!(
+                "{group} speedup {speedup:.2}x at {workers} workers is below the \
+                 {min_speedup}x floor — the scaling plateau is back; see docs/PERFORMANCE.md"
+            );
+            return Ok(false);
+        }
+        return Ok(true);
+    }
     if let Some(path) = check_path {
         // Pure schema check: no current files involved.
         let baseline = load(&path)?;
@@ -75,7 +139,8 @@ fn run() -> Result<bool, String> {
     }
     let baseline_path = baseline_path.ok_or(
         "usage: bench_regression --baseline FILE [--factor F] [--bless] CURRENT.json... \
-         | --check-baseline FILE"
+         | --check-baseline FILE \
+         | --check-scaling FILE [--group G] [--workers N] [--min-speedup S]"
             .to_string(),
     )?;
     if current_paths.is_empty() {

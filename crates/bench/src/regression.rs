@@ -157,6 +157,29 @@ pub fn flatten_metrics(v: &Value) -> Result<BTreeMap<String, f64>, String> {
     }
 }
 
+/// Computes the thread-scaling speedup of a bench group from a metric
+/// map: `map["{group}/1"] / map["{group}/{workers}"]` — above 1 means
+/// the multi-worker run beat the serial run. This is the measurement
+/// behind the CI `--check-scaling` gate, which catches a silent return
+/// to the pre-pool plateau (where the ratio hovered around 1.0): the
+/// gate's threshold sits well below ideal scaling, because a shared
+/// runner never delivers ideal scaling, but well above flat.
+pub fn thread_scaling(
+    map: &BTreeMap<String, f64>,
+    group: &str,
+    workers: usize,
+) -> Result<f64, String> {
+    let serial_key = format!("{group}/1");
+    let par_key = format!("{group}/{workers}");
+    let serial =
+        *map.get(&serial_key).ok_or_else(|| format!("metric '{serial_key}' not measured"))?;
+    let par = *map.get(&par_key).ok_or_else(|| format!("metric '{par_key}' not measured"))?;
+    if !serial.is_finite() || serial <= 0.0 || !par.is_finite() || par <= 0.0 {
+        return Err(format!("non-positive timings for '{group}': serial {serial}, parallel {par}"));
+    }
+    Ok(serial / par)
+}
+
 /// Compares `current` metrics against `baseline` with the given
 /// tolerance factor (> 1).
 pub fn check(
@@ -304,6 +327,29 @@ mod tests {
         assert_eq!(report.missing_metrics.len(), 2);
         // And a report with any comparison has overlap.
         assert!(check(&base, &map(&[("old/ns", 1.5)]), 2.0).has_overlap());
+    }
+
+    #[test]
+    fn thread_scaling_measures_serial_over_parallel() {
+        let m = map(&[
+            ("scale/severity_400/1", 100_000_000.0),
+            ("scale/severity_400/4", 40_000_000.0),
+            ("scale/severity_400/8", 25_000_000.0),
+        ]);
+        assert!((thread_scaling(&m, "scale/severity_400", 4).unwrap() - 2.5).abs() < 1e-12);
+        assert!((thread_scaling(&m, "scale/severity_400", 8).unwrap() - 4.0).abs() < 1e-12);
+        // A plateau reads as ~1.0 — the shape the gate exists to catch.
+        let flat = map(&[("g/1", 50.0), ("g/4", 49.0)]);
+        assert!(thread_scaling(&flat, "g", 4).unwrap() < 1.1);
+    }
+
+    #[test]
+    fn thread_scaling_rejects_missing_or_damaged_metrics() {
+        let m = map(&[("g/1", 100.0)]);
+        assert!(thread_scaling(&m, "g", 4).unwrap_err().contains("g/4"));
+        assert!(thread_scaling(&m, "other", 4).unwrap_err().contains("other/1"));
+        let zero = map(&[("g/1", 100.0), ("g/4", 0.0)]);
+        assert!(thread_scaling(&zero, "g", 4).is_err());
     }
 
     #[test]

@@ -44,9 +44,28 @@ impl Severity {
         let n = m.len();
         let mut sev = vec![f64::NAN; n * n];
         let mut cnt = vec![0u32; n * n];
+        // The delay matrix is symmetric by construction and the severity
+        // kernel scans witnesses in the same ascending order for (a,c)
+        // and (c,a) — with f64 addition commutative, the two entries are
+        // bit-identical (the same argument `repair_rows` uses to patch
+        // columns). So compute only c >= a and mirror the lower
+        // triangle: half the O(n³) work. Row costs now shrink with `a`,
+        // which is exactly the skew the pool's work stealing absorbs.
         tivpar::par_fill_rows2(&mut sev, &mut cnt, n, threads, |a, srow, crow| {
-            severity_row(m, a, srow, crow)
+            severity_row_from(m, a, a, srow, crow)
         });
+        for a in 1..n {
+            let (done, rest) = sev.split_at_mut(a * n);
+            let row = &mut rest[..n];
+            for (c, v) in row[..a].iter_mut().enumerate() {
+                *v = done[c * n + a];
+            }
+            let (done, rest) = cnt.split_at_mut(a * n);
+            let row = &mut rest[..n];
+            for (c, v) in row[..a].iter_mut().enumerate() {
+                *v = done[c * n + a];
+            }
+        }
         Severity { n, sev, cnt }
     }
 
@@ -240,16 +259,66 @@ pub struct ClusterViolationCounts {
     pub edges_across: usize,
 }
 
-/// Computes one row of the severity/count matrices.
-///
-/// For a fixed `a` and every `c`, scans all witnesses `b`:
-/// `alt = d(a,b) + d(b,c)`; a violation needs `alt < d(a,c)`. Missing
+/// Witness-scan tile width for [`severity_pair`]. 32 f64s = 256 bytes =
+/// 4 cache lines per input row: small enough that a tile of both rows
+/// stays in L1 across the pre-scan and the detail pass, wide enough to
+/// amortise the per-tile bookkeeping and fill SIMD lanes.
+const WITNESS_TILE: usize = 32;
+
+/// The severity inner kernel for one pair: scans all witnesses `b` with
+/// `alt = d(a,b) + d(b,c)`; a violation needs `alt < dac`. Missing
 /// delays are NaN, and NaN fails every comparison, so missing witnesses
-/// and missing edges drop out without branching.
+/// drop out without branching. Returns the ratio sum (unnormalised) and
+/// the violation count.
+///
+/// The scan is tiled: a branch-free pre-pass ORs `alt < dac` across a
+/// [`WITNESS_TILE`]-wide block — two adds and a compare per lane, which
+/// autovectorises — and only tiles containing a violation run the
+/// divide-and-accumulate detail loop. Most tiles of a realistic delay
+/// space are violation-free (the paper's ~12% violating-triangle rate
+/// is spread thin), so the common case runs at SIMD compare speed.
+/// Violating witnesses are accumulated in ascending `b` order either
+/// way, so the result is bit-identical to the naive scan.
+#[inline]
+fn severity_pair(row_a: &[f64], row_c: &[f64], dac: f64) -> (f64, u32) {
+    let n = row_a.len();
+    let mut sum = 0.0f64;
+    let mut count = 0u32;
+    let mut b0 = 0;
+    while b0 < n {
+        let b1 = (b0 + WITNESS_TILE).min(n);
+        let mut any = false;
+        for (&ab, &cb) in row_a[b0..b1].iter().zip(&row_c[b0..b1]) {
+            any |= ab + cb < dac;
+        }
+        if any {
+            for (&ab, &cb) in row_a[b0..b1].iter().zip(&row_c[b0..b1]) {
+                let alt = ab + cb;
+                // b == a or b == c gives alt == dac, which is not < dac.
+                if alt < dac {
+                    sum += dac / alt;
+                    count += 1;
+                }
+            }
+        }
+        b0 = b1;
+    }
+    (sum, count)
+}
+
+/// Computes one row of the severity/count matrices (all columns) — the
+/// kernel [`Severity::repair_rows`] runs per dirty row.
 fn severity_row(m: &DelayMatrix, a: usize, srow: &mut [f64], crow: &mut [u32]) {
+    severity_row_from(m, 0, a, srow, crow);
+}
+
+/// Computes columns `from..n` of severity row `a` (entries below `from`
+/// are left untouched). `Severity::compute` passes `from == a` to do
+/// only the upper triangle; the lower triangle is mirrored afterwards.
+fn severity_row_from(m: &DelayMatrix, from: usize, a: usize, srow: &mut [f64], crow: &mut [u32]) {
     let n = m.len();
     let row_a = m.row(a);
-    for c in 0..n {
+    for c in from..n {
         if c == a {
             srow[c] = 0.0;
             continue;
@@ -258,17 +327,7 @@ fn severity_row(m: &DelayMatrix, a: usize, srow: &mut [f64], crow: &mut [u32]) {
         if dac.is_nan() {
             continue; // stays NaN / 0
         }
-        let row_c = m.row(c);
-        let mut sum = 0.0f64;
-        let mut count = 0u32;
-        for b in 0..n {
-            let alt = row_a[b] + row_c[b];
-            // b == a or b == c gives alt == dac, which is not < dac.
-            if alt < dac {
-                sum += dac / alt;
-                count += 1;
-            }
-        }
+        let (sum, count) = severity_pair(row_a, m.row(c), dac);
         srow[c] = sum / n as f64;
         crow[c] = count;
     }

@@ -131,13 +131,19 @@ impl ShortestPaths {
 /// `row[j] = min(row[j], d(i,k) + krow[j])`. `dik` is `row[k]` read
 /// once up front — the only entry of `row` the loop could feed back is
 /// `row[k]` itself, and `dik + krow[k] == dik` is never an improvement.
+///
+/// The update is a branch-free select, not an `if`-guarded store: a
+/// conditional store makes the loop's memory traffic data-dependent and
+/// blocks autovectorization, while the select compiles to a SIMD
+/// min/blend over the whole row. `cand < *rj` picks the exact same
+/// value in every case the branchy form did (entries are finite or
+/// `INFINITY`, never NaN, and `INF < INF` is false), so the distances
+/// are bit-identical.
 #[inline]
 fn relax_row(row: &mut [f64], dik: f64, krow: &[f64]) {
     for (rj, &kj) in row.iter_mut().zip(krow) {
         let cand = dik + kj;
-        if cand < *rj {
-            *rj = cand;
-        }
+        *rj = if cand < *rj { cand } else { *rj };
     }
 }
 

@@ -1,0 +1,120 @@
+//! Behavioural tests for the persistent work-stealing pool behind the
+//! kernels: worker reuse across consecutive kernel calls, and load
+//! balancing under pathological row skew.
+//!
+//! These complement the bit-equivalence suites (`parallel_equivalence`
+//! etc.), which pin *what* the kernels compute; this file pins *how*
+//! the pool executes them — no per-call thread churn, and stolen work
+//! instead of a serialised heavy chunk.
+
+use std::time::{Duration, Instant};
+use tivoid::prelude::*;
+use tivoid::tivcore::Severity;
+use tivoid::tivpar;
+
+/// Worker count used by every region in this file. Keeping all tests
+/// at one count means the pool's high-water mark is reached by the
+/// first warm-up region and `spawned_total` must then stay frozen no
+/// matter which test the harness interleaves.
+const WORKERS: usize = 4;
+
+fn ds2(n: usize, seed: u64) -> DelayMatrix {
+    InternetDelaySpace::preset(Dataset::Ds2).with_nodes(n).build(seed).into_matrix()
+}
+
+/// Run one throwaway region so the pool has spawned its workers.
+fn warm_pool() {
+    let v = tivpar::par_map_rows(WORKERS * 4, WORKERS, |i| i as u64);
+    assert_eq!(v.len(), WORKERS * 4);
+}
+
+/// Consecutive kernel calls must reuse the same pool workers: the
+/// whole point of the persistent pool is that thread spawns happen
+/// once per process, not once per call. `spawned_total` is the
+/// counting spawn hook — it only moves when a *new* OS thread is
+/// created, so any per-call spawning shows up as growth here.
+#[test]
+fn consecutive_kernel_calls_spawn_no_new_threads() {
+    warm_pool();
+    let before = tivpar::pool::stats();
+    assert!(
+        before.live_workers < WORKERS,
+        "pool grew past its target: {} workers live for {}-worker regions",
+        before.live_workers,
+        WORKERS
+    );
+
+    let m = ds2(96, 7);
+    let first = Severity::compute(&m, WORKERS);
+    let second = Severity::compute(&m, WORKERS);
+    assert_eq!(
+        first.violating_triangle_fraction().to_bits(),
+        second.violating_triangle_fraction().to_bits(),
+        "same input must give same severity"
+    );
+
+    let after = tivpar::pool::stats();
+    assert_eq!(
+        after.spawned_total, before.spawned_total,
+        "kernel calls after warm-up spawned new threads — pool reuse is broken"
+    );
+    assert_eq!(after.live_workers, before.live_workers, "pool workers died or were replaced");
+    assert!(
+        after.regions_run > before.regions_run,
+        "the kernel calls never reached the pool (regions_run did not move)"
+    );
+}
+
+/// Spin for `units` of deterministic busy work; `black_box` keeps the
+/// optimiser from deleting the loop.
+fn spin(units: u64) -> u64 {
+    let mut acc = 0x9e37_79b9_7f4a_7c15u64;
+    for i in 0..units {
+        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(std::hint::black_box(i));
+    }
+    std::hint::black_box(acc)
+}
+
+/// Wall-clock of one `par_map_rows` region at [`WORKERS`] where row
+/// `r` costs `cost(r)` spin units. Minimum over `reps` runs, so a
+/// single scheduling hiccup cannot decide the test.
+fn timed_region(reps: usize, cost: impl Fn(usize) -> u64 + Sync) -> Duration {
+    let rows = 32;
+    (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            let out = tivpar::par_map_rows(rows, WORKERS, |r| spin(cost(r)));
+            let elapsed = start.elapsed();
+            assert_eq!(out.len(), rows);
+            elapsed
+        })
+        .min()
+        .expect("at least one rep")
+}
+
+/// One pathologically heavy row must not serialise the region: with
+/// fine-grained chunks and stealing, the heavy chunk pins one worker
+/// while the rest drain everything else, so the makespan stays within
+/// ~2x of the same total work spread evenly. A coarse
+/// one-chunk-per-worker split without stealing fails this: the heavy
+/// worker also owns a quarter of the light rows. On a single-core
+/// machine both layouts run the same total work serially, so the
+/// bound holds there trivially — the test bites on multi-core CI.
+#[test]
+fn skewed_row_stays_within_2x_of_even_work() {
+    warm_pool();
+    // 32 rows; the skewed case gives one row 16 light-rows' worth of
+    // work. Both cases run the identical total of 47 * LIGHT units.
+    const LIGHT: u64 = 200_000;
+    const ROWS: u64 = 32;
+    const HEAVY: u64 = 16 * LIGHT;
+    const TOTAL: u64 = (ROWS - 1) * LIGHT + HEAVY;
+
+    let even = timed_region(5, |_| TOTAL / ROWS);
+    let skew = timed_region(5, |r| if r == 0 { HEAVY } else { LIGHT });
+
+    assert!(
+        skew <= even * 2 + Duration::from_millis(2),
+        "heavy row serialised the region: skew {skew:?} vs even {even:?} (bound 2x)"
+    );
+}

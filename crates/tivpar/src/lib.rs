@@ -4,22 +4,32 @@
 //! kernel — TIV severity, all-pairs shortest paths, the accuracy/recall
 //! sweeps, matrix-factorization updates. They all parallelise the same
 //! way: the output decomposes into rows (or items) that can be computed
-//! independently, so the work is split into contiguous chunks, one per
-//! worker, over std scoped threads. This crate owns that pattern so
-//! every kernel in the workspace shares one implementation instead of
-//! hand-rolling `std::thread::scope` plumbing.
+//! independently. This crate owns that pattern so every kernel in the
+//! workspace shares one implementation instead of hand-rolling thread
+//! plumbing.
+//!
+//! Since the pool rewrite, the primitives execute on a **persistent
+//! work-stealing thread pool** (see [`pool`]): workers are spawned
+//! lazily on the first parallel region and reused for every region
+//! after it, and each region's work is dealt as fine-grained chunks
+//! into per-worker deques with stealing, so a skewed chunk cannot idle
+//! the other workers. The first generation spawned fresh
+//! `std::thread::scope` threads per call; the per-call spawn/join cost
+//! and the static one-chunk-per-worker split were the two causes of
+//! the scaling plateau documented in `docs/PERFORMANCE.md`.
 //!
 //! ## Design rules
 //!
 //! * **Deterministic result order.** Work is partitioned into
 //!   *contiguous index ranges* and results are placed (or concatenated)
 //!   by range, so the output is the same `Vec` a serial loop would
-//!   produce. Each item's computation never depends on which worker ran
-//!   it — kernels built on these primitives are **bit-identical across
-//!   thread counts** (enforced by property tests in `tivoid`).
+//!   produce. Stealing moves *execution* between workers, never the
+//!   *placement* of a result — kernels built on these primitives are
+//!   **bit-identical across thread counts** (enforced by property
+//!   tests in `tivoid`).
 //! * **Graceful 1-thread fallback.** When one worker suffices (or the
 //!   machine has one core), the primitives run inline on the calling
-//!   thread — no spawn, no overhead, identical results.
+//!   thread — no pool interaction, identical results.
 //! * **Worker-count resolution.** Every primitive takes a `threads`
 //!   argument: any positive value is used as-is (the per-call config
 //!   override); `0` means *auto* — the [`THREADS_ENV`] environment
@@ -36,19 +46,36 @@
 //! tivpar::par_fill_rows(&mut m, 3, 2, |row, out| out.fill(row));
 //! assert_eq!(m, vec![0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2]);
 //! ```
+//!
+//! The per-call override takes precedence over `TIV_THREADS`, and the
+//! result does not depend on which is used:
+//!
+//! ```
+//! let auto = tivpar::par_map_rows(100, 0, |i| (i as f64).sqrt());
+//! for explicit in [1, 2, 4, 7] {
+//!     // Explicit worker counts: same bits, different parallelism.
+//!     let forced = tivpar::par_map_rows(100, explicit, |i| (i as f64).sqrt());
+//!     assert_eq!(forced, auto);
+//! }
+//! ```
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)] // one audited exception in `pool`, see its SAFETY comment
 #![deny(missing_docs)]
 
+pub mod pool;
+
 use std::ops::Range;
-use std::sync::OnceLock;
+use std::sync::{Mutex, OnceLock};
 
 /// The environment variable consulted when a kernel is called with
 /// `threads == 0`: set `TIV_THREADS=4` to cap the whole process at four
 /// workers without touching any call site.
 ///
 /// Read once per process (the first auto-resolving call) and cached;
-/// changing the variable afterwards has no effect.
+/// changing the variable afterwards has no effect. The pool sizes
+/// itself from resolved counts (a region asking for `w` workers
+/// ensures `w - 1` pool threads exist), so `TIV_THREADS` also bounds
+/// pool growth unless a per-call override asks for more.
 pub const THREADS_ENV: &str = "TIV_THREADS";
 
 /// `TIV_THREADS` parsed once; `None` when unset or unparsable.
@@ -74,26 +101,54 @@ pub fn resolve_threads(requested: usize) -> usize {
     std::thread::available_parallelism().map_or(1, |v| v.get())
 }
 
-/// Splits `0..items` into at most `workers` contiguous ranges of nearly
-/// equal length, in ascending order. Empty ranges are not produced.
-fn chunk_ranges(items: usize, workers: usize) -> Vec<Range<usize>> {
-    let chunk = items.div_ceil(workers.max(1)).max(1);
-    (0..items.div_ceil(chunk)).map(|c| (c * chunk)..((c + 1) * chunk).min(items)).collect()
+/// Splits `0..items` into contiguous ranges of `size` (last may be
+/// short), in ascending order. Empty ranges are not produced.
+fn ranges_of(items: usize, size: usize) -> Vec<Range<usize>> {
+    let size = size.max(1);
+    (0..items.div_ceil(size)).map(|c| (c * size)..((c + 1) * size).min(items)).collect()
 }
 
-/// Joins a scoped worker, re-raising its panic on the caller.
-fn join<T>(handle: std::thread::ScopedJoinHandle<'_, T>) -> T {
-    match handle.join() {
-        Ok(v) => v,
-        Err(payload) => std::panic::resume_unwind(payload),
-    }
+/// Splits `0..items` into at most `workers` contiguous ranges of nearly
+/// equal length, in ascending order — the *coarse* layout used by
+/// [`par_map_chunks`], where the chunk boundaries are part of the API
+/// (per-chunk setup is amortised across a worker's whole share).
+fn chunk_ranges(items: usize, workers: usize) -> Vec<Range<usize>> {
+    ranges_of(items, items.div_ceil(workers.max(1)))
+}
+
+/// Splits `0..items` into roughly `workers *`
+/// [`pool::CHUNKS_PER_WORKER`] contiguous ranges — the *fine* layout
+/// used by the row-oriented primitives. More chunks than workers is
+/// what lets the pool steal around skewed row costs; the layout (and
+/// therefore every merged result) still depends only on
+/// `(items, workers)`, never on execution order.
+fn fine_ranges(items: usize, workers: usize) -> Vec<Range<usize>> {
+    ranges_of(items, items.div_ceil((workers * pool::CHUNKS_PER_WORKER).max(1)))
+}
+
+/// Runs `body(chunk_index)` for every chunk on the pool and then
+/// collects each chunk's boxed result in index order. The collection
+/// slot is the only shared mutable state; each chunk stores exactly
+/// once, so the post-region unwraps cannot fail.
+fn run_collect<R: Send>(workers: usize, chunks: usize, body: impl Fn(usize) -> R + Sync) -> Vec<R> {
+    let slots: Vec<Mutex<Option<R>>> = (0..chunks).map(|_| Mutex::new(None)).collect();
+    pool::run(workers, chunks, &|ci| {
+        let value = body(ci);
+        *slots[ci].lock().expect("slot lock") = Some(value);
+    });
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("slot lock").expect("chunk completed"))
+        .collect()
 }
 
 /// Maps `f` over `0..rows` with up to `threads` workers, returning the
 /// results in index order (exactly `(0..rows).map(f).collect()`).
 ///
 /// `threads` follows [`resolve_threads`]; with one effective worker the
-/// map runs inline on the calling thread.
+/// map runs inline on the calling thread. Rows are dealt to the pool in
+/// fine-grained chunks (see [`pool::CHUNKS_PER_WORKER`]) so uneven row
+/// costs are balanced by stealing.
 pub fn par_map_rows<R, F>(rows: usize, threads: usize, f: F) -> Vec<R>
 where
     R: Send,
@@ -103,16 +158,11 @@ where
     if workers <= 1 {
         return (0..rows).map(f).collect();
     }
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = chunk_ranges(rows, workers)
-            .into_iter()
-            .map(|range| {
-                let f = &f;
-                scope.spawn(move || range.map(f).collect::<Vec<R>>())
-            })
-            .collect();
-        handles.into_iter().flat_map(join).collect()
-    })
+    let ranges = fine_ranges(rows, workers);
+    run_collect(workers, ranges.len(), |ci| ranges[ci].clone().map(&f).collect::<Vec<R>>())
+        .into_iter()
+        .flatten()
+        .collect()
 }
 
 /// Maps `f` over contiguous chunks of `0..items` (one chunk per worker)
@@ -122,7 +172,11 @@ where
 /// it can amortise per-worker setup (a scratch buffer, a cache, an
 /// experiment `Lab`) across the chunk's items. The chunking varies with
 /// the worker count, so this is only deterministic when `f`'s output
-/// for an item does not depend on which chunk contained it.
+/// for an item does not depend on which chunk contained it. Because the
+/// coarse one-chunk-per-worker layout is part of this contract, these
+/// chunks are *not* subdivided for stealing — idle workers can still
+/// steal whole chunks when a caller requests fewer workers than the
+/// pool holds.
 pub fn par_map_chunks<R, F>(items: usize, threads: usize, f: F) -> Vec<R>
 where
     R: Send,
@@ -135,21 +189,13 @@ where
     if workers <= 1 {
         return f(0..items);
     }
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = chunk_ranges(items, workers)
-            .into_iter()
-            .map(|range| {
-                let f = &f;
-                scope.spawn(move || f(range))
-            })
-            .collect();
-        handles.into_iter().flat_map(join).collect()
-    })
+    let ranges = chunk_ranges(items, workers);
+    run_collect(workers, ranges.len(), |ci| f(ranges[ci].clone())).into_iter().flatten().collect()
 }
 
 /// Fills a row-major buffer in parallel: `out` is treated as `rows`
 /// equal rows and `f(row_index, row_slice)` is called once per row,
-/// rows partitioned contiguously across up to `threads` workers.
+/// rows dealt to the pool in fine-grained contiguous chunks.
 ///
 /// # Panics
 /// Panics when `out.len()` is not a multiple of `rows`.
@@ -176,18 +222,21 @@ where
         }
         return;
     }
-    std::thread::scope(|scope| {
-        let mut rest = out;
-        for range in chunk_ranges(rows, workers) {
-            let (chunk, tail) = rest.split_at_mut((range.end - range.start) * cols);
-            rest = tail;
-            let f = &f;
-            let base = range.start;
-            scope.spawn(move || {
-                for (k, row) in chunk.chunks_mut(cols).enumerate() {
-                    f(base + k, row);
-                }
-            });
+    let ranges = fine_ranges(rows, workers);
+    // Pre-split the buffer into one disjoint slice per chunk; each
+    // chunk takes (and thereby uniquely owns) its slice when it runs.
+    let mut slices: Vec<Mutex<Option<&mut [T]>>> = Vec::with_capacity(ranges.len());
+    let mut rest = out;
+    for range in &ranges {
+        let (chunk, tail) = rest.split_at_mut((range.end - range.start) * cols);
+        rest = tail;
+        slices.push(Mutex::new(Some(chunk)));
+    }
+    pool::run(workers, ranges.len(), &|ci| {
+        let chunk = slices[ci].lock().expect("slice lock").take().expect("chunk runs once");
+        let base = ranges[ci].start;
+        for (k, row) in chunk.chunks_mut(cols).enumerate() {
+            f(base + k, row);
         }
     });
 }
@@ -225,21 +274,23 @@ where
         }
         return;
     }
-    std::thread::scope(|scope| {
-        let (mut rest_a, mut rest_b) = (a, b);
-        for range in chunk_ranges(rows, workers) {
-            let len = range.end - range.start;
-            let (chunk_a, tail_a) = rest_a.split_at_mut(len * ca);
-            let (chunk_b, tail_b) = rest_b.split_at_mut(len * cb);
-            (rest_a, rest_b) = (tail_a, tail_b);
-            let f = &f;
-            let base = range.start;
-            scope.spawn(move || {
-                for (k, (ra, rb)) in chunk_a.chunks_mut(ca).zip(chunk_b.chunks_mut(cb)).enumerate()
-                {
-                    f(base + k, ra, rb);
-                }
-            });
+    let ranges = fine_ranges(rows, workers);
+    type Pair<'s, T, U> = Mutex<Option<(&'s mut [T], &'s mut [U])>>;
+    let mut slices: Vec<Pair<'_, T, U>> = Vec::with_capacity(ranges.len());
+    let (mut rest_a, mut rest_b) = (a, b);
+    for range in &ranges {
+        let len = range.end - range.start;
+        let (chunk_a, tail_a) = rest_a.split_at_mut(len * ca);
+        let (chunk_b, tail_b) = rest_b.split_at_mut(len * cb);
+        (rest_a, rest_b) = (tail_a, tail_b);
+        slices.push(Mutex::new(Some((chunk_a, chunk_b))));
+    }
+    pool::run(workers, ranges.len(), &|ci| {
+        let (chunk_a, chunk_b) =
+            slices[ci].lock().expect("slice lock").take().expect("chunk runs once");
+        let base = ranges[ci].start;
+        for (k, (ra, rb)) in chunk_a.chunks_mut(ca).zip(chunk_b.chunks_mut(cb)).enumerate() {
+            f(base + k, ra, rb);
         }
     });
 }
@@ -288,6 +339,35 @@ mod tests {
     }
 
     #[test]
+    fn fine_ranges_cover_exactly_and_outnumber_workers() {
+        for items in [0usize, 1, 5, 16, 17, 100, 1000] {
+            for workers in [1usize, 2, 4, 7, 32] {
+                let ranges = fine_ranges(items, workers);
+                let mut next = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, next, "gap before {r:?}");
+                    assert!(r.end > r.start, "empty range {r:?}");
+                    next = r.end;
+                }
+                assert_eq!(next, items, "ranges must cover 0..{items}");
+                // With plenty of items there must be more chunks than
+                // workers, else stealing has nothing to balance.
+                if items >= workers * pool::CHUNKS_PER_WORKER {
+                    assert!(ranges.len() >= workers * pool::CHUNKS_PER_WORKER / 2);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fine_ranges_depend_only_on_items_and_workers() {
+        // The determinism argument requires the chunk layout to be a
+        // pure function of (items, workers).
+        assert_eq!(fine_ranges(1234, 4), fine_ranges(1234, 4));
+        assert_ne!(fine_ranges(1234, 4).len(), 0);
+    }
+
+    #[test]
     fn map_rows_preserves_order_across_thread_counts() {
         let serial: Vec<usize> = (0..103).map(|i| i * 31 % 17).collect();
         for t in [1usize, 2, 4, 7, 16] {
@@ -301,6 +381,21 @@ mod tests {
         for t in [1usize, 2, 5] {
             let got = par_map_chunks(20, t, |r| r.map(|i| i * 2).collect());
             assert_eq!(got, (0..20).map(|i| i * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn map_chunks_layout_is_one_chunk_per_worker() {
+        // suite.rs amortises a Lab per chunk; the coarse layout is API.
+        for (items, workers) in [(20usize, 4usize), (7, 2), (100, 7)] {
+            let chunks = std::sync::Mutex::new(Vec::new());
+            let _ = par_map_chunks(items, workers, |r| {
+                chunks.lock().unwrap().push(r.clone());
+                r.collect()
+            });
+            let mut seen = chunks.into_inner().unwrap();
+            seen.sort_by_key(|r| r.start);
+            assert_eq!(seen, chunk_ranges(items, workers));
         }
     }
 
@@ -390,5 +485,20 @@ mod tests {
             })
         });
         assert!(caught.is_err());
+    }
+
+    #[test]
+    fn primitives_reuse_pool_workers() {
+        // Warm the pool, then assert repeated kernel-style calls do not
+        // spawn more threads (the pool-reuse regression at unit level;
+        // the integration version in tivoid drives real kernels).
+        let _ = par_map_rows(64, 4, |i| i);
+        let spawned = pool::stats().spawned_total;
+        for _ in 0..8 {
+            let _ = par_map_rows(64, 4, |i| i);
+            let mut buf = vec![0.0f64; 64 * 8];
+            par_fill_rows(&mut buf, 64, 4, |r, row| row.fill(r as f64));
+        }
+        assert_eq!(pool::stats().spawned_total, spawned);
     }
 }

@@ -1,0 +1,431 @@
+//! The persistent work-stealing thread pool behind every `tivpar`
+//! primitive.
+//!
+//! ## Why a pool
+//!
+//! The first-generation primitives spawned fresh scoped threads on
+//! every call. That is correct and borrow-checker-friendly, but it puts
+//! a thread spawn + join barrier on every parallel region — the blocked
+//! Floyd–Warshall pays it `n / BLOCK` times per matrix, an epoch
+//! rebuild pays it once per kernel per epoch, and a serving batch pays
+//! it per batch. The pool spawns workers **once per process** (lazily,
+//! on the first parallel region) and reuses them for every subsequent
+//! region; a region submission is a mutex push + condvar wake instead
+//! of `clone(2)` calls.
+//!
+//! ## Work stealing
+//!
+//! A region's work is split into *chunks* — more chunks than workers
+//! (see [`CHUNKS_PER_WORKER`]) — and the chunks are dealt into one
+//! deque per participant, contiguous runs per deque for cache
+//! locality. Each participant pops from the **front** of its own deque
+//! and, when that runs dry, steals from the **back** of a victim's.
+//! Skewed chunk costs (a pathologically severe row, the triangular row
+//! costs of a symmetry-halved kernel) therefore cannot idle workers:
+//! whoever finishes early steals the stragglers' remaining chunks.
+//!
+//! ## Determinism
+//!
+//! Stealing changes *which worker* runs a chunk and *when* — it never
+//! changes *what* the chunk computes or *where* the result lands.
+//! Every `tivpar` primitive writes chunk `i`'s result into slot `i` of
+//! a pre-allocated output (a row range of the output matrix, element
+//! `i` of a result table), and per-chunk results are merged in index
+//! order after the region completes. The merged output is therefore a
+//! pure function of `(input, chunk layout)`, and the chunk layout is a
+//! pure function of `(items, requested workers)` — execution order
+//! drops out entirely. This is the argument that lets the
+//! `parallel_equivalence` / `route_equivalence` / `flux_equivalence`
+//! suites pin bit-identity across thread counts over a pool whose
+//! scheduling is nondeterministic.
+//!
+//! ## Sizing
+//!
+//! Workers are spawned on demand: a region requesting `w` effective
+//! workers ensures `w - 1` pool threads exist (the submitting thread
+//! is always the `w`-th participant, so a region can never deadlock
+//! waiting for a busy pool — it just runs more of its own chunks).
+//! `TIV_THREADS` bounds the *default* via
+//! [`resolve_threads`](crate::resolve_threads); an explicit per-call
+//! override above it grows the pool. Workers park on a condvar between
+//! regions and are never torn down; [`stats`] exposes the counts so
+//! tests can assert reuse (two consecutive kernel calls must not grow
+//! the pool).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Target number of chunks dealt per worker of a parallel region.
+///
+/// More chunks than workers is what makes stealing effective: with one
+/// chunk per worker (static chunking) a skewed chunk pins its worker
+/// while the others idle; with `CHUNKS_PER_WORKER` chunks each, the
+/// fast workers steal the slow worker's remaining chunks and the
+/// imbalance is bounded by one chunk's cost. The value trades
+/// scheduling overhead (one mutex pop per chunk) against balance; 8 is
+/// far below the per-chunk work of every kernel in the workspace (a
+/// chunk of a 400-node severity pass is hundreds of microseconds) while
+/// keeping worst-case imbalance under ~12%.
+pub const CHUNKS_PER_WORKER: usize = 8;
+
+/// Safety valve on pool growth: a single region can request at most
+/// this many pool threads (callers asking for more still complete —
+/// extra requested workers simply never materialise, and the chunk
+/// layout, hence the result, is unaffected).
+const MAX_POOL_THREADS: usize = 256;
+
+/// A snapshot of the global pool's lifetime counters, from [`stats`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Worker threads currently alive (workers never exit, so this is
+    /// also the high-water mark of `workers - 1` over all regions).
+    pub live_workers: usize,
+    /// Total worker threads ever spawned. Equal to `live_workers` —
+    /// the pool would have to be torn down and rebuilt for these to
+    /// diverge — and asserted equal by the pool-reuse regression test.
+    pub spawned_total: usize,
+    /// Parallel regions executed on the pool since process start
+    /// (inline single-worker calls are not counted).
+    pub regions_run: usize,
+}
+
+/// The region closure, lifetime-erased. See the `SAFETY` discussion in
+/// [`run`] — the pointee is only ever called between a region's
+/// submission and its completion barrier, during which the caller of
+/// `run` keeps the real closure alive on its stack.
+type ErasedFn = &'static (dyn Fn(usize) + Sync);
+
+/// One parallel region: a set of chunk ids dealt into per-participant
+/// deques, the erased closure to run on each, and the completion state.
+struct Region {
+    func: ErasedFn,
+    /// Per-participant chunk deques; contiguous chunk-id runs.
+    queues: Vec<Mutex<VecDeque<usize>>>,
+    /// Chunks not yet claimed by any participant (fast emptiness probe
+    /// so idle workers can skip exhausted regions without touching the
+    /// deque locks).
+    unclaimed: AtomicUsize,
+    /// Hands each joining participant a distinct starting deque.
+    next_participant: AtomicUsize,
+    /// Chunks claimed or unclaimed that have not finished executing,
+    /// plus the first panic payload, behind one mutex so the caller
+    /// can wait on completion.
+    done: Mutex<RegionDone>,
+    done_cv: Condvar,
+}
+
+struct RegionDone {
+    pending: usize,
+    panic: Option<Box<dyn std::any::Any + Send + 'static>>,
+}
+
+impl Region {
+    fn new(func: ErasedFn, chunks: usize, workers: usize) -> Self {
+        let lanes = workers.min(chunks).max(1);
+        let mut queues: Vec<Mutex<VecDeque<usize>>> = Vec::with_capacity(lanes);
+        // Deal contiguous chunk-id runs: participant p starts on the
+        // chunks it would have owned under static chunking, so the
+        // no-steal fast path touches memory in the same order the old
+        // scoped-thread implementation did.
+        let per = chunks.div_ceil(lanes);
+        for p in 0..lanes {
+            let lo = p * per;
+            let hi = ((p + 1) * per).min(chunks);
+            queues.push(Mutex::new((lo..hi).collect()));
+        }
+        Region {
+            func,
+            queues,
+            unclaimed: AtomicUsize::new(chunks),
+            next_participant: AtomicUsize::new(0),
+            done: Mutex::new(RegionDone { pending: chunks, panic: None }),
+            done_cv: Condvar::new(),
+        }
+    }
+
+    /// Claims one chunk: own deque front first, then steal from the
+    /// back of the other deques. `None` means every chunk is claimed
+    /// (some may still be executing on other participants).
+    fn claim(&self, me: usize) -> Option<usize> {
+        if self.unclaimed.load(Ordering::Acquire) == 0 {
+            return None;
+        }
+        let lanes = self.queues.len();
+        for k in 0..lanes {
+            let victim = (me + k) % lanes;
+            let popped = {
+                let mut q = self.queues[victim].lock().expect("queue lock");
+                if k == 0 {
+                    q.pop_front()
+                } else {
+                    q.pop_back()
+                }
+            };
+            if let Some(chunk) = popped {
+                self.unclaimed.fetch_sub(1, Ordering::AcqRel);
+                return Some(chunk);
+            }
+        }
+        None
+    }
+
+    /// Joins the region as one more participant and runs chunks until
+    /// none are left to claim. Panics from the closure are caught,
+    /// recorded (first wins) and re-raised by the submitting caller —
+    /// never on a pool worker, which must survive for the next region.
+    fn participate(&self) {
+        let me = self.next_participant.fetch_add(1, Ordering::Relaxed) % self.queues.len();
+        while let Some(chunk) = self.claim(me) {
+            let func = self.func;
+            let outcome =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || func(chunk)));
+            let mut d = self.done.lock().expect("done lock");
+            if let Err(payload) = outcome {
+                d.panic.get_or_insert(payload);
+            }
+            d.pending -= 1;
+            if d.pending == 0 {
+                self.done_cv.notify_all();
+            }
+        }
+    }
+
+    /// True while the region still has unclaimed chunks — the predicate
+    /// idle workers scan for.
+    fn has_work(&self) -> bool {
+        self.unclaimed.load(Ordering::Acquire) > 0
+    }
+
+    /// Blocks until every chunk has finished executing, then re-raises
+    /// the first recorded panic, if any. Only the submitting caller
+    /// waits here; the wait is the completion barrier that makes the
+    /// lifetime erasure of `func` sound.
+    fn wait_done(&self) {
+        let mut d = self.done.lock().expect("done lock");
+        while d.pending > 0 {
+            d = self.done_cv.wait(d).expect("done wait");
+        }
+        if let Some(payload) = d.panic.take() {
+            drop(d);
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// Global pool state: the active-region list workers scan, and the
+/// lifetime counters behind [`stats`].
+struct PoolShared {
+    state: Mutex<PoolState>,
+    work: Condvar,
+}
+
+struct PoolState {
+    /// Regions with unclaimed chunks (exhausted regions are pruned by
+    /// the next scan; their in-flight chunks finish on whoever claimed
+    /// them).
+    regions: Vec<Arc<Region>>,
+    live_workers: usize,
+    spawned_total: usize,
+    regions_run: usize,
+}
+
+fn shared() -> &'static PoolShared {
+    static POOL: OnceLock<PoolShared> = OnceLock::new();
+    POOL.get_or_init(|| PoolShared {
+        state: Mutex::new(PoolState {
+            regions: Vec::new(),
+            live_workers: 0,
+            spawned_total: 0,
+            regions_run: 0,
+        }),
+        work: Condvar::new(),
+    })
+}
+
+/// The loop every pool worker runs forever: find a region with
+/// unclaimed chunks, participate until it is drained, repeat; park on
+/// the condvar when no region has work.
+fn worker_loop() {
+    let pool = shared();
+    loop {
+        let region = {
+            let mut st = pool.state.lock().expect("pool lock");
+            loop {
+                st.regions.retain(|r| r.has_work());
+                if let Some(r) = st.regions.first() {
+                    break r.clone();
+                }
+                st = pool.work.wait(st).expect("pool wait");
+            }
+        };
+        region.participate();
+    }
+}
+
+/// Spawns missing workers so at least `target` pool threads exist.
+/// Called with the state lock held.
+fn ensure_workers(st: &mut PoolState, target: usize) {
+    let target = target.min(MAX_POOL_THREADS);
+    while st.live_workers < target {
+        let name = format!("tivpar-pool-{}", st.spawned_total);
+        std::thread::Builder::new()
+            .name(name)
+            .spawn(worker_loop)
+            .expect("spawning a tivpar pool worker");
+        st.live_workers += 1;
+        st.spawned_total += 1;
+    }
+}
+
+/// A snapshot of the pool's counters. The pool-reuse regression test
+/// asserts `spawned_total` does not grow between two consecutive
+/// kernel calls at the same worker count; `regions_run` confirms the
+/// calls actually took the pool path rather than the inline fallback.
+pub fn stats() -> PoolStats {
+    let st = shared().state.lock().expect("pool lock");
+    PoolStats {
+        live_workers: st.live_workers,
+        spawned_total: st.spawned_total,
+        regions_run: st.regions_run,
+    }
+}
+
+/// Executes `f(chunk)` exactly once for every chunk in `0..chunks`,
+/// with up to `workers` participants (the calling thread plus up to
+/// `workers - 1` persistent pool workers), returning when every chunk
+/// has completed. With one effective worker (or at most one chunk) the
+/// chunks run inline on the caller — no pool interaction at all.
+///
+/// Panics from `f` are re-raised on the caller after all other chunks
+/// finish (the first payload wins), never on a pool worker.
+pub(crate) fn run(workers: usize, chunks: usize, f: &(dyn Fn(usize) + Sync)) {
+    if workers <= 1 || chunks <= 1 {
+        for chunk in 0..chunks {
+            f(chunk);
+        }
+        return;
+    }
+    // SAFETY of the lifetime erasure below: `func` borrows `f`, which
+    // the caller keeps alive for the whole body of this function. The
+    // erased reference is stored only inside `region`, and it is
+    // dereferenced only inside `Region::participate`, only between a
+    // successful `claim` and the matching `pending` decrement. This
+    // function does not return before `wait_done` observes
+    // `pending == 0`, i.e. before every participant is past its last
+    // dereference; workers that keep the `Arc<Region>` alive afterwards
+    // only touch the region's own fields (counters, queues), never
+    // `func`. Hence every dereference of the erased reference happens
+    // while the real `f` is demonstrably alive — the same argument
+    // `std::thread::scope` encodes in its API, enforced here by the
+    // completion barrier.
+    #[allow(unsafe_code)]
+    let func: ErasedFn = unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), ErasedFn>(f) };
+    let pool = shared();
+    let region = Arc::new(Region::new(func, chunks, workers));
+    {
+        let mut st = pool.state.lock().expect("pool lock");
+        st.regions_run += 1;
+        ensure_workers(&mut st, workers - 1);
+        st.regions.push(region.clone());
+    }
+    pool.work.notify_all();
+    // The caller is always a participant: if every pool worker is busy
+    // on other regions, this thread drains its own region alone — a
+    // region never waits on pool capacity, so nested regions (a kernel
+    // called from inside another region's chunk) cannot deadlock.
+    region.participate();
+    region.wait_done();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn runs_every_chunk_exactly_once() {
+        for &(workers, chunks) in &[(2usize, 9usize), (4, 64), (3, 3), (8, 2), (2, 1), (1, 5)] {
+            let hits: Vec<AtomicUsize> = (0..chunks).map(|_| AtomicUsize::new(0)).collect();
+            run(workers, chunks, &|c| {
+                hits[c].fetch_add(1, Ordering::Relaxed);
+            });
+            for (c, h) in hits.iter().enumerate() {
+                assert_eq!(h.load(Ordering::Relaxed), 1, "chunk {c} at {workers} workers");
+            }
+        }
+    }
+
+    #[test]
+    fn pool_threads_are_reused_across_regions() {
+        run(3, 16, &|_| {});
+        let before = stats();
+        assert!(before.spawned_total >= 2, "first region must have populated the pool");
+        for _ in 0..10 {
+            run(3, 16, &|_| {});
+        }
+        let after = stats();
+        assert_eq!(after.spawned_total, before.spawned_total, "regions must reuse workers");
+        assert_eq!(after.live_workers, before.live_workers);
+        assert_eq!(after.regions_run, before.regions_run + 10);
+    }
+
+    #[test]
+    fn inline_fallback_never_touches_the_pool() {
+        let before = stats();
+        run(1, 1024, &|_| {});
+        run(8, 1, &|_| {});
+        let after = stats();
+        assert_eq!(after.regions_run, before.regions_run);
+        assert_eq!(after.spawned_total, before.spawned_total);
+    }
+
+    #[test]
+    fn skewed_chunks_are_stolen_not_serialised() {
+        // One chunk spins ~30x longer than the rest; with stealing the
+        // light chunks migrate to other participants, so total work
+        // completes. (Wall-clock assertions live in the tivoid
+        // integration tests; here we only pin completion + coverage
+        // under skew.)
+        let total = AtomicU64::new(0);
+        run(4, 32, &|c| {
+            let spins = if c == 0 { 300_000 } else { 10_000 };
+            let mut acc = 0u64;
+            for i in 0..spins {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+            }
+            total.fetch_add(acc | 1, Ordering::Relaxed);
+        });
+        assert!(total.load(Ordering::Relaxed) > 0);
+    }
+
+    #[test]
+    fn nested_regions_complete() {
+        // A region whose chunks submit their own regions: the inner
+        // submitter self-executes, so this terminates even when every
+        // pool worker is parked on the outer region.
+        let hits = AtomicUsize::new(0);
+        run(4, 8, &|_| {
+            run(2, 4, &|_| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 32);
+    }
+
+    #[test]
+    fn panic_in_chunk_reaches_caller_and_pool_survives() {
+        let caught = std::panic::catch_unwind(|| {
+            run(4, 16, &|c| {
+                assert!(c != 11, "poison chunk");
+            });
+        });
+        assert!(caught.is_err());
+        // The pool must still execute the next region normally.
+        let ok = AtomicUsize::new(0);
+        run(4, 16, &|_| {
+            ok.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ok.load(Ordering::Relaxed), 16);
+    }
+}
