@@ -1,0 +1,158 @@
+//! The `tivgate` wire-serving benchmark: codec timing + replica sweep.
+//!
+//! Two views of the gate layer:
+//!
+//! * `gate/codec/*` — criterion timing of the hot codec paths (encode
+//!   a 64-pair estimate request, decode a 64-item route response): the
+//!   per-frame cost every wire query pays on top of the in-process
+//!   serving the `serve` bench measures;
+//! * an open-loop socket run per replica count {1, 2, 4}, recorded as
+//!   `gate/replicas/<r>/throughput_qps` (gated) plus
+//!   `p50_us`/`p99_us`/`p999_us` (informational — socket-latency tails
+//!   on shared runners are jitter, the aggregate rate is the signal)
+//!   for the `BENCH_gate.json` artifact the CI bench-smoke job
+//!   regression-checks.
+//!
+//! Before timing anything, the sweep asserts the wire answers at every
+//! replica count are byte-identical to an in-process reference service
+//! — a bench run can't report throughput of a divergent deployment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use delayspace::synth::{Dataset, InternetDelaySpace};
+use std::hint::black_box;
+use tivgate::client::GateClient;
+use tivgate::loadgen::{run_open_loop, OpenLoopConfig};
+use tivgate::proto::{decode_response, encode_request, encode_response, Request, Response};
+use tivgate::replica::ReplicaSet;
+use tivserve::epoch::{EpochBuilder, EpochConfig};
+use tivserve::loadgen::{self, ObservePath, WorkloadConfig};
+use tivserve::service::{ServeConfig, TivServe};
+
+/// Replica counts swept by the open-loop run.
+const REPLICAS: [usize; 3] = [1, 2, 4];
+
+/// Nodes in the bench snapshot.
+const NODES: usize = 256;
+
+fn epoch_cfg() -> EpochConfig {
+    EpochConfig {
+        bootstrap_rounds: 20,
+        epoch_rounds: 8,
+        seed: tivbench::SEED,
+        ..EpochConfig::default()
+    }
+}
+
+fn serve_cfg() -> ServeConfig {
+    ServeConfig { shards: 2, ..ServeConfig::default() }
+}
+
+/// The bench fixture: matrix, epoch-0 snapshot, seeded read-only
+/// workload. Pure in the seed, so the reference service below holds
+/// exactly what the replicas hold.
+fn fixture() -> (tivserve::snapshot::EpochSnapshot, Vec<loadgen::QueryBatch>) {
+    let matrix = InternetDelaySpace::preset(Dataset::Ds2)
+        .with_nodes(NODES)
+        .build(tivbench::SEED)
+        .into_matrix();
+    let (_, snapshot) = EpochBuilder::bootstrap(matrix.clone(), epoch_cfg());
+    let workload = WorkloadConfig {
+        queries: 4_000,
+        batch: 64,
+        observe_frac: 0.0,
+        seed: tivbench::SEED,
+        ..WorkloadConfig::default()
+    };
+    (snapshot, loadgen::generate(&workload, &matrix))
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let (snapshot, batches) = fixture();
+    let service = TivServe::new(serve_cfg(), snapshot);
+    let pairs: Vec<(u32, u32)> =
+        batches[0].pairs.iter().map(|&(a, b)| (a as u32, b as u32)).collect();
+    let upairs = &batches[0].pairs;
+    let request = Request::Estimate { id: 1, pairs: pairs.clone() };
+    let route_frame =
+        encode_response(&Response::Route { id: 1, items: service.route_batch(upairs) });
+    let mut g = c.benchmark_group("gate/codec");
+    g.bench_function("encode_estimate_64", |b| {
+        b.iter(|| black_box(encode_request(black_box(&request))));
+    });
+    g.bench_function("decode_route_64", |b| {
+        // Strip the length prefix: decode_response takes the body.
+        let body = &route_frame[4..];
+        b.iter(|| black_box(decode_response(black_box(body)).expect("decode")));
+    });
+    g.finish();
+}
+
+/// Open-loop socket throughput per replica count, exported as metrics
+/// (not criterion timings: the run's wall-clock is the measurement).
+fn open_loop_metrics(_c: &mut Criterion) {
+    if criterion::smoke_mode() {
+        return; // one-shot smoke runs don't produce meaningful rates
+    }
+    let (snapshot, batches) = fixture();
+    let reference = TivServe::new(serve_cfg(), snapshot.clone());
+    for &r in &REPLICAS {
+        let set = ReplicaSet::spawn(&snapshot, serve_cfg(), r).expect("spawn replica set");
+        // Equivalence gate: the wire answers at this replica count must
+        // match the in-process reference byte for byte before we time
+        // anything. A handful of batches per replica covers every
+        // replica and the codec round trip.
+        for (bi, batch) in batches.iter().take(2 * r).enumerate() {
+            let pairs: Vec<(u32, u32)> =
+                batch.pairs.iter().map(|&(a, b)| (a as u32, b as u32)).collect();
+            let id = bi as u32;
+            let want = encode_response(&Response::Estimate {
+                id,
+                items: reference.estimate_batch(&batch.pairs),
+            });
+            for addr in set.addrs() {
+                let mut client = GateClient::connect(addr).expect("connect");
+                let got = client
+                    .call_frame(&Request::Estimate { id, pairs: pairs.clone() })
+                    .expect("wire call");
+                assert_eq!(got, want, "wire answers diverged at {r} replica(s)");
+            }
+        }
+        // Warm pass heats the per-replica shard caches; the measured
+        // pass is the steady state.
+        let _ = run_open_loop(&set.addrs(), &batches, OpenLoopConfig::default(), ObservePath::Drop)
+            .expect("warm run");
+        let report =
+            run_open_loop(&set.addrs(), &batches, OpenLoopConfig::default(), ObservePath::Drop)
+                .expect("measured run");
+        assert_eq!(report.error_frames, 0, "error frames during the measured run");
+        criterion::record_metric(format!("gate/replicas/{r}/throughput_qps"), report.qps);
+        criterion::record_metric(format!("gate/replicas/{r}/p50_us"), report.p50_us);
+        criterion::record_metric(format!("gate/replicas/{r}/p99_us"), report.p99_us);
+        criterion::record_metric(format!("gate/replicas/{r}/p999_us"), report.p999_us);
+        println!(
+            "gate open loop: {r} replica(s): {:.0} q/s, p50 {:.0} us, p99 {:.0} us, \
+             p999 {:.0} us, late {} (max lag {:.0} us)",
+            report.qps,
+            report.p50_us,
+            report.p99_us,
+            report.p999_us,
+            report.late_batches,
+            report.max_lag_us
+        );
+        set.shutdown().expect("clean shutdown");
+    }
+}
+
+fn bench_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = bench_config();
+    targets = bench_codec, open_loop_metrics
+}
+criterion_main!(benches);

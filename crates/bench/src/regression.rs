@@ -117,14 +117,15 @@ pub fn higher_is_better(name: &str) -> bool {
 }
 
 /// True when a metric is compared and reported but never fails the
-/// gate. Tail latencies over a short run are the case in point: the
-/// serve closed loop measures p99 over only ~60 batches of a ~2 ms
-/// pass, so a single multi-millisecond scheduler preemption on a
-/// shared CI runner would blow past any sane factor with no real
-/// regression. The stable aggregate (throughput) gates instead; p99
-/// stays in the artifact for trend-watching.
+/// gate. Latency percentiles over a short run are the case in point:
+/// the serve closed loop measures p99 over only ~60 batches of a ~2 ms
+/// pass, and the gate's open-loop socket percentiles add scheduler and
+/// network-stack jitter on top — a single multi-millisecond preemption
+/// on a shared CI runner would blow past any sane factor with no real
+/// regression. The stable aggregate (throughput) gates instead; the
+/// percentiles stay in the artifact for trend-watching.
 pub fn informational(name: &str) -> bool {
-    name.ends_with("/p99_us")
+    name.ends_with("/p50_us") || name.ends_with("/p99_us") || name.ends_with("/p999_us")
 }
 
 /// Flattens a parsed metrics document into `{name: value}`. Accepts the

@@ -1,0 +1,535 @@
+//! Offline stand-in for the subset of `mio` 0.8 this workspace uses.
+//!
+//! The build environment cannot fetch crates.io, so the non-blocking
+//! serving layer (`tivgate`) gets its readiness loop from this minimal
+//! mio-style shim instead: [`Poll`] + [`Events`] + [`Token`] +
+//! [`Interest`], and [`net::TcpListener`] / [`net::TcpStream`] wrappers
+//! that are created non-blocking, exactly like mio's. The backend is
+//! **level-triggered `epoll(7)`** via direct libc FFI (the std library
+//! already links libc; no crate dependency is needed). Level-triggered
+//! — mio itself is edge-triggered — because the consumer here drains
+//! sockets until `WouldBlock` anyway and level semantics make a missed
+//! wakeup structurally impossible, which is worth more to this
+//! workspace than the syscall economy of edge triggering.
+//!
+//! Supported surface: `Poll::new` / `Poll::poll` (with optional
+//! timeout), `Registry::{register, reregister, deregister}` over
+//! anything `AsRawFd` (mio's `event::Source` is not reproduced — the
+//! raw fd *is* the source identity here), `Interest::{READABLE,
+//! WRITABLE}` composed with `|`, and event accessors
+//! `token` / `is_readable` / `is_writable` / `is_error` /
+//! `is_read_closed`.
+//!
+//! This is the one compat crate that needs `unsafe`: four FFI calls
+//! (`epoll_create1`, `epoll_ctl`, `epoll_wait`, `close`), each wrapped
+//! in a safe function that checks `errno` and owns the fd lifecycle.
+
+#![deny(missing_docs)]
+#![cfg(unix)]
+
+use std::io;
+use std::ops::BitOr;
+use std::os::fd::{AsRawFd, RawFd};
+use std::time::Duration;
+
+/// Associates a registered file descriptor with the events it produces.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Token(pub usize);
+
+/// Readiness interest: readable, writable, or both (`|`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interest(u32);
+
+impl Interest {
+    /// Interest in read readiness.
+    pub const READABLE: Interest = Interest(ffi::EPOLLIN);
+    /// Interest in write readiness.
+    pub const WRITABLE: Interest = Interest(ffi::EPOLLOUT);
+
+    /// True when this interest includes read readiness.
+    pub fn is_readable(self) -> bool {
+        self.0 & ffi::EPOLLIN != 0
+    }
+
+    /// True when this interest includes write readiness.
+    pub fn is_writable(self) -> bool {
+        self.0 & ffi::EPOLLOUT != 0
+    }
+}
+
+impl BitOr for Interest {
+    type Output = Interest;
+    fn bitor(self, rhs: Interest) -> Interest {
+        Interest(self.0 | rhs.0)
+    }
+}
+
+/// One readiness event delivered by [`Poll::poll`].
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    token: Token,
+    flags: u32,
+}
+
+impl Event {
+    /// The token the fd was registered with.
+    pub fn token(&self) -> Token {
+        self.token
+    }
+
+    /// True when the fd is ready for reading (or has an error/hangup —
+    /// epoll reports those unconditionally, and a read is the way to
+    /// observe them as `Err`/EOF).
+    pub fn is_readable(&self) -> bool {
+        self.flags & (ffi::EPOLLIN | ffi::EPOLLERR | ffi::EPOLLHUP) != 0
+    }
+
+    /// True when the fd is ready for writing (or errored).
+    pub fn is_writable(&self) -> bool {
+        self.flags & (ffi::EPOLLOUT | ffi::EPOLLERR | ffi::EPOLLHUP) != 0
+    }
+
+    /// True when the fd is in an error state.
+    pub fn is_error(&self) -> bool {
+        self.flags & ffi::EPOLLERR != 0
+    }
+
+    /// True when the peer closed its write half (or the connection hung
+    /// up entirely): reads will drain buffered bytes and then see EOF.
+    pub fn is_read_closed(&self) -> bool {
+        self.flags & (ffi::EPOLLRDHUP | ffi::EPOLLHUP) != 0
+    }
+}
+
+/// A buffer of events filled by [`Poll::poll`].
+#[derive(Debug)]
+pub struct Events {
+    capacity: usize,
+    events: Vec<Event>,
+}
+
+impl Events {
+    /// An empty buffer that can hold up to `capacity` events per poll.
+    ///
+    /// # Panics
+    /// Panics when `capacity` is zero (epoll rejects it).
+    pub fn with_capacity(capacity: usize) -> Events {
+        assert!(capacity > 0, "events buffer needs capacity");
+        Events { capacity, events: Vec::with_capacity(capacity) }
+    }
+
+    /// Iterates the events of the last poll.
+    pub fn iter(&self) -> impl Iterator<Item = &Event> {
+        self.events.iter()
+    }
+
+    /// True when the last poll returned no events (timeout).
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+impl<'a> IntoIterator for &'a Events {
+    type Item = &'a Event;
+    type IntoIter = std::slice::Iter<'a, Event>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.iter()
+    }
+}
+
+/// Handle for (de)registering fds with a [`Poll`]'s epoll instance.
+///
+/// Copies the epoll fd by value: it must not outlive the `Poll` it came
+/// from (the server loop this shim serves holds both in one scope).
+#[derive(Clone, Copy, Debug)]
+pub struct Registry {
+    epfd: RawFd,
+}
+
+impl Registry {
+    /// Starts watching `source` for `interests`, tagged with `token`.
+    pub fn register(
+        &self,
+        source: &impl AsRawFd,
+        token: Token,
+        interests: Interest,
+    ) -> io::Result<()> {
+        ffi::epoll_ctl(self.epfd, ffi::EPOLL_CTL_ADD, source.as_raw_fd(), interests.0, token.0)
+    }
+
+    /// Changes the interests/token of an already-registered `source`.
+    pub fn reregister(
+        &self,
+        source: &impl AsRawFd,
+        token: Token,
+        interests: Interest,
+    ) -> io::Result<()> {
+        ffi::epoll_ctl(self.epfd, ffi::EPOLL_CTL_MOD, source.as_raw_fd(), interests.0, token.0)
+    }
+
+    /// Stops watching `source`.
+    pub fn deregister(&self, source: &impl AsRawFd) -> io::Result<()> {
+        ffi::epoll_ctl(self.epfd, ffi::EPOLL_CTL_DEL, source.as_raw_fd(), 0, 0)
+    }
+}
+
+/// The readiness poller: an owned epoll instance.
+#[derive(Debug)]
+pub struct Poll {
+    epfd: RawFd,
+}
+
+impl Poll {
+    /// Creates a fresh epoll instance (close-on-exec).
+    pub fn new() -> io::Result<Poll> {
+        Ok(Poll { epfd: ffi::epoll_create1()? })
+    }
+
+    /// The registration handle.
+    pub fn registry(&self) -> Registry {
+        Registry { epfd: self.epfd }
+    }
+
+    /// Blocks until at least one registered fd is ready or `timeout`
+    /// elapses (`None` blocks indefinitely), filling `events`. Spurious
+    /// interruptions (`EINTR`) are retried internally.
+    pub fn poll(&mut self, events: &mut Events, timeout: Option<Duration>) -> io::Result<()> {
+        // epoll_wait takes whole milliseconds; round a short non-zero
+        // timeout up so `Some(small)` cannot spin as a busy loop.
+        let timeout_ms: i32 = match timeout {
+            None => -1,
+            Some(d) => {
+                let ms = d.as_millis().min(i32::MAX as u128) as i32;
+                if ms == 0 && !d.is_zero() {
+                    1
+                } else {
+                    ms
+                }
+            }
+        };
+        events.events = ffi::epoll_wait(self.epfd, events.capacity, timeout_ms)?
+            .into_iter()
+            .map(|(flags, data)| Event { token: Token(data), flags })
+            .collect();
+        Ok(())
+    }
+}
+
+impl Drop for Poll {
+    fn drop(&mut self) {
+        ffi::close(self.epfd);
+    }
+}
+
+mod ffi {
+    //! The four libc calls behind the shim, each wrapped safely. std
+    //! already links libc, so plain `extern "C"` declarations resolve
+    //! without any crate dependency.
+
+    use std::ffi::c_int;
+    use std::io;
+    use std::os::fd::RawFd;
+
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+    pub const EPOLLRDHUP: u32 = 0x2000;
+
+    pub const EPOLL_CTL_ADD: c_int = 1;
+    pub const EPOLL_CTL_DEL: c_int = 2;
+    pub const EPOLL_CTL_MOD: c_int = 3;
+
+    const EPOLL_CLOEXEC: c_int = 0o2000000;
+    const EINTR: i32 = 4;
+
+    /// The kernel's `struct epoll_event`. On x86-64 Linux it is packed
+    /// (12 bytes) for 32-bit compatibility; other architectures use
+    /// natural alignment — both definitions below match their ABI.
+    #[cfg(target_arch = "x86_64")]
+    #[repr(C, packed)]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    #[cfg(not(target_arch = "x86_64"))]
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    mod sys {
+        use super::EpollEvent;
+        use std::ffi::c_int;
+        extern "C" {
+            pub fn epoll_create1(flags: c_int) -> c_int;
+            pub fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+            pub fn epoll_wait(
+                epfd: c_int,
+                events: *mut EpollEvent,
+                maxevents: c_int,
+                timeout: c_int,
+            ) -> c_int;
+            pub fn close(fd: c_int) -> c_int;
+        }
+    }
+
+    /// `epoll_create1(EPOLL_CLOEXEC)`, errno-checked.
+    pub fn epoll_create1() -> io::Result<RawFd> {
+        // SAFETY: no pointers involved; the return value is checked.
+        let fd = unsafe { sys::epoll_create1(EPOLL_CLOEXEC) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(fd)
+    }
+
+    /// `epoll_ctl`, errno-checked. `interests`/`token` are ignored by
+    /// the kernel for `EPOLL_CTL_DEL`.
+    pub fn epoll_ctl(
+        epfd: RawFd,
+        op: c_int,
+        fd: RawFd,
+        interests: u32,
+        token: usize,
+    ) -> io::Result<()> {
+        // Always watch for peer hangup: the consumer treats it as
+        // readable-to-EOF, the classic level-triggered close detection.
+        let mut ev = EpollEvent { events: interests | EPOLLRDHUP, data: token as u64 };
+        // SAFETY: `ev` outlives the call; the kernel copies it out.
+        let rc = unsafe { sys::epoll_ctl(epfd, op, fd, &mut ev) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// `epoll_wait`, errno-checked, `EINTR`-retried. Returns the raw
+    /// `(events bitmask, data)` pairs.
+    pub fn epoll_wait(
+        epfd: RawFd,
+        capacity: usize,
+        timeout_ms: i32,
+    ) -> io::Result<Vec<(u32, usize)>> {
+        let mut buf = vec![EpollEvent { events: 0, data: 0 }; capacity];
+        loop {
+            // SAFETY: `buf` holds `capacity` writable entries and
+            // outlives the call.
+            let rc =
+                unsafe { sys::epoll_wait(epfd, buf.as_mut_ptr(), capacity as c_int, timeout_ms) };
+            if rc >= 0 {
+                return Ok(buf[..rc as usize]
+                    .iter()
+                    .map(|e| {
+                        // Copy out of the (possibly packed) struct
+                        // before touching the fields.
+                        let (events, data) = (e.events, e.data);
+                        (events, data as usize)
+                    })
+                    .collect());
+            }
+            let err = io::Error::last_os_error();
+            if err.raw_os_error() != Some(EINTR) {
+                return Err(err);
+            }
+        }
+    }
+
+    /// `close`, best-effort (drop paths have nowhere to report).
+    pub fn close(fd: RawFd) {
+        // SAFETY: the fd is owned by the caller's `Poll` and closed
+        // exactly once, on drop.
+        let _ = unsafe { sys::close(fd) };
+    }
+}
+
+pub mod net {
+    //! Non-blocking TCP types, mirroring `mio::net`.
+
+    use std::io;
+    use std::net::{self, SocketAddr};
+    use std::os::fd::{AsRawFd, RawFd};
+
+    /// A non-blocking listener.
+    #[derive(Debug)]
+    pub struct TcpListener {
+        inner: net::TcpListener,
+    }
+
+    impl TcpListener {
+        /// Binds a listener and switches it non-blocking.
+        pub fn bind(addr: SocketAddr) -> io::Result<TcpListener> {
+            let inner = net::TcpListener::bind(addr)?;
+            inner.set_nonblocking(true)?;
+            Ok(TcpListener { inner })
+        }
+
+        /// Accepts one pending connection (already non-blocking), or
+        /// `WouldBlock` when none is queued.
+        pub fn accept(&self) -> io::Result<(TcpStream, SocketAddr)> {
+            let (stream, addr) = self.inner.accept()?;
+            stream.set_nonblocking(true)?;
+            Ok((TcpStream { inner: stream }, addr))
+        }
+
+        /// The bound local address (the way to learn an ephemeral port).
+        pub fn local_addr(&self) -> io::Result<SocketAddr> {
+            self.inner.local_addr()
+        }
+    }
+
+    impl AsRawFd for TcpListener {
+        fn as_raw_fd(&self) -> RawFd {
+            self.inner.as_raw_fd()
+        }
+    }
+
+    /// A non-blocking stream. Reads and writes go through the standard
+    /// [`io::Read`]/[`io::Write`] impls and return `WouldBlock` when the
+    /// socket is not ready — the server loop's signal to wait for the
+    /// next readiness event.
+    #[derive(Debug)]
+    pub struct TcpStream {
+        inner: net::TcpStream,
+    }
+
+    impl TcpStream {
+        /// Wraps an accepted or connected std stream, switching it
+        /// non-blocking.
+        pub fn from_std(inner: net::TcpStream) -> io::Result<TcpStream> {
+            inner.set_nonblocking(true)?;
+            Ok(TcpStream { inner })
+        }
+
+        /// The peer's address.
+        pub fn peer_addr(&self) -> io::Result<SocketAddr> {
+            self.inner.peer_addr()
+        }
+
+        /// Disables Nagle's algorithm (batch-oriented request/response
+        /// protocols want their small frames on the wire immediately).
+        pub fn set_nodelay(&self, nodelay: bool) -> io::Result<()> {
+            self.inner.set_nodelay(nodelay)
+        }
+    }
+
+    impl io::Read for TcpStream {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            (&self.inner).read(buf)
+        }
+    }
+
+    impl io::Write for TcpStream {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            (&self.inner).write(buf)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            (&self.inner).flush()
+        }
+    }
+
+    impl AsRawFd for TcpStream {
+        fn as_raw_fd(&self) -> RawFd {
+            self.inner.as_raw_fd()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::SocketAddr;
+    use std::time::{Duration, Instant};
+
+    fn loopback() -> SocketAddr {
+        "127.0.0.1:0".parse().expect("loopback literal")
+    }
+
+    #[test]
+    fn timeout_poll_returns_empty() {
+        let mut poll = Poll::new().expect("epoll");
+        let mut events = Events::with_capacity(8);
+        let t0 = Instant::now();
+        poll.poll(&mut events, Some(Duration::from_millis(20))).expect("poll");
+        assert!(events.is_empty());
+        assert!(t0.elapsed() >= Duration::from_millis(15), "timeout returned early");
+    }
+
+    #[test]
+    fn listener_becomes_readable_on_connect() {
+        let listener = net::TcpListener::bind(loopback()).expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let mut poll = Poll::new().expect("epoll");
+        poll.registry().register(&listener, Token(7), Interest::READABLE).expect("register");
+        // Nothing pending yet.
+        let mut events = Events::with_capacity(8);
+        poll.poll(&mut events, Some(Duration::from_millis(10))).expect("poll");
+        assert!(events.is_empty());
+        assert!(matches!(
+            listener.accept().map(drop).unwrap_err().kind(),
+            std::io::ErrorKind::WouldBlock
+        ));
+        // A connection arrives: readable with our token.
+        let _client = std::net::TcpStream::connect(addr).expect("connect");
+        poll.poll(&mut events, Some(Duration::from_secs(2))).expect("poll");
+        let tokens: Vec<_> = events.iter().map(|e| e.token()).collect();
+        assert_eq!(tokens, vec![Token(7)]);
+        assert!(events.iter().all(|e| e.is_readable()));
+        let (_stream, _) = listener.accept().expect("accept");
+    }
+
+    #[test]
+    fn stream_readiness_tracks_data_and_eof() {
+        let listener = net::TcpListener::bind(loopback()).expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let mut client = std::net::TcpStream::connect(addr).expect("connect");
+        // Accept may need a beat on a loaded machine.
+        let (mut served, _) = loop {
+            match listener.accept() {
+                Ok(pair) => break pair,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Err(e) => panic!("accept failed: {e}"),
+            }
+        };
+        let mut poll = Poll::new().expect("epoll");
+        poll.registry()
+            .register(&served, Token(1), Interest::READABLE | Interest::WRITABLE)
+            .expect("register");
+        // A fresh stream is writable immediately.
+        let mut events = Events::with_capacity(8);
+        poll.poll(&mut events, Some(Duration::from_secs(2))).expect("poll");
+        assert!(events.iter().any(|e| e.is_writable()));
+        assert!(!events.iter().any(|e| e.is_readable()), "no data sent yet");
+        // Narrow to read interest, send data, observe readable.
+        poll.registry().reregister(&served, Token(1), Interest::READABLE).expect("reregister");
+        client.write_all(b"ping").expect("client write");
+        poll.poll(&mut events, Some(Duration::from_secs(2))).expect("poll");
+        assert!(events.iter().any(|e| e.is_readable() && e.token() == Token(1)));
+        let mut buf = [0u8; 16];
+        assert_eq!(served.read(&mut buf).expect("read"), 4);
+        // Peer closes: read-closed readiness, then EOF on read.
+        drop(client);
+        poll.poll(&mut events, Some(Duration::from_secs(2))).expect("poll");
+        assert!(events.iter().any(|e| e.is_read_closed()));
+        assert_eq!(served.read(&mut buf).expect("read at eof"), 0);
+        poll.registry().deregister(&served).expect("deregister");
+        // Deregistered: quiet again.
+        poll.poll(&mut events, Some(Duration::from_millis(10))).expect("poll");
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn interest_composition() {
+        let both = Interest::READABLE | Interest::WRITABLE;
+        assert!(both.is_readable() && both.is_writable());
+        assert!(!Interest::READABLE.is_writable());
+        assert!(!Interest::WRITABLE.is_readable());
+    }
+}

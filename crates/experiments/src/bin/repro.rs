@@ -10,6 +10,9 @@
 //!             [--churn-prob P] [--spike-rate R] [--diurnal-amp A]
 //!             [--threshold F] [--k K] [--threads T] [--seed S]
 //!             [--out DIR]
+//! repro gate [--nodes N] [--replicas R] [--queries Q] [--batch B]
+//!            [--zipf Z] [--observe F] [--epoch-every K]
+//!            [--target-qps T] [--seed S]
 //! ```
 //!
 //! * `figN` — one experiment id (fig1 … fig25), or `all`.
@@ -41,8 +44,15 @@
 //! and prints staleness/freshness and rebuild-latency figures; with
 //! `--out` it writes the `churn-staleness` and `churn-rebuild` CSVs.
 //! See `experiments::churn`.
+//!
+//! `repro gate` spawns a multi-replica `tivgate` wire deployment (real
+//! TCP sockets, consistent-hash dispatch) and plays an open-loop
+//! socket workload against it, printing aggregate qps, p50/p99/p999
+//! batch latency, schedule health, and observation-delivery
+//! accounting. See `experiments::gate`.
 
 use experiments::churn::{run_churn, ChurnOptions};
+use experiments::gate::{run_gate, GateOptions};
 use experiments::lab::Lab;
 use experiments::route::{run_route, RouteOptions};
 use experiments::scale::ExperimentScale;
@@ -228,6 +238,82 @@ fn parse_churn_args(
     Ok((opts, out))
 }
 
+/// Parses the flags of the `gate` subcommand into [`GateOptions`].
+fn parse_gate_args(argv: impl Iterator<Item = String>) -> Result<GateOptions, String> {
+    fn value<T: std::str::FromStr>(
+        argv: &mut impl Iterator<Item = String>,
+        flag: &str,
+    ) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        let v = argv.next().ok_or(format!("{flag} needs a value"))?;
+        v.parse().map_err(|e| format!("bad {flag} value: {e}"))
+    }
+    let mut opts = GateOptions::default();
+    let mut argv = argv;
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--nodes" => opts.nodes = value(&mut argv, "--nodes")?,
+            "--replicas" => opts.replicas = value(&mut argv, "--replicas")?,
+            "--queries" => opts.queries = value(&mut argv, "--queries")?,
+            "--batch" => opts.batch = value(&mut argv, "--batch")?,
+            "--zipf" => opts.zipf_s = value(&mut argv, "--zipf")?,
+            "--observe" => opts.observe_frac = value(&mut argv, "--observe")?,
+            "--epoch-every" => opts.epoch_every = value(&mut argv, "--epoch-every")?,
+            "--target-qps" => opts.target_qps = value(&mut argv, "--target-qps")?,
+            "--seed" => opts.seed = value(&mut argv, "--seed")?,
+            other => {
+                return Err(format!(
+                    "unknown gate argument: {other}\n\
+                     usage: repro gate [--nodes N] [--replicas R] [--queries Q] [--batch B] \
+                     [--zipf Z] [--observe F] [--epoch-every K] [--target-qps T] [--seed S]"
+                ))
+            }
+        }
+    }
+    if opts.nodes < 2 {
+        return Err("--nodes must be at least 2".to_string());
+    }
+    if opts.replicas < 1 {
+        return Err("--replicas must be at least 1".to_string());
+    }
+    if !(0.0..1.0).contains(&opts.observe_frac) {
+        return Err("--observe must be in [0, 1)".to_string());
+    }
+    if opts.batch < 1 {
+        return Err("--batch must be at least 1".to_string());
+    }
+    if !opts.zipf_s.is_finite() || opts.zipf_s < 0.0 {
+        return Err("--zipf must be a finite non-negative exponent".to_string());
+    }
+    if !opts.target_qps.is_finite() || opts.target_qps < 0.0 {
+        return Err("--target-qps must be a finite non-negative rate (0 = unpaced)".to_string());
+    }
+    Ok(opts)
+}
+
+/// Runs the `gate` subcommand end to end.
+fn run_gate_command(argv: impl Iterator<Item = String>) -> ExitCode {
+    let opts = match parse_gate_args(argv) {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run_gate(&opts) {
+        Ok(summary) => {
+            println!("{summary}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("gate run failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 /// Runs the `churn` subcommand end to end.
 fn run_churn_command(argv: impl Iterator<Item = String>) -> ExitCode {
     let (opts, out) = match parse_churn_args(argv) {
@@ -328,6 +414,8 @@ fn parse_args() -> Result<Args, String> {
              (run the detour search)\n\
              \x20      repro churn [--nodes N] [--ticks T] [--epoch-ticks E] [--obs O] ... \
              (run the incremental epoch pipeline under churn)\n\
+             \x20      repro gate [--nodes N] [--replicas R] [--queries Q] [--target-qps T] ... \
+             (run the wire-protocol replica set)\n\
              figures: {}\n\
              ablations: {}",
             suite::ALL_IDS.join(" "),
@@ -391,6 +479,10 @@ fn main() -> ExitCode {
         Some("churn") => {
             argv.next();
             return run_churn_command(argv);
+        }
+        Some("gate") => {
+            argv.next();
+            return run_gate_command(argv);
         }
         _ => {}
     }

@@ -23,7 +23,9 @@
 //! subcommand); [`route`] runs the TIV-exploiting one-hop detour
 //! search (the `repro route` subcommand); [`churn`] drives the
 //! incremental epoch pipeline against a churning delay space (the
-//! `repro churn` subcommand).
+//! `repro churn` subcommand); [`gate`] drives a multi-replica
+//! `tivgate` wire deployment with an open-loop socket workload (the
+//! `repro gate` subcommand).
 //!
 //! Batches fan out over worker threads with [`suite::run_many`] (the
 //! `repro` binary's `--threads` flag); every figure is a pure function
@@ -44,6 +46,7 @@
 pub mod ablations;
 pub mod churn;
 pub mod figure;
+pub mod gate;
 pub mod lab;
 pub mod penalty;
 pub mod report;

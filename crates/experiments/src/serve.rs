@@ -133,8 +133,14 @@ impl fmt::Display for ServeSummary {
         writeln!(
             f,
             "  workload: {} queries in {} batches (≤{}/batch, zipf {}), \
-             {} observations streamed",
-            r.queries, r.batches, o.batch, o.zipf_s, r.observations
+             {} observations streamed ({} delivered, {} undelivered)",
+            r.queries,
+            r.batches,
+            o.batch,
+            o.zipf_s,
+            r.observations,
+            r.observations_delivered(),
+            r.observations_undelivered
         )?;
         writeln!(
             f,
@@ -202,6 +208,20 @@ mod tests {
         );
         let text = summary.to_string();
         assert!(text.contains("throughput"), "summary missing throughput: {text}");
+        // The observation accounting is part of the printed contract:
+        // with a live background builder nothing goes undelivered.
+        assert_eq!(summary.report.observations_undelivered, 0);
+        assert_eq!(
+            summary.report.observations,
+            summary.report.observations_delivered() + summary.report.observations_undelivered
+        );
+        assert!(
+            text.contains(&format!(
+                "({} delivered, 0 undelivered)",
+                summary.report.observations_delivered()
+            )),
+            "summary missing observation accounting: {text}"
+        );
     }
 
     #[test]

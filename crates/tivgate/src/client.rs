@@ -1,0 +1,117 @@
+//! A minimal blocking client for the gate protocol.
+//!
+//! One [`GateClient`] wraps one TCP connection and exposes both a typed
+//! request/response call and raw-bytes entry points. The raw layer is
+//! deliberate API, not plumbing: the wire-equivalence suite compares
+//! *frames*, byte for byte, against locally encoded expectations, and
+//! the malformed-input suite needs to put arbitrary garbage on the
+//! wire — both go through [`GateClient::send_bytes`] /
+//! [`GateClient::recv_frame`].
+
+use crate::proto::{self, decode_response, encode_request, FrameStep, Request, Response};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A blocking connection to one gate replica.
+#[derive(Debug)]
+pub struct GateClient {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl GateClient {
+    /// Connects (with Nagle disabled — this is a small-frame
+    /// request/response protocol).
+    pub fn connect(addr: SocketAddr) -> io::Result<GateClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(GateClient { stream, buf: Vec::new() })
+    }
+
+    /// Wraps an existing (blocking) stream — how the open-loop load
+    /// generator builds its response-reader half over a cloned fd.
+    pub fn from_stream(stream: TcpStream) -> GateClient {
+        GateClient { stream, buf: Vec::new() }
+    }
+
+    /// Bounds how long [`recv_frame`](GateClient::recv_frame) blocks
+    /// (`None` = forever). Tests use this so a server bug cannot hang
+    /// the suite.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    /// Sends one typed request and blocks for its response.
+    pub fn call(&mut self, req: &Request) -> io::Result<Response> {
+        self.send_bytes(&encode_request(req))?;
+        self.recv()
+    }
+
+    /// Sends one typed request and returns the raw response *frame*
+    /// (length prefix included) — the byte-level equivalence entry
+    /// point.
+    pub fn call_frame(&mut self, req: &Request) -> io::Result<Vec<u8>> {
+        self.send_bytes(&encode_request(req))?;
+        self.recv_frame()
+    }
+
+    /// Writes arbitrary bytes to the connection — also how the
+    /// malformed-input tests inject broken frames.
+    pub fn send_bytes(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.stream.write_all(bytes)
+    }
+
+    /// Shuts down the write half, signalling EOF to the server while
+    /// keeping the read half open for trailing responses.
+    pub fn shutdown_write(&self) -> io::Result<()> {
+        self.stream.shutdown(std::net::Shutdown::Write)
+    }
+
+    /// Blocks until one complete frame arrives and returns it whole
+    /// (length prefix included). EOF mid-frame is `UnexpectedEof`; an
+    /// oversized length prefix from the server is `InvalidData`.
+    pub fn recv_frame(&mut self) -> io::Result<Vec<u8>> {
+        let mut scratch = [0u8; 64 * 1024];
+        loop {
+            match proto::next_frame(&self.buf) {
+                FrameStep::Frame { consumed, .. } => {
+                    let frame: Vec<u8> = self.buf.drain(..consumed).collect();
+                    return Ok(frame);
+                }
+                FrameStep::TooLarge(len) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("server sent an oversized frame ({len} bytes)"),
+                    ));
+                }
+                FrameStep::Incomplete => {}
+            }
+            match self.stream.read(&mut scratch) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        format!("connection closed with {} buffered bytes", self.buf.len()),
+                    ));
+                }
+                Ok(n) => self.buf.extend_from_slice(&scratch[..n]),
+                Err(ref e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Blocks for one frame and decodes it.
+    pub fn recv(&mut self) -> io::Result<Response> {
+        let frame = self.recv_frame()?;
+        decode_response(&frame[4..])
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    /// Clones the underlying stream (shared fd) so a reader thread can
+    /// drain responses while this handle keeps sending — the open-loop
+    /// load generator's split.
+    pub fn try_clone_stream(&self) -> io::Result<TcpStream> {
+        self.stream.try_clone()
+    }
+}

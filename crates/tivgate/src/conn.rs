@@ -1,0 +1,217 @@
+//! Sans-IO per-connection state: byte buffers in, frames out.
+//!
+//! [`Connection`] never touches a socket. The server loop feeds it
+//! whatever bytes `read` produced and drains whatever bytes it has
+//! queued; everything in between — frame reassembly across arbitrary
+//! read boundaries, write backlog with partial-write resume, the
+//! close-after-flush handshake for fatal protocol errors — is plain
+//! buffer arithmetic, which is why the partial-IO and malformed-frame
+//! behaviour can be unit-tested byte by byte without a network.
+
+use crate::proto::{self, FrameStep};
+
+/// How many response bytes may queue on one connection before the
+/// server stops decoding its requests (backpressure). Chosen as a
+/// handful of max-size frames: enough to keep a fast client's pipeline
+/// full, small enough that a stalled client cannot balloon memory.
+pub const WRITE_BACKLOG_CAP: usize = 4 * proto::MAX_FRAME;
+
+/// Reassembly + egress state for one client connection.
+#[derive(Debug, Default)]
+pub struct Connection {
+    read_buf: Vec<u8>,
+    write_buf: Vec<u8>,
+    write_pos: usize,
+    close_after_flush: bool,
+    /// True while the server has dropped read interest because
+    /// `write_backlog()` crossed [`WRITE_BACKLOG_CAP`].
+    pub paused: bool,
+}
+
+impl Connection {
+    /// A fresh connection with empty buffers.
+    pub fn new() -> Connection {
+        Connection::default()
+    }
+
+    /// Appends bytes produced by a socket read.
+    pub fn ingest(&mut self, data: &[u8]) {
+        self.read_buf.extend_from_slice(data);
+    }
+
+    /// Pops the next complete frame body, `Ok(None)` when more bytes
+    /// are needed, or `Err(declared length)` when the length prefix
+    /// exceeds [`proto::MAX_FRAME`] and the stream can no longer be
+    /// framed.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, u32> {
+        match proto::next_frame(&self.read_buf) {
+            FrameStep::Incomplete => Ok(None),
+            FrameStep::TooLarge(len) => Err(len),
+            FrameStep::Frame { body, consumed } => {
+                self.read_buf.drain(..consumed);
+                Ok(Some(body))
+            }
+        }
+    }
+
+    /// True when a complete frame is already buffered — the server's
+    /// resume path checks this, because bytes parked here produce no
+    /// readiness event (only the kernel buffer does).
+    pub fn frame_buffered(&self) -> bool {
+        matches!(proto::next_frame(&self.read_buf), FrameStep::Frame { .. })
+    }
+
+    /// Queues an encoded frame (length prefix included) for sending.
+    pub fn queue(&mut self, wire: &[u8]) {
+        self.write_buf.extend_from_slice(wire);
+    }
+
+    /// The bytes still to be written, starting at the resume point of
+    /// the last partial write.
+    pub fn unsent(&self) -> &[u8] {
+        &self.write_buf[self.write_pos..]
+    }
+
+    /// Records that `n` bytes of [`unsent`](Connection::unsent) reached
+    /// the socket; compacts once everything queued has been sent.
+    pub fn advance(&mut self, n: usize) {
+        self.write_pos += n;
+        debug_assert!(self.write_pos <= self.write_buf.len());
+        if self.write_pos == self.write_buf.len() {
+            self.write_buf.clear();
+            self.write_pos = 0;
+        }
+    }
+
+    /// Bytes queued but not yet written.
+    pub fn write_backlog(&self) -> usize {
+        self.write_buf.len() - self.write_pos
+    }
+
+    /// Bytes buffered awaiting a complete frame.
+    pub fn read_backlog(&self) -> usize {
+        self.read_buf.len()
+    }
+
+    /// True when there is something to write.
+    pub fn wants_write(&self) -> bool {
+        self.write_backlog() > 0
+    }
+
+    /// Marks the connection for closing once the write buffer drains
+    /// (fatal protocol errors answer first, then hang up).
+    pub fn close_when_flushed(&mut self) {
+        self.close_after_flush = true;
+    }
+
+    /// True when the connection should close as soon as
+    /// [`write_backlog`](Connection::write_backlog) reaches zero.
+    pub fn closing(&self) -> bool {
+        self.close_after_flush
+    }
+
+    /// True when the server should stop decoding this connection's
+    /// requests until the client drains some responses.
+    pub fn over_backlog(&self) -> bool {
+        self.write_backlog() >= WRITE_BACKLOG_CAP
+    }
+
+    /// True when a paused connection has drained enough to resume
+    /// decoding (half the cap: hysteresis, not flapping).
+    pub fn under_resume_mark(&self) -> bool {
+        self.write_backlog() < WRITE_BACKLOG_CAP / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::{encode_request, Request};
+
+    #[test]
+    fn reassembles_frames_across_arbitrary_read_boundaries() {
+        let a = encode_request(&Request::Ping { id: 1 });
+        let b = encode_request(&Request::Estimate { id: 2, pairs: vec![(0, 1), (2, 3)] });
+        let mut wire = a.clone();
+        wire.extend_from_slice(&b);
+
+        // Deliver one byte at a time; frames must pop exactly at their
+        // boundaries.
+        let mut conn = Connection::new();
+        let mut got = Vec::new();
+        for &byte in &wire {
+            conn.ingest(&[byte]);
+            while let Some(body) = conn.next_frame().expect("framing") {
+                got.push(body);
+            }
+        }
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0], a[4..].to_vec());
+        assert_eq!(got[1], b[4..].to_vec());
+        assert_eq!(conn.read_backlog(), 0);
+    }
+
+    #[test]
+    fn burst_delivery_pops_all_frames() {
+        let a = encode_request(&Request::Ping { id: 1 });
+        let mut conn = Connection::new();
+        let mut wire = Vec::new();
+        for _ in 0..5 {
+            wire.extend_from_slice(&a);
+        }
+        conn.ingest(&wire);
+        let mut n = 0;
+        while conn.next_frame().expect("framing").is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 5);
+    }
+
+    #[test]
+    fn oversized_prefix_is_fatal_not_buffered() {
+        let mut conn = Connection::new();
+        conn.ingest(&((proto::MAX_FRAME as u32) + 5).to_le_bytes());
+        assert_eq!(conn.next_frame(), Err(proto::MAX_FRAME as u32 + 5));
+    }
+
+    #[test]
+    fn partial_writes_resume_where_they_stopped() {
+        let mut conn = Connection::new();
+        conn.queue(b"abcdef");
+        conn.queue(b"ghij");
+        assert_eq!(conn.write_backlog(), 10);
+        assert_eq!(conn.unsent(), b"abcdefghij");
+        conn.advance(3);
+        assert_eq!(conn.unsent(), b"defghij");
+        conn.advance(7);
+        assert_eq!(conn.write_backlog(), 0);
+        assert!(!conn.wants_write());
+        // Buffer compacted: new writes start fresh.
+        conn.queue(b"xy");
+        assert_eq!(conn.unsent(), b"xy");
+    }
+
+    #[test]
+    fn backpressure_marks_use_hysteresis() {
+        let mut conn = Connection::new();
+        assert!(!conn.over_backlog());
+        conn.queue(&vec![0u8; WRITE_BACKLOG_CAP]);
+        assert!(conn.over_backlog());
+        assert!(!conn.under_resume_mark());
+        conn.advance(WRITE_BACKLOG_CAP / 2);
+        assert!(!conn.over_backlog());
+        assert!(!conn.under_resume_mark(), "exactly half is still not under the mark");
+        conn.advance(1);
+        assert!(conn.under_resume_mark());
+    }
+
+    #[test]
+    fn close_after_flush_is_sticky() {
+        let mut conn = Connection::new();
+        assert!(!conn.closing());
+        conn.close_when_flushed();
+        assert!(conn.closing());
+        conn.queue(b"last words");
+        assert!(conn.wants_write());
+    }
+}

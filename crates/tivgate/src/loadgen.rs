@@ -1,0 +1,376 @@
+//! Open-loop socket load generation against a replica set.
+//!
+//! This extends tivserve's Zipf workload generator
+//! ([`tivserve::loadgen::generate`] produces the batches; the pure
+//! replayability that the in-process equivalence tests rely on carries
+//! over unchanged) from closed-loop in-process calls to **open-loop
+//! wire traffic**: batches are sent at pre-scheduled arrival times
+//! regardless of whether earlier answers have come back, the way real
+//! client populations behave. Latency is measured from the *scheduled*
+//! time, not the send time, so queueing delay — the thing closed-loop
+//! generators structurally cannot see — shows up in the tail
+//! percentiles, and a generator that falls behind its own schedule
+//! reports that too ([`GateLoadReport::late_batches`],
+//! [`GateLoadReport::max_lag_us`]) instead of silently measuring a
+//! slower workload than asked for.
+//!
+//! One connection per replica; a writer paces sends on the ring
+//! ([`HashRing`]) while one reader thread per replica drains responses,
+//! so a replica stalling never blocks measurement of the others.
+
+use crate::client::GateClient;
+use crate::front::HashRing;
+use crate::proto::{encode_request, Request, Response};
+use std::fmt;
+use std::io;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+use tivserve::loadgen::{ObservePath, QueryBatch};
+
+/// Open-loop run parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct OpenLoopConfig {
+    /// Target query arrival rate, queries/second. `0.0` disables
+    /// pacing: batches go out back-to-back (the max-throughput mode the
+    /// benchmark uses for headline qps).
+    pub target_qps: f64,
+}
+
+impl Default for OpenLoopConfig {
+    fn default() -> OpenLoopConfig {
+        OpenLoopConfig { target_qps: 0.0 }
+    }
+}
+
+/// The measured outcome of an open-loop wire run.
+#[derive(Clone, Copy, Debug)]
+pub struct GateLoadReport {
+    /// Replicas the traffic was spread over.
+    pub replicas: usize,
+    /// Queries answered.
+    pub queries: usize,
+    /// Batches issued.
+    pub batches: usize,
+    /// Observations the workload carried.
+    pub observations: usize,
+    /// Observations that could not be delivered to the epoch publisher
+    /// (closed channel). Always 0 in a healthy run; see
+    /// [`GateLoadReport::observations_delivered`] for the accounting
+    /// identity.
+    pub observations_undelivered: usize,
+    /// Wall-clock seconds from first scheduled send to last response.
+    pub elapsed_s: f64,
+    /// Aggregate query throughput, queries/second.
+    pub qps: f64,
+    /// Median batch latency (scheduled send → last involved replica's
+    /// answer), microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile batch latency, microseconds.
+    pub p99_us: f64,
+    /// 99.9th-percentile batch latency, microseconds.
+    pub p999_us: f64,
+    /// Batches whose actual send started after their scheduled time
+    /// (the generator itself was backpressured).
+    pub late_batches: usize,
+    /// Worst send lag behind schedule, microseconds.
+    pub max_lag_us: f64,
+    /// Error frames received instead of answers (0 in a healthy run).
+    pub error_frames: usize,
+}
+
+impl GateLoadReport {
+    /// Observations that reached the epoch publisher. Together with
+    /// [`observations_undelivered`](GateLoadReport::observations_undelivered)
+    /// this partitions `observations` exactly:
+    /// `observations == delivered + undelivered` — the accounting the
+    /// loadgen tests pin.
+    pub fn observations_delivered(&self) -> usize {
+        self.observations - self.observations_undelivered
+    }
+}
+
+impl fmt::Display for GateLoadReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "gate load: {} queries in {} batches over {} replicas, {:.2}s",
+            self.queries, self.batches, self.replicas, self.elapsed_s
+        )?;
+        writeln!(
+            f,
+            "  qps {:.0}  p50 {:.0}us  p99 {:.0}us  p999 {:.0}us",
+            self.qps, self.p50_us, self.p99_us, self.p999_us
+        )?;
+        writeln!(
+            f,
+            "  late batches {}  max lag {:.0}us  error frames {}",
+            self.late_batches, self.max_lag_us, self.error_frames
+        )?;
+        write!(
+            f,
+            "  observations {} = delivered {} + undelivered {}",
+            self.observations,
+            self.observations_delivered(),
+            self.observations_undelivered
+        )
+    }
+}
+
+/// One pre-encoded send: which replica, which batch, the wire bytes,
+/// and how many answers it will produce.
+struct PlannedSend {
+    replica: usize,
+    frame: Vec<u8>,
+}
+
+/// Plays `batches` against the replicas at `addrs`, open loop.
+///
+/// Observations ride along exactly as in the closed-loop generator:
+/// delivered to `observe` at their batch's send point, with failures
+/// counted, never silently dropped.
+pub fn run_open_loop(
+    addrs: &[SocketAddr],
+    batches: &[QueryBatch],
+    cfg: OpenLoopConfig,
+    observe: ObservePath<'_>,
+) -> io::Result<GateLoadReport> {
+    assert!(!addrs.is_empty(), "open loop needs at least one replica");
+    let ring = HashRing::new(addrs.len());
+
+    // Pre-encode every frame and pre-compute the schedule so the timed
+    // loop does nothing but pacing and writes.
+    let mut plans: Vec<Vec<PlannedSend>> = Vec::with_capacity(batches.len());
+    let mut schedule_s: Vec<f64> = Vec::with_capacity(batches.len());
+    let mut expected_per_replica = vec![0usize; addrs.len()];
+    let mut queries = 0usize;
+    let mut cum_queries = 0usize;
+    for (bi, batch) in batches.iter().enumerate() {
+        schedule_s.push(if cfg.target_qps > 0.0 {
+            cum_queries as f64 / cfg.target_qps
+        } else {
+            0.0
+        });
+        cum_queries += batch.pairs.len();
+        queries += batch.pairs.len();
+        let mut owned: Vec<Vec<(u32, u32)>> = vec![Vec::new(); addrs.len()];
+        for &(a, c) in &batch.pairs {
+            let pair = (a as u32, c as u32);
+            owned[ring.replica_for(pair)].push(pair);
+        }
+        let mut sends = Vec::new();
+        for (replica, pairs) in owned.into_iter().enumerate() {
+            if pairs.is_empty() {
+                continue;
+            }
+            expected_per_replica[replica] += 1;
+            sends.push(PlannedSend {
+                replica,
+                frame: encode_request(&Request::Estimate { id: bi as u32, pairs }),
+            });
+        }
+        plans.push(sends);
+    }
+
+    // One connection per replica; readers drain on cloned fds.
+    let mut writers = Vec::with_capacity(addrs.len());
+    let mut readers = Vec::with_capacity(addrs.len());
+    for (&addr, &expected) in addrs.iter().zip(&expected_per_replica) {
+        let writer = GateClient::connect(addr)?;
+        let mut reader = GateClient::from_stream(writer.try_clone_stream()?);
+        readers.push(std::thread::spawn(move || -> io::Result<Vec<(u32, Instant, bool)>> {
+            let mut seen = Vec::with_capacity(expected);
+            for _ in 0..expected {
+                let resp = reader.recv()?;
+                let err = matches!(resp, Response::Error { .. });
+                seen.push((resp.id(), Instant::now(), err));
+            }
+            Ok(seen)
+        }));
+        writers.push(writer);
+    }
+
+    // The paced send loop.
+    let mut observations = 0usize;
+    let mut undelivered = 0usize;
+    let mut late_batches = 0usize;
+    let mut max_lag = Duration::ZERO;
+    let start = Instant::now();
+    for (bi, sends) in plans.iter().enumerate() {
+        let scheduled = Duration::from_secs_f64(schedule_s[bi]);
+        let now = start.elapsed();
+        if now < scheduled {
+            std::thread::sleep(scheduled - now);
+        } else if cfg.target_qps > 0.0 && now > scheduled {
+            late_batches += 1;
+            max_lag = max_lag.max(now - scheduled);
+        }
+        if let ObservePath::Channel(tx) = &observe {
+            for &obs in &batches[bi].observations {
+                if tx.send(obs).is_err() {
+                    undelivered += 1;
+                }
+            }
+        }
+        observations += batches[bi].observations.len();
+        for send in sends {
+            writers[send.replica].send_bytes(&send.frame)?;
+        }
+    }
+
+    // Gather completions; a batch completes when its last involved
+    // replica answered.
+    let mut completion: Vec<Option<Duration>> = vec![None; batches.len()];
+    let mut error_frames = 0usize;
+    for reader in readers {
+        let seen = reader.join().expect("reader thread panicked")?;
+        for (id, at, err) in seen {
+            if err {
+                error_frames += 1;
+            }
+            let done = at.duration_since(start);
+            let slot = &mut completion[id as usize];
+            *slot = Some(slot.map_or(done, |prev| prev.max(done)));
+        }
+    }
+    let elapsed_s = start.elapsed().as_secs_f64();
+
+    let mut latencies_us: Vec<f64> = Vec::with_capacity(batches.len());
+    for (bi, done) in completion.iter().enumerate() {
+        if let Some(done) = done {
+            let scheduled = Duration::from_secs_f64(schedule_s[bi]);
+            latencies_us.push(done.saturating_sub(scheduled).as_secs_f64() * 1e6);
+        }
+    }
+    latencies_us.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let pct = |p: f64| -> f64 {
+        if latencies_us.is_empty() {
+            return 0.0;
+        }
+        let idx = (p * (latencies_us.len() - 1) as f64).round() as usize;
+        latencies_us[idx]
+    };
+
+    Ok(GateLoadReport {
+        replicas: addrs.len(),
+        queries,
+        batches: batches.len(),
+        observations,
+        observations_undelivered: undelivered,
+        elapsed_s,
+        qps: if elapsed_s > 0.0 { queries as f64 / elapsed_s } else { 0.0 },
+        p50_us: pct(0.50),
+        p99_us: pct(0.99),
+        p999_us: pct(0.999),
+        late_batches,
+        max_lag_us: max_lag.as_secs_f64() * 1e6,
+        error_frames,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replica::ReplicaSet;
+    use crate::testutil::small_builder;
+    use tivserve::loadgen::{generate, WorkloadConfig};
+
+    fn workload(queries: usize) -> WorkloadConfig {
+        WorkloadConfig { queries, batch: 16, observe_frac: 0.2, ..WorkloadConfig::default() }
+    }
+
+    #[test]
+    fn unpaced_run_answers_everything() {
+        let (builder, snap, serve_cfg) = small_builder();
+        let matrix = snap.matrix().clone();
+        let set = ReplicaSet::spawn(&snap, serve_cfg, 2).expect("spawn");
+        drop(builder);
+        let batches = generate(&workload(200), &matrix);
+        let report =
+            run_open_loop(&set.addrs(), &batches, OpenLoopConfig::default(), ObservePath::Drop)
+                .expect("run");
+        assert_eq!(report.queries, 200);
+        assert_eq!(report.batches, batches.len());
+        assert_eq!(report.error_frames, 0);
+        assert!(report.qps > 0.0);
+        assert!(report.p50_us <= report.p99_us && report.p99_us <= report.p999_us);
+        // Unpaced mode has no schedule to fall behind.
+        assert_eq!(report.late_batches, 0);
+        assert_eq!(report.max_lag_us, 0.0);
+        set.shutdown().expect("shutdown");
+    }
+
+    #[test]
+    fn observation_accounting_balances_with_a_live_channel() {
+        let (builder, snap, serve_cfg) = small_builder();
+        let matrix = snap.matrix().clone();
+        let set = ReplicaSet::spawn(&snap, serve_cfg, 1).expect("spawn");
+        let stream = crate::replica::spawn_publisher(set.services().to_vec(), builder, 50);
+        let tx = stream.sender();
+        let batches = generate(&workload(150), &matrix);
+        let sent: usize = batches.iter().map(|b| b.observations.len()).sum();
+        assert!(sent > 0, "workload must carry observations for this test");
+        let report = run_open_loop(
+            &set.addrs(),
+            &batches,
+            OpenLoopConfig::default(),
+            ObservePath::Channel(&tx),
+        )
+        .expect("run");
+        drop(tx);
+        let builder = stream.join();
+        // sent == delivered + undelivered, and a live channel loses none.
+        assert_eq!(report.observations, sent);
+        assert_eq!(report.observations_undelivered, 0);
+        assert_eq!(report.observations_delivered(), sent);
+        assert_eq!(builder.ingested_total(), sent as u64);
+        set.shutdown().expect("shutdown");
+    }
+
+    #[test]
+    fn dead_publisher_shows_up_as_undelivered_not_silence() {
+        let (builder, snap, serve_cfg) = small_builder();
+        let matrix = snap.matrix().clone();
+        drop(builder);
+        let set = ReplicaSet::spawn(&snap, serve_cfg, 1).expect("spawn");
+        // A dead publisher from the generator's point of view is a
+        // channel whose receiving end is gone.
+        let (tx, rx) = std::sync::mpsc::channel();
+        drop(rx);
+        let batches = generate(&workload(100), &matrix);
+        let sent: usize = batches.iter().map(|b| b.observations.len()).sum();
+        assert!(sent > 0);
+        let report = run_open_loop(
+            &set.addrs(),
+            &batches,
+            OpenLoopConfig::default(),
+            ObservePath::Channel(&tx),
+        )
+        .expect("run");
+        assert_eq!(report.observations, sent);
+        assert_eq!(report.observations_undelivered, sent, "every send hit a closed channel");
+        assert_eq!(report.observations_delivered(), 0);
+        assert_eq!(report.observations_delivered() + report.observations_undelivered, sent);
+        set.shutdown().expect("shutdown");
+    }
+
+    #[test]
+    fn paced_run_respects_the_schedule_shape() {
+        let (builder, snap, serve_cfg) = small_builder();
+        let matrix = snap.matrix().clone();
+        drop(builder);
+        let set = ReplicaSet::spawn(&snap, serve_cfg, 1).expect("spawn");
+        let batches = generate(&workload(60), &matrix);
+        // A generous rate the tiny service can trivially sustain: the
+        // run should take about queries/qps seconds.
+        let report = run_open_loop(
+            &set.addrs(),
+            &batches,
+            OpenLoopConfig { target_qps: 2000.0 },
+            ObservePath::Drop,
+        )
+        .expect("run");
+        assert!(report.elapsed_s >= 60.0 / 2000.0 * 0.5, "pacing was ignored: {report}");
+        assert_eq!(report.queries, 60);
+        set.shutdown().expect("shutdown");
+    }
+}

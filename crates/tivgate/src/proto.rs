@@ -1,0 +1,942 @@
+//! The wire protocol: compact length-prefixed binary frames.
+//!
+//! Every message — request or response — is one **frame**:
+//!
+//! ```text
+//! ┌────────────┬─────────────────────────────────────────────────┐
+//! │ u32 LE len │ body (len bytes, at most MAX_FRAME)             │
+//! └────────────┴─────────────────────────────────────────────────┘
+//! body:
+//! ┌────────────┬──────────┬───────────────┬──────────────┬────────┐
+//! │ u8 version │ u8 kind  │ u16 reserved=0│ u32 LE req id│ payload│
+//! └────────────┴──────────┴───────────────┴──────────────┴────────┘
+//! ```
+//!
+//! Request payloads are pair batches (`u32 count`, then `count` ×
+//! `(u32 a, u32 c)` little-endian node ids); responses carry the
+//! service's answers with every `f64` transported as its IEEE-754 bit
+//! pattern (`to_bits`, little-endian), so a decoded answer is
+//! **bit-identical** to the in-process one — including `-0.0` — which
+//! is what the `wire_equivalence` integration test pins. `Option`
+//! fields use a one-byte tag (0 = absent, 1 = present + value); decode
+//! rejects any other tag, so encode→decode→encode is the identity on
+//! bytes (the codec property tests pin that too).
+//!
+//! Protocol versioning is explicit: a frame whose version byte is not
+//! [`VERSION`] is answered with a [`Kind::Error`] frame carrying
+//! [`ErrorCode::BadVersion`] and the connection is closed — a v2 server
+//! can dispatch on the byte instead. Error frames are structured
+//! (`u16 code`, `u16 message length`, UTF-8 message) and carry the
+//! request id when one was parsed (0 otherwise).
+
+use std::fmt;
+use tivserve::snapshot::{EdgeEstimate, RouteEstimate};
+
+/// The protocol version this build speaks.
+pub const VERSION: u8 = 1;
+
+/// Maximum frame *body* length. A length prefix beyond this is a
+/// malformed or hostile frame: the server answers
+/// [`ErrorCode::FrameTooLarge`] and closes instead of allocating.
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// Bytes of the body header (version, kind, reserved, request id).
+pub const HEADER: usize = 8;
+
+/// Worst-case encoded size of one response item: a route answer with
+/// every optional field present (`epoch` 8 + four tagged `f64`s at 9 +
+/// one tagged `u32` at 5 = 49 bytes). Estimate items top out at 44.
+const MAX_RESPONSE_ITEM: usize = 49;
+
+/// The most query pairs one batch may carry. Derived from the
+/// *response* side, not the 8-byte request pairs: every answer to a
+/// legal request must also fit in one `MAX_FRAME` frame, and the
+/// fattest answer is a fully-populated route item.
+pub const MAX_PAIRS: usize = (MAX_FRAME - HEADER - 4) / MAX_RESPONSE_ITEM;
+
+/// Frame kinds. Requests are `0x01..=0x05`; each response kind is its
+/// request's kind with the top bit set; errors are `0xFF`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Kind {
+    /// Edge-estimate batch request.
+    Estimate = 0x01,
+    /// Detour-route batch request.
+    Route = 0x02,
+    /// Severity-projection batch request.
+    Severity = 0x03,
+    /// Alert-projection batch request.
+    Alerts = 0x04,
+    /// Liveness/epoch probe.
+    Ping = 0x05,
+    /// Edge-estimate batch response.
+    EstimateResp = 0x81,
+    /// Detour-route batch response.
+    RouteResp = 0x82,
+    /// Severity-projection batch response.
+    SeverityResp = 0x83,
+    /// Alert-projection batch response.
+    AlertsResp = 0x84,
+    /// Liveness/epoch probe response.
+    Pong = 0x85,
+    /// Structured error response.
+    Error = 0xFF,
+}
+
+/// Structured error-frame codes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u16)]
+pub enum ErrorCode {
+    /// The version byte is not one this server speaks (fatal: the
+    /// connection is closed after the error frame).
+    BadVersion = 1,
+    /// Unknown frame kind (the connection survives).
+    BadKind = 2,
+    /// The payload does not parse under its declared kind.
+    BadPayload = 3,
+    /// A query named a node outside the served snapshot.
+    OutOfRange = 4,
+    /// The length prefix exceeds [`MAX_FRAME`] (fatal: framing can no
+    /// longer be trusted, the connection is closed).
+    FrameTooLarge = 5,
+}
+
+impl ErrorCode {
+    /// Decodes a wire code.
+    pub fn from_u16(v: u16) -> Option<ErrorCode> {
+        match v {
+            1 => Some(ErrorCode::BadVersion),
+            2 => Some(ErrorCode::BadKind),
+            3 => Some(ErrorCode::BadPayload),
+            4 => Some(ErrorCode::OutOfRange),
+            5 => Some(ErrorCode::FrameTooLarge),
+            _ => None,
+        }
+    }
+
+    /// True when the connection cannot continue after this error
+    /// (unknown framing or version: byte boundaries are untrustworthy).
+    pub fn is_fatal(self) -> bool {
+        matches!(self, ErrorCode::BadVersion | ErrorCode::FrameTooLarge)
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ErrorCode::BadVersion => "bad-version",
+            ErrorCode::BadKind => "bad-kind",
+            ErrorCode::BadPayload => "bad-payload",
+            ErrorCode::OutOfRange => "out-of-range",
+            ErrorCode::FrameTooLarge => "frame-too-large",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A decoded request frame.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Edge-estimate batch.
+    Estimate {
+        /// Caller-chosen id echoed in the response.
+        id: u32,
+        /// Ordered query pairs.
+        pairs: Vec<(u32, u32)>,
+    },
+    /// Detour-route batch.
+    Route {
+        /// Caller-chosen id echoed in the response.
+        id: u32,
+        /// Ordered query pairs.
+        pairs: Vec<(u32, u32)>,
+    },
+    /// Severity-projection batch.
+    Severity {
+        /// Caller-chosen id echoed in the response.
+        id: u32,
+        /// Ordered query pairs.
+        pairs: Vec<(u32, u32)>,
+    },
+    /// Alert-projection batch.
+    Alerts {
+        /// Caller-chosen id echoed in the response.
+        id: u32,
+        /// Ordered query pairs.
+        pairs: Vec<(u32, u32)>,
+    },
+    /// Liveness/epoch probe.
+    Ping {
+        /// Caller-chosen id echoed in the response.
+        id: u32,
+    },
+}
+
+impl Request {
+    /// The caller-chosen request id.
+    pub fn id(&self) -> u32 {
+        match *self {
+            Request::Estimate { id, .. }
+            | Request::Route { id, .. }
+            | Request::Severity { id, .. }
+            | Request::Alerts { id, .. }
+            | Request::Ping { id } => id,
+        }
+    }
+}
+
+/// A decoded response frame.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// Answers of an [`Request::Estimate`] batch, in request order.
+    Estimate {
+        /// Echo of the request id.
+        id: u32,
+        /// One answer per requested pair.
+        items: Vec<EdgeEstimate>,
+    },
+    /// Answers of a [`Request::Route`] batch, in request order.
+    Route {
+        /// Echo of the request id.
+        id: u32,
+        /// One answer per requested pair.
+        items: Vec<RouteEstimate>,
+    },
+    /// Answers of a [`Request::Severity`] batch.
+    Severity {
+        /// Echo of the request id.
+        id: u32,
+        /// One sampled severity (or `None` for unmeasured edges) per pair.
+        items: Vec<Option<f64>>,
+    },
+    /// Answers of an [`Request::Alerts`] batch.
+    Alerts {
+        /// Echo of the request id.
+        id: u32,
+        /// One alert state per pair.
+        items: Vec<bool>,
+    },
+    /// Answer of a [`Request::Ping`].
+    Pong {
+        /// Echo of the request id.
+        id: u32,
+        /// Epoch of the replica's published snapshot.
+        epoch: u64,
+        /// Nodes the snapshot serves.
+        nodes: u32,
+    },
+    /// A structured error.
+    Error {
+        /// Echo of the request id (0 when none was parsed).
+        id: u32,
+        /// What went wrong.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl Response {
+    /// The echoed request id.
+    pub fn id(&self) -> u32 {
+        match *self {
+            Response::Estimate { id, .. }
+            | Response::Route { id, .. }
+            | Response::Severity { id, .. }
+            | Response::Alerts { id, .. }
+            | Response::Pong { id, .. }
+            | Response::Error { id, .. } => id,
+        }
+    }
+}
+
+/// Why a frame body failed to decode.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DecodeError {
+    /// The version byte is not [`VERSION`].
+    BadVersion(u8),
+    /// The kind byte names no known frame kind (requests and responses
+    /// are decoded separately, so a response kind in `decode_request`
+    /// is also this).
+    BadKind(u8),
+    /// The payload does not parse: truncated, trailing bytes, a bad
+    /// option tag, a non-zero reserved field, …
+    Malformed(String),
+}
+
+impl DecodeError {
+    /// The error-frame code a server answers this decode failure with.
+    pub fn code(&self) -> ErrorCode {
+        match self {
+            DecodeError::BadVersion(_) => ErrorCode::BadVersion,
+            DecodeError::BadKind(_) => ErrorCode::BadKind,
+            DecodeError::Malformed(_) => ErrorCode::BadPayload,
+        }
+    }
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            DecodeError::BadKind(k) => write!(f, "unknown frame kind 0x{k:02x}"),
+            DecodeError::Malformed(m) => write!(f, "malformed payload: {m}"),
+        }
+    }
+}
+
+/// Outcome of scanning a byte buffer for the next complete frame.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FrameStep {
+    /// Not enough bytes buffered yet; keep reading.
+    Incomplete,
+    /// One complete frame body, plus the total bytes it consumed
+    /// (prefix + body).
+    Frame {
+        /// The frame body (header + payload, without the length prefix).
+        body: Vec<u8>,
+        /// Bytes to drop from the front of the buffer.
+        consumed: usize,
+    },
+    /// The length prefix exceeds [`MAX_FRAME`]; the stream can no
+    /// longer be framed.
+    TooLarge(u32),
+}
+
+/// Scans `buf` for the next complete frame (see [`FrameStep`]).
+pub fn next_frame(buf: &[u8]) -> FrameStep {
+    if buf.len() < 4 {
+        return FrameStep::Incomplete;
+    }
+    let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]);
+    if len as usize > MAX_FRAME {
+        return FrameStep::TooLarge(len);
+    }
+    let total = 4 + len as usize;
+    if buf.len() < total {
+        return FrameStep::Incomplete;
+    }
+    FrameStep::Frame { body: buf[4..total].to_vec(), consumed: total }
+}
+
+// ---------------------------------------------------------------------
+// Little-endian primitive writers/readers.
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Starts a frame body with its header; the length prefix is
+    /// prepended by `finish`.
+    fn frame(kind: Kind, id: u32) -> Writer {
+        let mut buf = Vec::with_capacity(64);
+        buf.extend_from_slice(&[0, 0, 0, 0]); // length prefix placeholder
+        buf.push(VERSION);
+        buf.push(kind as u8);
+        buf.extend_from_slice(&[0, 0]); // reserved
+        buf.extend_from_slice(&id.to_le_bytes());
+        Writer { buf }
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn f64_bits(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    fn opt_f64(&mut self, v: Option<f64>) {
+        match v {
+            None => self.u8(0),
+            Some(x) => {
+                self.u8(1);
+                self.f64_bits(x);
+            }
+        }
+    }
+
+    fn opt_u32(&mut self, v: Option<u32>) {
+        match v {
+            None => self.u8(0),
+            Some(x) => {
+                self.u8(1);
+                self.u32(x);
+            }
+        }
+    }
+
+    fn pairs(&mut self, pairs: &[(u32, u32)]) {
+        assert!(pairs.len() <= MAX_PAIRS, "batch of {} pairs exceeds MAX_PAIRS", pairs.len());
+        self.u32(pairs.len() as u32);
+        for &(a, c) in pairs {
+            self.u32(a);
+            self.u32(c);
+        }
+    }
+
+    /// Fills in the length prefix and returns the wire bytes.
+    fn finish(mut self) -> Vec<u8> {
+        let body_len = self.buf.len() - 4;
+        assert!(body_len <= MAX_FRAME, "encoded frame body of {body_len} bytes exceeds MAX_FRAME");
+        self.buf[..4].copy_from_slice(&(body_len as u32).to_le_bytes());
+        self.buf
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], DecodeError> {
+        if self.buf.len() - self.pos < n {
+            return Err(DecodeError::Malformed(format!(
+                "truncated {what}: wanted {n} bytes, {} left",
+                self.buf.len() - self.pos
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, DecodeError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u16(&mut self, what: &str) -> Result<u16, DecodeError> {
+        let s = self.take(2, what)?;
+        Ok(u16::from_le_bytes([s[0], s[1]]))
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, DecodeError> {
+        let s = self.take(4, what)?;
+        Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, DecodeError> {
+        let s = self.take(8, what)?;
+        Ok(u64::from_le_bytes(s.try_into().expect("8-byte slice")))
+    }
+
+    fn f64_bits(&mut self, what: &str) -> Result<f64, DecodeError> {
+        Ok(f64::from_bits(self.u64(what)?))
+    }
+
+    fn bool(&mut self, what: &str) -> Result<bool, DecodeError> {
+        match self.u8(what)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            t => Err(DecodeError::Malformed(format!("{what}: bad bool byte {t}"))),
+        }
+    }
+
+    fn opt_f64(&mut self, what: &str) -> Result<Option<f64>, DecodeError> {
+        match self.u8(what)? {
+            0 => Ok(None),
+            1 => Ok(Some(self.f64_bits(what)?)),
+            t => Err(DecodeError::Malformed(format!("{what}: bad option tag {t}"))),
+        }
+    }
+
+    fn opt_u32(&mut self, what: &str) -> Result<Option<u32>, DecodeError> {
+        match self.u8(what)? {
+            0 => Ok(None),
+            1 => Ok(Some(self.u32(what)?)),
+            t => Err(DecodeError::Malformed(format!("{what}: bad option tag {t}"))),
+        }
+    }
+
+    fn pairs(&mut self) -> Result<Vec<(u32, u32)>, DecodeError> {
+        let count = self.u32("pair count")? as usize;
+        if count > MAX_PAIRS {
+            return Err(DecodeError::Malformed(format!("pair count {count} exceeds {MAX_PAIRS}")));
+        }
+        let mut pairs = Vec::with_capacity(count);
+        for _ in 0..count {
+            let a = self.u32("pair")?;
+            let c = self.u32("pair")?;
+            pairs.push((a, c));
+        }
+        Ok(pairs)
+    }
+
+    /// Declares the payload finished; trailing bytes are malformed (a
+    /// count that undershoots its data must not round-trip).
+    fn done(&self) -> Result<(), DecodeError> {
+        if self.pos != self.buf.len() {
+            return Err(DecodeError::Malformed(format!(
+                "{} trailing bytes after payload",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Parses a frame-body header, returning `(kind byte, request id,
+/// payload reader)`.
+fn header<'a>(body: &'a [u8]) -> Result<(u8, u32, Reader<'a>), DecodeError> {
+    let mut r = Reader::new(body);
+    let version = r.u8("version")?;
+    if version != VERSION {
+        return Err(DecodeError::BadVersion(version));
+    }
+    let kind = r.u8("kind")?;
+    let reserved = r.u16("reserved")?;
+    if reserved != 0 {
+        return Err(DecodeError::Malformed(format!("reserved field is 0x{reserved:04x}, not 0")));
+    }
+    let id = r.u32("request id")?;
+    Ok((kind, id, r))
+}
+
+/// Encodes a request as one wire frame (length prefix included).
+///
+/// # Panics
+/// Panics when a pair batch exceeds [`MAX_PAIRS`] — the caller's
+/// batching contract, not a wire condition.
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    match req {
+        Request::Estimate { id, pairs } => {
+            let mut w = Writer::frame(Kind::Estimate, *id);
+            w.pairs(pairs);
+            w.finish()
+        }
+        Request::Route { id, pairs } => {
+            let mut w = Writer::frame(Kind::Route, *id);
+            w.pairs(pairs);
+            w.finish()
+        }
+        Request::Severity { id, pairs } => {
+            let mut w = Writer::frame(Kind::Severity, *id);
+            w.pairs(pairs);
+            w.finish()
+        }
+        Request::Alerts { id, pairs } => {
+            let mut w = Writer::frame(Kind::Alerts, *id);
+            w.pairs(pairs);
+            w.finish()
+        }
+        Request::Ping { id } => Writer::frame(Kind::Ping, *id).finish(),
+    }
+}
+
+/// Decodes a request frame body (no length prefix).
+pub fn decode_request(body: &[u8]) -> Result<Request, DecodeError> {
+    let (kind, id, mut r) = header(body)?;
+    let req = match kind {
+        k if k == Kind::Estimate as u8 => Request::Estimate { id, pairs: r.pairs()? },
+        k if k == Kind::Route as u8 => Request::Route { id, pairs: r.pairs()? },
+        k if k == Kind::Severity as u8 => Request::Severity { id, pairs: r.pairs()? },
+        k if k == Kind::Alerts as u8 => Request::Alerts { id, pairs: r.pairs()? },
+        k if k == Kind::Ping as u8 => Request::Ping { id },
+        k => return Err(DecodeError::BadKind(k)),
+    };
+    r.done()?;
+    Ok(req)
+}
+
+/// Encodes a response as one wire frame (length prefix included).
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    match resp {
+        Response::Estimate { id, items } => {
+            let mut w = Writer::frame(Kind::EstimateResp, *id);
+            w.u32(items.len() as u32);
+            for e in items {
+                w.u64(e.epoch);
+                w.f64_bits(e.predicted);
+                w.opt_f64(e.measured);
+                w.opt_f64(e.ratio);
+                w.opt_f64(e.severity);
+                w.u8(e.alert as u8);
+            }
+            w.finish()
+        }
+        Response::Route { id, items } => {
+            let mut w = Writer::frame(Kind::RouteResp, *id);
+            w.u32(items.len() as u32);
+            for route in items {
+                w.u64(route.epoch);
+                w.opt_f64(route.direct_ms);
+                w.opt_u32(route.relay.map(|n| n as u32));
+                w.opt_f64(route.via_ms);
+                w.opt_f64(route.saving_ms);
+                w.opt_f64(route.saving_frac);
+            }
+            w.finish()
+        }
+        Response::Severity { id, items } => {
+            let mut w = Writer::frame(Kind::SeverityResp, *id);
+            w.u32(items.len() as u32);
+            for &s in items {
+                w.opt_f64(s);
+            }
+            w.finish()
+        }
+        Response::Alerts { id, items } => {
+            let mut w = Writer::frame(Kind::AlertsResp, *id);
+            w.u32(items.len() as u32);
+            for &a in items {
+                w.u8(a as u8);
+            }
+            w.finish()
+        }
+        Response::Pong { id, epoch, nodes } => {
+            let mut w = Writer::frame(Kind::Pong, *id);
+            w.u64(*epoch);
+            w.u32(*nodes);
+            w.finish()
+        }
+        Response::Error { id, code, message } => {
+            let mut w = Writer::frame(Kind::Error, *id);
+            w.u16(*code as u16);
+            let msg = message.as_bytes();
+            let msg = &msg[..msg.len().min(512)]; // errors stay small
+            w.u16(msg.len() as u16);
+            w.buf.extend_from_slice(msg);
+            w.finish()
+        }
+    }
+}
+
+/// Decodes a response frame body (no length prefix).
+pub fn decode_response(body: &[u8]) -> Result<Response, DecodeError> {
+    let (kind, id, mut r) = header(body)?;
+    let resp = match kind {
+        k if k == Kind::EstimateResp as u8 => {
+            let count = r.u32("item count")? as usize;
+            if count > MAX_PAIRS {
+                return Err(DecodeError::Malformed(format!(
+                    "item count {count} exceeds batch cap"
+                )));
+            }
+            let mut items = Vec::with_capacity(count);
+            for _ in 0..count {
+                items.push(EdgeEstimate {
+                    epoch: r.u64("epoch")?,
+                    predicted: r.f64_bits("predicted")?,
+                    measured: r.opt_f64("measured")?,
+                    ratio: r.opt_f64("ratio")?,
+                    severity: r.opt_f64("severity")?,
+                    alert: r.bool("alert")?,
+                });
+            }
+            Response::Estimate { id, items }
+        }
+        k if k == Kind::RouteResp as u8 => {
+            let count = r.u32("item count")? as usize;
+            if count > MAX_PAIRS {
+                return Err(DecodeError::Malformed(format!(
+                    "item count {count} exceeds batch cap"
+                )));
+            }
+            let mut items = Vec::with_capacity(count);
+            for _ in 0..count {
+                items.push(RouteEstimate {
+                    epoch: r.u64("epoch")?,
+                    direct_ms: r.opt_f64("direct_ms")?,
+                    relay: r.opt_u32("relay")?.map(|n| n as usize),
+                    via_ms: r.opt_f64("via_ms")?,
+                    saving_ms: r.opt_f64("saving_ms")?,
+                    saving_frac: r.opt_f64("saving_frac")?,
+                });
+            }
+            Response::Route { id, items }
+        }
+        k if k == Kind::SeverityResp as u8 => {
+            let count = r.u32("item count")? as usize;
+            if count > MAX_PAIRS {
+                return Err(DecodeError::Malformed(format!(
+                    "item count {count} exceeds batch cap"
+                )));
+            }
+            let mut items = Vec::with_capacity(count);
+            for _ in 0..count {
+                items.push(r.opt_f64("severity")?);
+            }
+            Response::Severity { id, items }
+        }
+        k if k == Kind::AlertsResp as u8 => {
+            let count = r.u32("item count")? as usize;
+            if count > MAX_FRAME {
+                return Err(DecodeError::Malformed(format!(
+                    "item count {count} exceeds frame cap"
+                )));
+            }
+            let mut items = Vec::with_capacity(count);
+            for _ in 0..count {
+                items.push(r.bool("alert")?);
+            }
+            Response::Alerts { id, items }
+        }
+        k if k == Kind::Pong as u8 => {
+            Response::Pong { id, epoch: r.u64("epoch")?, nodes: r.u32("nodes")? }
+        }
+        k if k == Kind::Error as u8 => {
+            let raw = r.u16("error code")?;
+            let code = ErrorCode::from_u16(raw)
+                .ok_or_else(|| DecodeError::Malformed(format!("unknown error code {raw}")))?;
+            let len = r.u16("message length")? as usize;
+            let bytes = r.take(len, "error message")?;
+            let message = std::str::from_utf8(bytes)
+                .map_err(|_| DecodeError::Malformed("error message is not UTF-8".to_string()))?
+                .to_string();
+            Response::Error { id, code, message }
+        }
+        k => return Err(DecodeError::BadKind(k)),
+    };
+    r.done()?;
+    Ok(resp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn body(frame: &[u8]) -> &[u8] {
+        &frame[4..]
+    }
+
+    #[test]
+    fn request_frames_round_trip() {
+        let reqs = [
+            Request::Estimate { id: 7, pairs: vec![(0, 1), (5, 2)] },
+            Request::Route { id: u32::MAX, pairs: vec![(9, 9)] },
+            Request::Severity { id: 0, pairs: vec![] },
+            Request::Alerts { id: 1, pairs: vec![(3, 4); 100] },
+            Request::Ping { id: 42 },
+        ];
+        for req in &reqs {
+            let wire = encode_request(req);
+            let len = u32::from_le_bytes(wire[..4].try_into().unwrap()) as usize;
+            assert_eq!(len, wire.len() - 4, "length prefix covers the body");
+            assert_eq!(&decode_request(body(&wire)).expect("decode"), req);
+        }
+    }
+
+    #[test]
+    fn max_size_batch_round_trips_and_worst_case_response_fits() {
+        let pairs: Vec<(u32, u32)> = (0..MAX_PAIRS as u32).map(|i| (i, i + 1)).collect();
+        let req = Request::Estimate { id: 3, pairs };
+        let wire = encode_request(&req);
+        assert!(wire.len() - 4 <= MAX_FRAME);
+        assert!(matches!(next_frame(&wire), FrameStep::Frame { .. }));
+        assert_eq!(decode_request(body(&wire)).expect("decode"), req);
+
+        // The invariant MAX_PAIRS encodes: the fattest possible answer
+        // to a max-size batch still fits in one frame. A violation
+        // would panic the server's encoder, so pin it here.
+        let fat = RouteEstimate {
+            epoch: u64::MAX,
+            direct_ms: Some(1.0),
+            relay: Some(usize::MAX & u32::MAX as usize),
+            via_ms: Some(2.0),
+            saving_ms: Some(3.0),
+            saving_frac: Some(0.5),
+        };
+        let resp = Response::Route { id: 3, items: vec![fat; MAX_PAIRS] };
+        let resp_wire = encode_response(&resp);
+        assert!(
+            resp_wire.len() - 4 <= MAX_FRAME,
+            "worst-case route response ({} bytes) exceeds MAX_FRAME",
+            resp_wire.len() - 4
+        );
+        assert!(matches!(next_frame(&resp_wire), FrameStep::Frame { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds MAX_PAIRS")]
+    fn oversized_batch_is_rejected_at_encode_time() {
+        let pairs = vec![(0u32, 1u32); MAX_PAIRS + 1];
+        encode_request(&Request::Estimate { id: 0, pairs });
+    }
+
+    #[test]
+    fn response_frames_round_trip() {
+        let resps = [
+            Response::Estimate {
+                id: 9,
+                items: vec![EdgeEstimate {
+                    epoch: 3,
+                    predicted: 12.5,
+                    measured: Some(-0.0),
+                    ratio: None,
+                    severity: Some(f64::MIN_POSITIVE),
+                    alert: true,
+                }],
+            },
+            Response::Route {
+                id: 1,
+                items: vec![RouteEstimate {
+                    epoch: 0,
+                    direct_ms: None,
+                    relay: Some(77),
+                    via_ms: Some(5.0),
+                    saving_ms: None,
+                    saving_frac: None,
+                }],
+            },
+            Response::Severity { id: 2, items: vec![None, Some(0.25)] },
+            Response::Alerts { id: 3, items: vec![true, false, true] },
+            Response::Pong { id: 4, epoch: 17, nodes: 512 },
+            Response::Error {
+                id: 5,
+                code: ErrorCode::OutOfRange,
+                message: "node 900 outside 512".to_string(),
+            },
+        ];
+        for resp in &resps {
+            let wire = encode_response(resp);
+            let decoded = decode_response(body(&wire)).expect("decode");
+            assert_eq!(&decoded, resp);
+            // Byte-level identity: re-encoding the decoded value must
+            // reproduce the wire exactly (the equivalence tests compare
+            // raw frames).
+            assert_eq!(encode_response(&decoded), wire);
+        }
+    }
+
+    #[test]
+    fn negative_zero_and_nan_severity_survive_bitwise() {
+        let items = vec![
+            EdgeEstimate {
+                epoch: 1,
+                predicted: -0.0,
+                measured: Some(f64::from_bits(0x7ff8_0000_0000_1234)), // NaN payload
+                ratio: Some(f64::INFINITY),
+                severity: None,
+                alert: false,
+            };
+            1
+        ];
+        let wire = encode_response(&Response::Estimate { id: 0, items: items.clone() });
+        let Response::Estimate { items: got, .. } = decode_response(body(&wire)).expect("decode")
+        else {
+            panic!("wrong kind");
+        };
+        assert_eq!(got[0].predicted.to_bits(), (-0.0f64).to_bits());
+        assert_eq!(got[0].measured.map(f64::to_bits), items[0].measured.map(f64::to_bits));
+        assert_eq!(got[0].ratio.map(f64::to_bits), items[0].ratio.map(f64::to_bits));
+    }
+
+    #[test]
+    fn frame_scanner_handles_partial_and_oversized_input() {
+        let wire = encode_request(&Request::Ping { id: 1 });
+        assert_eq!(next_frame(&wire[..2]), FrameStep::Incomplete);
+        assert_eq!(next_frame(&wire[..wire.len() - 1]), FrameStep::Incomplete);
+        match next_frame(&wire) {
+            FrameStep::Frame { consumed, body } => {
+                assert_eq!(consumed, wire.len());
+                assert_eq!(body, wire[4..].to_vec());
+            }
+            other => panic!("expected a frame, got {other:?}"),
+        }
+        // Two frames back to back: the scanner returns the first only.
+        let mut two = wire.clone();
+        two.extend_from_slice(&encode_request(&Request::Ping { id: 2 }));
+        match next_frame(&two) {
+            FrameStep::Frame { consumed, .. } => assert_eq!(consumed, wire.len()),
+            other => panic!("expected a frame, got {other:?}"),
+        }
+        // An oversized length prefix is flagged, not allocated.
+        let huge = ((MAX_FRAME + 1) as u32).to_le_bytes();
+        assert_eq!(next_frame(&huge), FrameStep::TooLarge(MAX_FRAME as u32 + 1));
+    }
+
+    #[test]
+    fn malformed_bodies_are_rejected_with_the_right_codes() {
+        let good = encode_request(&Request::Estimate { id: 5, pairs: vec![(1, 2)] });
+        // Wrong version.
+        let mut bad = good[4..].to_vec();
+        bad[0] = 9;
+        assert_eq!(decode_request(&bad), Err(DecodeError::BadVersion(9)));
+        assert_eq!(DecodeError::BadVersion(9).code(), ErrorCode::BadVersion);
+        // Unknown kind.
+        let mut bad = good[4..].to_vec();
+        bad[1] = 0x7e;
+        assert_eq!(decode_request(&bad), Err(DecodeError::BadKind(0x7e)));
+        // Non-zero reserved field.
+        let mut bad = good[4..].to_vec();
+        bad[2] = 1;
+        assert!(matches!(decode_request(&bad), Err(DecodeError::Malformed(_))));
+        // Count larger than the data.
+        let mut bad = good[4..].to_vec();
+        let count_at = HEADER;
+        bad[count_at..count_at + 4].copy_from_slice(&2u32.to_le_bytes());
+        assert!(matches!(decode_request(&bad), Err(DecodeError::Malformed(_))));
+        // Trailing garbage after a complete payload.
+        let mut bad = good[4..].to_vec();
+        bad.push(0xab);
+        assert!(matches!(decode_request(&bad), Err(DecodeError::Malformed(_))));
+        // Body shorter than the header.
+        assert!(matches!(decode_request(&good[4..7]), Err(DecodeError::Malformed(_))));
+        // A response kind sent as a request.
+        let resp = encode_response(&Response::Pong { id: 1, epoch: 0, nodes: 4 });
+        assert_eq!(decode_request(&resp[4..]), Err(DecodeError::BadKind(Kind::Pong as u8)));
+        // Bad option tag in a response.
+        let sev = encode_response(&Response::Severity { id: 1, items: vec![None] });
+        let mut bad = sev[4..].to_vec();
+        let tag_at = HEADER + 4;
+        bad[tag_at] = 7;
+        assert!(matches!(decode_response(&bad), Err(DecodeError::Malformed(_))));
+        // Bad bool byte in an alerts response.
+        let alerts = encode_response(&Response::Alerts { id: 1, items: vec![true] });
+        let mut bad = alerts[4..].to_vec();
+        bad[HEADER + 4] = 2;
+        assert!(matches!(decode_response(&bad), Err(DecodeError::Malformed(_))));
+    }
+
+    #[test]
+    fn error_code_properties() {
+        for code in [
+            ErrorCode::BadVersion,
+            ErrorCode::BadKind,
+            ErrorCode::BadPayload,
+            ErrorCode::OutOfRange,
+            ErrorCode::FrameTooLarge,
+        ] {
+            assert_eq!(ErrorCode::from_u16(code as u16), Some(code));
+            assert!(!code.to_string().is_empty());
+        }
+        assert_eq!(ErrorCode::from_u16(0), None);
+        assert_eq!(ErrorCode::from_u16(999), None);
+        assert!(ErrorCode::BadVersion.is_fatal());
+        assert!(ErrorCode::FrameTooLarge.is_fatal());
+        assert!(!ErrorCode::BadPayload.is_fatal());
+        assert!(!ErrorCode::OutOfRange.is_fatal());
+        assert!(!ErrorCode::BadKind.is_fatal());
+    }
+
+    #[test]
+    fn long_error_messages_are_truncated_on_encode() {
+        let wire = encode_response(&Response::Error {
+            id: 1,
+            code: ErrorCode::BadPayload,
+            message: "x".repeat(10_000),
+        });
+        let Response::Error { message, .. } = decode_response(body(&wire)).expect("decode") else {
+            panic!("wrong kind");
+        };
+        assert_eq!(message.len(), 512);
+    }
+}

@@ -1,0 +1,255 @@
+//! Multi-replica deployment: N gate servers over equal snapshots.
+//!
+//! A [`ReplicaSet`] spawns one [`TivServe`] + [`GateServer`] per
+//! replica, each seeded with a **clone of the same
+//! [`EpochSnapshot`]** — replicas are full copies, not partitions, so
+//! any replica answers any pair identically. Epoch churn goes through
+//! [`ReplicaSet::publish_all`], which pushes one snapshot clone into
+//! every replica before returning; callers that publish at a batch
+//! boundary therefore see every subsequent query — on every replica
+//! and on any in-process reference service fed the same snapshot —
+//! answer from the new epoch. That synchrony is what lets the
+//! wire-equivalence suite replay an epoch publish mid-stream and still
+//! demand byte-identical answers.
+//!
+//! For streamed observation ingest, [`spawn_publisher`] reuses
+//! tivserve's [`EpochSource`] abstraction: the same builder types
+//! (classic [`EpochBuilder`](tivserve::epoch::EpochBuilder) or the
+//! incremental flux builder) drive a whole replica set instead of a
+//! single service.
+
+use crate::server::{GateConfig, GateHandle, GateServer, GateStats};
+use std::io;
+use std::net::SocketAddr;
+use std::sync::atomic::Ordering;
+use std::sync::{mpsc, Arc};
+use tivserve::epoch::{EpochSource, Observation};
+use tivserve::service::{ServeConfig, TivServe};
+use tivserve::snapshot::EpochSnapshot;
+
+/// N replicas of one serving snapshot, each behind its own gate.
+pub struct ReplicaSet {
+    services: Vec<Arc<TivServe>>,
+    handles: Vec<GateHandle>,
+}
+
+impl ReplicaSet {
+    /// Spawns `replicas` gate servers, each over its own [`TivServe`]
+    /// seeded with a clone of `snapshot`.
+    ///
+    /// # Panics
+    /// Panics when `replicas` is zero.
+    pub fn spawn(
+        snapshot: &EpochSnapshot,
+        serve_cfg: ServeConfig,
+        replicas: usize,
+    ) -> io::Result<ReplicaSet> {
+        assert!(replicas >= 1, "a replica set needs at least one replica");
+        let mut services = Vec::with_capacity(replicas);
+        let mut handles = Vec::with_capacity(replicas);
+        for _ in 0..replicas {
+            let service = Arc::new(TivServe::new(serve_cfg, snapshot.clone()));
+            let handle = GateServer::spawn(Arc::clone(&service), GateConfig::default())?;
+            services.push(service);
+            handles.push(handle);
+        }
+        Ok(ReplicaSet { services, handles })
+    }
+
+    /// Replica count.
+    pub fn len(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Always false (spawn rejects zero replicas).
+    pub fn is_empty(&self) -> bool {
+        self.handles.is_empty()
+    }
+
+    /// The bound address of every replica, in replica order.
+    pub fn addrs(&self) -> Vec<SocketAddr> {
+        self.handles.iter().map(GateHandle::addr).collect()
+    }
+
+    /// The in-process services behind the gates (tests compare wire
+    /// answers against direct calls on these).
+    pub fn services(&self) -> &[Arc<TivServe>] {
+        &self.services
+    }
+
+    /// Publishes a clone of `snapshot` into every replica, returning
+    /// the common epoch. All replicas have the new epoch when this
+    /// returns; in-flight queries may still answer from the old one,
+    /// exactly as with a single in-process service.
+    pub fn publish_all(&self, snapshot: &EpochSnapshot) -> u64 {
+        let mut epoch = 0;
+        for service in &self.services {
+            epoch = service.publish(snapshot.clone());
+        }
+        epoch
+    }
+
+    /// Sums a counter across every replica's [`GateStats`].
+    pub fn total(&self, pick: impl Fn(&GateStats) -> u64) -> u64 {
+        self.handles.iter().map(|h| pick(h.stats())).sum()
+    }
+
+    /// Aggregate requests served across the set.
+    pub fn requests_served(&self) -> u64 {
+        self.total(|s| s.requests_served.load(Ordering::Relaxed))
+    }
+
+    /// Aggregate backpressure pauses across the set.
+    pub fn backpressure_pauses(&self) -> u64 {
+        self.total(|s| s.backpressure_pauses.load(Ordering::Relaxed))
+    }
+
+    /// Shuts every replica down, surfacing the first loop error.
+    pub fn shutdown(self) -> io::Result<()> {
+        let mut first_err = None;
+        for handle in self.handles {
+            if let Err(e) = handle.shutdown() {
+                first_err.get_or_insert(e);
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+/// Handle to a background publisher feeding a replica set.
+pub struct PublisherStream<B: EpochSource> {
+    tx: mpsc::Sender<Observation>,
+    handle: std::thread::JoinHandle<B>,
+}
+
+impl<B: EpochSource> PublisherStream<B> {
+    /// The observation sender; clone freely. Dropping every sender and
+    /// joining shuts the publisher down.
+    pub fn sender(&self) -> mpsc::Sender<Observation> {
+        self.tx.clone()
+    }
+
+    /// Closes the stream, waits for the tail publish, returns the
+    /// builder.
+    pub fn join(self) -> B {
+        drop(self.tx);
+        self.handle.join().expect("replica publisher thread panicked")
+    }
+}
+
+/// The multi-replica analogue of [`tivserve::epoch::spawn`]: drains
+/// streamed observations into any [`EpochSource`] and, every
+/// `observations_per_epoch` observations, publishes the built snapshot
+/// into **all** of the set's services. Tail observations are published
+/// as a final epoch on shutdown; none are ever dropped.
+pub fn spawn_publisher<B: EpochSource>(
+    services: Vec<Arc<TivServe>>,
+    mut builder: B,
+    observations_per_epoch: usize,
+) -> PublisherStream<B> {
+    assert!(observations_per_epoch >= 1, "need at least one observation per epoch");
+    assert!(!services.is_empty(), "publisher needs at least one service");
+    let (tx, rx) = mpsc::channel::<Observation>();
+    let handle = std::thread::spawn(move || {
+        let publish = |builder: &mut B| {
+            let snapshot = builder.build();
+            for service in &services {
+                service.publish(snapshot.clone());
+            }
+        };
+        'run: loop {
+            let Ok(first) = rx.recv() else { break 'run };
+            builder.ingest(first);
+            while builder.pending() < observations_per_epoch {
+                match rx.try_recv() {
+                    Ok(obs) => builder.ingest(obs),
+                    Err(_) => break,
+                }
+            }
+            if builder.pending() >= observations_per_epoch {
+                publish(&mut builder);
+            }
+        }
+        if builder.pending() > 0 {
+            publish(&mut builder);
+        }
+        builder
+    });
+    PublisherStream { tx, handle }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::GateClient;
+    use crate::proto::{Request, Response};
+    use crate::testutil::{small_builder, SMALL_NODES};
+
+    #[test]
+    fn replicas_share_the_snapshot_and_answer_identically() {
+        let (_builder, snap, serve_cfg) = small_builder();
+        let set = ReplicaSet::spawn(&snap, serve_cfg, 3).expect("spawn");
+        assert_eq!(set.len(), 3);
+        let pairs = vec![(0u32, 1u32), (5, 9), (2, 14)];
+        let expect = set.services()[0].estimate_batch(&[(0, 1), (5, 9), (2, 14)]);
+        for addr in set.addrs() {
+            let mut client = GateClient::connect(addr).expect("connect");
+            let resp = client.call(&Request::Estimate { id: 4, pairs: pairs.clone() });
+            let Response::Estimate { items, .. } = resp.expect("call") else {
+                panic!("wrong kind");
+            };
+            assert_eq!(items, expect, "every replica answers like the reference service");
+        }
+        assert_eq!(set.requests_served(), 3);
+        set.shutdown().expect("shutdown");
+    }
+
+    #[test]
+    fn publish_all_advances_every_replica_in_lockstep() {
+        let (mut builder, snap, serve_cfg) = small_builder();
+        let set = ReplicaSet::spawn(&snap, serve_cfg, 2).expect("spawn");
+        for service in set.services() {
+            assert_eq!(service.epoch(), 0);
+        }
+        builder.ingest(Observation { src: 0, dst: 3, rtt_ms: 44.0 });
+        let next = builder.build();
+        assert_eq!(set.publish_all(&next), 1);
+        let mut clients: Vec<GateClient> =
+            set.addrs().into_iter().map(|a| GateClient::connect(a).expect("connect")).collect();
+        for client in &mut clients {
+            let Response::Pong { epoch, nodes, .. } =
+                client.call(&Request::Ping { id: 1 }).expect("ping")
+            else {
+                panic!("wrong kind");
+            };
+            assert_eq!(epoch, 1);
+            assert_eq!(nodes as usize, SMALL_NODES);
+        }
+        set.shutdown().expect("shutdown");
+    }
+
+    #[test]
+    fn background_publisher_feeds_all_replicas() {
+        let (builder, snap, serve_cfg) = small_builder();
+        let set = ReplicaSet::spawn(&snap, serve_cfg, 2).expect("spawn");
+        let stream = spawn_publisher(set.services().to_vec(), builder, 4);
+        let tx = stream.sender();
+        let sent = 10u64;
+        for k in 0..sent {
+            let src = (k % 6) as usize;
+            tx.send(Observation { src, dst: src + 8, rtt_ms: 35.0 + k as f64 }).unwrap();
+        }
+        drop(tx);
+        let builder = stream.join();
+        assert_eq!(builder.ingested_total(), sent, "observations were dropped");
+        assert_eq!(builder.pending(), 0);
+        // 10 observations at 4 per epoch: 2 full epochs + a tail one.
+        for service in set.services() {
+            assert_eq!(service.epoch(), 3);
+        }
+        set.shutdown().expect("shutdown");
+    }
+}

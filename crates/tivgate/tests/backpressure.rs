@@ -1,0 +1,170 @@
+//! Backpressure and partial-IO isolation (ISSUE-7 satellite): one slow
+//! or stalled client must never stall other connections on the same
+//! poll loop.
+//!
+//! Two shapes are pinned:
+//! - a client that floods requests but refuses to read responses until
+//!   the end: the server's write backlog for it crosses the cap, its
+//!   *read* interest is dropped (a counted pause), other clients keep
+//!   getting prompt answers, and once the flooder finally drains, every
+//!   one of its answers arrives intact (resume works);
+//! - a client that sends *half a frame* and goes quiet: the server
+//!   parks the partial bytes and the fast client beside it is
+//!   unaffected; when the rest of the frame eventually arrives, the
+//!   parked half is completed and answered.
+
+use std::sync::atomic::Ordering;
+use std::time::{Duration, Instant};
+use tivgate::client::GateClient;
+use tivgate::proto::{encode_request, Request, Response, MAX_PAIRS};
+use tivgate::server::{GateConfig, GateHandle, GateServer};
+use tivgate::testutil::small_service;
+
+const TIMEOUT: Duration = Duration::from_secs(30);
+
+fn spawn_gate() -> GateHandle {
+    GateServer::spawn(small_service(16), GateConfig::default()).expect("spawn gate")
+}
+
+fn connect(handle: &GateHandle) -> GateClient {
+    let client = GateClient::connect(handle.addr()).expect("connect");
+    client.set_read_timeout(Some(TIMEOUT)).expect("timeout");
+    client
+}
+
+#[test]
+fn stalled_reader_is_paused_while_others_proceed_then_drains_fully() {
+    let handle = spawn_gate();
+
+    // The flooder: max-size estimate batches, not reading until the
+    // end. Response items are several times fatter than the 8-byte
+    // request pairs, so a few batches queue past the write-backlog cap
+    // and dozens of them dwarf anything kernel socket buffers could
+    // absorb. Sending happens on its own thread because it *should*
+    // eventually block: the paused server stops reading, the kernel
+    // buffers fill, and the flood stalls until the drain below.
+    let floods = 40u32;
+    let pairs: Vec<(u32, u32)> = (0..MAX_PAIRS as u32).map(|i| (i % 16, (i + 1) % 16)).collect();
+    let flooder = connect(&handle);
+    let mut flood_reader = GateClient::from_stream(flooder.try_clone_stream().expect("clone"));
+    flood_reader.set_read_timeout(Some(TIMEOUT)).expect("timeout");
+    let sender = std::thread::spawn(move || {
+        let mut flooder = flooder;
+        for id in 0..floods {
+            let frame = encode_request(&Request::Estimate { id, pairs: pairs.clone() });
+            flooder.send_bytes(&frame).expect("flood send");
+        }
+    });
+
+    // Meanwhile a well-behaved client on the same poll loop must see
+    // prompt answers. Bound "prompt" loosely (seconds, not the tens of
+    // seconds a serialized flood drain would take) so the test is
+    // robust on loaded CI machines while still catching a stalled loop.
+    let mut fast = connect(&handle);
+    for id in 0..20u32 {
+        let t0 = Instant::now();
+        match fast.call(&Request::Estimate { id, pairs: vec![(3, 7), (1, 2)] }).expect("call") {
+            Response::Estimate { id: got, items } => {
+                assert_eq!(got, id);
+                assert_eq!(items.len(), 2);
+            }
+            other => panic!("expected estimates, got {other:?}"),
+        }
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "interactive request starved behind the flooder: {:?}",
+            t0.elapsed()
+        );
+    }
+
+    // The flooder's reads were paused at least once.
+    let deadline = Instant::now() + TIMEOUT;
+    while handle.stats().backpressure_pauses.load(Ordering::Relaxed) == 0 {
+        assert!(Instant::now() < deadline, "backlog never crossed the pause cap");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // Now drain: every flooded answer arrives, in order, intact —
+    // pause/resume lost nothing.
+    for id in 0..floods {
+        match flood_reader.recv().expect("drain") {
+            Response::Estimate { id: got, items } => {
+                assert_eq!(got, id, "responses arrive in request order per connection");
+                assert_eq!(items.len(), MAX_PAIRS);
+            }
+            other => panic!("expected estimates, got {other:?}"),
+        }
+    }
+    // The drain unblocked whatever sends were stalled.
+    sender.join().expect("flood sender panicked");
+    handle.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn half_written_frame_parks_without_stalling_the_neighbor() {
+    let handle = spawn_gate();
+
+    // The straggler sends the first half of a two-pair estimate frame
+    // and stops mid-frame.
+    let mut straggler = connect(&handle);
+    let frame = encode_request(&Request::Estimate { id: 500, pairs: vec![(0, 1), (2, 3)] });
+    let (head, tail) = frame.split_at(frame.len() / 2);
+    straggler.send_bytes(head).expect("half send");
+
+    // The neighbor interleaves many full round trips while the
+    // straggler's half-frame sits parked.
+    let mut fast = connect(&handle);
+    for id in 0..50u32 {
+        match fast.call(&Request::Ping { id }).expect("ping") {
+            Response::Pong { id: got, .. } => assert_eq!(got, id),
+            other => panic!("expected a pong, got {other:?}"),
+        }
+    }
+
+    // The straggler completes its frame; the parked half still counts.
+    straggler.send_bytes(tail).expect("tail send");
+    match straggler.recv().expect("late answer") {
+        Response::Estimate { id, items } => {
+            assert_eq!(id, 500);
+            assert_eq!(items.len(), 2);
+        }
+        other => panic!("expected estimates, got {other:?}"),
+    }
+    handle.shutdown().expect("clean shutdown");
+}
+
+/// Two interleaved slow writers: each sends its frame one byte at a
+/// time, alternating — frame reassembly is per-connection state, so the
+/// interleaving must not crosstalk.
+#[test]
+fn byte_interleaved_clients_do_not_crosstalk() {
+    let handle = spawn_gate();
+    let mut a = connect(&handle);
+    let mut b = connect(&handle);
+    let frame_a = encode_request(&Request::Estimate { id: 7, pairs: vec![(1, 2)] });
+    let frame_b = encode_request(&Request::Severity { id: 8, pairs: vec![(3, 4), (5, 6)] });
+    let longest = frame_a.len().max(frame_b.len());
+    for i in 0..longest {
+        if i < frame_a.len() {
+            a.send_bytes(&frame_a[i..i + 1]).expect("a byte");
+        }
+        if i < frame_b.len() {
+            b.send_bytes(&frame_b[i..i + 1]).expect("b byte");
+        }
+    }
+    match a.recv().expect("a answer") {
+        Response::Estimate { id, items } => {
+            assert_eq!(id, 7);
+            assert_eq!(items.len(), 1);
+        }
+        other => panic!("expected estimates, got {other:?}"),
+    }
+    match b.recv().expect("b answer") {
+        Response::Severity { id, items } => {
+            assert_eq!(id, 8);
+            assert_eq!(items.len(), 2);
+        }
+        other => panic!("expected severities, got {other:?}"),
+    }
+    handle.shutdown().expect("clean shutdown");
+}

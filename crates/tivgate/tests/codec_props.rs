@@ -1,0 +1,154 @@
+//! Codec property tests: encode→decode is the identity over arbitrary
+//! request/response batches (ISSUE-7 satellite).
+//!
+//! Two layers of identity are pinned per case:
+//! 1. structural — the decoded value equals the original;
+//! 2. byte-level — re-encoding the decoded value reproduces the wire
+//!    frame exactly (no tolerated-but-unreproducible encodings, which
+//!    is the property the wire-equivalence suite's frame comparisons
+//!    stand on).
+//!
+//! Empty batches ride along naturally (`vec(..., 0..N)` generates
+//! them); the max-size batch is covered both here (a dedicated case)
+//! and in the codec's unit tests.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use tivgate::proto::{
+    decode_request, decode_response, encode_request, encode_response, next_frame, FrameStep,
+    Request, Response, MAX_PAIRS,
+};
+use tivserve::snapshot::{EdgeEstimate, RouteEstimate};
+
+fn assert_request_roundtrip(req: &Request) {
+    let wire = encode_request(req);
+    let FrameStep::Frame { body, consumed } = next_frame(&wire) else {
+        panic!("encoded request did not frame");
+    };
+    assert_eq!(consumed, wire.len());
+    let decoded = decode_request(&body).expect("decode");
+    assert_eq!(&decoded, req);
+    assert_eq!(encode_request(&decoded), wire, "re-encode must reproduce the bytes");
+}
+
+fn assert_response_roundtrip(resp: &Response) {
+    let wire = encode_response(resp);
+    let FrameStep::Frame { body, consumed } = next_frame(&wire) else {
+        panic!("encoded response did not frame");
+    };
+    assert_eq!(consumed, wire.len());
+    let decoded = decode_response(&body).expect("decode");
+    assert_eq!(&decoded, resp);
+    assert_eq!(encode_response(&decoded), wire, "re-encode must reproduce the bytes");
+}
+
+/// `Option<f64>` from a tag draw and a value draw.
+fn opt(tag: u8, v: f64) -> Option<f64> {
+    (tag == 1).then_some(v)
+}
+
+proptest! {
+    #[test]
+    fn request_batches_round_trip(
+        id in 0u32..u32::MAX,
+        kind in 0u8..5,
+        pairs in vec((0u32..100_000, 0u32..100_000), 0..300),
+    ) {
+        let req = match kind {
+            0 => Request::Estimate { id, pairs },
+            1 => Request::Route { id, pairs },
+            2 => Request::Severity { id, pairs },
+            3 => Request::Alerts { id, pairs },
+            _ => Request::Ping { id },
+        };
+        assert_request_roundtrip(&req);
+    }
+
+    #[test]
+    fn estimate_responses_round_trip(
+        id in 0u32..u32::MAX,
+        raw in vec(
+            (
+                0u64..1_000_000,
+                -1.0e6f64..1.0e6,
+                (0u8..2, 0.0f64..1.0e5),
+                (0u8..2, -10.0f64..10.0),
+                (0u8..2, 0.0f64..1.0),
+                0u8..2,
+            ),
+            0..200,
+        ),
+    ) {
+        let items: Vec<EdgeEstimate> = raw
+            .into_iter()
+            .map(|(epoch, predicted, m, r, s, alert)| EdgeEstimate {
+                epoch,
+                predicted,
+                measured: opt(m.0, m.1),
+                ratio: opt(r.0, r.1),
+                severity: opt(s.0, s.1),
+                alert: alert == 1,
+            })
+            .collect();
+        assert_response_roundtrip(&Response::Estimate { id, items });
+    }
+
+    #[test]
+    fn route_responses_round_trip(
+        id in 0u32..u32::MAX,
+        raw in vec(
+            (
+                0u64..1_000_000,
+                (0u8..2, 0.0f64..1.0e5),
+                (0u8..2, 0usize..100_000),
+                (0u8..2, 0.0f64..1.0e5),
+                (0u8..2, -1.0e4f64..1.0e4),
+                (0u8..2, -1.0f64..1.0),
+            ),
+            0..200,
+        ),
+    ) {
+        let items: Vec<RouteEstimate> = raw
+            .into_iter()
+            .map(|(epoch, d, relay, v, sm, sf)| RouteEstimate {
+                epoch,
+                direct_ms: opt(d.0, d.1),
+                relay: (relay.0 == 1).then_some(relay.1),
+                via_ms: opt(v.0, v.1),
+                saving_ms: opt(sm.0, sm.1),
+                saving_frac: opt(sf.0, sf.1),
+            })
+            .collect();
+        assert_response_roundtrip(&Response::Route { id, items });
+    }
+
+    #[test]
+    fn severity_and_alert_responses_round_trip(
+        id in 0u32..u32::MAX,
+        sev in vec((0u8..2, 0.0f64..1.0e4), 0..300),
+        alerts in vec(0u8..2, 0..300),
+    ) {
+        let items: Vec<Option<f64>> = sev.into_iter().map(|(t, v)| opt(t, v)).collect();
+        assert_response_roundtrip(&Response::Severity { id, items });
+        let items: Vec<bool> = alerts.into_iter().map(|a| a == 1).collect();
+        assert_response_roundtrip(&Response::Alerts { id, items });
+    }
+
+    #[test]
+    fn pong_round_trips(id in 0u32..u32::MAX, epoch in 0u64..u64::MAX, nodes in 0u32..1_000_000) {
+        assert_response_roundtrip(&Response::Pong { id, epoch, nodes });
+    }
+}
+
+proptest! {
+    // Max-size batches are expensive to build; a handful of cases is
+    // plenty on top of the dedicated unit test.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn near_and_at_max_size_batches_round_trip(slack in 0usize..3, id in 0u32..u32::MAX) {
+        let len = MAX_PAIRS - slack;
+        let pairs: Vec<(u32, u32)> = (0..len as u32).map(|i| (i, i ^ 0x5a5a)).collect();
+        assert_request_roundtrip(&Request::Estimate { id, pairs });
+    }
+}

@@ -17,6 +17,7 @@
 //! | routing | [`tivroute`] | k-best one-hop detour search, detour-gain statistics |
 //! | incremental | [`tivflux`] | dirty-row tracking, delta repair of the O(n³) analyses, rebuild policy |
 //! | serving | [`tivserve`] | sharded, epoch-snapshot estimation + routing service, incremental epoch builder, load generator |
+//! | wire | [`tivgate`] | length-prefixed binary protocol, non-blocking gate server, consistent-hash multi-replica front, open-loop socket loadgen |
 //! | harness | [`experiments`] | one function per figure of the paper, `repro` binary |
 //!
 //! Every O(n³) kernel (severity, APSP, the alert sweeps, the
@@ -43,6 +44,7 @@ pub use meridian;
 pub use simnet;
 pub use tivcore;
 pub use tivflux;
+pub use tivgate;
 pub use tivpar;
 pub use tivroute;
 pub use tivserve;
@@ -84,4 +86,6 @@ pub mod prelude {
         EdgeEstimate, EpochBuilder, EpochConfig, EpochSnapshot, EstimateConfig, FluxBuilder,
         FluxConfig, Observation, RouteEstimate, ServeConfig, TivServe, WorkloadConfig,
     };
+
+    pub use tivgate::{Front, GateClient, GateConfig, GateServer, ReplicaSet, Request, Response};
 }

@@ -1,0 +1,198 @@
+//! Wire equivalence (ISSUE-7 headline): answers served over real TCP
+//! sockets are **bit-identical** to in-process [`TivServe`] calls —
+//! across replica counts, across an epoch publish mid-stream, and down
+//! to the raw frame bytes.
+//!
+//! Why this is testable at all: a serving answer is a pure function of
+//! `(snapshot, query, config)`, a [`ReplicaSet`] seeds every replica
+//! with a clone of the same snapshot, and the fixtures in
+//! [`tivgate::testutil`] are pure functions of fixed seeds — so a
+//! reference service built independently in this process holds exactly
+//! the snapshot the replicas hold behind their sockets. The codec
+//! carries every `f64` as its IEEE bit pattern, so "equal" here means
+//! `to_bits()` equal, not approximately equal: the comparison is
+//! `call_frame(request) == encode_response(direct_answer)` on whole
+//! frames.
+
+use tivoid::tivgate::client::GateClient;
+use tivoid::tivgate::proto::{encode_response, Request, Response};
+use tivoid::tivgate::replica::ReplicaSet;
+use tivoid::tivgate::testutil::{small_builder, small_matrix, SMALL_NODES};
+use tivoid::tivgate::Front;
+use tivoid::tivserve::epoch::{EpochBuilder, Observation};
+use tivoid::tivserve::loadgen::{generate, WorkloadConfig};
+use tivoid::tivserve::service::TivServe;
+
+/// The seeded query set: Zipf-skewed batches from the shared workload
+/// generator, the same stream every run.
+fn query_batches() -> Vec<Vec<(u32, u32)>> {
+    let cfg = WorkloadConfig {
+        queries: 240,
+        batch: 24,
+        observe_frac: 0.0,
+        seed: 1234,
+        ..WorkloadConfig::default()
+    };
+    generate(&cfg, &small_matrix())
+        .into_iter()
+        .map(|b| b.pairs.iter().map(|&(a, c)| (a as u32, c as u32)).collect())
+        .collect()
+}
+
+fn as_usize(pairs: &[(u32, u32)]) -> Vec<(usize, usize)> {
+    pairs.iter().map(|&(a, c)| (a as usize, c as usize)).collect()
+}
+
+/// Asserts that every replica's raw wire answer for every batch equals,
+/// byte for byte, the frame an in-process reference service's direct
+/// answer encodes to — for all four query kinds.
+fn assert_wire_matches_direct(
+    clients: &mut [GateClient],
+    reference: &TivServe,
+    batches: &[Vec<(u32, u32)>],
+    id_base: u32,
+) {
+    for (bi, pairs) in batches.iter().enumerate() {
+        let upairs = as_usize(pairs);
+        let id = id_base + bi as u32;
+        let expected = [
+            (
+                Request::Estimate { id, pairs: pairs.clone() },
+                encode_response(&Response::Estimate {
+                    id,
+                    items: reference.estimate_batch(&upairs),
+                }),
+            ),
+            (
+                Request::Route { id, pairs: pairs.clone() },
+                encode_response(&Response::Route { id, items: reference.route_batch(&upairs) }),
+            ),
+            (
+                Request::Severity { id, pairs: pairs.clone() },
+                encode_response(&Response::Severity {
+                    id,
+                    items: reference.severity_batch(&upairs),
+                }),
+            ),
+            (
+                Request::Alerts { id, pairs: pairs.clone() },
+                encode_response(&Response::Alerts { id, items: reference.alerts_batch(&upairs) }),
+            ),
+        ];
+        for (ri, client) in clients.iter_mut().enumerate() {
+            for (request, want) in &expected {
+                let got = client.call_frame(request).expect("wire call");
+                assert_eq!(
+                    &got, want,
+                    "replica {ri}, batch {bi}: wire frame differs from in-process encoding"
+                );
+            }
+        }
+    }
+}
+
+/// A batch of observations to force the next epoch; in range, no
+/// self-loops, positive RTTs.
+fn epoch_observations() -> Vec<Observation> {
+    (0..12)
+        .map(|k| Observation {
+            src: k % SMALL_NODES,
+            dst: (k + 7) % SMALL_NODES,
+            rtt_ms: 30.0 + k as f64,
+        })
+        .collect()
+}
+
+/// The core scenario at one replica count: compare at epoch 0, publish
+/// a new snapshot into every replica *and* the reference mid-stream,
+/// compare again at epoch 1.
+fn wire_equivalence_at(replicas: usize) {
+    let (mut builder, snapshot, serve_cfg) = small_builder();
+    // The reference is built independently from the same seeds — the
+    // purity of the fixtures is exactly what is under test here.
+    let reference = {
+        let (_, snap) =
+            EpochBuilder::bootstrap(small_matrix(), tivoid::tivgate::testutil::fast_epochs());
+        TivServe::new(serve_cfg, snap)
+    };
+    let set = ReplicaSet::spawn(&snapshot, serve_cfg, replicas).expect("spawn replica set");
+    let mut clients: Vec<GateClient> =
+        set.addrs().into_iter().map(|a| GateClient::connect(a).expect("connect")).collect();
+    let batches = query_batches();
+
+    // Epoch 0: every replica, every batch, every kind, byte-identical.
+    assert_wire_matches_direct(&mut clients, &reference, &batches, 0);
+
+    // Mid-stream epoch publish, pushed into the replicas and the
+    // reference alike.
+    for obs in epoch_observations() {
+        builder.ingest(obs);
+    }
+    let next = builder.build();
+    assert_eq!(set.publish_all(&next), 1, "all replicas advance to epoch 1");
+    assert_eq!(reference.publish(next.clone()), 1, "reference advances to epoch 1");
+
+    // Epoch 1: the answers changed (they now carry the new epoch), and
+    // the wire still matches the in-process encoding byte for byte.
+    assert_wire_matches_direct(&mut clients, &reference, &batches, 10_000);
+
+    // The front's scatter/gather over the ring reassembles the same
+    // answers in pair order — compare through the codec so f64s are
+    // compared by bit pattern.
+    let mut front = Front::connect(&set.addrs()).expect("front connect");
+    for pairs in &batches {
+        let via_front = front.estimate_batch(pairs).expect("front estimate");
+        let direct = reference.estimate_batch(&as_usize(pairs));
+        assert_eq!(
+            encode_response(&Response::Estimate { id: 7, items: via_front }),
+            encode_response(&Response::Estimate { id: 7, items: direct }),
+            "front reassembly differs from in-process answers"
+        );
+        let via_front = front.route_batch(pairs).expect("front route");
+        let direct = reference.route_batch(&as_usize(pairs));
+        assert_eq!(
+            encode_response(&Response::Route { id: 9, items: via_front }),
+            encode_response(&Response::Route { id: 9, items: direct }),
+            "front route reassembly differs from in-process answers"
+        );
+    }
+
+    set.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn wire_equals_in_process_with_one_replica() {
+    wire_equivalence_at(1);
+}
+
+#[test]
+fn wire_equals_in_process_with_two_replicas() {
+    wire_equivalence_at(2);
+}
+
+#[test]
+fn wire_equals_in_process_with_four_replicas() {
+    wire_equivalence_at(4);
+}
+
+/// The epoch boundary itself is visible and consistent over the wire:
+/// pings before the publish report epoch 0 on every replica, pings
+/// after report epoch 1 on every replica — no replica lags.
+#[test]
+fn epoch_publish_is_atomic_at_batch_boundaries() {
+    let (mut builder, snapshot, serve_cfg) = small_builder();
+    let set = ReplicaSet::spawn(&snapshot, serve_cfg, 3).expect("spawn replica set");
+    let mut front = Front::connect(&set.addrs()).expect("front connect");
+    for (epoch, nodes) in front.ping_all().expect("ping") {
+        assert_eq!(epoch, 0);
+        assert_eq!(nodes as usize, SMALL_NODES);
+    }
+    for obs in epoch_observations() {
+        builder.ingest(obs);
+    }
+    assert_eq!(set.publish_all(&builder.build()), 1);
+    for (epoch, _) in front.ping_all().expect("ping") {
+        assert_eq!(epoch, 1, "a replica lagged behind the publish");
+    }
+    set.shutdown().expect("clean shutdown");
+}

@@ -180,6 +180,18 @@ pub struct LoadReport {
     pub cache: CacheStats,
 }
 
+impl LoadReport {
+    /// Observations that actually reached the epoch builder. Together
+    /// with [`observations_undelivered`](LoadReport::observations_undelivered)
+    /// this partitions the attempt count exactly:
+    /// `observations == delivered + undelivered` — the accounting
+    /// identity the loadgen tests pin (a wedged builder shows up as a
+    /// non-zero undelivered count, never as silent loss).
+    pub fn observations_delivered(&self) -> usize {
+        self.observations - self.observations_undelivered
+    }
+}
+
 /// Plays the workload against the service, one batch at a time
 /// (closed loop), and measures it.
 ///
@@ -312,6 +324,67 @@ mod tests {
         let m = ds2(40, 4);
         let cfg = WorkloadConfig { queries: 200, observe_frac: 0.0, ..WorkloadConfig::default() };
         assert!(generate(&cfg, &m).iter().all(|qb| qb.observations.is_empty()));
+    }
+
+    #[test]
+    fn observation_accounting_balances_with_a_live_channel() {
+        let m = ds2(40, 6);
+        let (_, snap) = EpochBuilder::bootstrap(
+            m.clone(),
+            EpochConfig { bootstrap_rounds: 15, ..EpochConfig::default() },
+        );
+        let service = TivServe::new(ServeConfig::default(), snap);
+        let cfg = WorkloadConfig {
+            queries: 300,
+            batch: 50,
+            observe_frac: 0.3,
+            ..WorkloadConfig::default()
+        };
+        let batches = generate(&cfg, &m);
+        let sent: usize = batches.iter().map(|qb| qb.observations.len()).sum();
+        assert!(sent > 0, "fixture must actually stream observations");
+        let (tx, rx) = mpsc::channel();
+        let (report, _) = run_closed_loop(&service, &batches, ObservePath::Channel(&tx));
+        drop(tx);
+        assert_eq!(report.observations, sent);
+        assert_eq!(report.observations_undelivered, 0, "live channel loses nothing");
+        assert_eq!(report.observations_delivered(), sent);
+        assert_eq!(
+            report.observations,
+            report.observations_delivered() + report.observations_undelivered,
+            "accounting identity: sent == delivered + undelivered"
+        );
+        // Every delivered observation is really in the channel.
+        assert_eq!(rx.iter().count(), report.observations_delivered());
+    }
+
+    #[test]
+    fn dead_builder_shows_up_as_undelivered_not_silence() {
+        let m = ds2(40, 6);
+        let (_, snap) = EpochBuilder::bootstrap(
+            m.clone(),
+            EpochConfig { bootstrap_rounds: 15, ..EpochConfig::default() },
+        );
+        let service = TivServe::new(ServeConfig::default(), snap);
+        let cfg = WorkloadConfig {
+            queries: 300,
+            batch: 50,
+            observe_frac: 0.3,
+            ..WorkloadConfig::default()
+        };
+        let batches = generate(&cfg, &m);
+        // The builder "died": its receiver is gone before the run starts.
+        let (tx, rx) = mpsc::channel::<Observation>();
+        drop(rx);
+        let (report, _) = run_closed_loop(&service, &batches, ObservePath::Channel(&tx));
+        assert!(report.observations > 0);
+        assert_eq!(
+            report.observations_undelivered, report.observations,
+            "every attempt against a dead builder is counted as undelivered"
+        );
+        assert_eq!(report.observations_delivered(), 0);
+        // Queries are unaffected by the dead observation path.
+        assert_eq!(report.queries, 300);
     }
 
     #[test]
