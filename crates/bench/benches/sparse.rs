@@ -1,0 +1,184 @@
+//! The million-node-regime benchmark: sparse delay stores must cost
+//! `Θ(n + edges)`, not `Θ(n²)`.
+//!
+//! The sparse path's pitch (ROADMAP item 3) is that a 50k+-node delay
+//! space with a bounded observed degree fits in megabytes and builds in
+//! milliseconds where the dense matrix would need gigabytes. This bench
+//! measures exactly that claim:
+//!
+//! * `sparse/build_50k_ms` — building a 50 000-node store from its
+//!   observed-edge list (32 edges per node);
+//! * `sparse/memory_50k_mb` — its resident megabytes (the dense matrix
+//!   would be 20 000 MB);
+//! * `sparse/growth_ratio` — memory at n = 50k over memory at n = 25k
+//!   with the same degree. Dense growth would be 4.0; the sparse store
+//!   is **asserted below 3.0** (in practice ~2.0 — linear in n), the
+//!   ISSUE-8 sublinearity acceptance bar. Build time gets the same
+//!   assertion with headroom for timer noise;
+//! * `sparse/sampled_query_us` — one sampled-severity answer (64
+//!   witnesses, CI included) through `SparseServe` on the 50k store.
+//!
+//! Before timing anything, the bench asserts the sampled estimator is
+//! bit-identical between the dense matrix and the sparse store built
+//! from it — the scaling numbers are meaningless if the sparse path
+//! answers differently. In `--test` smoke mode only that gate runs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use delayspace::store::{DelayStore, NodePair, SparseDelayStore};
+use std::time::Instant;
+use tivserve::sparse::{SparseServe, SparseSnapshot};
+use tivserve::EstimateConfig;
+
+/// Observed edges per node in the synthetic measurement campaign.
+const DEGREE: usize = 32;
+
+/// The measured store size (and its half, for the growth ratio).
+const N: usize = 50_000;
+
+/// SplitMix64 — a cheap deterministic edge synthesizer (no RNG state to
+/// thread through the loop).
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// `DEGREE` observed edges per node with plausible delays, deterministic
+/// in [`tivbench::SEED`]. Hash-collided duplicates just overwrite.
+fn observed_edges(n: usize) -> Vec<(usize, usize, f64)> {
+    let mut edges = Vec::with_capacity(n * DEGREE);
+    for i in 0..n {
+        for d in 0..DEGREE {
+            let h = mix(tivbench::SEED ^ ((i * DEGREE + d) as u64));
+            let j = (i + 1 + (h as usize % (n - 1))) % n;
+            let rtt = 5.0 + (h >> 32) as f64 % 950.0 / 10.0;
+            edges.push((i, j, rtt));
+        }
+    }
+    edges
+}
+
+/// Builds a store and returns `(build seconds, store)`.
+fn timed_store(n: usize) -> (f64, SparseDelayStore) {
+    let edges = observed_edges(n);
+    let t0 = Instant::now();
+    let store = SparseDelayStore::from_edges(n, edges);
+    (t0.elapsed().as_secs_f64(), store)
+}
+
+/// One observed pair per sampled node, for the query-latency loop.
+fn observed_pairs(store: &SparseDelayStore, count: usize) -> Vec<NodePair> {
+    let n = store.len();
+    (0..count)
+        .filter_map(|q| {
+            let i = (q * (n / count)) % n;
+            store.neighbors(i).next().map(|(j, _)| (i, j))
+        })
+        .collect()
+}
+
+/// The always-on equivalence gate: the sampled estimator answers bit-
+/// identically on the dense matrix and on the sparse store built from
+/// it, across witness budgets.
+fn equivalence_gate(_c: &mut Criterion) {
+    let n = if criterion::smoke_mode() { 64 } else { 128 };
+    let m = tivbench::ds2(n);
+    let sparse = SparseDelayStore::from_matrix(&m);
+    let mut checked = 0usize;
+    for k in [4usize, 16, n - 2] {
+        for (a, c) in [(0usize, 1usize), (1, n / 2), (n / 3, n - 1)] {
+            let dense = tivcore::estimate_severity_ci(&m, a, c, k, tivbench::SEED);
+            let via_sparse = tivcore::estimate_severity_ci(&sparse, a, c, k, tivbench::SEED);
+            match (dense, via_sparse) {
+                (Some(d), Some(s)) => {
+                    assert_eq!(
+                        d.point.to_bits(),
+                        s.point.to_bits(),
+                        "point diverged at ({a},{c}) k={k}"
+                    );
+                    assert_eq!(d.ci_lo.to_bits(), s.ci_lo.to_bits(), "ci_lo diverged");
+                    assert_eq!(d.ci_hi.to_bits(), s.ci_hi.to_bits(), "ci_hi diverged");
+                    assert_eq!(d.sampled, s.sampled, "sample count diverged");
+                    checked += 1;
+                }
+                (d, s) => assert_eq!(d.is_some(), s.is_some(), "presence diverged at ({a},{c})"),
+            }
+        }
+    }
+    assert!(checked > 0, "the gate must compare at least one measured pair");
+    println!("sparse equivalence gate: dense == sparse sampled severity at n={n}, bit for bit");
+}
+
+/// The measured sweep, exported for the regression gate.
+fn scaling_metrics(_c: &mut Criterion) {
+    if criterion::smoke_mode() {
+        return; // one-shot timings of sub-second builds are noise
+    }
+    let median = |mut xs: Vec<f64>| -> f64 {
+        xs.sort_by(f64::total_cmp);
+        xs[xs.len() / 2]
+    };
+    let (_, half_store) = timed_store(N / 2);
+    let half_s = median((0..3).map(|_| timed_store(N / 2).0).collect());
+    let full_s = median((0..3).map(|_| timed_store(N).0).collect());
+    let (_, store) = timed_store(N);
+
+    let half_bytes = half_store.memory_bytes() as f64;
+    let full_bytes = store.memory_bytes() as f64;
+    let dense_mb = (N * N * 8) as f64 / 1e6;
+    let mem_ratio = full_bytes / half_bytes;
+    let build_ratio = full_s / half_s;
+
+    // Query latency through the serving layer on the big store.
+    let serve = SparseServe::new(SparseSnapshot::new(0, store), EstimateConfig::default(), 1);
+    let pairs = observed_pairs(serve.snapshot().store(), 256);
+    assert!(!pairs.is_empty(), "the synthetic campaign must observe edges");
+    let t0 = Instant::now();
+    let answers = serve.sampled_severity_batch(&pairs, 64);
+    let query_us = t0.elapsed().as_secs_f64() * 1e6 / pairs.len() as f64;
+    assert!(answers.iter().all(Option::is_some), "observed pairs must answer");
+
+    criterion::record_metric("sparse/build_50k_ms", full_s * 1e3);
+    criterion::record_metric("sparse/memory_50k_mb", full_bytes / 1e6);
+    criterion::record_metric("sparse/growth_ratio", mem_ratio);
+    criterion::record_metric("sparse/sampled_query_us", query_us);
+    println!(
+        "sparse store n={N} deg={DEGREE}: {:.1} MB (dense would be {dense_mb:.0} MB), \
+         built in {:.0} ms; memory grows {mem_ratio:.2}x per 2x nodes (dense: 4.00x), \
+         build {build_ratio:.2}x; sampled query {query_us:.1} us",
+        full_bytes / 1e6,
+        full_s * 1e3,
+    );
+    assert!(
+        mem_ratio < 3.0,
+        "ISSUE-8 acceptance: sparse memory must grow sublinearly in n² — doubling n \
+         from {} to {N} grew memory {mem_ratio:.2}x (quadratic would be 4x)",
+        N / 2
+    );
+    assert!(
+        build_ratio < 3.5,
+        "ISSUE-8 acceptance: sparse build time must grow sublinearly in n² — doubling n \
+         grew build time {build_ratio:.2}x (quadratic would be 4x; slack for timer noise)"
+    );
+    assert!(
+        full_bytes < dense_mb * 1e6 / 10.0,
+        "a degree-{DEGREE} sparse store at n={N} must undercut the dense matrix by 10x, \
+         measured {:.1} MB vs {dense_mb:.0} MB",
+        full_bytes / 1e6
+    );
+}
+
+fn bench_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_secs(1))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = bench_config();
+    targets = equivalence_gate, scaling_metrics
+}
+criterion_main!(benches);

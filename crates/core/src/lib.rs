@@ -49,7 +49,8 @@ pub use filter::EdgeMask;
 pub use metrics::{closest_neighbor_loss, relative_rank_loss, PredictorMetrics};
 pub use monitor::{MonitorConfig, MonitorSummary, TivMonitor};
 pub use severity::{
-    estimate_severity, estimate_severity_batch, proximity_experiment, triangulation_ratios,
-    ProximityResult, Severity,
+    estimate_severity, estimate_severity_batch, estimate_severity_batch_in, estimate_severity_ci,
+    estimate_severity_ci_batch, estimate_severity_in, proximity_experiment, triangulation_ratios,
+    ProximityResult, Severity, SeverityEstimate,
 };
 pub use tivmeridian::{build_tiv_aware, tiv_aware_query, TivMeridianConfig};

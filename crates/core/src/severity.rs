@@ -21,6 +21,7 @@
 use delayspace::matrix::{DelayMatrix, NodeId};
 use delayspace::rng;
 use delayspace::stats::{BinnedStats, Cdf};
+use delayspace::store::{DelayStore, NodePair};
 
 /// Severity and violation-count matrices for every edge of a delay
 /// space.
@@ -371,8 +372,26 @@ pub fn estimate_severity(
     k: usize,
     seed: u64,
 ) -> Option<f64> {
-    let dac = m.get(a, c)?;
-    let n = m.len();
+    estimate_severity_in(m, a, c, k, seed)
+}
+
+/// [`estimate_severity`] generalised over any [`DelayStore`] — the same
+/// RNG stream, the same accumulation order, so on a dense matrix the
+/// result is bit-identical to the historical dense-only function (the
+/// wire-equivalence suite depends on this), and on a
+/// [`SparseDelayStore`](delayspace::SparseDelayStore) it is the
+/// million-node estimator: unmeasured witness legs are `NaN`, fail the
+/// violation comparison, and drop out exactly as missing dense entries
+/// always have.
+pub fn estimate_severity_in<S: DelayStore>(
+    store: &S,
+    a: NodeId,
+    c: NodeId,
+    k: usize,
+    seed: u64,
+) -> Option<f64> {
+    let dac = store.get(a, c)?;
+    let n = store.len();
     if n <= 2 {
         return Some(0.0);
     }
@@ -392,7 +411,7 @@ pub fn estimate_severity(
             b += 1;
         }
         sampled += 1;
-        let alt = m.raw(a, b) + m.raw(c, b);
+        let alt = store.raw(a, b) + store.raw(c, b);
         if alt < dac {
             sum += dac / alt;
         }
@@ -403,6 +422,101 @@ pub fn estimate_severity(
     // Mean over sampled witnesses ≈ mean over all witnesses = exact
     // severity up to the (n-2)/n boundary factor, which we include.
     Some(sum / sampled as f64 * (n - 2) as f64 / n as f64)
+}
+
+/// A sampled severity estimate with a 95% confidence interval.
+///
+/// Produced by [`estimate_severity_ci`]; the `point` field is
+/// bit-identical to what [`estimate_severity`] returns for the same
+/// `(store, a, c, k, seed)` — the CI machinery rides along without
+/// perturbing the estimate.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SeverityEstimate {
+    /// The point estimate (same value as [`estimate_severity`]).
+    pub point: f64,
+    /// Lower 95% confidence bound, clamped at 0 (severity is ≥ 0).
+    pub ci_lo: f64,
+    /// Upper 95% confidence bound.
+    pub ci_hi: f64,
+    /// Number of witnesses actually sampled (≤ k, ≤ n − 2).
+    pub sampled: u32,
+}
+
+/// z for a two-sided 95% normal confidence interval.
+const Z95: f64 = 1.96;
+
+/// Like [`estimate_severity_in`], but also returns a 95% confidence
+/// interval from the sample standard deviation of the per-witness
+/// contributions.
+///
+/// The half-width is `z · s/√m` scaled by the finite-population
+/// correction `√((N−m)/(N−1))` for sampling the `N = n−2` witnesses
+/// without replacement — so at full sampling (`k ≥ n−2`) the interval
+/// collapses to the exact answer, and the width shrinks as `O(1/√k)` in
+/// between (the monotonicity the CI proptest pins). With fewer than two
+/// samples the width is reported as 0 (no variance information).
+///
+/// Returns `None` when the edge `(a, c)` itself is unmeasured.
+pub fn estimate_severity_ci<S: DelayStore>(
+    store: &S,
+    a: NodeId,
+    c: NodeId,
+    k: usize,
+    seed: u64,
+) -> Option<SeverityEstimate> {
+    let dac = store.get(a, c)?;
+    let n = store.len();
+    if n <= 2 {
+        return Some(SeverityEstimate { point: 0.0, ci_lo: 0.0, ci_hi: 0.0, sampled: 0 });
+    }
+    let k = k.min(n - 2);
+    let mut r = rng::sub_rng(seed, "severity/estimate");
+    // Identical stream and accumulation order to estimate_severity_in;
+    // the extra sum of squares feeds only the interval.
+    let mut sum = 0.0;
+    let mut sum_sq = 0.0;
+    let mut sampled = 0usize;
+    for idx in rng::sample_indices(&mut r, n - 2, k) {
+        let (lo, hi) = if a < c { (a, c) } else { (c, a) };
+        let mut b = idx;
+        if b >= lo {
+            b += 1;
+        }
+        if b >= hi {
+            b += 1;
+        }
+        sampled += 1;
+        let alt = store.raw(a, b) + store.raw(c, b);
+        if alt < dac {
+            let x = dac / alt;
+            sum += x;
+            sum_sq += x * x;
+        }
+    }
+    if sampled == 0 {
+        return Some(SeverityEstimate { point: 0.0, ci_lo: 0.0, ci_hi: 0.0, sampled: 0 });
+    }
+    let m_f = sampled as f64;
+    // Same expression (and evaluation order) as estimate_severity_in —
+    // the point must stay bit-identical.
+    let point = sum / m_f * (n - 2) as f64 / n as f64;
+    let scale = (n - 2) as f64 / n as f64;
+    let big_n = (n - 2) as f64;
+    let half = if sampled >= 2 && big_n > 1.0 {
+        // Sample variance of the per-witness contributions (non-negative
+        // despite rounding), with the without-replacement correction.
+        let var = ((sum_sq - sum * sum / m_f) / (m_f - 1.0)).max(0.0);
+        let fpc = ((big_n - m_f) / (big_n - 1.0)).max(0.0);
+        Z95 * (var / m_f * fpc).sqrt() * scale
+    } else {
+        0.0
+    };
+    Some(SeverityEstimate {
+        point,
+        ci_lo: (point - half).max(0.0),
+        ci_hi: point + half,
+        sampled: sampled as u32,
+    })
 }
 
 /// Estimates severity for a whole batch of edges in parallel, using up
@@ -421,9 +535,39 @@ pub fn estimate_severity_batch(
     seed: u64,
     threads: usize,
 ) -> Vec<Option<f64>> {
+    estimate_severity_batch_in(m, edges, k, seed, threads)
+}
+
+/// [`estimate_severity_batch`] generalised over any [`DelayStore`] —
+/// the same per-edge seed offsets, so dense results are bit-identical
+/// to the historical function at every thread count.
+pub fn estimate_severity_batch_in<S: DelayStore + Sync>(
+    store: &S,
+    edges: &[NodePair],
+    k: usize,
+    seed: u64,
+    threads: usize,
+) -> Vec<Option<f64>> {
     tivpar::par_map_rows(edges.len(), threads, |i| {
         let (a, c) = edges[i];
-        estimate_severity(m, a, c, k, seed.wrapping_add(i as u64))
+        estimate_severity_in(store, a, c, k, seed.wrapping_add(i as u64))
+    })
+}
+
+/// Batch form of [`estimate_severity_ci`], parallelised like
+/// [`estimate_severity_batch`] with the same per-edge seed offsets —
+/// `point` values are bit-identical to the plain batch estimator at
+/// every thread count.
+pub fn estimate_severity_ci_batch<S: DelayStore + Sync>(
+    store: &S,
+    edges: &[NodePair],
+    k: usize,
+    seed: u64,
+    threads: usize,
+) -> Vec<Option<SeverityEstimate>> {
+    tivpar::par_map_rows(edges.len(), threads, |i| {
+        let (a, c) = edges[i];
+        estimate_severity_ci(store, a, c, k, seed.wrapping_add(i as u64))
     })
 }
 
@@ -767,5 +911,107 @@ mod tests {
         let sev = Severity::compute(&m, 1);
         assert!(sev.is_empty());
         assert_eq!(sev.violating_triangle_fraction(), 0.0);
+    }
+
+    #[test]
+    fn sparse_store_estimate_is_bit_identical_to_dense() {
+        use delayspace::store::SparseDelayStore;
+        let s = InternetDelaySpace::preset(Dataset::Ds2).with_nodes(60).build(29);
+        let m = s.matrix();
+        let sparse = SparseDelayStore::from_matrix(m);
+        let edges: Vec<_> = m.edges().map(|(i, j, _)| (i, j)).take(40).collect();
+        for (i, &(a, c)) in edges.iter().enumerate() {
+            let dense = estimate_severity(m, a, c, 12, 7 + i as u64);
+            let via_sparse = estimate_severity_in(&sparse, a, c, 12, 7 + i as u64);
+            assert_eq!(
+                dense.map(f64::to_bits),
+                via_sparse.map(f64::to_bits),
+                "sparse estimate diverged on ({a},{c})"
+            );
+        }
+        let dense_batch = estimate_severity_batch(m, &edges, 12, 7, 2);
+        let sparse_batch = estimate_severity_batch_in(&sparse, &edges, 12, 7, 2);
+        assert_eq!(dense_batch, sparse_batch);
+    }
+
+    #[test]
+    fn ci_point_is_bit_identical_to_plain_estimate() {
+        let s = InternetDelaySpace::preset(Dataset::Ds2).with_nodes(80).build(31);
+        let m = s.matrix();
+        let edges: Vec<_> = m.edges().map(|(i, j, _)| (i, j)).take(60).collect();
+        let plain = estimate_severity_batch(m, &edges, 16, 3, 2);
+        let with_ci = estimate_severity_ci_batch(m, &edges, 16, 3, 2);
+        for (i, (p, e)) in plain.iter().zip(&with_ci).enumerate() {
+            let (p, e) = (p.unwrap(), e.unwrap());
+            assert_eq!(p.to_bits(), e.point.to_bits(), "point diverged on edge {i}");
+            assert!(e.ci_lo <= e.point && e.point <= e.ci_hi, "point outside CI on edge {i}");
+            assert!(e.ci_lo >= 0.0 && e.ci_hi.is_finite());
+        }
+    }
+
+    #[test]
+    fn ci_collapses_at_full_sampling() {
+        let s = InternetDelaySpace::preset(Dataset::Ds2).with_nodes(50).build(37);
+        let m = s.matrix();
+        let sev = Severity::compute(m, 0);
+        for (a, c, exact) in sev.edges(m).take(30) {
+            let e = estimate_severity_ci(m, a, c, m.len(), 5).unwrap();
+            assert_eq!(e.sampled as usize, m.len() - 2);
+            assert_eq!(e.ci_hi - e.ci_lo, 0.0, "full sample must have zero-width CI");
+            assert!((e.point - exact).abs() < 1e-9, "{} vs exact {exact}", e.point);
+        }
+    }
+
+    #[test]
+    fn ci_is_degenerate_on_tiny_spaces() {
+        let m = DelayMatrix::from_complete_fn(2, |_, _| 7.0);
+        let e = estimate_severity_ci(&m, 0, 1, 8, 1).unwrap();
+        assert_eq!((e.point, e.ci_lo, e.ci_hi, e.sampled), (0.0, 0.0, 0.0, 0));
+        let mut holed = DelayMatrix::new(4);
+        holed.set(0, 1, 5.0);
+        assert!(estimate_severity_ci(&holed, 2, 3, 8, 1).is_none());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use delayspace::synth::{Dataset, InternetDelaySpace};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// CI width shrinks as the sampling rate grows: averaged over
+        /// every edge of a TIV-rich space and several seeds, the mean
+        /// 95% interval width at each doubling of k is no wider than at
+        /// the previous k (`O(1/√k)` plus the finite-population
+        /// correction), and full sampling collapses it to zero exactly.
+        #[test]
+        fn ci_width_shrinks_with_sampling_rate((n, space_seed) in (24usize..48, 0u64..1000)) {
+            let s = InternetDelaySpace::preset(Dataset::Ds2).with_nodes(n).build(space_seed);
+            let m = s.matrix();
+            let edges: Vec<_> = m.edges().map(|(i, j, _)| (i, j)).collect();
+            let mean_width = |k: usize| {
+                let mut total = 0.0;
+                let mut count = 0usize;
+                for seed in 0..4u64 {
+                    for e in estimate_severity_ci_batch(m, &edges, k, seed * 977, 1) {
+                        let e = e.unwrap();
+                        total += e.ci_hi - e.ci_lo;
+                        count += 1;
+                    }
+                }
+                total / count as f64
+            };
+            let widths: Vec<f64> = [2usize, 4, 8, 16].iter().map(|&k| mean_width(k)).collect();
+            for w in widths.windows(2) {
+                prop_assert!(
+                    w[1] <= w[0] * 1.10 + 1e-12,
+                    "CI width grew with k: {:?}", widths
+                );
+            }
+            prop_assert_eq!(mean_width(n), 0.0, "full sampling must collapse the CI");
+        }
     }
 }

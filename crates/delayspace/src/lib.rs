@@ -38,10 +38,12 @@ pub mod io;
 pub mod matrix;
 pub mod rng;
 pub mod stats;
+pub mod store;
 pub mod synth;
 
 pub use apsp::ShortestPaths;
 pub use cluster::{ClusterId, Clustering};
 pub use matrix::{DelayMatrix, EdgeIter, NodeId};
 pub use stats::{BinnedStats, Cdf, Percentiles};
+pub use store::{DelayStore, NodePair, SparseDelayStore};
 pub use synth::{Dataset, InternetDelaySpace, SynthConfig};

@@ -13,6 +13,8 @@
 //! repro gate [--nodes N] [--replicas R] [--queries Q] [--batch B]
 //!            [--zipf Z] [--observe F] [--epoch-every K]
 //!            [--target-qps T] [--seed S]
+//! repro sparse [--nodes N] [--pairs P] [--scale-nodes M]
+//!              [--degree D] [--threads T] [--seed S] [--out DIR]
 //! ```
 //!
 //! * `figN` — one experiment id (fig1 … fig25), or `all`.
@@ -50,6 +52,13 @@
 //! socket workload against it, printing aggregate qps, p50/p99/p999
 //! batch latency, schedule health, and observation-delivery
 //! accounting. See `experiments::gate`.
+//!
+//! `repro sparse` sweeps the sampled-severity estimator against the
+//! exact kernel on a dense ground truth (mean error, 95% CI width and
+//! coverage per sampling rate) and builds sparse stores at growing n
+//! to show their memory staying sublinear in n²; with `--out` it
+//! writes the `sparse-accuracy` and `sparse-scaling` CSVs. See
+//! `experiments::sparse`.
 
 use experiments::churn::{run_churn, ChurnOptions};
 use experiments::gate::{run_gate, GateOptions};
@@ -57,6 +66,7 @@ use experiments::lab::Lab;
 use experiments::route::{run_route, RouteOptions};
 use experiments::scale::ExperimentScale;
 use experiments::serve::{run_serve, ServeOptions};
+use experiments::sparse::{run_sparse, SparseOptions};
 use experiments::suite;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -238,6 +248,60 @@ fn parse_churn_args(
     Ok((opts, out))
 }
 
+/// Parses the flags of the `sparse` subcommand into [`SparseOptions`]
+/// plus the optional output directory.
+fn parse_sparse_args(
+    argv: impl Iterator<Item = String>,
+) -> Result<(SparseOptions, Option<PathBuf>), String> {
+    fn value<T: std::str::FromStr>(
+        argv: &mut impl Iterator<Item = String>,
+        flag: &str,
+    ) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        let v = argv.next().ok_or(format!("{flag} needs a value"))?;
+        v.parse().map_err(|e| format!("bad {flag} value: {e}"))
+    }
+    let mut opts = SparseOptions::default();
+    let mut out = None;
+    let mut argv = argv;
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--nodes" => opts.nodes = value(&mut argv, "--nodes")?,
+            "--pairs" => opts.pairs = value(&mut argv, "--pairs")?,
+            "--scale-nodes" => opts.scale_nodes = value(&mut argv, "--scale-nodes")?,
+            "--degree" => opts.degree = value(&mut argv, "--degree")?,
+            "--threads" => opts.threads = value(&mut argv, "--threads")?,
+            "--seed" => opts.seed = value(&mut argv, "--seed")?,
+            "--out" => {
+                let v = argv.next().ok_or("--out needs a directory")?;
+                out = Some(PathBuf::from(v));
+            }
+            other => {
+                return Err(format!(
+                    "unknown sparse argument: {other}\n\
+                     usage: repro sparse [--nodes N] [--pairs P] [--scale-nodes M] \
+                     [--degree D] [--threads T] [--seed S] [--out DIR]"
+                ))
+            }
+        }
+    }
+    if opts.nodes < 4 {
+        return Err("--nodes must be at least 4".to_string());
+    }
+    if opts.pairs < 1 {
+        return Err("--pairs must be at least 1".to_string());
+    }
+    if opts.scale_nodes < 8 {
+        return Err("--scale-nodes must be at least 8".to_string());
+    }
+    if opts.degree < 1 {
+        return Err("--degree must be at least 1".to_string());
+    }
+    Ok((opts, out))
+}
+
 /// Parses the flags of the `gate` subcommand into [`GateOptions`].
 fn parse_gate_args(argv: impl Iterator<Item = String>) -> Result<GateOptions, String> {
     fn value<T: std::str::FromStr>(
@@ -342,6 +406,34 @@ fn run_churn_command(argv: impl Iterator<Item = String>) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Runs the `sparse` subcommand end to end.
+fn run_sparse_command(argv: impl Iterator<Item = String>) -> ExitCode {
+    let (opts, out) = match parse_sparse_args(argv) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = run_sparse(&opts);
+    print!("{report}");
+    if let Some(dir) = out {
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+        for fig in &report.figures {
+            let path = dir.join(format!("{}.csv", fig.id));
+            if let Err(e) = std::fs::write(&path, fig.to_csv()) {
+                eprintln!("cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            println!("figure written to {}", path.display());
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 /// Runs the `route` subcommand end to end.
 fn run_route_command(argv: impl Iterator<Item = String>) -> ExitCode {
     let (opts, out) = match parse_route_args(argv) {
@@ -416,6 +508,8 @@ fn parse_args() -> Result<Args, String> {
              (run the incremental epoch pipeline under churn)\n\
              \x20      repro gate [--nodes N] [--replicas R] [--queries Q] [--target-qps T] ... \
              (run the wire-protocol replica set)\n\
+             \x20      repro sparse [--nodes N] [--pairs P] [--scale-nodes M] [--degree D] ... \
+             (sweep sampled-severity accuracy and sparse-store scaling)\n\
              figures: {}\n\
              ablations: {}",
             suite::ALL_IDS.join(" "),
@@ -483,6 +577,10 @@ fn main() -> ExitCode {
         Some("gate") => {
             argv.next();
             return run_gate_command(argv);
+        }
+        Some("sparse") => {
+            argv.next();
+            return run_sparse_command(argv);
         }
         _ => {}
     }

@@ -25,7 +25,9 @@
 //! incremental epoch pipeline against a churning delay space (the
 //! `repro churn` subcommand); [`gate`] drives a multi-replica
 //! `tivgate` wire deployment with an open-loop socket workload (the
-//! `repro gate` subcommand).
+//! `repro gate` subcommand); [`sparse`] sweeps sampled-severity
+//! accuracy against the exact kernel and sparse-store memory against
+//! the dense matrix (the `repro sparse` subcommand).
 //!
 //! Batches fan out over worker threads with [`suite::run_many`] (the
 //! `repro` binary's `--threads` flag); every figure is a pure function
@@ -57,6 +59,7 @@ pub mod sec3;
 pub mod sec4;
 pub mod sec5;
 pub mod serve;
+pub mod sparse;
 pub mod suite;
 
 pub use figure::{Figure, Series};

@@ -12,6 +12,7 @@ use crate::proto::{self, decode_response, encode_request, FrameStep, Request, Re
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
+use tivserve::query::{QueryBatch, ReplyBatch};
 
 /// A blocking connection to one gate replica.
 #[derive(Debug)]
@@ -46,6 +47,30 @@ impl GateClient {
     pub fn call(&mut self, req: &Request) -> io::Result<Response> {
         self.send_bytes(&encode_request(req))?;
         self.recv()
+    }
+
+    /// Answers one unified [`QueryBatch`] over this connection: encodes
+    /// it via [`Request::from_query`], checks the echoed id, and
+    /// unwraps the reply. An error frame (including a newer kind's
+    /// `unsupported-kind` answer from an older server) surfaces as
+    /// `InvalidData`, never a hang or a closed session.
+    pub fn query(&mut self, id: u32, query: &QueryBatch) -> io::Result<ReplyBatch> {
+        let resp = self.call(&Request::from_query(id, query))?;
+        if resp.id() != id {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("server echoed id {} for request {id}", resp.id()),
+            ));
+        }
+        match resp {
+            Response::Error { code, message, .. } => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("error frame [{code}]: {message}"),
+            )),
+            other => other.into_reply().ok_or_else(|| {
+                io::Error::new(io::ErrorKind::InvalidData, "non-query response kind")
+            }),
+        }
     }
 
     /// Sends one typed request and returns the raw response *frame*

@@ -43,6 +43,6 @@ pub mod testutil;
 pub use client::GateClient;
 pub use front::{Front, HashRing};
 pub use loadgen::{run_open_loop, GateLoadReport, OpenLoopConfig};
-pub use proto::{ErrorCode, Request, Response};
+pub use proto::{to_node_pairs, to_wire_pairs, ErrorCode, Request, Response, WirePair};
 pub use replica::{spawn_publisher, PublisherStream, ReplicaSet};
 pub use server::{GateConfig, GateHandle, GateServer, GateStats};

@@ -7,9 +7,9 @@
 //! │ u32 LE len │ body (len bytes, at most MAX_FRAME)             │
 //! └────────────┴─────────────────────────────────────────────────┘
 //! body:
-//! ┌────────────┬──────────┬───────────────┬──────────────┬────────┐
-//! │ u8 version │ u8 kind  │ u16 reserved=0│ u32 LE req id│ payload│
-//! └────────────┴──────────┴───────────────┴──────────────┴────────┘
+//! ┌────────────┬──────────┬─────────┬────────────┬──────────────┬────────┐
+//! │ u8 version │ u8 kind  │ u8 minor│ u8 reserved│ u32 LE req id│ payload│
+//! └────────────┴──────────┴─────────┴────────────┴──────────────┴────────┘
 //! ```
 //!
 //! Request payloads are pair batches (`u32 count`, then `count` ×
@@ -22,18 +22,50 @@
 //! rejects any other tag, so encode→decode→encode is the identity on
 //! bytes (the codec property tests pin that too).
 //!
-//! Protocol versioning is explicit: a frame whose version byte is not
-//! [`VERSION`] is answered with a [`Kind::Error`] frame carrying
+//! Protocol versioning is explicit and two-level. The *major* byte
+//! ([`VERSION`]) gates the header layout: a frame whose version byte is
+//! not [`VERSION`] is answered with a [`Kind::Error`] frame carrying
 //! [`ErrorCode::BadVersion`] and the connection is closed — a v2 server
-//! can dispatch on the byte instead. Error frames are structured
-//! (`u16 code`, `u16 message length`, UTF-8 message) and carry the
-//! request id when one was parsed (0 otherwise).
+//! can dispatch on the byte instead. The *minor* byte ([`MINOR`], in
+//! what used to be the first reserved byte) is a capability
+//! advertisement: it never changes the header layout, so any minor is
+//! accepted, and a frame carrying a kind this build does not serve is
+//! answered with a **structured** [`ErrorCode::UnsupportedKind`] error
+//! frame — the connection survives, so a v1.0 server facing a v1.1
+//! client degrades per-request instead of dropping the session. Error
+//! frames are structured (`u16 code`, `u16 message length`, UTF-8
+//! message) and carry the request id when one was parsed (0 otherwise).
 
+use delayspace::NodePair;
 use std::fmt;
+use tivserve::query::{QueryBatch, ReplyBatch};
 use tivserve::snapshot::{EdgeEstimate, RouteEstimate};
+use tivserve::SeverityEstimate;
 
 /// The protocol version this build speaks.
 pub const VERSION: u8 = 1;
+
+/// The minor (capability) version this build advertises in body byte 2.
+/// Minor 1 added the sampled-severity kind; minor bumps never change
+/// the header layout, so peers accept any minor and answer unknown
+/// kinds with [`ErrorCode::UnsupportedKind`].
+pub const MINOR: u8 = 1;
+
+/// A query pair as transported on the wire: `u32` node ids. The
+/// in-process layers use [`delayspace::NodePair`] (`usize` ids);
+/// [`to_wire_pairs`]/[`to_node_pairs`] are the **only** place the two
+/// representations meet.
+pub type WirePair = (u32, u32);
+
+/// Narrows in-process pairs to their wire form.
+pub fn to_wire_pairs(pairs: &[NodePair]) -> Vec<WirePair> {
+    pairs.iter().map(|&(a, c)| (a as u32, c as u32)).collect()
+}
+
+/// Widens wire pairs to the in-process form.
+pub fn to_node_pairs(pairs: &[WirePair]) -> Vec<NodePair> {
+    pairs.iter().map(|&(a, c)| (a as usize, c as usize)).collect()
+}
 
 /// Maximum frame *body* length. A length prefix beyond this is a
 /// malformed or hostile frame: the server answers
@@ -45,7 +77,8 @@ pub const HEADER: usize = 8;
 
 /// Worst-case encoded size of one response item: a route answer with
 /// every optional field present (`epoch` 8 + four tagged `f64`s at 9 +
-/// one tagged `u32` at 5 = 49 bytes). Estimate items top out at 44.
+/// one tagged `u32` at 5 = 49 bytes). Estimate items top out at 44,
+/// sampled-severity items at 29 (tag 1 + three `f64`s + `u32`).
 const MAX_RESPONSE_ITEM: usize = 49;
 
 /// The most query pairs one batch may carry. Derived from the
@@ -54,8 +87,10 @@ const MAX_RESPONSE_ITEM: usize = 49;
 /// fattest answer is a fully-populated route item.
 pub const MAX_PAIRS: usize = (MAX_FRAME - HEADER - 4) / MAX_RESPONSE_ITEM;
 
-/// Frame kinds. Requests are `0x01..=0x05`; each response kind is its
-/// request's kind with the top bit set; errors are `0xFF`.
+/// Frame kinds. Requests are `0x01..=0x06`; each response kind is its
+/// request's kind with the top bit set; errors are `0xFF`. A request
+/// byte outside the known set (a newer minor's kind) is answered with
+/// [`ErrorCode::UnsupportedKind`], never a close.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 #[repr(u8)]
 pub enum Kind {
@@ -69,6 +104,9 @@ pub enum Kind {
     Alerts = 0x04,
     /// Liveness/epoch probe.
     Ping = 0x05,
+    /// Sampled-severity (point + confidence interval) batch request
+    /// (minor ≥ 1).
+    SampledSeverity = 0x06,
     /// Edge-estimate batch response.
     EstimateResp = 0x81,
     /// Detour-route batch response.
@@ -79,6 +117,8 @@ pub enum Kind {
     AlertsResp = 0x84,
     /// Liveness/epoch probe response.
     Pong = 0x85,
+    /// Sampled-severity batch response.
+    SampledSeverityResp = 0x86,
     /// Structured error response.
     Error = 0xFF,
 }
@@ -99,6 +139,10 @@ pub enum ErrorCode {
     /// The length prefix exceeds [`MAX_FRAME`] (fatal: framing can no
     /// longer be trusted, the connection is closed).
     FrameTooLarge = 5,
+    /// The frame is well-formed but names a request kind this build
+    /// does not serve — a newer minor version's kind. The connection
+    /// survives; the client can fall back per request.
+    UnsupportedKind = 6,
 }
 
 impl ErrorCode {
@@ -110,6 +154,7 @@ impl ErrorCode {
             3 => Some(ErrorCode::BadPayload),
             4 => Some(ErrorCode::OutOfRange),
             5 => Some(ErrorCode::FrameTooLarge),
+            6 => Some(ErrorCode::UnsupportedKind),
             _ => None,
         }
     }
@@ -129,6 +174,7 @@ impl fmt::Display for ErrorCode {
             ErrorCode::BadPayload => "bad-payload",
             ErrorCode::OutOfRange => "out-of-range",
             ErrorCode::FrameTooLarge => "frame-too-large",
+            ErrorCode::UnsupportedKind => "unsupported-kind",
         };
         f.write_str(name)
     }
@@ -170,6 +216,15 @@ pub enum Request {
         /// Caller-chosen id echoed in the response.
         id: u32,
     },
+    /// Sampled-severity batch (minor ≥ 1).
+    SampledSeverity {
+        /// Caller-chosen id echoed in the response.
+        id: u32,
+        /// Witnesses sampled per pair (0 = server default).
+        witnesses: u32,
+        /// Ordered query pairs.
+        pairs: Vec<(u32, u32)>,
+    },
 }
 
 impl Request {
@@ -180,7 +235,41 @@ impl Request {
             | Request::Route { id, .. }
             | Request::Severity { id, .. }
             | Request::Alerts { id, .. }
-            | Request::Ping { id } => id,
+            | Request::Ping { id }
+            | Request::SampledSeverity { id, .. } => id,
+        }
+    }
+
+    /// Builds the wire request of one in-process [`QueryBatch`] — the
+    /// single place query kinds map onto frame kinds.
+    pub fn from_query(id: u32, query: &QueryBatch) -> Request {
+        match query {
+            QueryBatch::Estimate(p) => Request::Estimate { id, pairs: to_wire_pairs(p) },
+            QueryBatch::Route(p) => Request::Route { id, pairs: to_wire_pairs(p) },
+            QueryBatch::Severity(p) => Request::Severity { id, pairs: to_wire_pairs(p) },
+            QueryBatch::Alerts(p) => Request::Alerts { id, pairs: to_wire_pairs(p) },
+            QueryBatch::SampledSeverity { pairs, witnesses } => {
+                Request::SampledSeverity { id, witnesses: *witnesses, pairs: to_wire_pairs(pairs) }
+            }
+        }
+    }
+
+    /// The in-process [`QueryBatch`] this request asks — the inverse of
+    /// [`Request::from_query`]. `None` for [`Request::Ping`], which is
+    /// a transport probe, not a query.
+    pub fn to_query(&self) -> Option<QueryBatch> {
+        match self {
+            Request::Estimate { pairs, .. } => Some(QueryBatch::Estimate(to_node_pairs(pairs))),
+            Request::Route { pairs, .. } => Some(QueryBatch::Route(to_node_pairs(pairs))),
+            Request::Severity { pairs, .. } => Some(QueryBatch::Severity(to_node_pairs(pairs))),
+            Request::Alerts { pairs, .. } => Some(QueryBatch::Alerts(to_node_pairs(pairs))),
+            Request::SampledSeverity { pairs, witnesses, .. } => {
+                Some(QueryBatch::SampledSeverity {
+                    pairs: to_node_pairs(pairs),
+                    witnesses: *witnesses,
+                })
+            }
+            Request::Ping { .. } => None,
         }
     }
 }
@@ -216,6 +305,13 @@ pub enum Response {
         /// One alert state per pair.
         items: Vec<bool>,
     },
+    /// Answers of a [`Request::SampledSeverity`] batch.
+    SampledSeverity {
+        /// Echo of the request id.
+        id: u32,
+        /// One estimate (or `None` for unmeasured edges) per pair.
+        items: Vec<Option<SeverityEstimate>>,
+    },
     /// Answer of a [`Request::Ping`].
     Pong {
         /// Echo of the request id.
@@ -244,8 +340,35 @@ impl Response {
             | Response::Route { id, .. }
             | Response::Severity { id, .. }
             | Response::Alerts { id, .. }
+            | Response::SampledSeverity { id, .. }
             | Response::Pong { id, .. }
             | Response::Error { id, .. } => id,
+        }
+    }
+
+    /// Wraps the service's in-process answer as the wire response —
+    /// the single place reply kinds map onto frame kinds.
+    pub fn from_reply(id: u32, reply: ReplyBatch) -> Response {
+        match reply {
+            ReplyBatch::Estimate(items) => Response::Estimate { id, items },
+            ReplyBatch::Route(items) => Response::Route { id, items },
+            ReplyBatch::Severity(items) => Response::Severity { id, items },
+            ReplyBatch::Alerts(items) => Response::Alerts { id, items },
+            ReplyBatch::SampledSeverity(items) => Response::SampledSeverity { id, items },
+        }
+    }
+
+    /// Unwraps a query answer back into the in-process [`ReplyBatch`]
+    /// — the inverse of [`Response::from_reply`]. `None` for
+    /// [`Response::Pong`] and [`Response::Error`] frames.
+    pub fn into_reply(self) -> Option<ReplyBatch> {
+        match self {
+            Response::Estimate { items, .. } => Some(ReplyBatch::Estimate(items)),
+            Response::Route { items, .. } => Some(ReplyBatch::Route(items)),
+            Response::Severity { items, .. } => Some(ReplyBatch::Severity(items)),
+            Response::Alerts { items, .. } => Some(ReplyBatch::Alerts(items)),
+            Response::SampledSeverity { items, .. } => Some(ReplyBatch::SampledSeverity(items)),
+            Response::Pong { .. } | Response::Error { .. } => None,
         }
     }
 }
@@ -255,10 +378,15 @@ impl Response {
 pub enum DecodeError {
     /// The version byte is not [`VERSION`].
     BadVersion(u8),
-    /// The kind byte names no known frame kind (requests and responses
-    /// are decoded separately, so a response kind in `decode_request`
-    /// is also this).
+    /// The kind byte names a kind that can never be valid in this
+    /// position: a response kind (top bit set) sent as a request, or
+    /// an unknown kind in a response.
     BadKind(u8),
+    /// The kind byte is in the request range but this build does not
+    /// serve it — a newer minor version's kind. Answered with a
+    /// structured [`ErrorCode::UnsupportedKind`] frame; the connection
+    /// survives.
+    UnsupportedKind(u8),
     /// The payload does not parse: truncated, trailing bytes, a bad
     /// option tag, a non-zero reserved field, …
     Malformed(String),
@@ -270,6 +398,7 @@ impl DecodeError {
         match self {
             DecodeError::BadVersion(_) => ErrorCode::BadVersion,
             DecodeError::BadKind(_) => ErrorCode::BadKind,
+            DecodeError::UnsupportedKind(_) => ErrorCode::UnsupportedKind,
             DecodeError::Malformed(_) => ErrorCode::BadPayload,
         }
     }
@@ -280,6 +409,9 @@ impl fmt::Display for DecodeError {
         match self {
             DecodeError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
             DecodeError::BadKind(k) => write!(f, "unknown frame kind 0x{k:02x}"),
+            DecodeError::UnsupportedKind(k) => {
+                write!(f, "request kind 0x{k:02x} is not served at minor {MINOR}")
+            }
             DecodeError::Malformed(m) => write!(f, "malformed payload: {m}"),
         }
     }
@@ -334,7 +466,8 @@ impl Writer {
         buf.extend_from_slice(&[0, 0, 0, 0]); // length prefix placeholder
         buf.push(VERSION);
         buf.push(kind as u8);
-        buf.extend_from_slice(&[0, 0]); // reserved
+        buf.push(MINOR);
+        buf.push(0); // reserved
         buf.extend_from_slice(&id.to_le_bytes());
         Writer { buf }
     }
@@ -502,9 +635,13 @@ fn header<'a>(body: &'a [u8]) -> Result<(u8, u32, Reader<'a>), DecodeError> {
         return Err(DecodeError::BadVersion(version));
     }
     let kind = r.u8("kind")?;
-    let reserved = r.u16("reserved")?;
+    // The minor byte is a capability advertisement, never a layout
+    // change: any value is accepted (a newer peer's unknown kinds get
+    // structured UnsupportedKind answers instead).
+    let _minor = r.u8("minor version")?;
+    let reserved = r.u8("reserved")?;
     if reserved != 0 {
-        return Err(DecodeError::Malformed(format!("reserved field is 0x{reserved:04x}, not 0")));
+        return Err(DecodeError::Malformed(format!("reserved field is 0x{reserved:02x}, not 0")));
     }
     let id = r.u32("request id")?;
     Ok((kind, id, r))
@@ -538,6 +675,12 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             w.finish()
         }
         Request::Ping { id } => Writer::frame(Kind::Ping, *id).finish(),
+        Request::SampledSeverity { id, witnesses, pairs } => {
+            let mut w = Writer::frame(Kind::SampledSeverity, *id);
+            w.u32(*witnesses);
+            w.pairs(pairs);
+            w.finish()
+        }
     }
 }
 
@@ -550,7 +693,14 @@ pub fn decode_request(body: &[u8]) -> Result<Request, DecodeError> {
         k if k == Kind::Severity as u8 => Request::Severity { id, pairs: r.pairs()? },
         k if k == Kind::Alerts as u8 => Request::Alerts { id, pairs: r.pairs()? },
         k if k == Kind::Ping as u8 => Request::Ping { id },
-        k => return Err(DecodeError::BadKind(k)),
+        k if k == Kind::SampledSeverity as u8 => {
+            Request::SampledSeverity { id, witnesses: r.u32("witnesses")?, pairs: r.pairs()? }
+        }
+        // A response kind (top bit set) can never be a request; a clear
+        // top bit is the request range, so an unknown byte there is a
+        // *future* kind and earns a structured, survivable error.
+        k if k & 0x80 != 0 => return Err(DecodeError::BadKind(k)),
+        k => return Err(DecodeError::UnsupportedKind(k)),
     };
     r.done()?;
     Ok(req)
@@ -598,6 +748,23 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             w.u32(items.len() as u32);
             for &a in items {
                 w.u8(a as u8);
+            }
+            w.finish()
+        }
+        Response::SampledSeverity { id, items } => {
+            let mut w = Writer::frame(Kind::SampledSeverityResp, *id);
+            w.u32(items.len() as u32);
+            for s in items {
+                match s {
+                    None => w.u8(0),
+                    Some(e) => {
+                        w.u8(1);
+                        w.f64_bits(e.point);
+                        w.f64_bits(e.ci_lo);
+                        w.f64_bits(e.ci_hi);
+                        w.u32(e.sampled);
+                    }
+                }
             }
             w.finish()
         }
@@ -689,6 +856,30 @@ pub fn decode_response(body: &[u8]) -> Result<Response, DecodeError> {
             }
             Response::Alerts { id, items }
         }
+        k if k == Kind::SampledSeverityResp as u8 => {
+            let count = r.u32("item count")? as usize;
+            if count > MAX_PAIRS {
+                return Err(DecodeError::Malformed(format!(
+                    "item count {count} exceeds batch cap"
+                )));
+            }
+            let mut items = Vec::with_capacity(count);
+            for _ in 0..count {
+                items.push(match r.u8("estimate tag")? {
+                    0 => None,
+                    1 => Some(SeverityEstimate {
+                        point: r.f64_bits("point")?,
+                        ci_lo: r.f64_bits("ci_lo")?,
+                        ci_hi: r.f64_bits("ci_hi")?,
+                        sampled: r.u32("sampled")?,
+                    }),
+                    t => {
+                        return Err(DecodeError::Malformed(format!("estimate: bad option tag {t}")))
+                    }
+                });
+            }
+            Response::SampledSeverity { id, items }
+        }
         k if k == Kind::Pong as u8 => {
             Response::Pong { id, epoch: r.u64("epoch")?, nodes: r.u32("nodes")? }
         }
@@ -725,6 +916,7 @@ mod tests {
             Request::Severity { id: 0, pairs: vec![] },
             Request::Alerts { id: 1, pairs: vec![(3, 4); 100] },
             Request::Ping { id: 42 },
+            Request::SampledSeverity { id: 6, witnesses: 64, pairs: vec![(1, 2), (8, 0)] },
         ];
         for req in &reqs {
             let wire = encode_request(req);
@@ -798,6 +990,13 @@ mod tests {
             },
             Response::Severity { id: 2, items: vec![None, Some(0.25)] },
             Response::Alerts { id: 3, items: vec![true, false, true] },
+            Response::SampledSeverity {
+                id: 8,
+                items: vec![
+                    None,
+                    Some(SeverityEstimate { point: 0.125, ci_lo: -0.0, ci_hi: 0.5, sampled: 31 }),
+                ],
+            },
             Response::Pong { id: 4, epoch: 17, nodes: 512 },
             Response::Error {
                 id: 5,
@@ -871,13 +1070,20 @@ mod tests {
         bad[0] = 9;
         assert_eq!(decode_request(&bad), Err(DecodeError::BadVersion(9)));
         assert_eq!(DecodeError::BadVersion(9).code(), ErrorCode::BadVersion);
-        // Unknown kind.
+        // Unknown *request-range* kind: a future minor's kind, served a
+        // structured, survivable unsupported-kind error.
         let mut bad = good[4..].to_vec();
         bad[1] = 0x7e;
-        assert_eq!(decode_request(&bad), Err(DecodeError::BadKind(0x7e)));
+        assert_eq!(decode_request(&bad), Err(DecodeError::UnsupportedKind(0x7e)));
+        assert_eq!(DecodeError::UnsupportedKind(0x7e).code(), ErrorCode::UnsupportedKind);
+        assert!(!ErrorCode::UnsupportedKind.is_fatal());
+        // A foreign minor byte is accepted — minors never change layout.
+        let mut newer = good[4..].to_vec();
+        newer[2] = MINOR + 9;
+        assert!(decode_request(&newer).is_ok());
         // Non-zero reserved field.
         let mut bad = good[4..].to_vec();
-        bad[2] = 1;
+        bad[3] = 1;
         assert!(matches!(decode_request(&bad), Err(DecodeError::Malformed(_))));
         // Count larger than the data.
         let mut bad = good[4..].to_vec();
@@ -914,6 +1120,7 @@ mod tests {
             ErrorCode::BadPayload,
             ErrorCode::OutOfRange,
             ErrorCode::FrameTooLarge,
+            ErrorCode::UnsupportedKind,
         ] {
             assert_eq!(ErrorCode::from_u16(code as u16), Some(code));
             assert!(!code.to_string().is_empty());
@@ -925,6 +1132,33 @@ mod tests {
         assert!(!ErrorCode::BadPayload.is_fatal());
         assert!(!ErrorCode::OutOfRange.is_fatal());
         assert!(!ErrorCode::BadKind.is_fatal());
+        assert!(!ErrorCode::UnsupportedKind.is_fatal());
+    }
+
+    #[test]
+    fn query_round_trips_through_request_and_reply_through_response() {
+        let pairs = vec![(1usize, 2usize), (7, 0)];
+        let queries = [
+            QueryBatch::Estimate(pairs.clone()),
+            QueryBatch::Route(pairs.clone()),
+            QueryBatch::Severity(pairs.clone()),
+            QueryBatch::Alerts(pairs.clone()),
+            QueryBatch::SampledSeverity { pairs: pairs.clone(), witnesses: 12 },
+        ];
+        for q in &queries {
+            let req = Request::from_query(11, q);
+            assert_eq!(req.id(), 11);
+            assert_eq!(req.to_query().as_ref(), Some(q), "from_query/to_query must invert");
+            // And survive the codec.
+            let wire = encode_request(&req);
+            assert_eq!(decode_request(&wire[4..]).expect("decode"), req);
+        }
+        assert_eq!(Request::Ping { id: 1 }.to_query(), None);
+        let reply = ReplyBatch::Alerts(vec![true, false]);
+        let resp = Response::from_reply(4, reply.clone());
+        assert_eq!(resp.id(), 4);
+        assert_eq!(resp.into_reply(), Some(reply));
+        assert_eq!(Response::Pong { id: 1, epoch: 0, nodes: 2 }.into_reply(), None);
     }
 
     #[test]

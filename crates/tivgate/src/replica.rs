@@ -145,7 +145,7 @@ impl<B: EpochSource> PublisherStream<B> {
 /// `observations_per_epoch` observations, publishes the built snapshot
 /// into **all** of the set's services. Tail observations are published
 /// as a final epoch on shutdown; none are ever dropped.
-pub fn spawn_publisher<B: EpochSource>(
+pub fn spawn_publisher<B: EpochSource<Snapshot = tivserve::EpochSnapshot>>(
     services: Vec<Arc<TivServe>>,
     mut builder: B,
     observations_per_epoch: usize,

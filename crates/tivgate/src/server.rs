@@ -380,24 +380,13 @@ pub fn handle_body(service: &TivServe, body: &[u8], stats: &GateStats) -> (Vec<u
         return (encode_response(&resp), false);
     }
 
-    let resp = match req {
-        Request::Estimate { id, pairs } => {
-            let items = service.estimate_batch(&to_node_pairs(&pairs));
-            Response::Estimate { id, items }
-        }
-        Request::Route { id, pairs } => {
-            let items = service.route_batch(&to_node_pairs(&pairs));
-            Response::Route { id, items }
-        }
-        Request::Severity { id, pairs } => {
-            let items = service.severity_batch(&to_node_pairs(&pairs));
-            Response::Severity { id, items }
-        }
-        Request::Alerts { id, pairs } => {
-            let items = service.alerts_batch(&to_node_pairs(&pairs));
-            Response::Alerts { id, items }
-        }
-        Request::Ping { id } => Response::Pong { id, epoch: service.epoch(), nodes: nodes as u32 },
+    // One dispatch for every query kind: the request converts to the
+    // service's unified QueryBatch, the service answers it, and the
+    // reply converts back — kinds are defined once, in `proto` and
+    // `tivserve::query`, not re-enumerated here.
+    let resp = match req.to_query() {
+        Some(query) => Response::from_reply(req.id(), service.query(&query)),
+        None => Response::Pong { id: req.id(), epoch: service.epoch(), nodes: nodes as u32 },
     };
     GateStats::bump(&stats.requests_served);
     (encode_response(&resp), false)
@@ -408,13 +397,10 @@ fn pairs_of(req: &Request) -> &[(u32, u32)] {
         Request::Estimate { pairs, .. }
         | Request::Route { pairs, .. }
         | Request::Severity { pairs, .. }
-        | Request::Alerts { pairs, .. } => pairs,
+        | Request::Alerts { pairs, .. }
+        | Request::SampledSeverity { pairs, .. } => pairs,
         Request::Ping { .. } => &[],
     }
-}
-
-fn to_node_pairs(pairs: &[(u32, u32)]) -> Vec<(usize, usize)> {
-    pairs.iter().map(|&(a, c)| (a as usize, c as usize)).collect()
 }
 
 #[cfg(test)]

@@ -16,7 +16,7 @@ use std::io::ErrorKind;
 use std::sync::atomic::Ordering;
 use std::time::Duration;
 use tivgate::client::GateClient;
-use tivgate::proto::{encode_request, ErrorCode, Request, Response, MAX_FRAME, VERSION};
+use tivgate::proto::{encode_request, ErrorCode, Request, Response, MAX_FRAME, MINOR, VERSION};
 use tivgate::server::{GateConfig, GateHandle, GateServer};
 use tivgate::testutil::small_service;
 
@@ -89,11 +89,11 @@ fn unknown_kind_gets_error_frame_and_connection_survives() {
     let handle = spawn_gate();
     let mut client = connect(&handle);
     let mut frame = encode_request(&Request::Ping { id: 31 });
-    frame[5] = 0x6f; // no such kind
+    frame[5] = 0x6f; // a request-range kind this build does not serve
     client.send_bytes(&frame).expect("send");
     match client.recv().expect("error frame expected") {
         Response::Error { code, id, .. } => {
-            assert_eq!(code, ErrorCode::BadKind);
+            assert_eq!(code, ErrorCode::UnsupportedKind);
             assert_eq!(id, 31, "header parsed far enough to echo the id");
         }
         other => panic!("expected an error frame, got {other:?}"),
@@ -102,6 +102,45 @@ fn unknown_kind_gets_error_frame_and_connection_survives() {
     match client.call(&Request::Ping { id: 32 }).expect("connection must survive") {
         Response::Pong { id, .. } => assert_eq!(id, 32),
         other => panic!("expected a pong, got {other:?}"),
+    }
+    assert_still_serving(&handle);
+    handle.shutdown().expect("clean shutdown");
+}
+
+/// The version-skew scenario the minor byte exists for: a client from a
+/// *newer* minor sends a kind this server has never heard of, with its
+/// own minor advertised in the header. The server answers a structured
+/// `unsupported-kind` error frame — carrying the request id — and the
+/// session keeps serving the kinds it does know.
+#[test]
+fn newer_minor_kind_degrades_per_request_not_per_connection() {
+    let handle = spawn_gate();
+    let mut client = connect(&handle);
+    // Hand-build a plausible v1.MINOR+1 request: valid header, future
+    // kind 0x07, future minor byte, arbitrary payload.
+    let mut body = vec![VERSION, 0x07, MINOR + 1, 0];
+    body.extend_from_slice(&77u32.to_le_bytes()); // request id
+    body.extend_from_slice(&0u32.to_le_bytes()); // some future payload
+    let mut frame = (body.len() as u32).to_le_bytes().to_vec();
+    frame.extend_from_slice(&body);
+    client.send_bytes(&frame).expect("send");
+    match client.recv().expect("error frame expected") {
+        Response::Error { code, id, message } => {
+            assert_eq!(code, ErrorCode::UnsupportedKind);
+            assert!(!code.is_fatal());
+            assert_eq!(id, 77, "the structured error names the refused request");
+            assert!(message.contains("0x07"), "names the kind: {message}");
+        }
+        other => panic!("expected an error frame, got {other:?}"),
+    }
+    // The same connection still answers the kinds this build serves —
+    // including the newest one it *does* know.
+    match client.call(&Request::SampledSeverity { id: 78, witnesses: 4, pairs: vec![(0, 1)] }) {
+        Ok(Response::SampledSeverity { id, items }) => {
+            assert_eq!(id, 78);
+            assert_eq!(items.len(), 1);
+        }
+        other => panic!("expected sampled severities, got {other:?}"),
     }
     assert_still_serving(&handle);
     handle.shutdown().expect("clean shutdown");
@@ -235,7 +274,7 @@ fn mixed_good_and_bad_traffic_never_panics() {
             0 => frame[4] = 9,      // bad version
             1 => frame[5] = 0x42,   // bad kind
             2 => frame.truncate(7), // will be a partial frame, then EOF
-            _ => frame[6] = 1,      // non-zero reserved
+            _ => frame[7] = 1,      // non-zero reserved
         }
         bad.send_bytes(&frame).expect("send");
         drop(bad); // some cases disconnect before the server answers

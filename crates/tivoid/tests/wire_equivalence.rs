@@ -21,7 +21,12 @@ use tivoid::tivgate::testutil::{small_builder, small_matrix, SMALL_NODES};
 use tivoid::tivgate::Front;
 use tivoid::tivserve::epoch::{EpochBuilder, Observation};
 use tivoid::tivserve::loadgen::{generate, WorkloadConfig};
+use tivoid::tivserve::query::QueryBatch;
 use tivoid::tivserve::service::TivServe;
+
+/// Witness budget the sampled-severity comparisons use everywhere in
+/// this suite.
+const WITNESSES: u32 = 8;
 
 /// The seeded query set: Zipf-skewed batches from the shared workload
 /// generator, the same stream every run.
@@ -45,7 +50,8 @@ fn as_usize(pairs: &[(u32, u32)]) -> Vec<(usize, usize)> {
 
 /// Asserts that every replica's raw wire answer for every batch equals,
 /// byte for byte, the frame an in-process reference service's direct
-/// answer encodes to — for all four query kinds.
+/// answer encodes to — for all five query kinds, both through the
+/// legacy typed requests and through the unified [`QueryBatch`] path.
 fn assert_wire_matches_direct(
     clients: &mut [GateClient],
     reference: &TivServe,
@@ -78,6 +84,13 @@ fn assert_wire_matches_direct(
                 Request::Alerts { id, pairs: pairs.clone() },
                 encode_response(&Response::Alerts { id, items: reference.alerts_batch(&upairs) }),
             ),
+            (
+                Request::SampledSeverity { id, witnesses: WITNESSES, pairs: pairs.clone() },
+                encode_response(&Response::SampledSeverity {
+                    id,
+                    items: reference.sampled_severity_batch(&upairs, WITNESSES),
+                }),
+            ),
         ];
         for (ri, client) in clients.iter_mut().enumerate() {
             for (request, want) in &expected {
@@ -85,6 +98,27 @@ fn assert_wire_matches_direct(
                 assert_eq!(
                     &got, want,
                     "replica {ri}, batch {bi}: wire frame differs from in-process encoding"
+                );
+            }
+        }
+        // The unified query surface travels the exact same frames: a
+        // QueryBatch encoded via Request::from_query answers with the
+        // byte-identical frame Response::from_reply(reference.query(..))
+        // encodes to — for every kind, defined once in the enum.
+        for query in [
+            QueryBatch::Estimate(upairs.clone()),
+            QueryBatch::Route(upairs.clone()),
+            QueryBatch::Severity(upairs.clone()),
+            QueryBatch::Alerts(upairs.clone()),
+            QueryBatch::SampledSeverity { pairs: upairs.clone(), witnesses: WITNESSES },
+        ] {
+            let want = encode_response(&Response::from_reply(id, reference.query(&query)));
+            for (ri, client) in clients.iter_mut().enumerate() {
+                let got = client.call_frame(&Request::from_query(id, &query)).expect("wire query");
+                assert_eq!(
+                    got, want,
+                    "replica {ri}, batch {bi}: unified query frame differs from in-process \
+                     encoding ({query:?})"
                 );
             }
         }
@@ -154,6 +188,15 @@ fn wire_equivalence_at(replicas: usize) {
             encode_response(&Response::Route { id: 9, items: via_front }),
             encode_response(&Response::Route { id: 9, items: direct }),
             "front route reassembly differs from in-process answers"
+        );
+        // And the front's unified entry point: scatter/gather over the
+        // ring, reassembled in pair order, equals the direct enum call.
+        let query = QueryBatch::SampledSeverity { pairs: as_usize(pairs), witnesses: WITNESSES };
+        let via_front = front.query(&query).expect("front query");
+        assert_eq!(
+            encode_response(&Response::from_reply(11, via_front)),
+            encode_response(&Response::from_reply(11, reference.query(&query))),
+            "front unified-query reassembly differs from in-process answers"
         );
     }
 

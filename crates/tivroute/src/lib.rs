@@ -52,5 +52,5 @@
 pub mod detour;
 pub mod stats;
 
-pub use detour::{best_detour, DetourGain, DetourTable, Relay};
+pub use detour::{best_detour, sampled_detour, DetourGain, DetourTable, Relay};
 pub use stats::DetourStats;

@@ -63,11 +63,16 @@ impl Default for EpochConfig {
 }
 
 /// Anything that can fold streamed observations into successive epoch
-/// snapshots: the classic full-rebuild [`EpochBuilder`] and the
-/// incremental [`FluxBuilder`](crate::flux::FluxBuilder). The
-/// background publish loop ([`spawn`]) is generic over this, so both
-/// builders share one hardened ingest/publish path.
+/// snapshots: the classic full-rebuild [`EpochBuilder`], the
+/// incremental [`FluxBuilder`](crate::flux::FluxBuilder) (both dense,
+/// `Snapshot = EpochSnapshot`), and the million-node
+/// [`SparseEpochBuilder`](crate::sparse::SparseEpochBuilder)
+/// (`Snapshot = SparseSnapshot` — never materializes n²). The
+/// background publish loop ([`spawn`]) is generic over this, so every
+/// builder shares one hardened ingest/publish path.
 pub trait EpochSource: Send + 'static {
+    /// The snapshot type one build produces.
+    type Snapshot: Send + 'static;
     /// Folds one observation into the working state.
     fn ingest(&mut self, obs: Observation);
     /// Observations folded in since the last [`build`](Self::build).
@@ -76,7 +81,22 @@ pub trait EpochSource: Send + 'static {
     /// observe/publish interleaving regression tests assert on.
     fn ingested_total(&self) -> u64;
     /// Builds and returns the next snapshot, resetting `pending`.
-    fn build(&mut self) -> EpochSnapshot;
+    fn build(&mut self) -> Self::Snapshot;
+}
+
+/// Anything a background epoch loop can publish snapshots into:
+/// [`TivServe`] for dense snapshots,
+/// [`SparseServe`](crate::sparse::SparseServe) for sparse ones.
+/// Returns the published epoch.
+pub trait PublishSink<S>: Send + Sync + 'static {
+    /// Swaps `snapshot` in as the served state.
+    fn publish_snapshot(&self, snapshot: S) -> u64;
+}
+
+impl PublishSink<EpochSnapshot> for TivServe {
+    fn publish_snapshot(&self, snapshot: EpochSnapshot) -> u64 {
+        self.publish(snapshot)
+    }
 }
 
 /// Builds successive epoch snapshots from streamed observations.
@@ -164,6 +184,7 @@ impl EpochBuilder {
 }
 
 impl EpochSource for EpochBuilder {
+    type Snapshot = EpochSnapshot;
     fn ingest(&mut self, obs: Observation) {
         EpochBuilder::ingest(self, obs);
     }
@@ -215,9 +236,12 @@ impl<B: EpochSource> EpochStream<B> {
 
 /// Spawns an epoch builder on a background thread: it drains streamed
 /// observations, and each time `observations_per_epoch` have been
-/// folded in it builds the next snapshot and publishes it into
-/// `service`. Remaining observations are published as a final epoch on
-/// shutdown (all senders dropped).
+/// folded in it builds the next snapshot and publishes it into `sink`
+/// (any [`PublishSink`] matching the builder's snapshot type — a
+/// [`TivServe`] for dense builders, a
+/// [`SparseServe`](crate::sparse::SparseServe) for sparse ones).
+/// Remaining observations are published as a final epoch on shutdown
+/// (all senders dropped).
 ///
 /// A build-and-publish can take a while (a full O(n³) rebuild on the
 /// classic builder); observations that arrive during it are **never
@@ -228,7 +252,7 @@ impl<B: EpochSource> EpochStream<B> {
 /// (`ingested_total == observations sent`) is pinned by the
 /// observe/publish interleaving regression tests.
 pub fn spawn<B: EpochSource>(
-    service: Arc<TivServe>,
+    service: Arc<impl PublishSink<B::Snapshot>>,
     mut builder: B,
     observations_per_epoch: usize,
 ) -> EpochStream<B> {
@@ -250,11 +274,11 @@ pub fn spawn<B: EpochSource>(
                 }
             }
             if builder.pending() >= observations_per_epoch {
-                service.publish(builder.build());
+                service.publish_snapshot(builder.build());
             }
         }
         if builder.pending() > 0 {
-            service.publish(builder.build());
+            service.publish_snapshot(builder.build());
         }
         builder
     });

@@ -234,6 +234,7 @@ impl FluxBuilder {
 }
 
 impl EpochSource for FluxBuilder {
+    type Snapshot = EpochSnapshot;
     fn ingest(&mut self, obs: Observation) {
         FluxBuilder::ingest(self, obs);
     }

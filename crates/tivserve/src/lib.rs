@@ -15,11 +15,13 @@
 //! 2. **Hash-sharded, batch-first reads** ([`service::TivServe`]):
 //!    queries are hash-sharded by the ordered pair (never by the
 //!    source alone, which concentrates Zipf-hot sources on one shard);
-//!    each shard owns bounded LRU caches of edge and route results,
-//!    and the batch APIs (`estimate_batch`, `severity_batch`,
-//!    `alerts_batch`, `route_batch`) fan a batch across shards with
-//!    one [`tivpar`] worker per shard. Every answer is a pure function
-//!    of the snapshot, so results are **bit-identical at every shard
+//!    each shard owns bounded LRU caches of edge and route results.
+//!    All kinds go through **one unified query surface** —
+//!    [`TivServe::query`] over [`query::QueryBatch`] /
+//!    [`query::ReplyBatch`] — which fans a batch across shards with
+//!    one [`tivpar`] worker per shard (the legacy `estimate_batch`
+//!    etc. are thin wrappers). Every answer is a pure function of the
+//!    snapshot, so results are **bit-identical at every shard
 //!    count**.
 //! 3. **A background epoch builder** ([`epoch::EpochBuilder`]):
 //!    streamed RTT observations update per-node hysteresis monitors
@@ -34,6 +36,12 @@
 //!    past a dirtiness threshold), so a lightly-churning space pays
 //!    O(dirty·n²) per epoch instead of O(n³). Both paths are
 //!    bit-identical — see `tivflux` and `ARCHITECTURE.md`.
+//! 5. **A sparse million-node path** ([`sparse`]): snapshots over a
+//!    [`delayspace::SparseDelayStore`] of *observed edges*, answering
+//!    sampled severity (with confidence intervals) and sampled detour
+//!    queries in O(witnesses) per pair — the same [`epoch::spawn`]
+//!    loop streams sparse epochs via the [`epoch::PublishSink`]
+//!    abstraction, never materialising n².
 //!
 //! [`loadgen`] generates Zipf-skewed closed-loop workloads and
 //! measures throughput and batch-latency percentiles; the `repro
@@ -60,14 +68,19 @@ pub mod cache;
 pub mod epoch;
 pub mod flux;
 pub mod loadgen;
+pub mod query;
 pub mod service;
 pub mod snapshot;
+pub mod sparse;
 
 pub use cache::CacheStats;
 pub use epoch::{
     spawn as spawn_epoch_builder, EpochBuilder, EpochConfig, EpochSource, EpochStream, Observation,
+    PublishSink,
 };
 pub use flux::{BuildOutcome, FluxBuilder, FluxConfig};
 pub use loadgen::{LoadReport, ObservePath, WorkloadConfig};
+pub use query::{QueryBatch, ReplyBatch, SeverityEstimate};
 pub use service::{ServeConfig, TivServe};
 pub use snapshot::{EdgeEstimate, EpochSnapshot, EstimateConfig, RouteEstimate};
+pub use sparse::{SparseEpochBuilder, SparseServe, SparseSnapshot};

@@ -20,9 +20,12 @@
 //! tests.
 
 use crate::cache::{CacheStats, EdgeCache};
+use crate::query::{QueryBatch, ReplyBatch};
 use crate::snapshot::{EdgeEstimate, EpochSnapshot, EstimateConfig, RouteEstimate};
 use delayspace::matrix::NodeId;
+use delayspace::NodePair;
 use std::sync::{Arc, Mutex, RwLock};
+use tivcore::SeverityEstimate;
 
 /// Service construction parameters.
 #[derive(Clone, Copy, Debug)]
@@ -141,7 +144,7 @@ impl TivServe {
     /// How many of `pairs` each shard would own — the occupancy the
     /// `serve` bench reports to show hot-source workloads stay
     /// balanced.
-    pub fn shard_histogram(&self, pairs: &[(NodeId, NodeId)]) -> Vec<usize> {
+    pub fn shard_histogram(&self, pairs: &[NodePair]) -> Vec<usize> {
         let mut counts = vec![0usize; self.shards.len()];
         for &(a, c) in pairs {
             counts[self.shard_of(a, c)] += 1;
@@ -155,7 +158,7 @@ impl TivServe {
     fn answer_group<V: Copy>(
         snap: &EpochSnapshot,
         cache: &Mutex<EdgeCache<V>>,
-        pairs: &[(NodeId, NodeId)],
+        pairs: &[NodePair],
         group: &[u32],
         eval: &(impl Fn(&EpochSnapshot, NodeId, NodeId) -> V + Sync),
     ) -> Vec<(u32, V)> {
@@ -186,7 +189,7 @@ impl TivServe {
     /// Panics when a query names a node outside the snapshot.
     fn answer_batch<V: Copy + Send>(
         &self,
-        pairs: &[(NodeId, NodeId)],
+        pairs: &[NodePair],
         select: impl Fn(&Shard) -> &Mutex<EdgeCache<V>> + Sync,
         eval: impl Fn(&EpochSnapshot, NodeId, NodeId) -> V + Sync,
     ) -> Vec<V> {
@@ -215,44 +218,145 @@ impl TivServe {
         out.into_iter().map(|v| v.expect("every query answered by its shard")).collect()
     }
 
-    /// Answers a batch of `(source, peer)` edge queries, in input
-    /// order.
+    /// Answers one query batch — the unified surface every query kind
+    /// (and every layer above: wire dispatch, front, client) routes
+    /// through.
     ///
     /// Queries are grouped by the pair's shard and each group is
-    /// answered against the shard's estimate cache — on one scoped
+    /// answered against the shard's cache for that kind — on one scoped
     /// worker per shard for large batches, inline on the calling thread
     /// below [`ServeConfig::parallel_threshold`] (spawn/join would
     /// dominate a small batch) — and the answers are scattered back to
-    /// input positions. Either way the output equals a serial
-    /// `snapshot.evaluate` loop, bit for bit, at every shard count.
+    /// input positions. Either way the reply equals a serial snapshot
+    /// loop, bit for bit, at every shard count (pinned by the
+    /// `query_equivalence` and `wire_equivalence` suites).
     ///
     /// # Panics
     /// Panics when a query names a node outside the snapshot.
-    pub fn estimate_batch(&self, pairs: &[(NodeId, NodeId)]) -> Vec<EdgeEstimate> {
+    pub fn query(&self, batch: &QueryBatch) -> ReplyBatch {
+        match batch {
+            QueryBatch::Estimate(pairs) => ReplyBatch::Estimate(self.answer_estimates(pairs)),
+            QueryBatch::Route(pairs) => ReplyBatch::Route(self.answer_batch(
+                pairs,
+                |s| &s.routes,
+                |snap, a, c| snap.route(a, c),
+            )),
+            QueryBatch::Severity(pairs) => ReplyBatch::Severity(
+                self.answer_estimates(pairs).into_iter().map(|e| e.severity).collect(),
+            ),
+            QueryBatch::Alerts(pairs) => ReplyBatch::Alerts(
+                self.answer_estimates(pairs).into_iter().map(|e| e.alert).collect(),
+            ),
+            QueryBatch::SampledSeverity { pairs, witnesses } => {
+                ReplyBatch::SampledSeverity(self.answer_sampled_severities(pairs, *witnesses))
+            }
+        }
+    }
+
+    /// The estimate kind's batch path (shared by the severity and alert
+    /// projections).
+    fn answer_estimates(&self, pairs: &[NodePair]) -> Vec<EdgeEstimate> {
         let estimate = self.cfg.estimate;
         self.answer_batch(pairs, |s| &s.edges, move |snap, a, c| snap.evaluate(a, c, &estimate))
     }
 
-    /// Answers a batch of detour-routing queries, in input order: for
-    /// each ordered pair, the best one-hop relay and its predicted
-    /// saving ([`EpochSnapshot::route`]), resolved from the epoch
-    /// snapshot and cached per shard exactly like the edge estimates —
-    /// so the answers are bit-identical at every shard count too.
+    /// The sampled-severity kind: CI estimates at an explicit witness
+    /// budget (`0` = the configured default). Uncached — the budget
+    /// parameterises the answer, and the per-pair cost is already
+    /// `O(witnesses)` — but parallelised and validated like every other
+    /// kind, and a pure function of `(snapshot, pairs, witnesses,
+    /// config)` regardless of shard or thread count.
+    fn answer_sampled_severities(
+        &self,
+        pairs: &[NodePair],
+        witnesses: u32,
+    ) -> Vec<Option<SeverityEstimate>> {
+        let snap = self.snapshot();
+        let n = snap.len();
+        for &(a, c) in pairs {
+            assert!(a < n && c < n, "query ({a},{c}) outside the {n}-node snapshot");
+        }
+        let k =
+            if witnesses == 0 { self.cfg.estimate.severity_witnesses } else { witnesses as usize };
+        let inline = self.shards.len() == 1
+            || (self.cfg.parallel_threshold > 0 && pairs.len() < self.cfg.parallel_threshold);
+        let threads = if inline { 1 } else { self.shards.len() };
+        let estimate = self.cfg.estimate;
+        tivpar::par_map_rows(pairs.len(), threads, |i| {
+            let (a, c) = pairs[i];
+            snap.sampled_severity(a, c, k, &estimate)
+        })
+    }
+
+    /// Answers a batch of `(source, peer)` edge queries, in input
+    /// order.
+    ///
+    /// Legacy wrapper — prefer [`TivServe::query`] with
+    /// [`QueryBatch::Estimate`]; this forwards there and unwraps the
+    /// reply.
     ///
     /// # Panics
     /// Panics when a query names a node outside the snapshot.
-    pub fn route_batch(&self, pairs: &[(NodeId, NodeId)]) -> Vec<RouteEstimate> {
-        self.answer_batch(pairs, |s| &s.routes, |snap, a, c| snap.route(a, c))
+    pub fn estimate_batch(&self, pairs: &[NodePair]) -> Vec<EdgeEstimate> {
+        match self.query(&QueryBatch::Estimate(pairs.to_vec())) {
+            ReplyBatch::Estimate(items) => items,
+            _ => unreachable!("query preserves the kind"),
+        }
+    }
+
+    /// Answers a batch of detour-routing queries, in input order: for
+    /// each ordered pair, the best one-hop relay and its predicted
+    /// saving ([`EpochSnapshot::route`]).
+    ///
+    /// Legacy wrapper — prefer [`TivServe::query`] with
+    /// [`QueryBatch::Route`]; this forwards there and unwraps the
+    /// reply.
+    ///
+    /// # Panics
+    /// Panics when a query names a node outside the snapshot.
+    pub fn route_batch(&self, pairs: &[NodePair]) -> Vec<RouteEstimate> {
+        match self.query(&QueryBatch::Route(pairs.to_vec())) {
+            ReplyBatch::Route(items) => items,
+            _ => unreachable!("query preserves the kind"),
+        }
     }
 
     /// Batch severity estimates: `None` for unmeasured edges.
-    pub fn severity_batch(&self, pairs: &[(NodeId, NodeId)]) -> Vec<Option<f64>> {
-        self.estimate_batch(pairs).into_iter().map(|e| e.severity).collect()
+    ///
+    /// Legacy wrapper — prefer [`TivServe::query`] with
+    /// [`QueryBatch::Severity`].
+    pub fn severity_batch(&self, pairs: &[NodePair]) -> Vec<Option<f64>> {
+        match self.query(&QueryBatch::Severity(pairs.to_vec())) {
+            ReplyBatch::Severity(items) => items,
+            _ => unreachable!("query preserves the kind"),
+        }
     }
 
     /// Batch TIV alert states.
-    pub fn alerts_batch(&self, pairs: &[(NodeId, NodeId)]) -> Vec<bool> {
-        self.estimate_batch(pairs).into_iter().map(|e| e.alert).collect()
+    ///
+    /// Legacy wrapper — prefer [`TivServe::query`] with
+    /// [`QueryBatch::Alerts`].
+    pub fn alerts_batch(&self, pairs: &[NodePair]) -> Vec<bool> {
+        match self.query(&QueryBatch::Alerts(pairs.to_vec())) {
+            ReplyBatch::Alerts(items) => items,
+            _ => unreachable!("query preserves the kind"),
+        }
+    }
+
+    /// Batch sampled-severity estimates with confidence intervals at an
+    /// explicit witness budget (`0` = the configured default).
+    ///
+    /// Convenience wrapper over [`TivServe::query`] with
+    /// [`QueryBatch::SampledSeverity`].
+    pub fn sampled_severity_batch(
+        &self,
+        pairs: &[NodePair],
+        witnesses: u32,
+    ) -> Vec<Option<SeverityEstimate>> {
+        match self.query(&QueryBatch::SampledSeverity { pairs: pairs.to_vec(), witnesses }) {
+            ReplyBatch::SampledSeverity(items) => items,
+            _ => unreachable!("query preserves the kind"),
+        }
     }
 
     /// Estimate-cache counters summed over all shards.

@@ -245,6 +245,28 @@ impl EpochSnapshot {
         EdgeEstimate { epoch: self.epoch, predicted, measured, ratio, severity, alert }
     }
 
+    /// The sampled severity of `(a, c)` with a 95% confidence interval,
+    /// at an explicit witness budget `k`.
+    ///
+    /// Pure in `(self, a, c, k, cfg)` like [`EpochSnapshot::evaluate`],
+    /// and seeded by the same per-edge seed — so at
+    /// `k == cfg.severity_witnesses` the returned `point` is
+    /// bit-identical to the `severity` field of
+    /// [`EpochSnapshot::evaluate`]'s answer. `None` for unmeasured
+    /// edges and self-pairs, mirroring `evaluate`'s severity gating.
+    pub fn sampled_severity(
+        &self,
+        a: NodeId,
+        c: NodeId,
+        k: usize,
+        cfg: &EstimateConfig,
+    ) -> Option<tivcore::SeverityEstimate> {
+        if a == c || self.matrix.get(a, c).is_none() {
+            return None;
+        }
+        tivcore::estimate_severity_ci(&self.matrix, a, c, k, self.edge_seed(cfg, a, c))
+    }
+
     /// Evaluates one detour-routing query against the frozen state: the
     /// best one-hop relay of `(a, c)` and its predicted saving.
     ///
