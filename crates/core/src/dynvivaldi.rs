@@ -136,7 +136,7 @@ fn update_neighbors(
             })
             .collect();
         // Largest ratio first; the shrunk (small-ratio) tail is dropped.
-        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
         ranked.truncate(keep.max(1));
         if !ranked.is_empty() {
             sys.set_neighbors(i, ranked.into_iter().map(|(j, _)| j).collect());

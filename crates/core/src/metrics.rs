@@ -81,9 +81,9 @@ pub fn closest_neighbor_loss(m: &DelayMatrix, predict: impl Fn(NodeId, NodeId) -
     let mut counted = 0usize;
     for x in 0..n {
         let Some((true_nn, true_d)) = m.nearest_neighbor(x) else { continue };
-        let predicted_nn = (0..n).filter(|&y| y != x && m.get(x, y).is_some()).min_by(|&a, &b| {
-            predict(x, a).partial_cmp(&predict(x, b)).expect("finite predictions")
-        });
+        let predicted_nn = (0..n)
+            .filter(|&y| y != x && m.get(x, y).is_some())
+            .min_by(|&a, &b| predict(x, a).total_cmp(&predict(x, b)));
         let Some(pnn) = predicted_nn else { continue };
         counted += 1;
         // Selecting a different peer with the same measured delay is

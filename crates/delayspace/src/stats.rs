@@ -18,7 +18,7 @@ impl Cdf {
     /// Builds a CDF from samples; non-finite samples are dropped.
     pub fn from_samples(samples: impl IntoIterator<Item = f64>) -> Self {
         let mut sorted: Vec<f64> = samples.into_iter().filter(|v| v.is_finite()).collect();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_by(f64::total_cmp);
         Cdf { sorted }
     }
 
@@ -195,7 +195,7 @@ impl BinnedStats {
         self.bins.iter().filter(|b| b.stats.is_some()).max_by(|a, b| {
             let ay = a.stats.unwrap().p50;
             let by = b.stats.unwrap().p50;
-            ay.partial_cmp(&by).unwrap()
+            ay.total_cmp(&by)
         })
     }
 }

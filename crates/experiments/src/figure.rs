@@ -48,10 +48,7 @@ impl Series {
 
     /// The y-value at the x closest to `x`, if any points exist.
     pub fn y_near(&self, x: f64) -> Option<f64> {
-        self.points
-            .iter()
-            .min_by(|a, b| (a.0 - x).abs().partial_cmp(&(b.0 - x).abs()).unwrap())
-            .map(|p| p.1)
+        self.points.iter().min_by(|a, b| (a.0 - x).abs().total_cmp(&(b.0 - x).abs())).map(|p| p.1)
     }
 }
 

@@ -198,7 +198,7 @@ pub fn fig8(lab: &mut Lab) -> Figure {
     let jump = med
         .windows(2)
         .filter(|w| w[0].0 >= 300.0)
-        .max_by(|a, b| (a[1].1 - a[0].1).partial_cmp(&(b[1].1 - b[0].1)).unwrap())
+        .max_by(|a, b| (a[1].1 - a[0].1).total_cmp(&(b[1].1 - b[0].1)))
         .map(|w| w[1].0)
         .unwrap_or(0.0);
 

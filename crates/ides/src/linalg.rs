@@ -270,8 +270,7 @@ pub fn solve(a: &Mat, b: &[f64]) -> Option<Vec<f64>> {
         .collect();
     for col in 0..n {
         // Partial pivot.
-        let pivot = (col..n)
-            .max_by(|&x, &y| w[x][col].abs().partial_cmp(&w[y][col].abs()).expect("finite"))?;
+        let pivot = (col..n).max_by(|&x, &y| w[x][col].abs().total_cmp(&w[y][col].abs()))?;
         if w[pivot][col].abs() < 1e-12 {
             return None;
         }

@@ -187,11 +187,11 @@ impl IdesModel {
     /// Among `candidates`, the node with the smallest predicted delay to
     /// `client`.
     pub fn select_nearest(&self, client: NodeId, candidates: &[NodeId]) -> Option<NodeId> {
-        candidates.iter().copied().filter(|&c| c != client).min_by(|&a, &b| {
-            self.predicted(client, a)
-                .partial_cmp(&self.predicted(client, b))
-                .expect("predictions are finite")
-        })
+        candidates
+            .iter()
+            .copied()
+            .filter(|&c| c != client)
+            .min_by(|&a, &b| self.predicted(client, a).total_cmp(&self.predicted(client, b)))
     }
 }
 

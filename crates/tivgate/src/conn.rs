@@ -69,7 +69,9 @@ impl Connection {
     /// The bytes still to be written, starting at the resume point of
     /// the last partial write.
     pub fn unsent(&self) -> &[u8] {
-        &self.write_buf[self.write_pos..]
+        // `write_pos <= len` is an invariant of `advance`, but a wire
+        // path never trades a guard for a panic.
+        self.write_buf.get(self.write_pos..).unwrap_or(&[])
     }
 
     /// Records that `n` bytes of [`unsent`](Connection::unsent) reached

@@ -177,6 +177,7 @@ pub fn run_open_loop(
     for (&addr, &expected) in addrs.iter().zip(&expected_per_replica) {
         let writer = GateClient::connect(addr)?;
         let mut reader = GateClient::from_stream(writer.try_clone_stream()?);
+        // tivlint: allow(pool-discipline, "loadgen reader threads are measurement harness, one per replica socket; latency aggregation is order-independent")
         readers.push(std::thread::spawn(move || -> io::Result<Vec<(u32, Instant, bool)>> {
             let mut seen = Vec::with_capacity(expected);
             for _ in 0..expected {
@@ -241,7 +242,7 @@ pub fn run_open_loop(
             latencies_us.push(done.saturating_sub(scheduled).as_secs_f64() * 1e6);
         }
     }
-    latencies_us.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    latencies_us.sort_by(f64::total_cmp);
     let pct = |p: f64| -> f64 {
         if latencies_us.is_empty() {
             return 0.0;

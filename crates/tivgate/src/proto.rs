@@ -437,18 +437,18 @@ pub enum FrameStep {
 
 /// Scans `buf` for the next complete frame (see [`FrameStep`]).
 pub fn next_frame(buf: &[u8]) -> FrameStep {
-    if buf.len() < 4 {
+    let Some(prefix) = buf.get(..4).and_then(|s| <[u8; 4]>::try_from(s).ok()) else {
         return FrameStep::Incomplete;
-    }
-    let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]);
+    };
+    let len = u32::from_le_bytes(prefix);
     if len as usize > MAX_FRAME {
         return FrameStep::TooLarge(len);
     }
     let total = 4 + len as usize;
-    if buf.len() < total {
-        return FrameStep::Incomplete;
+    match buf.get(4..total) {
+        Some(body) => FrameStep::Frame { body: body.to_vec(), consumed: total },
+        None => FrameStep::Incomplete,
     }
-    FrameStep::Frame { body: buf[4..total].to_vec(), consumed: total }
 }
 
 // ---------------------------------------------------------------------
@@ -525,7 +525,9 @@ impl Writer {
     fn finish(mut self) -> Vec<u8> {
         let body_len = self.buf.len() - 4;
         assert!(body_len <= MAX_FRAME, "encoded frame body of {body_len} bytes exceeds MAX_FRAME");
-        self.buf[..4].copy_from_slice(&(body_len as u32).to_le_bytes());
+        if let Some(prefix) = self.buf.get_mut(..4) {
+            prefix.copy_from_slice(&(body_len as u32).to_le_bytes());
+        }
         self.buf
     }
 }
@@ -541,34 +543,41 @@ impl<'a> Reader<'a> {
     }
 
     fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], DecodeError> {
-        if self.buf.len() - self.pos < n {
-            return Err(DecodeError::Malformed(format!(
+        match self.buf.get(self.pos..self.pos + n) {
+            Some(s) => {
+                self.pos += n;
+                Ok(s)
+            }
+            None => Err(DecodeError::Malformed(format!(
                 "truncated {what}: wanted {n} bytes, {} left",
-                self.buf.len() - self.pos
-            )));
+                self.buf.len().saturating_sub(self.pos)
+            ))),
         }
-        let s = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
-        Ok(s)
+    }
+
+    /// Fixed-size read: the conversion cannot fail (`take` returned
+    /// exactly `N` bytes), so decode stays panic-free by construction
+    /// instead of by `expect`.
+    fn take_n<const N: usize>(&mut self, what: &str) -> Result<[u8; N], DecodeError> {
+        let s = self.take(N, what)?;
+        <[u8; N]>::try_from(s).map_err(|_| DecodeError::Malformed(format!("truncated {what}")))
     }
 
     fn u8(&mut self, what: &str) -> Result<u8, DecodeError> {
-        Ok(self.take(1, what)?[0])
+        let [b] = self.take_n::<1>(what)?;
+        Ok(b)
     }
 
     fn u16(&mut self, what: &str) -> Result<u16, DecodeError> {
-        let s = self.take(2, what)?;
-        Ok(u16::from_le_bytes([s[0], s[1]]))
+        Ok(u16::from_le_bytes(self.take_n(what)?))
     }
 
     fn u32(&mut self, what: &str) -> Result<u32, DecodeError> {
-        let s = self.take(4, what)?;
-        Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+        Ok(u32::from_le_bytes(self.take_n(what)?))
     }
 
     fn u64(&mut self, what: &str) -> Result<u64, DecodeError> {
-        let s = self.take(8, what)?;
-        Ok(u64::from_le_bytes(s.try_into().expect("8-byte slice")))
+        Ok(u64::from_le_bytes(self.take_n(what)?))
     }
 
     fn f64_bits(&mut self, what: &str) -> Result<f64, DecodeError> {
@@ -778,7 +787,7 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             let mut w = Writer::frame(Kind::Error, *id);
             w.u16(*code as u16);
             let msg = message.as_bytes();
-            let msg = &msg[..msg.len().min(512)]; // errors stay small
+            let (msg, _) = msg.split_at(msg.len().min(512)); // errors stay small
             w.u16(msg.len() as u16);
             w.buf.extend_from_slice(msg);
             w.finish()

@@ -153,6 +153,7 @@ pub fn spawn_publisher<B: EpochSource<Snapshot = tivserve::EpochSnapshot>>(
     assert!(observations_per_epoch >= 1, "need at least one observation per epoch");
     assert!(!services.is_empty(), "publisher needs at least one service");
     let (tx, rx) = mpsc::channel::<Observation>();
+    // tivlint: allow(pool-discipline, "one long-lived multi-replica epoch-publisher thread, not a parallel kernel; lockstep publishing is pinned by publish_all tests")
     let handle = std::thread::spawn(move || {
         let publish = |builder: &mut B| {
             let snapshot = builder.build();

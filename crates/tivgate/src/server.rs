@@ -20,7 +20,7 @@
 //!   interest dropped (backpressure) while everyone else proceeds.
 
 use crate::conn::Connection;
-use crate::proto::{self, decode_request, encode_response, ErrorCode, Request, Response, HEADER};
+use crate::proto::{self, decode_request, encode_response, ErrorCode, Request, Response};
 use mio::net::{TcpListener, TcpStream};
 use mio::{Events, Interest, Poll, Token};
 use std::collections::HashMap;
@@ -47,7 +47,7 @@ pub struct GateConfig {
 impl Default for GateConfig {
     fn default() -> GateConfig {
         GateConfig {
-            addr: "127.0.0.1:0".parse().expect("loopback literal"),
+            addr: SocketAddr::from(([127, 0, 0, 1], 0)),
             events_per_poll: 256,
             poll_timeout: Duration::from_millis(25),
         }
@@ -132,6 +132,7 @@ impl GateServer {
         let shutdown = Arc::new(AtomicBool::new(false));
         let loop_stats = Arc::clone(&stats);
         let loop_shutdown = Arc::clone(&shutdown);
+        // tivlint: allow(pool-discipline, "one long-lived serving-loop thread per replica, not a parallel kernel; answers go through TivServe whose kernels use the pool")
         let thread = thread::Builder::new()
             .name(format!("tivgate-{}", addr.port()))
             .spawn(move || serve_loop(listener, service, cfg, loop_stats, loop_shutdown))
@@ -170,28 +171,26 @@ fn serve_loop(
                 accept_all(&listener, &mut poll, &mut clients, &mut next_token, &stats)?;
                 continue;
             }
-            let closed = match clients.get_mut(&token.0) {
-                // A stale event for a connection closed earlier in this
-                // same batch: nothing to do.
-                None => continue,
-                Some(client) => service_client(client, &service, &stats, &mut scratch),
-            };
-            match closed {
+            // A missing entry is a stale event for a connection closed
+            // earlier in this same batch: nothing to do.
+            let Some(client) = clients.get_mut(&token.0) else { continue };
+            let mut finished = false;
+            match service_client(client, &service, &stats, &mut scratch) {
                 Ok(false) => {
                     // Still open: sync its interest set with what it
                     // now needs (pause/resume reads, arm/disarm writes).
-                    let client = clients.get_mut(&token.0).expect("client present");
                     let desired = desired_interest(&client.conn);
                     if desired != client.interest {
                         poll.registry().reregister(&client.stream, token, desired)?;
                         client.interest = desired;
                     }
                 }
-                Ok(true) | Err(_) => {
-                    if let Some(client) = clients.remove(&token.0) {
-                        let _ = poll.registry().deregister(&client.stream);
-                        GateStats::bump(&stats.connections_closed);
-                    }
+                Ok(true) | Err(_) => finished = true,
+            }
+            if finished {
+                if let Some(client) = clients.remove(&token.0) {
+                    let _ = poll.registry().deregister(&client.stream);
+                    GateStats::bump(&stats.connections_closed);
                 }
             }
         }
@@ -259,6 +258,7 @@ fn service_client(
                     saw_eof = true;
                     break;
                 }
+                // tivlint: allow(no-panic-wire-path, "read(2) contract: n <= scratch.len(), n does not depend on peer bytes")
                 Ok(n) => client.conn.ingest(&scratch[..n]),
                 Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => break,
                 Err(ref e) if e.kind() == io::ErrorKind::Interrupted => continue,
@@ -353,8 +353,10 @@ pub fn handle_body(service: &TivServe, body: &[u8], stats: &GateStats) -> (Vec<u
             let code = err.code();
             // Echo the request id when the header got far enough to
             // carry one trustworthily (version byte matched).
-            let id = if code != ErrorCode::BadVersion && body.len() >= HEADER {
-                u32::from_le_bytes(body[4..8].try_into().expect("4-byte slice"))
+            let id = if code != ErrorCode::BadVersion {
+                body.get(4..8)
+                    .and_then(|s| <[u8; 4]>::try_from(s).ok())
+                    .map_or(0, u32::from_le_bytes)
             } else {
                 0
             };

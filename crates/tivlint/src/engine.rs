@@ -1,0 +1,449 @@
+//! Workspace walking, test-region detection, waivers and reporting.
+//!
+//! The engine loads every `.rs` file under `<root>/crates` (skipping
+//! `target/` build output and the linter's own seeded-violation
+//! `fixtures/` trees), lexes each one, computes which lines are *test
+//! code* (integration `tests/`/`benches/` files, plus the brace span
+//! of any item annotated `#[cfg(test)]` or `#[test]`), runs every
+//! rule, and then reconciles findings against waivers.
+//!
+//! ## Waivers
+//!
+//! A finding is suppressed by a comment of the form
+//!
+//! ```text
+//! // tivlint: allow(rule-name, "why this occurrence is sound")
+//! ```
+//!
+//! placed on the offending line or on the line directly above it, or
+//! by a file-scoped
+//!
+//! ```text
+//! // tivlint: allow-file(rule-name, "why the whole file is exempt")
+//! ```
+//!
+//! anywhere in the file. The reason string is mandatory — a waiver
+//! without one is itself an error — and a waiver that suppresses
+//! nothing is reported as *stale* so dead exemptions cannot
+//! accumulate. The total number of used waivers is compared against
+//! the checked-in budget in CI (see `--waiver-budget`).
+
+use crate::lexer::{self, Tok, TokKind};
+use crate::rules;
+use std::collections::BTreeSet;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One lexed source file plus the line classification rules need.
+pub struct SourceFile {
+    /// Path relative to the workspace root, `/`-separated.
+    pub rel: String,
+    /// Token stream (comments included).
+    pub toks: Vec<Tok>,
+    /// Whole file is test/bench code (`tests/` or `benches/` dir).
+    pub is_test_file: bool,
+    /// 1-based lines inside `#[cfg(test)]` / `#[test]` item bodies.
+    test_lines: BTreeSet<u32>,
+}
+
+impl SourceFile {
+    /// Lexes `src` as the file `rel` and classifies its test regions.
+    pub fn parse(rel: &str, src: &str) -> SourceFile {
+        let toks = lexer::lex(src);
+        let is_test_file = rel.split('/').any(|c| c == "tests" || c == "benches");
+        let test_lines = test_region_lines(&toks);
+        SourceFile { rel: rel.to_string(), toks, is_test_file, test_lines }
+    }
+
+    /// True when `line` is test code for rules that exempt tests.
+    pub fn is_test_line(&self, line: u32) -> bool {
+        self.is_test_file || self.test_lines.contains(&line)
+    }
+
+    /// True when this file belongs to a `crates/compat/*` stub crate.
+    pub fn is_compat(&self) -> bool {
+        self.rel.starts_with("crates/compat/")
+    }
+
+    /// The crate directory (`crates/foo` or `crates/compat/foo`) this
+    /// file belongs to, when under `crates/`.
+    pub fn crate_dir(&self) -> Option<&str> {
+        let parts: Vec<&str> = self.rel.split('/').collect();
+        match parts.as_slice() {
+            ["crates", "compat", name, ..] => {
+                Some(&self.rel[..("crates/compat/".len() + name.len())])
+            }
+            ["crates", name, ..] => Some(&self.rel[..("crates/".len() + name.len())]),
+            _ => None,
+        }
+    }
+}
+
+/// A rule violation at a specific line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Root-relative `/`-separated path.
+    pub rel: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule identifier (kebab-case, as used in waivers).
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub msg: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}: {}", self.rel, self.line, self.rule, self.msg)
+    }
+}
+
+/// A parsed `tivlint: allow(...)` comment.
+#[derive(Clone, Debug)]
+pub struct Waiver {
+    /// Root-relative path of the file containing the waiver.
+    pub rel: String,
+    /// Line of the waiver comment.
+    pub line: u32,
+    /// Rule the waiver names.
+    pub rule: String,
+    /// The mandatory justification (may be empty if the author forgot
+    /// — that is reported as an error).
+    pub reason: String,
+    /// `allow-file` form: applies to the whole file.
+    pub file_scope: bool,
+    /// Lines the waiver can suppress (line-scoped form only).
+    pub targets: Vec<u32>,
+}
+
+/// The outcome of analyzing a workspace.
+#[derive(Default)]
+pub struct Report {
+    /// Violations not covered by any waiver — these fail the build.
+    pub findings: Vec<Finding>,
+    /// Violations suppressed by a waiver, with the justification.
+    pub waived: Vec<(Finding, String)>,
+    /// Waiver-syntax problems: missing reason, unknown rule, stale
+    /// waiver. These fail the build too.
+    pub waiver_errors: Vec<String>,
+    /// Waiver *comments* that suppressed at least one finding (several
+    /// findings under one comment count once) — the number the CI
+    /// budget compares.
+    pub waivers_used: usize,
+    /// Files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// True when the workspace passes: no unwaived findings and no
+    /// waiver errors.
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty() && self.waiver_errors.is_empty()
+    }
+}
+
+/// Analyzes every `.rs` file under `<root>/crates`.
+pub fn analyze(root: &Path) -> io::Result<Report> {
+    let mut paths = Vec::new();
+    collect_rs(&root.join("crates"), &mut paths)?;
+    paths.sort();
+    let mut files = Vec::with_capacity(paths.len());
+    for path in &paths {
+        let src = fs::read_to_string(path)?;
+        let rel = rel_path(root, path);
+        files.push(SourceFile::parse(&rel, &src));
+    }
+    Ok(analyze_files(&files))
+}
+
+/// Runs all rules over pre-parsed files and reconciles waivers.
+/// Separated from [`analyze`] so fixtures can be tested in-memory.
+pub fn analyze_files(files: &[SourceFile]) -> Report {
+    let mut raw = Vec::new();
+    for file in files {
+        rules::check_file(file, &mut raw);
+    }
+    rules::check_workspace(files, &mut raw);
+    raw.sort_by(|a, b| (&a.rel, a.line, a.rule).cmp(&(&b.rel, b.line, b.rule)));
+
+    let mut waivers: Vec<Waiver> = files.iter().flat_map(collect_waivers).collect();
+    let mut report = Report { files_scanned: files.len(), ..Report::default() };
+
+    for w in &waivers {
+        if !rules::RULES.contains(&w.rule.as_str()) {
+            report.waiver_errors.push(format!(
+                "{}:{}: waiver names unknown rule `{}` (known: {})",
+                w.rel,
+                w.line,
+                w.rule,
+                rules::RULES.join(", ")
+            ));
+        }
+        if w.reason.trim().is_empty() {
+            report.waiver_errors.push(format!(
+                "{}:{}: waiver for `{}` has no reason — every waiver must say why the \
+                 occurrence is sound",
+                w.rel, w.line, w.rule
+            ));
+        }
+    }
+
+    let mut used = vec![false; waivers.len()];
+    for finding in raw {
+        let hit = waivers.iter().position(|w| {
+            w.rule == finding.rule
+                && w.rel == finding.rel
+                && (w.file_scope || w.targets.contains(&finding.line))
+        });
+        match hit {
+            Some(i) => {
+                used[i] = true;
+                report.waived.push((finding, waivers[i].reason.clone()));
+            }
+            None => report.findings.push(finding),
+        }
+    }
+    for (i, w) in waivers.iter_mut().enumerate() {
+        if !used[i] && rules::RULES.contains(&w.rule.as_str()) {
+            report.waiver_errors.push(format!(
+                "{}:{}: stale waiver for `{}` — it suppresses nothing; remove it",
+                w.rel, w.line, w.rule
+            ));
+        }
+    }
+    report.waivers_used = used.iter().filter(|&&u| u).count();
+    report
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            // `target/` is build output; `fixtures/` trees hold this
+            // crate's *seeded violations* and must never fail the real
+            // workspace run.
+            if name == "target" || name == "fixtures" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components().map(|c| c.as_os_str().to_string_lossy()).collect::<Vec<_>>().join("/")
+}
+
+/// Lines covered by `#[cfg(test)]` / `#[test]` item bodies.
+///
+/// After such an attribute, any further attributes are skipped and
+/// the following item's brace span (first `{` before a `;`, through
+/// its matching `}`) is marked, inclusive of both brace lines.
+fn test_region_lines(toks: &[Tok]) -> BTreeSet<u32> {
+    let sig: Vec<&Tok> = lexer::significant(toks).collect();
+    let mut lines = BTreeSet::new();
+    let mut i = 0;
+    while i < sig.len() {
+        if sig[i].text == "#" && at(&sig, i + 1) == "[" {
+            let close = match matching(&sig, i + 1, "[", "]") {
+                Some(c) => c,
+                None => break,
+            };
+            let body: Vec<&str> = sig[i + 2..close].iter().map(|t| t.text.as_str()).collect();
+            let is_test_attr = body.first() == Some(&"test")
+                || (body.first() == Some(&"cfg") && body.contains(&"test"));
+            if is_test_attr {
+                // Skip any further attributes between this one and the
+                // item itself.
+                let mut j = close + 1;
+                while at(&sig, j) == "#" && at(&sig, j + 1) == "[" {
+                    match matching(&sig, j + 1, "[", "]") {
+                        Some(c) => j = c + 1,
+                        None => return lines,
+                    }
+                }
+                // Find the item's opening brace; a `;` first means a
+                // body-less item (`mod tests;`) with no region.
+                while j < sig.len() && at(&sig, j) != "{" && at(&sig, j) != ";" {
+                    j += 1;
+                }
+                if at(&sig, j) == "{" {
+                    if let Some(end) = matching(&sig, j, "{", "}") {
+                        for l in sig[j].line..=sig[end].line {
+                            lines.insert(l);
+                        }
+                        i = end + 1;
+                        continue;
+                    }
+                }
+                i = j + 1;
+                continue;
+            }
+            i = close + 1;
+            continue;
+        }
+        i += 1;
+    }
+    lines
+}
+
+fn at<'a>(sig: &[&'a Tok], i: usize) -> &'a str {
+    sig.get(i).map(|t| t.text.as_str()).unwrap_or("")
+}
+
+/// Index of the token matching the opener at `open_idx`.
+fn matching(sig: &[&Tok], open_idx: usize, open: &str, close: &str) -> Option<usize> {
+    let mut depth = 0usize;
+    for (k, t) in sig.iter().enumerate().skip(open_idx) {
+        if t.text == open {
+            depth += 1;
+        } else if t.text == close {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+/// Extracts every waiver comment from a file.
+fn collect_waivers(file: &SourceFile) -> Vec<Waiver> {
+    let mut out = Vec::new();
+    // Lines that contain non-comment tokens, for waiver targeting.
+    let code_lines: BTreeSet<u32> = lexer::significant(&file.toks).map(|t| t.line).collect();
+    for (idx, tok) in file.toks.iter().enumerate() {
+        if tok.kind != TokKind::Comment {
+            continue;
+        }
+        // Waivers are code annotations, not documentation: only plain
+        // `//` / `/*` comments count, so rustdoc prose *about* the
+        // waiver syntax can never waive anything.
+        if ["///", "//!", "/**", "/*!"].iter().any(|p| tok.text.starts_with(p)) {
+            continue;
+        }
+        let Some((file_scope, rule, reason)) = parse_waiver(&tok.text) else { continue };
+        // A waiver trailing code on the same line targets that line; a
+        // standalone waiver comment targets the next code line
+        // (skipping further standalone comments/blank lines).
+        let own_line_has_code = file.toks[..idx]
+            .iter()
+            .chain(file.toks[idx + 1..].iter())
+            .any(|t| t.kind != TokKind::Comment && t.line == tok.line);
+        let targets = if file_scope {
+            Vec::new()
+        } else if own_line_has_code {
+            vec![tok.line]
+        } else {
+            code_lines.range(tok.line + 1..).next().map(|&l| vec![l]).unwrap_or_default()
+        };
+        out.push(Waiver {
+            rel: file.rel.clone(),
+            line: tok.line,
+            rule,
+            reason,
+            file_scope,
+            targets,
+        });
+    }
+    out
+}
+
+/// Parses `tivlint: allow(rule, "reason")` / `allow-file(...)` out of
+/// a comment's text. Returns `(file_scope, rule, reason)`.
+fn parse_waiver(comment: &str) -> Option<(bool, String, String)> {
+    let pos = comment.find("tivlint:")?;
+    let rest = comment[pos + "tivlint:".len()..].trim_start();
+    let (file_scope, rest) = if let Some(r) = rest.strip_prefix("allow-file(") {
+        (true, r)
+    } else if let Some(r) = rest.strip_prefix("allow(") {
+        (false, r)
+    } else {
+        return None;
+    };
+    let close = rest.find(')')?;
+    let inner = &rest[..close];
+    let (rule, reason) = match inner.find(',') {
+        Some(c) => (&inner[..c], inner[c + 1..].trim()),
+        None => (inner, ""),
+    };
+    let reason = reason.trim_matches('"').to_string();
+    Some((file_scope, rule.trim().to_string(), reason))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(rel: &str, src: &str) -> SourceFile {
+        SourceFile::parse(rel, src)
+    }
+
+    #[test]
+    fn cfg_test_mod_lines_are_test_lines() {
+        let f = file(
+            "crates/x/src/lib.rs",
+            "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() {}\n}\nfn c() {}\n",
+        );
+        assert!(!f.is_test_line(1));
+        assert!(f.is_test_line(3));
+        assert!(f.is_test_line(4));
+        assert!(f.is_test_line(5));
+        assert!(!f.is_test_line(6));
+    }
+
+    #[test]
+    fn test_attr_with_should_panic_covers_the_fn() {
+        let f = file(
+            "crates/x/src/lib.rs",
+            "#[test]\n#[should_panic(expected = \"boom\")]\nfn t() {\n    body();\n}\nfn prod() {}\n",
+        );
+        assert!(f.is_test_line(4));
+        assert!(!f.is_test_line(6));
+    }
+
+    #[test]
+    fn integration_test_files_are_test_everywhere() {
+        let f = file("crates/x/tests/it.rs", "fn anything() {}\n");
+        assert!(f.is_test_line(1));
+        let b = file("crates/bench/benches/scale.rs", "fn anything() {}\n");
+        assert!(b.is_test_line(1));
+    }
+
+    #[test]
+    fn waiver_parsing_and_targeting() {
+        let f = file(
+            "crates/x/src/lib.rs",
+            "// tivlint: allow(float-total-order, \"not a float\")\nfn a() {}\nfn b() {} // tivlint: allow(unsafe-containment, \"why\")\n// tivlint: allow-file(pool-discipline, \"whole file\")\n",
+        );
+        let ws = collect_waivers(&f);
+        assert_eq!(ws.len(), 3);
+        assert_eq!(ws[0].rule, "float-total-order");
+        assert_eq!(ws[0].targets, vec![2], "standalone comment targets the next code line");
+        assert_eq!(ws[1].targets, vec![3], "trailing comment targets its own line");
+        assert!(ws[2].file_scope);
+        assert_eq!(ws[2].reason, "whole file");
+    }
+
+    #[test]
+    fn crate_dir_distinguishes_compat() {
+        let f = file("crates/compat/mio/src/lib.rs", "");
+        assert_eq!(f.crate_dir(), Some("crates/compat/mio"));
+        assert!(f.is_compat());
+        let g = file("crates/tivgate/src/proto.rs", "");
+        assert_eq!(g.crate_dir(), Some("crates/tivgate"));
+        assert!(!g.is_compat());
+    }
+}

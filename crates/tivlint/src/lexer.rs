@@ -1,0 +1,478 @@
+//! A small, line-aware Rust lexer for static analysis.
+//!
+//! The rules in this crate pattern-match *token* streams, never raw
+//! text, so a `partial_cmp` inside a string literal, a `thread::spawn`
+//! inside a doc comment, or an `unsafe` in a `//` line can never
+//! produce a false finding. The lexer therefore has to get exactly the
+//! hard parts of Rust's lexical grammar right:
+//!
+//! * line (`//`) and **nested** block (`/* /* */ */`) comments;
+//! * string literals with escapes (`"\" // not a comment"`);
+//! * raw strings `r"…"` / `r#"…"#` with any number of hashes (no
+//!   escapes, may contain quotes and comment markers);
+//! * byte strings `b"…"`, raw byte strings `br#"…"#`;
+//! * char and byte-char literals (`'"'`, `'\''`, `b'x'`) versus
+//!   lifetimes (`'a`, `'static`) — the classic single-quote ambiguity;
+//! * raw identifiers (`r#match`).
+//!
+//! It is deliberately *not* a full parser: tokens carry only a kind,
+//! the 1-based line they start on, and their text. Comments are kept
+//! as tokens (the waiver syntax lives in them); rules iterate over
+//! "significant" tokens via [`significant`].
+
+/// Lexical class of a [`Tok`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (raw identifiers are stored without `r#`).
+    Ident,
+    /// A single punctuation character (`.`, `:`, `[`, `!`, …).
+    Punct,
+    /// A lifetime (`'a`), stored without the leading quote.
+    Lifetime,
+    /// String, raw string, byte string or raw byte string literal.
+    Str,
+    /// Char or byte-char literal.
+    Char,
+    /// Numeric literal (integer or float, any base).
+    Num,
+    /// Line or block comment, text included (waivers live here).
+    Comment,
+}
+
+/// One lexed token: kind, 1-based start line, and verbatim text
+/// (except raw identifiers, which drop their `r#` prefix so rules can
+/// match `r#unsafe` and `unsafe` alike).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Tok {
+    /// Lexical class.
+    pub kind: TokKind,
+    /// 1-based line the token *starts* on (multi-line tokens keep
+    /// their start line — diagnostics point at where the construct
+    /// begins).
+    pub line: u32,
+    /// Token text.
+    pub text: String,
+}
+
+/// Iterator over the non-comment tokens of a slice.
+pub fn significant(toks: &[Tok]) -> impl Iterator<Item = &Tok> {
+    toks.iter().filter(|t| t.kind != TokKind::Comment)
+}
+
+/// Parses the value of an integer literal token (`7`, `0x86`, `0b101`,
+/// `1_000`), `None` for floats or malformed text.
+pub fn int_value(text: &str) -> Option<u64> {
+    let t = text.replace('_', "");
+    if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        return u64::from_str_radix(hex, 16).ok();
+    }
+    if let Some(oct) = t.strip_prefix("0o") {
+        return u64::from_str_radix(oct, 8).ok();
+    }
+    if let Some(bin) = t.strip_prefix("0b") {
+        return u64::from_str_radix(bin, 2).ok();
+    }
+    t.parse().ok()
+}
+
+/// Lexes `src` into tokens. Never panics: unterminated constructs
+/// (string, block comment) simply run to end of input, and any byte
+/// that fits no class becomes a [`TokKind::Punct`].
+pub fn lex(src: &str) -> Vec<Tok> {
+    Lexer { s: src.as_bytes(), src, pos: 0, line: 1, out: Vec::new() }.run()
+}
+
+struct Lexer<'a> {
+    s: &'a [u8],
+    src: &'a str,
+    pos: usize,
+    line: u32,
+    out: Vec<Tok>,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Vec<Tok> {
+        while self.pos < self.s.len() {
+            let start = self.pos;
+            let line = self.line;
+            let c = self.s[self.pos];
+            match c {
+                b' ' | b'\t' | b'\r' => self.pos += 1,
+                b'\n' => {
+                    self.pos += 1;
+                    self.line += 1;
+                }
+                b'/' if self.peek(1) == Some(b'/') => {
+                    self.line_comment();
+                    self.push(TokKind::Comment, line, start);
+                }
+                b'/' if self.peek(1) == Some(b'*') => {
+                    self.block_comment();
+                    self.push(TokKind::Comment, line, start);
+                }
+                b'"' => {
+                    self.string();
+                    self.push(TokKind::Str, line, start);
+                }
+                b'\'' => self.quote(start, line),
+                b'r' | b'b' if self.raw_or_byte(start, line) => {}
+                c if c.is_ascii_digit() => {
+                    self.number();
+                    self.push(TokKind::Num, line, start);
+                }
+                c if c == b'_' || c.is_ascii_alphabetic() => {
+                    self.ident();
+                    self.push(TokKind::Ident, line, start);
+                }
+                _ => {
+                    // Multi-byte UTF-8 (only legal in comments/strings
+                    // for real Rust, but never panic on weird input).
+                    let w = utf8_len(c);
+                    self.pos += w;
+                    self.push(TokKind::Punct, line, start);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.s.get(self.pos + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokKind, line: u32, start: usize) {
+        self.out.push(Tok { kind, line, text: self.src[start..self.pos].to_string() });
+    }
+
+    fn bump_line(&mut self, c: u8) {
+        if c == b'\n' {
+            self.line += 1;
+        }
+    }
+
+    fn line_comment(&mut self) {
+        while self.pos < self.s.len() && self.s[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+    }
+
+    fn block_comment(&mut self) {
+        self.pos += 2;
+        let mut depth = 1usize;
+        while self.pos < self.s.len() && depth > 0 {
+            if self.s[self.pos] == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.pos += 2;
+            } else if self.s[self.pos] == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.pos += 2;
+            } else {
+                self.bump_line(self.s[self.pos]);
+                self.pos += 1;
+            }
+        }
+    }
+
+    /// Consumes a `"…"` string starting at the opening quote.
+    fn string(&mut self) {
+        self.pos += 1;
+        while self.pos < self.s.len() {
+            match self.s[self.pos] {
+                b'\\' => {
+                    // Escaped char; a line-continuation escape still
+                    // advances the line counter.
+                    if self.peek(1) == Some(b'\n') {
+                        self.line += 1;
+                    }
+                    self.pos += 2.min(self.s.len() - self.pos);
+                }
+                b'"' => {
+                    self.pos += 1;
+                    return;
+                }
+                c => {
+                    self.bump_line(c);
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    /// Consumes a `r"…"` / `r#…#"…"#…#` raw string starting at the
+    /// first `#` or quote (after the `r` / `br` prefix).
+    fn raw_string(&mut self) {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.pos += 1;
+        }
+        if self.peek(0) != Some(b'"') {
+            return; // not actually a raw string; caller handled prefix
+        }
+        self.pos += 1;
+        while self.pos < self.s.len() {
+            let c = self.s[self.pos];
+            if c == b'"'
+                && self.s[self.pos + 1..].iter().take(hashes).filter(|&&b| b == b'#').count()
+                    == hashes
+            {
+                self.pos += 1 + hashes;
+                return;
+            }
+            self.bump_line(c);
+            self.pos += 1;
+        }
+    }
+
+    /// Handles `'` — either a lifetime or a char literal.
+    fn quote(&mut self, start: usize, line: u32) {
+        // 'x' where x is escaped => char. 'a followed by another quote
+        // => char ('a'). Otherwise an identifier start => lifetime.
+        match self.peek(1) {
+            Some(b'\\') => {
+                self.pos += 2; // consume ' and backslash
+                if self.pos < self.s.len() {
+                    self.pos += utf8_len(self.s[self.pos]); // escaped char
+                }
+                // Consume to the closing quote (covers \u{…} forms).
+                while self.pos < self.s.len() && self.s[self.pos] != b'\'' {
+                    self.bump_line(self.s[self.pos]);
+                    self.pos += 1;
+                }
+                self.pos += 1.min(self.s.len() - self.pos);
+                self.push(TokKind::Char, line, start);
+            }
+            Some(c) if c == b'_' || c.is_ascii_alphabetic() => {
+                if self.peek(2) == Some(b'\'') {
+                    self.pos += 3; // 'a'
+                    self.push(TokKind::Char, line, start);
+                } else {
+                    self.pos += 1;
+                    self.ident();
+                    self.push(TokKind::Lifetime, line, start);
+                }
+            }
+            Some(c) => {
+                // Non-identifier char literal: '"', '[', '🦀', ' '.
+                self.pos += 1 + utf8_len(c);
+                if self.peek(0) == Some(b'\'') {
+                    self.pos += 1;
+                }
+                self.push(TokKind::Char, line, start);
+            }
+            None => {
+                self.pos += 1;
+                self.push(TokKind::Punct, line, start);
+            }
+        }
+    }
+
+    /// Dispatches the `r` / `b` prefixed forms. Returns false when the
+    /// character is just the start of a plain identifier, leaving
+    /// `pos` untouched.
+    fn raw_or_byte(&mut self, start: usize, line: u32) -> bool {
+        let c = self.s[self.pos];
+        let (n1, n2) = (self.peek(1), self.peek(2));
+        match (c, n1, n2) {
+            // r"…" or r#…  (raw string or raw identifier)
+            (b'r', Some(b'"'), _) => {
+                self.pos += 1;
+                self.raw_string();
+                self.push(TokKind::Str, line, start);
+                true
+            }
+            (b'r', Some(b'#'), next) => {
+                if next == Some(b'"') || next == Some(b'#') {
+                    self.pos += 1;
+                    self.raw_string();
+                    self.push(TokKind::Str, line, start);
+                } else {
+                    // Raw identifier r#match: skip the prefix so the
+                    // token text matches the plain spelling.
+                    self.pos += 2;
+                    let istart = self.pos;
+                    self.ident();
+                    if self.pos == istart {
+                        // `r#` followed by no identifier (malformed
+                        // input): emit the pieces rather than an
+                        // empty-text token.
+                        self.out.push(Tok { kind: TokKind::Ident, line, text: "r".into() });
+                        self.out.push(Tok { kind: TokKind::Punct, line, text: "#".into() });
+                    } else {
+                        let text = self.src[istart..self.pos].to_string();
+                        self.out.push(Tok { kind: TokKind::Ident, line, text });
+                    }
+                }
+                true
+            }
+            // b"…", br"…", br#"…"#, b'x'
+            (b'b', Some(b'"'), _) => {
+                self.pos += 1;
+                self.string();
+                self.push(TokKind::Str, line, start);
+                true
+            }
+            (b'b', Some(b'r'), Some(b'"' | b'#')) => {
+                self.pos += 2;
+                self.raw_string();
+                self.push(TokKind::Str, line, start);
+                true
+            }
+            (b'b', Some(b'\''), _) => {
+                self.pos += 1;
+                self.quote(start, line);
+                // quote() pushed a Char/Lifetime token with text missing
+                // the `b`; fix the text up to cover the full literal.
+                if let Some(last) = self.out.last_mut() {
+                    last.kind = TokKind::Char;
+                    last.text = self.src[start..self.pos].to_string();
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn number(&mut self) {
+        // Base prefix.
+        if self.peek(0) == Some(b'0') && matches!(self.peek(1), Some(b'x' | b'X' | b'o' | b'b')) {
+            self.pos += 2;
+        }
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                // Exponent sign: 1e-3, 2.5E+7.
+                if (c == b'e' || c == b'E') && matches!(self.peek(1), Some(b'+' | b'-')) {
+                    self.pos += 1;
+                }
+                self.pos += 1;
+            } else if c == b'.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                // 1.5 consumes the dot; 1..n does not (range syntax).
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn ident(&mut self) {
+        while let Some(c) = self.peek(0) {
+            if c == b'_' || c.is_ascii_alphanumeric() {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+/// Width in bytes of the UTF-8 sequence starting with `b` (1 for
+/// ASCII and for malformed leading bytes — progress is guaranteed).
+fn utf8_len(b: u8) -> usize {
+    match b {
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        0xF0..=0xF7 => 4,
+        _ => 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src).into_iter().filter(|t| t.kind == TokKind::Ident).map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn comments_hide_tokens_and_nest() {
+        assert_eq!(idents("a // unsafe partial_cmp\nb"), ["a", "b"]);
+        assert_eq!(idents("a /* unsafe /* nested */ still comment */ b"), ["a", "b"]);
+        // Unterminated block comment swallows the rest, never panics.
+        assert_eq!(idents("a /* open\nunsafe"), ["a"]);
+    }
+
+    #[test]
+    fn strings_hide_comment_markers_and_escapes() {
+        assert_eq!(idents(r#"a "// not a comment" b"#), ["a", "b"]);
+        assert_eq!(idents(r#"a "escaped \" quote // still string" b"#), ["a", "b"]);
+        assert_eq!(idents("a \"/* no comment */\" unsafe"), ["a", "unsafe"]);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = "a r#\"contains \" and // and /* \"# b";
+        assert_eq!(idents(src), ["a", "b"]);
+        let two = "x r##\"inner \"# still open\"## y";
+        assert_eq!(idents(two), ["x", "y"]);
+        assert_eq!(idents("p r\"plain raw\" q"), ["p", "q"]);
+        assert_eq!(idents("p br#\"raw bytes \" here\"# q"), ["p", "q"]);
+        assert_eq!(idents("p b\"bytes // ok\" q"), ["p", "q"]);
+    }
+
+    #[test]
+    fn char_literals_versus_lifetimes() {
+        // '"' is a char literal, not the start of a string.
+        assert_eq!(idents("a '\"' unsafe \" swallowed? b"), ["a", "unsafe"]);
+        assert_eq!(idents(r"m '\'' n"), ["m", "n"]);
+        assert_eq!(idents("f('x') g"), ["f", "g"]);
+        assert_eq!(idents("b'q' z"), ["z"]);
+        let toks = lex("&'a str + 'static");
+        let lifetimes: Vec<&str> =
+            toks.iter().filter(|t| t.kind == TokKind::Lifetime).map(|t| t.text.as_str()).collect();
+        assert_eq!(lifetimes, ["'a", "'static"]);
+    }
+
+    #[test]
+    fn raw_identifiers_drop_their_prefix() {
+        assert_eq!(idents("r#unsafe r#match normal"), ["unsafe", "match", "normal"]);
+        // …but r-strings starting with the same bytes stay strings.
+        assert_eq!(idents("r#\"unsafe\"# tail"), ["tail"]);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_range_dots() {
+        let got = kinds("0..n");
+        assert_eq!(
+            got,
+            vec![
+                (TokKind::Num, "0".into()),
+                (TokKind::Punct, ".".into()),
+                (TokKind::Punct, ".".into()),
+                (TokKind::Ident, "n".into()),
+            ]
+        );
+        assert_eq!(kinds("1.5e-3")[0], (TokKind::Num, "1.5e-3".into()));
+        assert_eq!(kinds("0x86")[0], (TokKind::Num, "0x86".into()));
+    }
+
+    #[test]
+    fn int_values_parse_all_bases() {
+        assert_eq!(int_value("0x86"), Some(0x86));
+        assert_eq!(int_value("1_000"), Some(1000));
+        assert_eq!(int_value("0b101"), Some(5));
+        assert_eq!(int_value("0o17"), Some(15));
+        assert_eq!(int_value("1.5"), None);
+    }
+
+    #[test]
+    fn lines_are_tracked_through_multiline_tokens() {
+        let src = "one\n\"str\nspans\nlines\" two\n/* c\nc */ three";
+        let toks = lex(src);
+        let find = |name: &str| toks.iter().find(|t| t.text == name).unwrap().line;
+        assert_eq!(find("one"), 1);
+        assert_eq!(find("two"), 4, "after a string spanning lines 2-4");
+        assert_eq!(find("three"), 6, "after a block comment spanning 5-6");
+    }
+
+    #[test]
+    fn unterminated_inputs_never_panic() {
+        for src in ["\"open", "r#\"open", "/* open", "'", "b'", "r#", "1e", "\\"] {
+            let _ = lex(src);
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! # `tivlint` — the workspace invariant checker
+//!
+//! This workspace's evidence chain rests on invariants no ordinary
+//! test can pin for code that has not been written yet: answers stay
+//! bit-identical across thread counts, shard counts, replica counts
+//! and the wire; malformed network bytes never panic a replica;
+//! `unsafe` stays confined to the one FFI shim that needs it. Until
+//! this crate, those were conventions — and PR 4's
+//! `partial_cmp().unwrap()` NaN panic showed how a convention fails:
+//! silently, in the one code path review did not cover.
+//!
+//! `tivlint` mechanizes the discipline as an offline, dependency-free
+//! static-analysis pass:
+//!
+//! * a [`lexer`] that understands comments, strings, raw strings and
+//!   char-vs-lifetime quotes, so rules match *tokens*, never text in
+//!   a string or a doc comment;
+//! * an [`engine`] that classifies test regions, applies
+//!   `// tivlint: allow(rule, "reason")` waivers, rejects waivers
+//!   without reasons, and reports *stale* waivers so exemptions can
+//!   only shrink;
+//! * five [`rules`] grounded in real incidents (see `docs/LINTS.md`).
+//!
+//! The binary (`cargo run -p tivlint -- --check`) exits non-zero on
+//! any unwaived finding and is wired into CI as the `lint-tiv` job,
+//! where the used-waiver count is also compared against the
+//! checked-in budget (`ci/lint-waiver-budget.txt`): a new waiver
+//! fails CI until the budget is consciously raised in the same PR.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod engine;
+pub mod lexer;
+pub mod rules;

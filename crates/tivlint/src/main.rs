@@ -1,0 +1,172 @@
+//! `tivlint` CLI: `cargo run -p tivlint -- --check`.
+//!
+//! Exit codes: `0` clean, `1` findings / waiver errors / budget
+//! exceeded, `2` usage or I/O errors.
+
+#![forbid(unsafe_code)]
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use tivlint::engine;
+use tivlint::rules::RULES;
+
+const USAGE: &str = "\
+tivlint — workspace invariant checker
+
+USAGE:
+    tivlint --check [--root DIR] [--waiver-budget FILE]
+    tivlint --list-rules
+
+OPTIONS:
+    --check                Analyze the workspace; exit 1 on any
+                           unwaived finding, reasonless waiver or
+                           stale waiver.
+    --root DIR             Workspace root (default: walk up from the
+                           current directory to the first dir with
+                           both Cargo.toml and crates/).
+    --waiver-budget FILE   Compare the used-waiver count against the
+                           integer in FILE; exit 1 if it grew.
+    --list-rules           Print the rule identifiers and exit.
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut check = false;
+    let mut root: Option<PathBuf> = None;
+    let mut budget_file: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--list-rules" => {
+                for rule in RULES {
+                    println!("{rule}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--root" => match it.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage_error("--root needs a directory"),
+            },
+            "--waiver-budget" => match it.next() {
+                Some(f) => budget_file = Some(PathBuf::from(f)),
+                None => return usage_error("--waiver-budget needs a file"),
+            },
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument `{other}`")),
+        }
+    }
+    if !check {
+        print!("{USAGE}");
+        return ExitCode::from(2);
+    }
+
+    let root = match root.or_else(find_root) {
+        Some(r) => r,
+        None => {
+            eprintln!("tivlint: no workspace root found (no Cargo.toml + crates/ upward)");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = match engine::analyze(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("tivlint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for f in &report.findings {
+        println!("{f}");
+    }
+    for e in &report.waiver_errors {
+        println!("{e}");
+    }
+    println!(
+        "tivlint: {} files, {} finding(s), {} waiver(s) used, {} waiver error(s)",
+        report.files_scanned,
+        report.findings.len(),
+        report.waivers_used,
+        report.waiver_errors.len(),
+    );
+
+    let mut failed = !report.clean();
+    if let Some(bf) = budget_file {
+        match read_budget(&bf) {
+            Ok(budget) => {
+                if report.waivers_used > budget {
+                    println!(
+                        "tivlint: waiver budget exceeded: {} used > {} budgeted ({}) — a new \
+                         waiver must raise the budget in the same PR, with the justification \
+                         in the waiver's reason string",
+                        report.waivers_used,
+                        budget,
+                        bf.display()
+                    );
+                    failed = true;
+                } else if report.waivers_used < budget {
+                    println!(
+                        "tivlint: note: only {} of {} budgeted waivers used — lower the \
+                         budget in {} to pin the improvement",
+                        report.waivers_used,
+                        budget,
+                        bf.display()
+                    );
+                } else {
+                    println!(
+                        "tivlint: waiver budget ok: {} used = {} budgeted",
+                        report.waivers_used, budget
+                    );
+                }
+            }
+            Err(e) => {
+                eprintln!("tivlint: cannot read waiver budget {}: {e}", bf.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("tivlint: {msg}\n\n{USAGE}");
+    ExitCode::from(2)
+}
+
+/// Walks up from the current directory to the first directory that
+/// looks like the workspace root.
+fn find_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// Reads the budget file: one integer, `#` comment lines ignored.
+fn read_budget(path: &Path) -> std::io::Result<usize> {
+    let text = std::fs::read_to_string(path)?;
+    text.lines()
+        .map(str::trim)
+        .find(|l| !l.is_empty() && !l.starts_with('#'))
+        .and_then(|l| l.parse().ok())
+        .ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "expected a single integer line (\"#\" comments allowed)",
+            )
+        })
+}

@@ -1,0 +1,358 @@
+//! The five rules. Each is grounded in a real incident or a guarantee
+//! the test suite pins — see `docs/LINTS.md` for the full catalog.
+//!
+//! | rule | guards |
+//! |------|--------|
+//! | `float-total-order`   | no `partial_cmp` on the NaN-capable paths (the PR-4 severity panic class) |
+//! | `pool-discipline`     | all parallelism goes through `tivpar` (bit-equivalence across thread counts) |
+//! | `unsafe-containment`  | `unsafe` only in `compat/mio`; everyone else carries `#![forbid(unsafe_code)]` |
+//! | `no-panic-wire-path`  | malformed network input can never panic `tivgate`'s decode/dispatch |
+//! | `wire-kind-coverage`  | every request kind has a decode arm, a dispatch arm, and a round-trip test |
+
+use crate::engine::{Finding, SourceFile};
+use crate::lexer::{self, int_value, Tok, TokKind};
+
+/// Every rule identifier, in catalog order. Waivers must name one of
+/// these.
+pub const RULES: [&str; 5] = [
+    "float-total-order",
+    "pool-discipline",
+    "unsafe-containment",
+    "no-panic-wire-path",
+    "wire-kind-coverage",
+];
+
+/// The `tivgate` files whose non-test code is a wire path: every byte
+/// they handle may come from a hostile or corrupted peer.
+const WIRE_PATH_FILES: [&str; 3] =
+    ["crates/tivgate/src/conn.rs", "crates/tivgate/src/proto.rs", "crates/tivgate/src/server.rs"];
+
+/// Runs every single-file rule over `file`.
+pub fn check_file(file: &SourceFile, out: &mut Vec<Finding>) {
+    let sig: Vec<&Tok> = lexer::significant(&file.toks).collect();
+    float_total_order(file, &sig, out);
+    pool_discipline(file, &sig, out);
+    unsafe_tokens(file, &sig, out);
+    no_panic_wire_path(file, &sig, out);
+}
+
+/// Runs the cross-file rules over the whole workspace.
+pub fn check_workspace(files: &[SourceFile], out: &mut Vec<Finding>) {
+    forbid_attribute_sweep(files, out);
+    wire_kind_coverage(files, out);
+}
+
+fn finding(file: &SourceFile, line: u32, rule: &'static str, msg: String) -> Finding {
+    Finding { rel: file.rel.clone(), line, rule, msg }
+}
+
+/// `float-total-order`: `.partial_cmp(` outside tests. PR 4 shipped a
+/// `partial_cmp().unwrap()` that panicked the severity pass the first
+/// time a NaN-seeded matrix reached it; `f64::total_cmp` is the same
+/// comparison with NaN given a defined order.
+fn float_total_order(file: &SourceFile, sig: &[&Tok], out: &mut Vec<Finding>) {
+    if file.is_test_file {
+        return;
+    }
+    for w in sig.windows(2) {
+        if w[0].text == "." && w[1].text == "partial_cmp" && !file.is_test_line(w[1].line) {
+            out.push(finding(
+                file,
+                w[1].line,
+                "float-total-order",
+                "`.partial_cmp()` is not a total order (NaN breaks it — the PR-4 severity \
+                 panic class); use `f64::total_cmp`, or waive with a reason if the operands \
+                 are not floats"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+/// `pool-discipline`: `thread::{spawn,scope,Builder}` outside
+/// `tivpar`/`compat`. Parallel *kernels* must go through the `tivpar`
+/// pool or the bit-equivalence-across-thread-counts guarantee silently
+/// stops covering them; long-lived background threads (epoch builders,
+/// servers) are legitimate but must say so in a waiver.
+fn pool_discipline(file: &SourceFile, sig: &[&Tok], out: &mut Vec<Finding>) {
+    let dir = file.crate_dir().unwrap_or("");
+    if file.is_test_file || dir == "crates/tivpar" || file.is_compat() {
+        return;
+    }
+    for w in sig.windows(4) {
+        let call = w[0].text == "thread"
+            && w[1].text == ":"
+            && w[2].text == ":"
+            && matches!(w[3].text.as_str(), "spawn" | "scope" | "Builder");
+        if call && !file.is_test_line(w[3].line) {
+            out.push(finding(
+                file,
+                w[3].line,
+                "pool-discipline",
+                format!(
+                    "`thread::{}` outside tivpar: parallel kernels must use the tivpar pool \
+                     (bit-identical across thread counts); a long-lived background thread is \
+                     fine but needs a waiver saying so",
+                    w[3].text
+                ),
+            ));
+        }
+    }
+}
+
+/// `unsafe-containment` (token half): `unsafe` anywhere outside
+/// `crates/compat/mio`, tests included — test code links into the same
+/// binaries and a UB test is still UB.
+fn unsafe_tokens(file: &SourceFile, sig: &[&Tok], out: &mut Vec<Finding>) {
+    if file.crate_dir() == Some("crates/compat/mio") {
+        return;
+    }
+    for t in sig {
+        if t.kind == TokKind::Ident && t.text == "unsafe" {
+            out.push(finding(
+                file,
+                t.line,
+                "unsafe-containment",
+                "`unsafe` outside crates/compat/mio — the workspace confines unsafety to \
+                 the epoll FFI shim; justify any other use with a waiver"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+/// `unsafe-containment` (attribute half): every non-compat crate's
+/// `lib.rs` must carry `#![forbid(unsafe_code)]` so the containment
+/// holds even for code tivlint never sees (macros, generated code).
+fn forbid_attribute_sweep(files: &[SourceFile], out: &mut Vec<Finding>) {
+    for file in files {
+        if file.is_compat() || !file.rel.ends_with("/src/lib.rs") {
+            continue;
+        }
+        let sig: Vec<&Tok> = lexer::significant(&file.toks).collect();
+        let has_forbid = sig
+            .windows(3)
+            .any(|w| w[0].text == "forbid" && w[1].text == "(" && w[2].text == "unsafe_code");
+        if !has_forbid {
+            out.push(finding(
+                file,
+                1,
+                "unsafe-containment",
+                "crate is missing `#![forbid(unsafe_code)]` — every non-compat crate pins \
+                 the unsafety containment at the compiler level"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+/// `no-panic-wire-path`: `unwrap`/`expect`/panicking macros/slice
+/// indexing in `tivgate::{conn,proto,server}` non-test code. The
+/// `malformed.rs` suite proves hostile bytes get error frames, never
+/// panics; this rule makes the same claim statically, for the inputs
+/// the fuzz corpus has not found yet.
+fn no_panic_wire_path(file: &SourceFile, sig: &[&Tok], out: &mut Vec<Finding>) {
+    if !WIRE_PATH_FILES.contains(&file.rel.as_str()) {
+        return;
+    }
+    let flag = |out: &mut Vec<Finding>, line: u32, what: &str| {
+        out.push(finding(
+            file,
+            line,
+            "no-panic-wire-path",
+            format!(
+                "{what} on a wire path: malformed network input must produce a structured \
+                 error frame or a clean close, never a panic; prove the guard in a waiver \
+                 if this cannot fail"
+            ),
+        ));
+    };
+    for (i, t) in sig.iter().enumerate() {
+        if file.is_test_line(t.line) {
+            continue;
+        }
+        let prev = i.checked_sub(1).map(|p| sig[p].text.as_str()).unwrap_or("");
+        let next = sig.get(i + 1).map(|n| n.text.as_str()).unwrap_or("");
+        match (t.kind, t.text.as_str()) {
+            (TokKind::Ident, "unwrap" | "expect") if prev == "." => {
+                flag(out, t.line, &format!("`.{}()`", t.text));
+            }
+            (TokKind::Ident, "panic" | "unreachable" | "todo" | "unimplemented") if next == "!" => {
+                flag(out, t.line, &format!("`{}!`", t.text));
+            }
+            (TokKind::Punct, "[") => {
+                // Expression indexing: `buf[..]`, `map[k]`, `f()[0]`.
+                // Types (`[u8; 4]`), attributes (`#[...]`), macro
+                // brackets (`vec![...]`) have non-postfix contexts.
+                let prev_kind = i.checked_sub(1).map(|p| sig[p].kind);
+                let postfix = (prev_kind == Some(TokKind::Ident)
+                    && !matches!(
+                        prev,
+                        "mut" | "dyn" | "in" | "as" | "let" | "return" | "else" | "match"
+                    ))
+                    || prev == "]"
+                    || prev == ")";
+                if i > 0 && postfix {
+                    flag(out, t.line, "slice/array indexing");
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// `wire-kind-coverage`: parses the `Kind` enum in
+/// `tivgate/src/proto.rs`; every *request* kind (discriminant in the
+/// `0x01..=0x7F` request range) must have
+///
+/// 1. a decode arm inside `fn decode_request` (proto.rs),
+/// 2. a server dispatch arm (`Request::<Name>` in server.rs non-test
+///    code), and
+/// 3. a codec round-trip test (`Request::<Name>` in proto.rs test
+///    code).
+///
+/// This is the cross-file check: adding `Kind::Foo = 0x07` without the
+/// other three sites fails CI with one finding per missing site.
+fn wire_kind_coverage(files: &[SourceFile], out: &mut Vec<Finding>) {
+    let Some(proto) = files.iter().find(|f| f.rel.ends_with("tivgate/src/proto.rs")) else {
+        return;
+    };
+    let server = files.iter().find(|f| f.rel.ends_with("tivgate/src/server.rs"));
+    let sig: Vec<&Tok> = lexer::significant(&proto.toks).collect();
+
+    // Parse `enum Kind { Name = 0xNN, ... }`.
+    let mut kinds: Vec<(String, u64, u32)> = Vec::new(); // (name, value, line)
+    let mut i = 0;
+    while i + 2 < sig.len() {
+        if sig[i].text == "enum" && sig[i + 1].text == "Kind" {
+            let Some(open) = (i + 2..sig.len()).find(|&k| sig[k].text == "{") else { break };
+            let mut depth = 0usize;
+            let mut k = open;
+            while k < sig.len() {
+                match sig[k].text.as_str() {
+                    "{" => depth += 1,
+                    "}" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    "=" if depth == 1 && k > open && k + 1 < sig.len() => {
+                        let name = &sig[k - 1];
+                        let val = &sig[k + 1];
+                        if name.kind == TokKind::Ident && val.kind == TokKind::Num {
+                            if let Some(v) = int_value(&val.text) {
+                                kinds.push((name.text.clone(), v, name.line));
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            break;
+        }
+        i += 1;
+    }
+
+    let requests: Vec<(String, u64, u32)> =
+        kinds.into_iter().filter(|(_, v, _)| (0x01..=0x7F).contains(v)).collect();
+    if requests.is_empty() {
+        return;
+    }
+
+    let server_sig: Vec<&Tok> =
+        server.map(|s| lexer::significant(&s.toks).collect()).unwrap_or_default();
+    let decode_span = fn_body_span(&sig, "decode_request");
+    for (name, _, line) in &requests {
+        // 1. Decode arm: `Kind :: <name>` inside fn decode_request.
+        let decoded =
+            decode_span.as_ref().is_some_and(|&(lo, hi)| path_seq(&sig[lo..hi], "Kind", name));
+        if !decoded {
+            out.push(Finding {
+                rel: proto.rel.clone(),
+                line: *line,
+                rule: "wire-kind-coverage",
+                msg: format!(
+                    "request kind `{name}` has no `Kind::{name}` arm in `decode_request` — \
+                     a client can send it but the server cannot parse it"
+                ),
+            });
+        }
+        // 2. Server dispatch: `Request :: <name>` in server.rs
+        //    non-test code.
+        let dispatched = server.is_some_and(|s| {
+            server_sig.windows(4).any(|w| {
+                w[0].text == "Request"
+                    && w[1].text == ":"
+                    && w[2].text == ":"
+                    && w[3].text == *name
+                    && !s.is_test_line(w[3].line)
+            })
+        });
+        if !dispatched {
+            out.push(Finding {
+                rel: proto.rel.clone(),
+                line: *line,
+                rule: "wire-kind-coverage",
+                msg: format!(
+                    "request kind `{name}` has no `Request::{name}` dispatch site in \
+                     server.rs — decoded frames of this kind would be unanswerable"
+                ),
+            });
+        }
+        // 3. Round-trip test: `Request :: <name>` on a proto.rs test
+        //    line.
+        let tested = sig.windows(4).any(|w| {
+            w[0].text == "Request"
+                && w[1].text == ":"
+                && w[2].text == ":"
+                && w[3].text == *name
+                && proto.is_test_line(w[3].line)
+        });
+        if !tested {
+            out.push(Finding {
+                rel: proto.rel.clone(),
+                line: *line,
+                rule: "wire-kind-coverage",
+                msg: format!(
+                    "request kind `{name}` appears in no codec round-trip test in proto.rs \
+                     — encode/decode symmetry for it is unpinned"
+                ),
+            });
+        }
+    }
+}
+
+/// `Name :: seg` token sequence search (two-colon path).
+fn path_seq(sig: &[&Tok], head: &str, seg: &str) -> bool {
+    sig.windows(4)
+        .any(|w| w[0].text == head && w[1].text == ":" && w[2].text == ":" && w[3].text == seg)
+}
+
+/// Significant-token index span `(body_start, body_end)` of `fn
+/// <name>`'s brace body (exclusive end).
+fn fn_body_span(sig: &[&Tok], name: &str) -> Option<(usize, usize)> {
+    let mut i = 0;
+    while i + 1 < sig.len() {
+        if sig[i].text == "fn" && sig[i + 1].text == name {
+            let open = (i + 2..sig.len()).find(|&k| sig[k].text == "{")?;
+            let mut depth = 0usize;
+            for (k, t) in sig.iter().enumerate().skip(open) {
+                match t.text.as_str() {
+                    "{" => depth += 1,
+                    "}" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            return Some((open, k));
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            return None;
+        }
+        i += 1;
+    }
+    None
+}

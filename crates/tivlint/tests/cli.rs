@@ -1,0 +1,104 @@
+//! CLI contract tests: exit codes and the waiver-budget comparison,
+//! run against the fixture trees through the real binary (the same
+//! code path CI's `lint-tiv` job exercises).
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn fixture_root(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name)
+}
+
+fn tivlint(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_tivlint")).args(args).output().expect("binary runs")
+}
+
+fn check(fixture: &str, extra: &[&str]) -> (Option<i32>, String) {
+    let root = fixture_root(fixture);
+    let mut args = vec!["--check", "--root", root.to_str().expect("utf8 path")];
+    args.extend_from_slice(extra);
+    let out = tivlint(&args);
+    (out.status.code(), String::from_utf8_lossy(&out.stdout).into_owned())
+}
+
+/// Writes `content` to a unique temp file and returns its path.
+fn temp_budget(tag: &str, content: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("tivlint-budget-{}-{tag}", std::process::id()));
+    std::fs::write(&path, content).expect("temp file writable");
+    path
+}
+
+#[test]
+fn clean_fixture_exits_zero_and_reports_used_waivers() {
+    let (code, stdout) = check("waived_clean", &[]);
+    assert_eq!(code, Some(0), "stdout:\n{stdout}");
+    assert!(stdout.contains("0 finding(s), 2 waiver(s) used, 0 waiver error(s)"), "{stdout}");
+}
+
+#[test]
+fn violations_exit_one_with_file_line_diagnostics() {
+    let (code, stdout) = check("wirepanic", &[]);
+    assert_eq!(code, Some(1), "stdout:\n{stdout}");
+    assert!(stdout.contains("crates/tivgate/src/conn.rs:2: no-panic-wire-path:"), "{stdout}");
+    assert!(stdout.contains("crates/tivgate/src/conn.rs:6: no-panic-wire-path:"), "{stdout}");
+}
+
+#[test]
+fn waiver_defects_alone_exit_one() {
+    let (code, stdout) = check("waivers", &[]);
+    assert_eq!(code, Some(1), "stdout:\n{stdout}");
+    assert!(stdout.contains("0 finding(s)"), "{stdout}");
+    assert!(stdout.contains("3 waiver error(s)"), "{stdout}");
+}
+
+#[test]
+fn budget_equal_passes_exceeded_fails_slack_notes() {
+    let exact = temp_budget("exact", "# waivers in waived_clean\n2\n");
+    let (code, stdout) = check("waived_clean", &["--waiver-budget", exact.to_str().unwrap()]);
+    assert_eq!(code, Some(0), "{stdout}");
+    assert!(stdout.contains("waiver budget ok: 2 used = 2 budgeted"), "{stdout}");
+
+    let tight = temp_budget("tight", "1\n");
+    let (code, stdout) = check("waived_clean", &["--waiver-budget", tight.to_str().unwrap()]);
+    assert_eq!(code, Some(1), "a new waiver must raise the budget in the same PR; {stdout}");
+    assert!(stdout.contains("waiver budget exceeded: 2 used > 1 budgeted"), "{stdout}");
+
+    let slack = temp_budget("slack", "9\n");
+    let (code, stdout) = check("waived_clean", &["--waiver-budget", slack.to_str().unwrap()]);
+    assert_eq!(code, Some(0), "slack is a note, not a failure; {stdout}");
+    assert!(stdout.contains("only 2 of 9 budgeted waivers used"), "{stdout}");
+
+    for p in [exact, tight, slack] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn unreadable_budget_is_a_usage_error() {
+    let (code, _) = check("waived_clean", &["--waiver-budget", "/nonexistent/budget.txt"]);
+    assert_eq!(code, Some(2));
+}
+
+#[test]
+fn list_rules_prints_the_catalog() {
+    let out = tivlint(&["--list-rules"]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let rules: Vec<&str> = stdout.lines().collect();
+    assert_eq!(
+        rules,
+        [
+            "float-total-order",
+            "pool-discipline",
+            "unsafe-containment",
+            "no-panic-wire-path",
+            "wire-kind-coverage",
+        ]
+    );
+}
+
+#[test]
+fn unknown_arguments_are_usage_errors() {
+    let out = tivlint(&["--check", "--frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+}

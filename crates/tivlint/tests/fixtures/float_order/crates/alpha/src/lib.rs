@@ -1,0 +1,14 @@
+#![forbid(unsafe_code)]
+
+fn rank(xs: &mut [(u32, f64)]) {
+    xs.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_harness_may_use_partial_cmp() {
+        let mut v = [(1u32, 2.0f64)];
+        v.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+    }
+}

@@ -1,0 +1,6 @@
+#![forbid(unsafe_code)]
+
+pub fn fan_out() {
+    let h = std::thread::spawn(|| 1 + 1);
+    let _ = h.join();
+}

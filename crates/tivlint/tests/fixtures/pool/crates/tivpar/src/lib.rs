@@ -1,0 +1,6 @@
+#![forbid(unsafe_code)]
+
+pub fn pool_worker() {
+    let h = std::thread::spawn(|| ());
+    let _ = h.join();
+}

@@ -1,0 +1,5 @@
+#![forbid(unsafe_code)]
+
+pub fn peek(p: *const u8) -> u8 {
+    unsafe { *p }
+}

@@ -1,0 +1,3 @@
+//! Beta: deliberately missing the forbid attribute.
+
+pub fn fine() {}

@@ -1,0 +1,3 @@
+pub fn epoll_shim(p: *const u8) -> u8 {
+    unsafe { *p }
+}

@@ -1,0 +1,6 @@
+#![forbid(unsafe_code)]
+
+pub fn ranked(a: (u32, u32), b: (u32, u32)) -> bool {
+    // tivlint: allow(float-total-order, "operands are integer tuples, not floats")
+    a.partial_cmp(&b).is_some()
+}

@@ -1,0 +1,21 @@
+#![forbid(unsafe_code)]
+
+pub fn ranked(a: (u32, u32), b: (u32, u32)) -> bool {
+    // tivlint: allow(float-total-order, "operands are u32 tuples, not floats")
+    a.partial_cmp(&b).is_some()
+}
+
+pub fn trailing(a: f64, b: f64) -> bool {
+    a.partial_cmp(&b).is_some() // tivlint: allow(float-total-order, "only comparability is probed; NaN maps to false")
+}
+
+// tivlint: allow(pool-discipline, "stale: the spawn this covered is gone")
+pub fn no_threads_here() {}
+
+pub fn reasonless(a: f64, b: f64) -> bool {
+    // tivlint: allow(float-total-order)
+    a.partial_cmp(&b).is_some()
+}
+
+// tivlint: allow(no-such-rule, "typo in the rule name")
+pub fn unknown_rule() {}

@@ -1,0 +1,28 @@
+pub enum Kind {
+    Estimate = 0x01,
+    Rogue = 0x07,
+    EstimateReply = 0x81,
+}
+
+pub enum Request {
+    Estimate { id: u32 },
+    Rogue { id: u32 },
+}
+
+pub fn decode_request(kind: Kind) -> Option<Request> {
+    match kind {
+        Kind::Estimate => Some(Request::Estimate { id: 0 }),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimate_round_trips() {
+        let _ = decode_request(Kind::Estimate);
+        let _ = Request::Estimate { id: 7 };
+    }
+}

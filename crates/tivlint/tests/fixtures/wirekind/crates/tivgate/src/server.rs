@@ -1,0 +1,8 @@
+use crate::proto::Request;
+
+pub fn dispatch(req: Request) -> u32 {
+    match req {
+        Request::Estimate { id } => id,
+        _ => 0,
+    }
+}

@@ -1,0 +1,97 @@
+//! Lexer property tests: random sequences drawn from an atom table —
+//! one entry per lexical class the rules depend on, biased toward the
+//! hard cases (raw strings, nested comments, char-vs-lifetime) — are
+//! glued together with random whitespace and lexed. The token stream
+//! must reproduce the atom sequence exactly: kind, text, and the line
+//! each atom landed on. A second property feeds adversarial soups of
+//! quotes/hashes/slashes and asserts the lexer terminates with
+//! monotone line numbers, whatever the input.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use tivlint::lexer::{lex, TokKind};
+
+/// `(source, expected kind, expected token text)`. Raw identifiers are
+/// the one case where text differs from source (the `r#` prefix is
+/// dropped so rules match `r#unsafe` and `unsafe` alike).
+const ATOMS: &[(&str, TokKind, &str)] = &[
+    ("ident_a", TokKind::Ident, "ident_a"),
+    ("unsafe", TokKind::Ident, "unsafe"),
+    ("partial_cmp", TokKind::Ident, "partial_cmp"),
+    ("r#match", TokKind::Ident, "match"),
+    ("42", TokKind::Num, "42"),
+    ("0x7f", TokKind::Num, "0x7f"),
+    ("1_000", TokKind::Num, "1_000"),
+    ("1.5e-3", TokKind::Num, "1.5e-3"),
+    ("\"plain // string\"", TokKind::Str, "\"plain // string\""),
+    ("\"esc \\\" quote\"", TokKind::Str, "\"esc \\\" quote\""),
+    ("\"multi\nline\"", TokKind::Str, "\"multi\nline\""),
+    ("r\"raw\"", TokKind::Str, "r\"raw\""),
+    ("r#\"raw \" hash\"#", TokKind::Str, "r#\"raw \" hash\"#"),
+    ("r##\"deep \"# still\"##", TokKind::Str, "r##\"deep \"# still\"##"),
+    ("b\"bytes\"", TokKind::Str, "b\"bytes\""),
+    ("br#\"raw bytes\"#", TokKind::Str, "br#\"raw bytes\"#"),
+    ("'x'", TokKind::Char, "'x'"),
+    ("'\\n'", TokKind::Char, "'\\n'"),
+    ("'\"'", TokKind::Char, "'\"'"),
+    ("b'q'", TokKind::Char, "b'q'"),
+    ("'static", TokKind::Lifetime, "'static"),
+    ("'a", TokKind::Lifetime, "'a"),
+    (".", TokKind::Punct, "."),
+    ("[", TokKind::Punct, "["),
+    ("]", TokKind::Punct, "]"),
+    ("!", TokKind::Punct, "!"),
+    ("#", TokKind::Punct, "#"),
+    ("// line note", TokKind::Comment, "// line note"),
+    ("/* block /* nested */ note */", TokKind::Comment, "/* block /* nested */ note */"),
+];
+
+/// Whitespace glue between atoms. A line comment swallows the rest of
+/// its line, so the builder forces a newline after those regardless of
+/// the drawn separator.
+const SEPS: &[&str] = &[" ", "\t", "\n", " \n  ", "\r\n"];
+
+proptest! {
+    #[test]
+    fn atom_sequences_round_trip(
+        picks in vec((0usize..ATOMS.len(), 0usize..SEPS.len()), 0..40),
+    ) {
+        let mut src = String::new();
+        let mut line = 1u32;
+        let mut expected = Vec::with_capacity(picks.len());
+        for &(a, s) in &picks {
+            let (text, kind, tok_text) = ATOMS[a];
+            expected.push((kind, tok_text.to_string(), line));
+            line += text.matches('\n').count() as u32;
+            src.push_str(text);
+            let sep = if kind == TokKind::Comment && text.starts_with("//") { "\n" } else { SEPS[s] };
+            line += sep.matches('\n').count() as u32;
+            src.push_str(sep);
+        }
+
+        let got: Vec<(TokKind, String, u32)> =
+            lex(&src).into_iter().map(|t| (t.kind, t.text, t.line)).collect();
+        prop_assert_eq!(got, expected, "source was {:?}", src);
+    }
+
+    #[test]
+    fn adversarial_soups_terminate_with_monotone_lines(
+        bytes in vec(0usize..16, 0..120),
+    ) {
+        // A palette dense in delimiter bytes: every draw is a quote,
+        // hash, slash, star, backslash or prefix letter, so unclosed
+        // and interleaved constructs dominate the generated input.
+        const PALETTE: [char; 16] =
+            ['"', '\'', '#', 'r', 'b', '/', '*', '\\', '\n', ' ', 'x', '0', '.', '[', '!', 'e'];
+        let src: String = bytes.iter().map(|&i| PALETTE[i]).collect();
+        let toks = lex(&src);
+        let mut prev = 1u32;
+        for t in &toks {
+            prop_assert!(t.line >= prev, "line went backwards in {:?}", src);
+            prop_assert!(!t.text.is_empty(), "empty token from {:?}", src);
+            prev = t.line;
+        }
+        let last_line = 1 + src.matches('\n').count() as u32;
+        prop_assert!(toks.iter().all(|t| t.line <= last_line));
+    }
+}

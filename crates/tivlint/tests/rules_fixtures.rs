@@ -1,0 +1,132 @@
+//! Seeded-violation fixtures: every fixture tree under
+//! `tests/fixtures/` mimics the real workspace layout
+//! (`crates/<name>/src/...`), carries a deliberate violation of one
+//! rule, and the assertions here pin the *exact* `file:line`
+//! diagnostics tivlint must produce for it. If a rule's matching logic
+//! drifts — false positive, missed line, wrong rule id — one of these
+//! tests names the regression.
+
+use std::path::PathBuf;
+use tivlint::engine::{analyze, Report};
+
+fn run(fixture: &str) -> Report {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(fixture);
+    analyze(&root).expect("fixture tree readable")
+}
+
+/// `(rel, line)` of every finding for `rule`, in report order.
+fn sites(report: &Report, rule: &str) -> Vec<(String, u32)> {
+    report.findings.iter().filter(|f| f.rule == rule).map(|f| (f.rel.clone(), f.line)).collect()
+}
+
+#[test]
+fn float_total_order_flags_prod_code_and_exempts_tests() {
+    let r = run("float_order");
+    assert_eq!(
+        sites(&r, "float-total-order"),
+        [("crates/alpha/src/lib.rs".to_string(), 4)],
+        "one finding at the non-test partial_cmp; the #[cfg(test)] copy is exempt"
+    );
+    assert_eq!(r.findings.len(), 1, "no other rule fires: {:?}", r.findings);
+    let shown = r.findings[0].to_string();
+    assert!(
+        shown.starts_with("crates/alpha/src/lib.rs:4: float-total-order: "),
+        "diagnostic format is rel:line: rule: msg, got {shown:?}"
+    );
+}
+
+#[test]
+fn pool_discipline_flags_spawn_but_exempts_tivpar() {
+    let r = run("pool");
+    assert_eq!(sites(&r, "pool-discipline"), [("crates/alpha/src/lib.rs".to_string(), 4)]);
+    assert!(
+        r.findings.iter().all(|f| !f.rel.contains("tivpar")),
+        "tivpar owns the pool and may touch std::thread: {:?}",
+        r.findings
+    );
+}
+
+#[test]
+fn unsafe_containment_flags_tokens_and_missing_forbid_but_not_compat() {
+    let r = run("unsafe_fix");
+    assert_eq!(
+        sites(&r, "unsafe-containment"),
+        [
+            ("crates/alpha/src/lib.rs".to_string(), 4), // unsafe block
+            ("crates/beta/src/lib.rs".to_string(), 1),  // missing #![forbid(unsafe_code)]
+        ]
+    );
+    assert!(
+        r.findings.iter().all(|f| !f.rel.starts_with("crates/compat/")),
+        "compat/mio is the sanctioned unsafe home: {:?}",
+        r.findings
+    );
+}
+
+#[test]
+fn no_panic_wire_path_flags_unwrap_panic_and_indexing() {
+    let r = run("wirepanic");
+    assert_eq!(
+        sites(&r, "no-panic-wire-path"),
+        [
+            ("crates/tivgate/src/conn.rs".to_string(), 2), // .unwrap()
+            ("crates/tivgate/src/conn.rs".to_string(), 4), // panic!
+            ("crates/tivgate/src/conn.rs".to_string(), 6), // buf[n - 1]
+        ]
+    );
+    assert_eq!(r.findings.len(), 3, "the #[cfg(test)] indexing is exempt: {:?}", r.findings);
+}
+
+#[test]
+fn wire_kind_coverage_demands_decode_dispatch_and_test() {
+    let r = run("wirekind");
+    let hits = sites(&r, "wire-kind-coverage");
+    assert_eq!(
+        hits,
+        [
+            ("crates/tivgate/src/proto.rs".to_string(), 3),
+            ("crates/tivgate/src/proto.rs".to_string(), 3),
+            ("crates/tivgate/src/proto.rs".to_string(), 3),
+        ],
+        "Rogue (0x07) is missing all three sites; Estimate is covered and \
+         EstimateReply (0x81) is a response kind outside the request range"
+    );
+    let msgs: Vec<&str> = r.findings.iter().map(|f| f.msg.as_str()).collect();
+    assert!(msgs.iter().any(|m| m.contains("decode_request")), "{msgs:?}");
+    assert!(msgs.iter().any(|m| m.contains("dispatch")), "{msgs:?}");
+    assert!(msgs.iter().any(|m| m.contains("round-trip")), "{msgs:?}");
+    assert!(msgs.iter().all(|m| m.contains("Rogue")), "{msgs:?}");
+}
+
+#[test]
+fn waivers_suppress_but_their_own_defects_fail_the_run() {
+    let r = run("waivers");
+    assert!(r.findings.is_empty(), "all three partial_cmp sites are waived: {:?}", r.findings);
+    assert_eq!(r.waived.len(), 3, "standalone-above, trailing, and reasonless waivers all hit");
+    assert_eq!(r.waivers_used, 3);
+    assert!(!r.clean(), "waiver defects fail the run even with zero findings");
+    assert_eq!(r.waiver_errors.len(), 3, "{:?}", r.waiver_errors);
+    assert!(
+        r.waiver_errors.iter().any(|e| e.contains(":16:") && e.contains("no reason")),
+        "{:?}",
+        r.waiver_errors
+    );
+    assert!(
+        r.waiver_errors.iter().any(|e| e.contains(":20:") && e.contains("unknown rule")),
+        "{:?}",
+        r.waiver_errors
+    );
+    assert!(
+        r.waiver_errors.iter().any(|e| e.contains(":12:") && e.contains("stale")),
+        "{:?}",
+        r.waiver_errors
+    );
+}
+
+#[test]
+fn file_scoped_waiver_counts_once_however_many_findings_it_covers() {
+    let r = run("waived_clean");
+    assert!(r.clean(), "findings {:?}, waiver errors {:?}", r.findings, r.waiver_errors);
+    assert_eq!(r.waived.len(), 3, "one line waiver + two sites under one allow-file");
+    assert_eq!(r.waivers_used, 2, "the allow-file comment is one waiver, not two");
+}

@@ -59,6 +59,7 @@
 //! }
 //! ```
 
+// tivlint: allow-file(unsafe-containment, "deny + one audited site-level allow instead of forbid: the pool's lifetime-erasing transmute (pool.rs SAFETY comment) is the crate's one exception, and forbid(unsafe_code) cannot be overridden at the site")
 #![deny(unsafe_code)] // one audited exception in `pool`, see its SAFETY comment
 #![deny(missing_docs)]
 

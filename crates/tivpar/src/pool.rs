@@ -320,6 +320,7 @@ pub(crate) fn run(workers: usize, chunks: usize, f: &(dyn Fn(usize) + Sync)) {
     // `std::thread::scope` encodes in its API, enforced here by the
     // completion barrier.
     #[allow(unsafe_code)]
+    // tivlint: allow(unsafe-containment, "lifetime erasure for the persistent pool: the SAFETY argument above proves every dereference happens while `f` is alive, enforced by the completion barrier — the std::thread::scope argument, hand-carried")
     let func: ErasedFn = unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), ErasedFn>(f) };
     let pool = shared();
     let region = Arc::new(Region::new(func, chunks, workers));

@@ -258,6 +258,7 @@ pub fn spawn<B: EpochSource>(
 ) -> EpochStream<B> {
     assert!(observations_per_epoch >= 1, "need at least one observation per epoch");
     let (tx, rx) = mpsc::channel::<Observation>();
+    // tivlint: allow(pool-discipline, "one long-lived background epoch-builder thread, not a parallel kernel; build determinism is pinned by the observe/publish interleaving tests")
     let handle = std::thread::spawn(move || {
         'run: loop {
             // Block for the next observation; a closed channel (every

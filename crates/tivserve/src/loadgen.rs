@@ -230,7 +230,7 @@ pub fn run_closed_loop(
         answers.push(got);
     }
     let elapsed_s = started.elapsed().as_secs_f64();
-    latencies_us.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    latencies_us.sort_by(f64::total_cmp);
     let pct = |p: f64| -> f64 {
         if latencies_us.is_empty() {
             return 0.0;

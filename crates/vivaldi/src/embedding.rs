@@ -82,11 +82,11 @@ impl Embedding {
     /// to `client` — the embedding-driven neighbor selection primitive
     /// used by every penalty experiment.
     pub fn select_nearest(&self, client: NodeId, candidates: &[NodeId]) -> Option<NodeId> {
-        candidates.iter().copied().filter(|&c| c != client).min_by(|&a, &b| {
-            self.predicted(client, a)
-                .partial_cmp(&self.predicted(client, b))
-                .expect("predicted distances are finite")
-        })
+        candidates
+            .iter()
+            .copied()
+            .filter(|&c| c != client)
+            .min_by(|&a, &b| self.predicted(client, a).total_cmp(&self.predicted(client, b)))
     }
 }
 

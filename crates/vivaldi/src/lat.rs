@@ -76,11 +76,11 @@ impl LatModel {
     /// Among `candidates`, the node with the smallest LAT-predicted
     /// delay to `client`.
     pub fn select_nearest(&self, client: NodeId, candidates: &[NodeId]) -> Option<NodeId> {
-        candidates.iter().copied().filter(|&c| c != client).min_by(|&a, &b| {
-            self.predicted(client, a)
-                .partial_cmp(&self.predicted(client, b))
-                .expect("predictions are finite")
-        })
+        candidates
+            .iter()
+            .copied()
+            .filter(|&c| c != client)
+            .min_by(|&a, &b| self.predicted(client, a).total_cmp(&self.predicted(client, b)))
     }
 }
 
