@@ -1,0 +1,97 @@
+//! The chaos bench: the standard fault plan (crash, restart, withheld
+//! publishes, heal) driven against a live multi-replica deployment,
+//! plus the two live application workloads, exported as
+//! `BENCH_chaos.json` for the CI regression gate.
+//!
+//! What gets gated and why it can be:
+//!
+//! * `chaos/unavailable_batches` and `chaos/max_staleness_epochs` are
+//!   **deterministic counts** — faults land at plan-fixed batch
+//!   boundaries and epochs only advance at the harness's synchronous
+//!   publish points, so both are pure functions of `(config, plan)`.
+//!   Any drift is a behavior change, not noise.
+//! * `chaos/throughput_qps` is the open-loop rate under injected
+//!   faults (higher is better, 2x-gated like the gate bench's rate);
+//!   the latency percentiles ride along informationally.
+//! * `chaos/apps/*` are the TIV-aware-vs-oblivious outcome metrics of
+//!   the live workloads — deterministic given the seed, reported for
+//!   trend-watching (the `/apps/` prefix marks them informational:
+//!   "saving went up" must not trip a lower-is-better gate).
+//!
+//! Before recording anything the run asserts its own acceptance bar:
+//! recovery byte-identical to a never-crashed control and every SLO
+//! held. A chaos bench must not publish numbers for a broken cluster.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tivchaos::{
+    run_chaos, run_overlay_multicast, run_server_selection, AppConfig, AppReport, ChaosConfig,
+    FaultPlan,
+};
+
+/// One tiny end-to-end pass for `--test` smoke runs: same plan shape,
+/// small enough to finish in well under a second.
+fn smoke_run() {
+    let cfg = ChaosConfig {
+        nodes: 48,
+        replicas: 2,
+        queries: 1_000,
+        batch: 50,
+        publish_every_batches: 4,
+        ..ChaosConfig::default()
+    };
+    let plan = FaultPlan::standard(cfg.replicas, cfg.queries / cfg.batch);
+    let report = run_chaos(&cfg, &plan).expect("chaos smoke run");
+    assert!(report.recovered_bitexact, "smoke recovery must be bit-exact: {report}");
+    assert!(report.slo_ok(), "smoke run must hold its SLOs: {report}");
+}
+
+fn record_app(slug: &str, report: &AppReport) {
+    assert!(report.decisions > 0, "{slug}: no routing decisions made");
+    assert!(report.savings.samples > 0, "{slug}: no severity-binned savings samples");
+    criterion::record_metric(format!("chaos/apps/{slug}/mean_rel_saving"), report.mean_rel_saving);
+    criterion::record_metric(format!("chaos/apps/{slug}/gap_closed"), report.gap_closed());
+    println!("{report}");
+}
+
+fn chaos_metrics(_c: &mut Criterion) {
+    if criterion::smoke_mode() {
+        smoke_run();
+        return;
+    }
+    // The calibrated run: the default harness shape (192 nodes, 3
+    // replicas, 6k queries) under the standard plan.
+    let cfg = ChaosConfig::default();
+    let plan = FaultPlan::standard(cfg.replicas, cfg.queries / cfg.batch);
+    let report = run_chaos(&cfg, &plan).expect("chaos run");
+    assert!(report.recovered_bitexact, "recovery must be bit-exact: {report}");
+    assert!(report.slo_ok(), "the standard plan must hold the default SLOs: {report}");
+    assert!(report.unavailable_batches > 0, "the crash window must be visible");
+    criterion::record_metric("chaos/unavailable_batches", report.unavailable_batches as f64);
+    criterion::record_metric("chaos/max_staleness_epochs", report.max_staleness_epochs as f64);
+    criterion::record_metric("chaos/throughput_qps", report.load.qps);
+    criterion::record_metric("chaos/p50_us", report.load.p50_us);
+    criterion::record_metric("chaos/p99_us", report.load.p99_us);
+    criterion::record_metric("chaos/p999_us", report.load.p999_us);
+    println!("{report}");
+
+    // The live application workloads, each against its own deployment.
+    let app_cfg = AppConfig::default();
+    let selection = run_server_selection(&app_cfg).expect("server selection workload");
+    record_app("server_selection", &selection);
+    let multicast = run_overlay_multicast(&app_cfg).expect("overlay multicast workload");
+    record_app("overlay_multicast", &multicast);
+}
+
+fn bench_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = bench_config();
+    targets = chaos_metrics
+}
+criterion_main!(benches);

@@ -21,11 +21,11 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use delayspace::synth::{Dataset, InternetDelaySpace};
 use std::hint::black_box;
 use tivgate::client::GateClient;
-use tivgate::loadgen::{run_open_loop, OpenLoopConfig};
+use tivgate::loadgen::run_open_loop;
 use tivgate::proto::{decode_response, encode_request, encode_response, Request, Response};
 use tivgate::replica::ReplicaSet;
 use tivserve::epoch::{EpochBuilder, EpochConfig};
-use tivserve::loadgen::{self, ObservePath, WorkloadConfig};
+use tivserve::loadgen::{self, LoadSpec, ObservePath, WorkloadConfig};
 use tivserve::service::{ServeConfig, TivServe};
 
 /// Replica counts swept by the open-loop run.
@@ -119,23 +119,22 @@ fn open_loop_metrics(_c: &mut Criterion) {
         }
         // Warm pass heats the per-replica shard caches; the measured
         // pass is the steady state.
-        let _ = run_open_loop(&set.addrs(), &batches, OpenLoopConfig::default(), ObservePath::Drop)
+        let _ = run_open_loop(&set.addrs(), &batches, LoadSpec::default(), ObservePath::Drop)
             .expect("warm run");
-        let report =
-            run_open_loop(&set.addrs(), &batches, OpenLoopConfig::default(), ObservePath::Drop)
-                .expect("measured run");
+        let report = run_open_loop(&set.addrs(), &batches, LoadSpec::default(), ObservePath::Drop)
+            .expect("measured run");
         assert_eq!(report.error_frames, 0, "error frames during the measured run");
-        criterion::record_metric(format!("gate/replicas/{r}/throughput_qps"), report.qps);
-        criterion::record_metric(format!("gate/replicas/{r}/p50_us"), report.p50_us);
-        criterion::record_metric(format!("gate/replicas/{r}/p99_us"), report.p99_us);
-        criterion::record_metric(format!("gate/replicas/{r}/p999_us"), report.p999_us);
+        criterion::record_metric(format!("gate/replicas/{r}/throughput_qps"), report.load.qps);
+        criterion::record_metric(format!("gate/replicas/{r}/p50_us"), report.load.p50_us);
+        criterion::record_metric(format!("gate/replicas/{r}/p99_us"), report.load.p99_us);
+        criterion::record_metric(format!("gate/replicas/{r}/p999_us"), report.load.p999_us);
         println!(
             "gate open loop: {r} replica(s): {:.0} q/s, p50 {:.0} us, p99 {:.0} us, \
              p999 {:.0} us, late {} (max lag {:.0} us)",
-            report.qps,
-            report.p50_us,
-            report.p99_us,
-            report.p999_us,
+            report.load.qps,
+            report.load.p50_us,
+            report.load.p99_us,
+            report.load.p999_us,
             report.late_batches,
             report.max_lag_us
         );

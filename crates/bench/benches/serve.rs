@@ -107,14 +107,14 @@ fn closed_loop_metrics(_c: &mut Criterion) {
         // a long-running service sees.
         let _ = loadgen::run_closed_loop(&service, &batches, ObservePath::Drop);
         let (report, _) = loadgen::run_closed_loop(&service, &batches, ObservePath::Drop);
-        criterion::record_metric(format!("serve/shards/{s}/throughput_qps"), report.qps);
-        criterion::record_metric(format!("serve/shards/{s}/p99_us"), report.p99_us);
+        criterion::record_metric(format!("serve/shards/{s}/throughput_qps"), report.load.qps);
+        criterion::record_metric(format!("serve/shards/{s}/p99_us"), report.load.p99_us);
         println!(
             "serve closed loop: {s} shard(s): {:.0} q/s, p50 {:.0} us, p99 {:.0} us, \
              cache hit {:.1}%, occupancy {:?} (max/mean {:.2})",
-            report.qps,
-            report.p50_us,
-            report.p99_us,
+            report.load.qps,
+            report.load.p50_us,
+            report.load.p99_us,
             report.cache.hit_rate() * 100.0,
             hist,
             max_over_mean

@@ -124,8 +124,17 @@ pub fn higher_is_better(name: &str) -> bool {
 /// on a shared CI runner would blow past any sane factor with no real
 /// regression. The stable aggregate (throughput) gates instead; the
 /// percentiles stay in the artifact for trend-watching.
+///
+/// The chaos bench's application-outcome metrics (`chaos/apps/*`) are
+/// informational for a different reason: they are quality numbers
+/// where *higher* saving is better, so a genuine improvement would
+/// trip a lower-is-better gate. The chaos bench asserts its hard bar
+/// (bit-exact recovery, SLOs) internally; these stay trend-only.
 pub fn informational(name: &str) -> bool {
-    name.ends_with("/p50_us") || name.ends_with("/p99_us") || name.ends_with("/p999_us")
+    name.ends_with("/p50_us")
+        || name.ends_with("/p99_us")
+        || name.ends_with("/p999_us")
+        || name.starts_with("chaos/apps/")
 }
 
 /// Flattens a parsed metrics document into `{name: value}`. Accepts the

@@ -13,6 +13,9 @@
 //! repro gate [--nodes N] [--replicas R] [--queries Q] [--batch B]
 //!            [--zipf Z] [--observe F] [--epoch-every K]
 //!            [--target-qps T] [--seed S]
+//! repro chaos [--nodes N] [--replicas R] [--queries Q] [--batch B]
+//!             [--observe F] [--publish-every K] [--target-qps T]
+//!             [--seed S] [--no-faults] [--no-apps]
 //! repro sparse [--nodes N] [--pairs P] [--scale-nodes M]
 //!              [--degree D] [--threads T] [--seed S] [--out DIR]
 //! ```
@@ -53,6 +56,14 @@
 //! batch latency, schedule health, and observation-delivery
 //! accounting. See `experiments::gate`.
 //!
+//! `repro chaos` drives the deterministic fault-injection harness
+//! (`tivchaos`) against a live multi-replica deployment — crash and
+//! restart mid-epoch, withheld publishes — under open-loop load,
+//! checks availability/staleness SLOs and bit-exact recovery, then
+//! runs the TIV-aware application workloads (server selection, overlay
+//! multicast) live against the same stack. Exits non-zero if any SLO
+//! is violated. See `experiments::chaos`.
+//!
 //! `repro sparse` sweeps the sampled-severity estimator against the
 //! exact kernel on a dense ground truth (mean error, 95% CI width and
 //! coverage per sampling rate) and builds sparse stores at growing n
@@ -60,6 +71,7 @@
 //! writes the `sparse-accuracy` and `sparse-scaling` CSVs. See
 //! `experiments::sparse`.
 
+use experiments::chaos::{run_chaos_experiment, ChaosOptions};
 use experiments::churn::{run_churn, ChurnOptions};
 use experiments::gate::{run_gate, GateOptions};
 use experiments::lab::Lab;
@@ -302,6 +314,89 @@ fn parse_sparse_args(
     Ok((opts, out))
 }
 
+/// Parses the flags of the `chaos` subcommand into [`ChaosOptions`].
+fn parse_chaos_args(argv: impl Iterator<Item = String>) -> Result<ChaosOptions, String> {
+    fn value<T: std::str::FromStr>(
+        argv: &mut impl Iterator<Item = String>,
+        flag: &str,
+    ) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        let v = argv.next().ok_or(format!("{flag} needs a value"))?;
+        v.parse().map_err(|e| format!("bad {flag} value: {e}"))
+    }
+    let mut opts = ChaosOptions::default();
+    let mut argv = argv;
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--nodes" => opts.nodes = value(&mut argv, "--nodes")?,
+            "--replicas" => opts.replicas = value(&mut argv, "--replicas")?,
+            "--queries" => opts.queries = value(&mut argv, "--queries")?,
+            "--batch" => opts.batch = value(&mut argv, "--batch")?,
+            "--observe" => opts.observe_frac = value(&mut argv, "--observe")?,
+            "--publish-every" => opts.publish_every = value(&mut argv, "--publish-every")?,
+            "--target-qps" => opts.target_qps = value(&mut argv, "--target-qps")?,
+            "--seed" => opts.seed = value(&mut argv, "--seed")?,
+            "--no-faults" => opts.no_faults = true,
+            "--no-apps" => opts.no_apps = true,
+            other => {
+                return Err(format!(
+                    "unknown chaos argument: {other}\n\
+                     usage: repro chaos [--nodes N] [--replicas R] [--queries Q] [--batch B] \
+                     [--observe F] [--publish-every K] [--target-qps T] [--seed S] \
+                     [--no-faults] [--no-apps]"
+                ))
+            }
+        }
+    }
+    if opts.nodes < 8 {
+        return Err("--nodes must be at least 8".to_string());
+    }
+    if opts.replicas < 1 {
+        return Err("--replicas must be at least 1".to_string());
+    }
+    if opts.batch < 1 {
+        return Err("--batch must be at least 1".to_string());
+    }
+    if opts.queries / opts.batch < 8 {
+        return Err("--queries must cover at least 8 batches".to_string());
+    }
+    if !(0.0..1.0).contains(&opts.observe_frac) {
+        return Err("--observe must be in [0, 1)".to_string());
+    }
+    if !opts.target_qps.is_finite() || opts.target_qps < 0.0 {
+        return Err("--target-qps must be a finite non-negative rate (0 = unpaced)".to_string());
+    }
+    Ok(opts)
+}
+
+/// Runs the `chaos` subcommand end to end.
+fn run_chaos_command(argv: impl Iterator<Item = String>) -> ExitCode {
+    let opts = match parse_chaos_args(argv) {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run_chaos_experiment(&opts) {
+        Ok(summary) => {
+            println!("{summary}");
+            if summary.report.slo_ok() {
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("chaos run violated its SLOs");
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("chaos run failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 /// Parses the flags of the `gate` subcommand into [`GateOptions`].
 fn parse_gate_args(argv: impl Iterator<Item = String>) -> Result<GateOptions, String> {
     fn value<T: std::str::FromStr>(
@@ -508,6 +603,8 @@ fn parse_args() -> Result<Args, String> {
              (run the incremental epoch pipeline under churn)\n\
              \x20      repro gate [--nodes N] [--replicas R] [--queries Q] [--target-qps T] ... \
              (run the wire-protocol replica set)\n\
+             \x20      repro chaos [--nodes N] [--replicas R] [--no-faults] [--no-apps] ... \
+             (inject faults into a live deployment and verify recovery)\n\
              \x20      repro sparse [--nodes N] [--pairs P] [--scale-nodes M] [--degree D] ... \
              (sweep sampled-severity accuracy and sparse-store scaling)\n\
              figures: {}\n\
@@ -577,6 +674,10 @@ fn main() -> ExitCode {
         Some("gate") => {
             argv.next();
             return run_gate_command(argv);
+        }
+        Some("chaos") => {
+            argv.next();
+            return run_chaos_command(argv);
         }
         Some("sparse") => {
             argv.next();

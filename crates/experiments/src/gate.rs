@@ -4,20 +4,20 @@
 //!
 //! This is the wire-serving sibling of [`crate::serve`]: the same
 //! synthetic DS²-style space, the same Zipf workload generator, but the
-//! queries travel through real TCP sockets to a [`ReplicaSet`] fronted
-//! by a consistent-hash ring, and the load is *open loop* — batches go
-//! out on a schedule, so queueing delay shows up in the tail
-//! percentiles instead of throttling the generator. The `gate` bench
-//! and the wire-equivalence tests share this construction path.
+//! queries travel through real TCP sockets to a multi-replica
+//! [`Deployment`], and the load is *open loop* — batches go out on a
+//! schedule, so queueing delay shows up in the tail percentiles
+//! instead of throttling the generator. The `gate` bench, the chaos
+//! harness and the wire-equivalence tests share this construction
+//! path.
 
 use crate::serve::ServeOptions;
 use delayspace::synth::{Dataset, InternetDelaySpace};
 use std::fmt;
 use std::io;
-use std::sync::atomic::Ordering;
-use tivgate::loadgen::{run_open_loop, GateLoadReport, OpenLoopConfig};
-use tivgate::replica::{spawn_publisher, ReplicaSet};
-use tivserve::loadgen::{self, ObservePath};
+use tivgate::deploy::Deployment;
+use tivgate::loadgen::{run_open_loop, GateLoadReport};
+use tivserve::loadgen::{LoadSpec, ObservePath};
 
 /// Everything the `gate` subcommand can tune.
 #[derive(Clone, Copy, Debug)]
@@ -113,8 +113,9 @@ impl fmt::Display for GateSummary {
 }
 
 /// Runs the full open-loop gate experiment: build the snapshot, spawn
-/// the replica set (real sockets), optionally spawn the background
-/// epoch publisher, play the wire workload, join and shut down.
+/// a multi-replica [`Deployment`] (real sockets, optionally with the
+/// background epoch publisher attached), play the wire workload, and
+/// shut down.
 pub fn run_gate(opts: &GateOptions) -> io::Result<GateSummary> {
     let serve_opts = opts.serve_options();
     let matrix = InternetDelaySpace::preset(Dataset::Ds2)
@@ -123,34 +124,34 @@ pub fn run_gate(opts: &GateOptions) -> io::Result<GateSummary> {
         .into_matrix();
     let (builder, snapshot) =
         tivserve::epoch::EpochBuilder::bootstrap(matrix.clone(), serve_opts.epoch_config());
-    let set =
-        ReplicaSet::spawn(&snapshot, serve_opts.serve_config(serve_opts.shards), opts.replicas)?;
-    let batches = loadgen::generate(&serve_opts.workload(), &matrix);
-    let addrs = set.addrs();
-    let loop_cfg = OpenLoopConfig { target_qps: opts.target_qps };
-    let report = if opts.epoch_every > 0 && opts.observe_frac > 0.0 {
-        let stream = spawn_publisher(set.services().to_vec(), builder, opts.epoch_every);
-        let tx = stream.sender();
-        let report = run_open_loop(&addrs, &batches, loop_cfg, ObservePath::Channel(&tx))?;
-        drop(tx);
-        stream.join();
+    let spec = LoadSpec { workload: serve_opts.workload(), target_qps: opts.target_qps };
+    let batches = spec.batches(&matrix);
+    let with_publisher = opts.epoch_every > 0 && opts.observe_frac > 0.0;
+    let deployment = Deployment::new(snapshot, serve_opts.serve_config(serve_opts.shards))
+        .replicas(opts.replicas);
+    let handle = if with_publisher {
+        deployment.publisher(builder, opts.epoch_every).spawn()?
+    } else {
+        deployment.spawn()?
+    };
+    let report = if with_publisher {
+        let feed = handle.feed().expect("publisher attached");
+        let report = run_open_loop(&handle.addrs(), &batches, spec, ObservePath::Channel(&feed))?;
+        // Flush the tail synchronously so the final epoch is already
+        // settled (and deterministic) when the stats are read below.
+        handle.publish_now();
         report
     } else {
-        run_open_loop(&addrs, &batches, loop_cfg, ObservePath::Drop)?
+        run_open_loop(&handle.addrs(), &batches, spec, ObservePath::Drop)?
     };
-    // Every replica publishes in lockstep; report the common epoch.
-    let final_epoch = set.services().iter().map(|s| s.epoch()).max().unwrap_or(0);
-    for service in set.services() {
-        debug_assert_eq!(service.epoch(), final_epoch, "replicas diverged in epoch");
-    }
     let summary = GateSummary {
         opts: *opts,
         report,
-        final_epoch,
-        requests_served: set.requests_served(),
-        backpressure_pauses: set.total(|s| s.backpressure_pauses.load(Ordering::Relaxed)),
+        final_epoch: handle.latest_epoch(),
+        requests_served: handle.requests_served(),
+        backpressure_pauses: handle.backpressure_pauses(),
     };
-    set.shutdown()?;
+    handle.shutdown()?;
     Ok(summary)
 }
 
@@ -172,18 +173,19 @@ mod tests {
     #[test]
     fn run_gate_completes_over_the_wire_and_publishes_epochs() {
         let summary = run_gate(&tiny()).expect("gate run");
-        assert_eq!(summary.report.queries, 300);
+        assert_eq!(summary.report.load.queries, 300);
         assert_eq!(summary.report.error_frames, 0);
-        assert!(summary.report.qps > 0.0);
+        assert!(summary.report.load.qps > 0.0);
         assert!(
             summary.final_epoch >= 1,
             "with observations streaming, at least one epoch should publish"
         );
         // Accounting identity, over the wire this time.
-        assert_eq!(summary.report.observations_undelivered, 0);
+        assert_eq!(summary.report.load.observations_undelivered, 0);
         assert_eq!(
-            summary.report.observations,
-            summary.report.observations_delivered() + summary.report.observations_undelivered
+            summary.report.load.observations,
+            summary.report.load.observations_delivered()
+                + summary.report.load.observations_undelivered
         );
         let text = summary.to_string();
         assert!(text.contains("qps"), "summary missing throughput: {text}");
@@ -195,8 +197,8 @@ mod tests {
         let opts = GateOptions { observe_frac: 0.0, epoch_every: 0, ..tiny() };
         let summary = run_gate(&opts).expect("gate run");
         assert_eq!(summary.final_epoch, 0);
-        assert_eq!(summary.report.observations, 0);
-        assert_eq!(summary.report.queries, 300);
+        assert_eq!(summary.report.load.observations, 0);
+        assert_eq!(summary.report.load.queries, 300);
     }
 
     #[test]
@@ -210,7 +212,7 @@ mod tests {
         };
         let summary = run_gate(&opts).expect("gate run");
         assert!(
-            summary.report.elapsed_s >= 150.0 / 3000.0 * 0.5,
+            summary.report.load.elapsed_s >= 150.0 / 3000.0 * 0.5,
             "pacing was ignored: {}",
             summary.report
         );

@@ -25,7 +25,10 @@
 //! incremental epoch pipeline against a churning delay space (the
 //! `repro churn` subcommand); [`gate`] drives a multi-replica
 //! `tivgate` wire deployment with an open-loop socket workload (the
-//! `repro gate` subcommand); [`sparse`] sweeps sampled-severity
+//! `repro gate` subcommand); [`chaos`] injects deterministic faults
+//! into a live deployment and runs the TIV-aware application workloads
+//! against it (the `repro chaos` subcommand); [`sparse`] sweeps
+//! sampled-severity
 //! accuracy against the exact kernel and sparse-store memory against
 //! the dense matrix (the `repro sparse` subcommand).
 //!
@@ -46,6 +49,7 @@
 #![deny(missing_docs)]
 
 pub mod ablations;
+pub mod chaos;
 pub mod churn;
 pub mod figure;
 pub mod gate;

@@ -12,7 +12,7 @@ use delayspace::synth::{Dataset, InternetDelaySpace};
 use std::fmt;
 use std::sync::Arc;
 use tivserve::epoch::{spawn, EpochBuilder, EpochConfig};
-use tivserve::loadgen::{self, LoadReport, ObservePath, WorkloadConfig};
+use tivserve::loadgen::{self, ClosedLoopReport, ObservePath, WorkloadConfig};
 use tivserve::service::{ServeConfig, TivServe};
 use tivserve::snapshot::EstimateConfig;
 
@@ -118,17 +118,17 @@ pub struct ServeSummary {
     /// The options the run used.
     pub opts: ServeOptions,
     /// The measured closed-loop report.
-    pub report: LoadReport,
+    pub report: ClosedLoopReport,
 }
 
 impl fmt::Display for ServeSummary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let o = &self.opts;
-        let r = &self.report;
+        let r = &self.report.load;
         writeln!(
             f,
             "tivserve: {} nodes, {} shards, seed {} — final epoch {}",
-            o.nodes, o.shards, o.seed, r.final_epoch
+            o.nodes, o.shards, o.seed, self.report.final_epoch
         )?;
         writeln!(
             f,
@@ -147,14 +147,15 @@ impl fmt::Display for ServeSummary {
             "  throughput {:.0} queries/s  batch latency p50 {:.0} us  p99 {:.0} us",
             r.qps, r.p50_us, r.p99_us
         )?;
+        let c = &self.report.cache;
         write!(
             f,
             "  cache: {:.1}% hit ({} hits / {} misses, {} evictions, {} resident)",
-            r.cache.hit_rate() * 100.0,
-            r.cache.hits,
-            r.cache.misses,
-            r.cache.evictions,
-            r.cache.len
+            c.hit_rate() * 100.0,
+            c.hits,
+            c.misses,
+            c.evictions,
+            c.len
         )
     }
 }
@@ -200,8 +201,8 @@ mod tests {
     #[test]
     fn run_serve_completes_and_publishes_epochs() {
         let summary = run_serve(&tiny());
-        assert_eq!(summary.report.queries, 400);
-        assert!(summary.report.qps > 0.0);
+        assert_eq!(summary.report.load.queries, 400);
+        assert!(summary.report.load.qps > 0.0);
         assert!(
             summary.report.final_epoch >= 1,
             "with observations streaming, at least one epoch should publish"
@@ -210,15 +211,16 @@ mod tests {
         assert!(text.contains("throughput"), "summary missing throughput: {text}");
         // The observation accounting is part of the printed contract:
         // with a live background builder nothing goes undelivered.
-        assert_eq!(summary.report.observations_undelivered, 0);
+        assert_eq!(summary.report.load.observations_undelivered, 0);
         assert_eq!(
-            summary.report.observations,
-            summary.report.observations_delivered() + summary.report.observations_undelivered
+            summary.report.load.observations,
+            summary.report.load.observations_delivered()
+                + summary.report.load.observations_undelivered
         );
         assert!(
             text.contains(&format!(
                 "({} delivered, 0 undelivered)",
-                summary.report.observations_delivered()
+                summary.report.load.observations_delivered()
             )),
             "summary missing observation accounting: {text}"
         );
@@ -229,7 +231,7 @@ mod tests {
         let opts = ServeOptions { observe_frac: 0.0, epoch_every: 0, ..tiny() };
         let summary = run_serve(&opts);
         assert_eq!(summary.report.final_epoch, 0);
-        assert_eq!(summary.report.observations, 0);
+        assert_eq!(summary.report.load.observations, 0);
     }
 
     #[test]

@@ -16,9 +16,14 @@
 //!   byte-level testing;
 //! - [`front`] — consistent-hash dispatch of batches across replicas;
 //! - [`replica`] — N-replica deployments over equal snapshots, plus an
-//!   [`EpochSource`](tivserve::epoch::EpochSource)-driven publisher;
+//!   [`EpochSource`](tivserve::epoch::EpochSource)-driven publisher
+//!   (legacy entry points, kept pinned);
+//! - [`deploy`] — the unified [`Deployment`]
+//!   builder: replicas + publisher in one handle, with the replica
+//!   crash/restart and publish-fault hooks the chaos harness drives;
 //! - [`loadgen`] — an open-loop socket load generator extending
-//!   tivserve's Zipf workload.
+//!   tivserve's Zipf workload, reporting through the shared
+//!   [`LoadReport`](tivserve::loadgen::LoadReport) core.
 //!
 //! The crate's contract — pinned by the `wire_equivalence` integration
 //! suite — is that a query answered over the wire is **byte-identical**
@@ -33,6 +38,7 @@
 
 pub mod client;
 pub mod conn;
+pub mod deploy;
 pub mod front;
 pub mod loadgen;
 pub mod proto;
@@ -41,8 +47,9 @@ pub mod server;
 pub mod testutil;
 
 pub use client::GateClient;
+pub use deploy::{Deployment, DeploymentHandle};
 pub use front::{Front, HashRing};
-pub use loadgen::{run_open_loop, GateLoadReport, OpenLoopConfig};
+pub use loadgen::{run_open_loop, GateLoadReport};
 pub use proto::{to_node_pairs, to_wire_pairs, ErrorCode, Request, Response, WirePair};
 pub use replica::{spawn_publisher, PublisherStream, ReplicaSet};
 pub use server::{GateConfig, GateHandle, GateServer, GateStats};

@@ -25,50 +25,20 @@ use std::fmt;
 use std::io;
 use std::net::SocketAddr;
 use std::time::{Duration, Instant};
-use tivserve::loadgen::{ObservePath, QueryBatch};
+use tivserve::loadgen::{LoadReport, LoadSpec, ObservePath, QueryBatch};
 
-/// Open-loop run parameters.
-#[derive(Clone, Copy, Debug)]
-pub struct OpenLoopConfig {
-    /// Target query arrival rate, queries/second. `0.0` disables
-    /// pacing: batches go out back-to-back (the max-throughput mode the
-    /// benchmark uses for headline qps).
-    pub target_qps: f64,
-}
-
-impl Default for OpenLoopConfig {
-    fn default() -> OpenLoopConfig {
-        OpenLoopConfig { target_qps: 0.0 }
-    }
-}
-
-/// The measured outcome of an open-loop wire run.
+/// The measured outcome of an open-loop wire run: the shared
+/// [`LoadReport`] core (counts, observation accounting, percentiles —
+/// computed by the one constructor in `tivserve::loadgen`) plus what
+/// only an open-loop wire client can see: schedule adherence and
+/// error frames.
 #[derive(Clone, Copy, Debug)]
 pub struct GateLoadReport {
+    /// The shared measurement core. Batch latency is measured from the
+    /// *scheduled* send time to the last involved replica's answer.
+    pub load: LoadReport,
     /// Replicas the traffic was spread over.
     pub replicas: usize,
-    /// Queries answered.
-    pub queries: usize,
-    /// Batches issued.
-    pub batches: usize,
-    /// Observations the workload carried.
-    pub observations: usize,
-    /// Observations that could not be delivered to the epoch publisher
-    /// (closed channel). Always 0 in a healthy run; see
-    /// [`GateLoadReport::observations_delivered`] for the accounting
-    /// identity.
-    pub observations_undelivered: usize,
-    /// Wall-clock seconds from first scheduled send to last response.
-    pub elapsed_s: f64,
-    /// Aggregate query throughput, queries/second.
-    pub qps: f64,
-    /// Median batch latency (scheduled send → last involved replica's
-    /// answer), microseconds.
-    pub p50_us: f64,
-    /// 99th-percentile batch latency, microseconds.
-    pub p99_us: f64,
-    /// 99.9th-percentile batch latency, microseconds.
-    pub p999_us: f64,
     /// Batches whose actual send started after their scheduled time
     /// (the generator itself was backpressured).
     pub late_batches: usize,
@@ -78,28 +48,17 @@ pub struct GateLoadReport {
     pub error_frames: usize,
 }
 
-impl GateLoadReport {
-    /// Observations that reached the epoch publisher. Together with
-    /// [`observations_undelivered`](GateLoadReport::observations_undelivered)
-    /// this partitions `observations` exactly:
-    /// `observations == delivered + undelivered` — the accounting the
-    /// loadgen tests pin.
-    pub fn observations_delivered(&self) -> usize {
-        self.observations - self.observations_undelivered
-    }
-}
-
 impl fmt::Display for GateLoadReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
             "gate load: {} queries in {} batches over {} replicas, {:.2}s",
-            self.queries, self.batches, self.replicas, self.elapsed_s
+            self.load.queries, self.load.batches, self.replicas, self.load.elapsed_s
         )?;
         writeln!(
             f,
             "  qps {:.0}  p50 {:.0}us  p99 {:.0}us  p999 {:.0}us",
-            self.qps, self.p50_us, self.p99_us, self.p999_us
+            self.load.qps, self.load.p50_us, self.load.p99_us, self.load.p999_us
         )?;
         writeln!(
             f,
@@ -109,9 +68,9 @@ impl fmt::Display for GateLoadReport {
         write!(
             f,
             "  observations {} = delivered {} + undelivered {}",
-            self.observations,
-            self.observations_delivered(),
-            self.observations_undelivered
+            self.load.observations,
+            self.load.observations_delivered(),
+            self.load.observations_undelivered
         )
     }
 }
@@ -123,7 +82,8 @@ struct PlannedSend {
     frame: Vec<u8>,
 }
 
-/// Plays `batches` against the replicas at `addrs`, open loop.
+/// Plays `batches` against the replicas at `addrs`, open loop, paced
+/// at `spec.target_qps` (0 = unpaced back-to-back sends).
 ///
 /// Observations ride along exactly as in the closed-loop generator:
 /// delivered to `observe` at their batch's send point, with failures
@@ -131,7 +91,7 @@ struct PlannedSend {
 pub fn run_open_loop(
     addrs: &[SocketAddr],
     batches: &[QueryBatch],
-    cfg: OpenLoopConfig,
+    spec: LoadSpec,
     observe: ObservePath<'_>,
 ) -> io::Result<GateLoadReport> {
     assert!(!addrs.is_empty(), "open loop needs at least one replica");
@@ -145,8 +105,8 @@ pub fn run_open_loop(
     let mut queries = 0usize;
     let mut cum_queries = 0usize;
     for (bi, batch) in batches.iter().enumerate() {
-        schedule_s.push(if cfg.target_qps > 0.0 {
-            cum_queries as f64 / cfg.target_qps
+        schedule_s.push(if spec.target_qps > 0.0 {
+            cum_queries as f64 / spec.target_qps
         } else {
             0.0
         });
@@ -201,13 +161,13 @@ pub fn run_open_loop(
         let now = start.elapsed();
         if now < scheduled {
             std::thread::sleep(scheduled - now);
-        } else if cfg.target_qps > 0.0 && now > scheduled {
+        } else if spec.target_qps > 0.0 && now > scheduled {
             late_batches += 1;
             max_lag = max_lag.max(now - scheduled);
         }
         if let ObservePath::Channel(tx) = &observe {
             for &obs in &batches[bi].observations {
-                if tx.send(obs).is_err() {
+                if tx.observe(obs).is_err() {
                     undelivered += 1;
                 }
             }
@@ -242,26 +202,17 @@ pub fn run_open_loop(
             latencies_us.push(done.saturating_sub(scheduled).as_secs_f64() * 1e6);
         }
     }
-    latencies_us.sort_by(f64::total_cmp);
-    let pct = |p: f64| -> f64 {
-        if latencies_us.is_empty() {
-            return 0.0;
-        }
-        let idx = (p * (latencies_us.len() - 1) as f64).round() as usize;
-        latencies_us[idx]
-    };
 
     Ok(GateLoadReport {
+        load: LoadReport::from_latencies(
+            queries,
+            batches.len(),
+            observations,
+            undelivered,
+            elapsed_s,
+            latencies_us,
+        ),
         replicas: addrs.len(),
-        queries,
-        batches: batches.len(),
-        observations,
-        observations_undelivered: undelivered,
-        elapsed_s,
-        qps: if elapsed_s > 0.0 { queries as f64 / elapsed_s } else { 0.0 },
-        p50_us: pct(0.50),
-        p99_us: pct(0.99),
-        p999_us: pct(0.999),
         late_batches,
         max_lag_us: max_lag.as_secs_f64() * 1e6,
         error_frames,
@@ -273,6 +224,7 @@ mod tests {
     use super::*;
     use crate::replica::ReplicaSet;
     use crate::testutil::small_builder;
+    use tivserve::epoch::FeedSender;
     use tivserve::loadgen::{generate, WorkloadConfig};
 
     fn workload(queries: usize) -> WorkloadConfig {
@@ -286,14 +238,14 @@ mod tests {
         let set = ReplicaSet::spawn(&snap, serve_cfg, 2).expect("spawn");
         drop(builder);
         let batches = generate(&workload(200), &matrix);
-        let report =
-            run_open_loop(&set.addrs(), &batches, OpenLoopConfig::default(), ObservePath::Drop)
-                .expect("run");
-        assert_eq!(report.queries, 200);
-        assert_eq!(report.batches, batches.len());
+        let report = run_open_loop(&set.addrs(), &batches, LoadSpec::default(), ObservePath::Drop)
+            .expect("run");
+        assert_eq!(report.load.queries, 200);
+        assert_eq!(report.load.batches, batches.len());
         assert_eq!(report.error_frames, 0);
-        assert!(report.qps > 0.0);
-        assert!(report.p50_us <= report.p99_us && report.p99_us <= report.p999_us);
+        assert!(report.load.qps > 0.0);
+        assert!(report.load.p50_us <= report.load.p99_us);
+        assert!(report.load.p99_us <= report.load.p999_us);
         // Unpaced mode has no schedule to fall behind.
         assert_eq!(report.late_batches, 0);
         assert_eq!(report.max_lag_us, 0.0);
@@ -310,19 +262,15 @@ mod tests {
         let batches = generate(&workload(150), &matrix);
         let sent: usize = batches.iter().map(|b| b.observations.len()).sum();
         assert!(sent > 0, "workload must carry observations for this test");
-        let report = run_open_loop(
-            &set.addrs(),
-            &batches,
-            OpenLoopConfig::default(),
-            ObservePath::Channel(&tx),
-        )
-        .expect("run");
+        let report =
+            run_open_loop(&set.addrs(), &batches, LoadSpec::default(), ObservePath::Channel(&tx))
+                .expect("run");
         drop(tx);
         let builder = stream.join();
         // sent == delivered + undelivered, and a live channel loses none.
-        assert_eq!(report.observations, sent);
-        assert_eq!(report.observations_undelivered, 0);
-        assert_eq!(report.observations_delivered(), sent);
+        assert_eq!(report.load.observations, sent);
+        assert_eq!(report.load.observations_undelivered, 0);
+        assert_eq!(report.load.observations_delivered(), sent);
         assert_eq!(builder.ingested_total(), sent as u64);
         set.shutdown().expect("shutdown");
     }
@@ -334,23 +282,21 @@ mod tests {
         drop(builder);
         let set = ReplicaSet::spawn(&snap, serve_cfg, 1).expect("spawn");
         // A dead publisher from the generator's point of view is a
-        // channel whose receiving end is gone.
-        let (tx, rx) = std::sync::mpsc::channel();
-        drop(rx);
+        // feed with no engine behind it.
+        let tx = FeedSender::disconnected();
         let batches = generate(&workload(100), &matrix);
         let sent: usize = batches.iter().map(|b| b.observations.len()).sum();
         assert!(sent > 0);
-        let report = run_open_loop(
-            &set.addrs(),
-            &batches,
-            OpenLoopConfig::default(),
-            ObservePath::Channel(&tx),
-        )
-        .expect("run");
-        assert_eq!(report.observations, sent);
-        assert_eq!(report.observations_undelivered, sent, "every send hit a closed channel");
-        assert_eq!(report.observations_delivered(), 0);
-        assert_eq!(report.observations_delivered() + report.observations_undelivered, sent);
+        let report =
+            run_open_loop(&set.addrs(), &batches, LoadSpec::default(), ObservePath::Channel(&tx))
+                .expect("run");
+        assert_eq!(report.load.observations, sent);
+        assert_eq!(report.load.observations_undelivered, sent, "every send hit a closed feed");
+        assert_eq!(report.load.observations_delivered(), 0);
+        assert_eq!(
+            report.load.observations_delivered() + report.load.observations_undelivered,
+            sent
+        );
         set.shutdown().expect("shutdown");
     }
 
@@ -363,15 +309,10 @@ mod tests {
         let batches = generate(&workload(60), &matrix);
         // A generous rate the tiny service can trivially sustain: the
         // run should take about queries/qps seconds.
-        let report = run_open_loop(
-            &set.addrs(),
-            &batches,
-            OpenLoopConfig { target_qps: 2000.0 },
-            ObservePath::Drop,
-        )
-        .expect("run");
-        assert!(report.elapsed_s >= 60.0 / 2000.0 * 0.5, "pacing was ignored: {report}");
-        assert_eq!(report.queries, 60);
+        let spec = LoadSpec { target_qps: 2000.0, ..LoadSpec::default() };
+        let report = run_open_loop(&set.addrs(), &batches, spec, ObservePath::Drop).expect("run");
+        assert!(report.load.elapsed_s >= 60.0 / 2000.0 * 0.5, "pacing was ignored: {report}");
+        assert_eq!(report.load.queries, 60);
         set.shutdown().expect("shutdown");
     }
 }

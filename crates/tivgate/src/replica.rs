@@ -16,14 +16,19 @@
 //! tivserve's [`EpochSource`] abstraction: the same builder types
 //! (classic [`EpochBuilder`](tivserve::epoch::EpochBuilder) or the
 //! incremental flux builder) drive a whole replica set instead of a
-//! single service.
+//! single service. Both it and the fixed-topology [`ReplicaSet`] are
+//! legacy entry points kept for the pinned equivalence tests — new
+//! code (and the chaos harness) should construct through the
+//! [`Deployment`](crate::deploy::Deployment) builder, which adds
+//! replica crash/restart and publish-fault hooks on the same
+//! machinery.
 
 use crate::server::{GateConfig, GateHandle, GateServer, GateStats};
 use std::io;
 use std::net::SocketAddr;
 use std::sync::atomic::Ordering;
-use std::sync::{mpsc, Arc};
-use tivserve::epoch::{EpochSource, Observation};
+use std::sync::Arc;
+use tivserve::epoch::{spawn_with, EpochSource, EpochStream};
 use tivserve::service::{ServeConfig, TivServe};
 use tivserve::snapshot::EpochSnapshot;
 
@@ -119,67 +124,30 @@ impl ReplicaSet {
     }
 }
 
-/// Handle to a background publisher feeding a replica set.
-pub struct PublisherStream<B: EpochSource> {
-    tx: mpsc::Sender<Observation>,
-    handle: std::thread::JoinHandle<B>,
-}
+/// Handle to a background publisher feeding a replica set — the same
+/// engine handle as the single-service path, returned by the one
+/// publish loop ([`tivserve::epoch::spawn_with`]).
+pub type PublisherStream<B> = EpochStream<B>;
 
-impl<B: EpochSource> PublisherStream<B> {
-    /// The observation sender; clone freely. Dropping every sender and
-    /// joining shuts the publisher down.
-    pub fn sender(&self) -> mpsc::Sender<Observation> {
-        self.tx.clone()
-    }
-
-    /// Closes the stream, waits for the tail publish, returns the
-    /// builder.
-    pub fn join(self) -> B {
-        drop(self.tx);
-        self.handle.join().expect("replica publisher thread panicked")
-    }
-}
-
-/// The multi-replica analogue of [`tivserve::epoch::spawn`]: drains
-/// streamed observations into any [`EpochSource`] and, every
-/// `observations_per_epoch` observations, publishes the built snapshot
-/// into **all** of the set's services. Tail observations are published
-/// as a final epoch on shutdown; none are ever dropped.
+/// Legacy wrapper — prefer [`Deployment`](crate::deploy::Deployment)
+/// for new code; kept as the bare replica-fan-out entry point and
+/// pinned unchanged by the lockstep-publish tests.
+///
+/// The multi-replica analogue of [`tivserve::epoch::spawn`]: spawns
+/// **the** publish engine with a closure that publishes every built
+/// snapshot into **all** of the set's services. Tail observations are
+/// published as a final epoch on shutdown; none are ever dropped.
 pub fn spawn_publisher<B: EpochSource<Snapshot = tivserve::EpochSnapshot>>(
     services: Vec<Arc<TivServe>>,
-    mut builder: B,
+    builder: B,
     observations_per_epoch: usize,
 ) -> PublisherStream<B> {
-    assert!(observations_per_epoch >= 1, "need at least one observation per epoch");
     assert!(!services.is_empty(), "publisher needs at least one service");
-    let (tx, rx) = mpsc::channel::<Observation>();
-    // tivlint: allow(pool-discipline, "one long-lived multi-replica epoch-publisher thread, not a parallel kernel; lockstep publishing is pinned by publish_all tests")
-    let handle = std::thread::spawn(move || {
-        let publish = |builder: &mut B| {
-            let snapshot = builder.build();
-            for service in &services {
-                service.publish(snapshot.clone());
-            }
-        };
-        'run: loop {
-            let Ok(first) = rx.recv() else { break 'run };
-            builder.ingest(first);
-            while builder.pending() < observations_per_epoch {
-                match rx.try_recv() {
-                    Ok(obs) => builder.ingest(obs),
-                    Err(_) => break,
-                }
-            }
-            if builder.pending() >= observations_per_epoch {
-                publish(&mut builder);
-            }
+    spawn_with(builder, observations_per_epoch, move |snapshot: EpochSnapshot| {
+        for service in &services {
+            service.publish(snapshot.clone());
         }
-        if builder.pending() > 0 {
-            publish(&mut builder);
-        }
-        builder
-    });
-    PublisherStream { tx, handle }
+    })
 }
 
 #[cfg(test)]
@@ -188,6 +156,7 @@ mod tests {
     use crate::client::GateClient;
     use crate::proto::{Request, Response};
     use crate::testutil::{small_builder, SMALL_NODES};
+    use tivserve::epoch::Observation;
 
     #[test]
     fn replicas_share_the_snapshot_and_answer_identically() {
@@ -241,7 +210,7 @@ mod tests {
         let sent = 10u64;
         for k in 0..sent {
             let src = (k % 6) as usize;
-            tx.send(Observation { src, dst: src + 8, rtt_ms: 35.0 + k as f64 }).unwrap();
+            tx.observe(Observation { src, dst: src + 8, rtt_ms: 35.0 + k as f64 }).unwrap();
         }
         drop(tx);
         let builder = stream.join();

@@ -17,7 +17,8 @@
 //! | routing | [`tivroute`] | k-best one-hop detour search, detour-gain statistics |
 //! | incremental | [`tivflux`] | dirty-row tracking, delta repair of the O(n³) analyses, rebuild policy |
 //! | serving | [`tivserve`] | sharded, epoch-snapshot estimation + routing service, incremental epoch builder, load generator |
-//! | wire | [`tivgate`] | length-prefixed binary protocol, non-blocking gate server, consistent-hash multi-replica front, open-loop socket loadgen |
+//! | wire | [`tivgate`] | length-prefixed binary protocol, non-blocking gate server, consistent-hash multi-replica front, open-loop socket loadgen, `Deployment` builder |
+//! | chaos | [`tivchaos`] | deterministic fault injection against a live deployment, bit-exact recovery checks, live application workloads |
 //! | harness | [`experiments`] | one function per figure of the paper, `repro` binary |
 //!
 //! Every O(n³) kernel (severity, APSP, the alert sweeps, the
@@ -42,6 +43,7 @@ pub use experiments;
 pub use ides;
 pub use meridian;
 pub use simnet;
+pub use tivchaos;
 pub use tivcore;
 pub use tivflux;
 pub use tivgate;
@@ -82,10 +84,19 @@ pub mod prelude {
 
     pub use tivflux::{BuildKind, DerivedState, DirtySet, RebuildPolicy, RefineConfig};
 
+    pub use tivserve::loadgen::{LoadReport, LoadSpec};
     pub use tivserve::{
         EdgeEstimate, EpochBuilder, EpochConfig, EpochSnapshot, EstimateConfig, FluxBuilder,
         FluxConfig, Observation, RouteEstimate, ServeConfig, TivServe, WorkloadConfig,
     };
 
-    pub use tivgate::{Front, GateClient, GateConfig, GateServer, ReplicaSet, Request, Response};
+    pub use tivgate::{
+        Deployment, DeploymentHandle, Front, GateClient, GateConfig, GateServer, ReplicaSet,
+        Request, Response,
+    };
+
+    pub use tivchaos::{
+        run_chaos, run_overlay_multicast, run_server_selection, AppConfig, AppReport, ChaosConfig,
+        ChaosReport, FaultKind, FaultPlan, SloSpec,
+    };
 }

@@ -43,7 +43,7 @@ fn assert_bit_identical(a: &EdgeEstimate, b: &EdgeEstimate, what: &str) {
 
 fn run_queries(service: &TivServe, batches: &[loadgen::QueryBatch]) -> Vec<Vec<EdgeEstimate>> {
     let (report, answers) = loadgen::run_closed_loop(service, batches, ObservePath::Drop);
-    assert_eq!(report.queries, batches.iter().map(|b| b.pairs.len()).sum::<usize>());
+    assert_eq!(report.load.queries, batches.iter().map(|b| b.pairs.len()).sum::<usize>());
     answers
 }
 

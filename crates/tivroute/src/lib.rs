@@ -53,4 +53,4 @@ pub mod detour;
 pub mod stats;
 
 pub use detour::{best_detour, sampled_detour, DetourGain, DetourTable, Relay};
-pub use stats::DetourStats;
+pub use stats::{DetourStats, SavingsBySeverity};

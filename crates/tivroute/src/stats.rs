@@ -15,6 +15,37 @@ use delayspace::matrix::DelayMatrix;
 use delayspace::stats::{BinnedStats, Cdf};
 use tivcore::severity::Severity;
 
+/// Relative latency savings attributed to TIV-severity bins — the one
+/// aggregation surface behind both the offline detour figure
+/// ([`DetourStats::savings_vs_severity`]) and the live application
+/// workloads of the chaos harness, which attribute TIV-aware routing
+/// wins to the severity of the edge they avoided.
+#[derive(Clone, Debug)]
+pub struct SavingsBySeverity {
+    /// Samples attributed (severity was present and finite).
+    pub samples: usize,
+    /// The binned distribution: severity on x, relative saving on y.
+    pub binned: BinnedStats,
+}
+
+impl SavingsBySeverity {
+    /// Bins `(severity, relative saving)` samples into `bin`-wide
+    /// severity bins up to `max`. Non-finite severities are skipped,
+    /// never folded in as garbage — the same discipline
+    /// [`DetourStats::compute`] applies to partially-covered severity
+    /// matrices.
+    pub fn from_samples(samples: Vec<(f64, f64)>, bin: f64, max: f64) -> Self {
+        let kept: Vec<(f64, f64)> = samples.into_iter().filter(|(s, _)| s.is_finite()).collect();
+        SavingsBySeverity { samples: kept.len(), binned: BinnedStats::build(kept, bin, max) }
+    }
+
+    /// `(bin midpoint, median saving)` for every populated bin — the
+    /// paper's savings-vs-severity series.
+    pub fn median_series(&self) -> Vec<(f64, f64)> {
+        self.binned.median_series()
+    }
+}
+
 /// Aggregated detour gains over the measured edges of a delay space.
 #[derive(Clone, Debug)]
 pub struct DetourStats {
@@ -84,7 +115,8 @@ impl DetourStats {
             beneficial,
             abs_savings_ms: Cdf::from_samples(abs),
             rel_savings: Cdf::from_samples(rel),
-            savings_vs_severity: sev.map(|_| BinnedStats::build(by_sev, sev_bin, sev_max)),
+            savings_vs_severity: sev
+                .map(|_| SavingsBySeverity::from_samples(by_sev, sev_bin, sev_max).binned),
         }
     }
 

@@ -11,11 +11,18 @@
 //! the caller publishes into a [`TivServe`] — readers never stall,
 //! they just keep answering from the previous epoch until the swap.
 //!
-//! [`spawn`] runs the fold on a background thread fed by an mpsc
-//! channel, publishing every `observations_per_epoch` observations.
+//! [`spawn_with`] runs the fold on a background thread fed by a
+//! [`Feed`] channel, publishing every `observations_per_epoch`
+//! observations into an arbitrary publish closure — there is exactly
+//! one copy of the drain/publish loop, and every deployment shape
+//! (single service via [`spawn`], replica fan-out via
+//! `tivgate::spawn_publisher`, a full chaos-capable
+//! `tivgate::Deployment`) is a thin closure over it. A [`FeedSender`]
+//! streams observations in and can force a synchronous build+publish
+//! with [`FeedSender::flush`].
 
 use crate::service::TivServe;
-use crate::snapshot::EpochSnapshot;
+use crate::snapshot::{EpochSnapshot, ServedSnapshot};
 use delayspace::matrix::{DelayMatrix, NodeId};
 use simnet::net::{JitterModel, Network};
 use std::sync::mpsc;
@@ -68,11 +75,14 @@ impl Default for EpochConfig {
 /// `Snapshot = EpochSnapshot`), and the million-node
 /// [`SparseEpochBuilder`](crate::sparse::SparseEpochBuilder)
 /// (`Snapshot = SparseSnapshot` — never materializes n²). The
-/// background publish loop ([`spawn`]) is generic over this, so every
-/// builder shares one hardened ingest/publish path.
+/// background publish loop ([`spawn_with`]) is generic over this, so
+/// every builder shares one hardened ingest/publish path.
 pub trait EpochSource: Send + 'static {
-    /// The snapshot type one build produces.
-    type Snapshot: Send + 'static;
+    /// The snapshot type one build produces. Bounded by
+    /// [`ServedSnapshot`] so the publish engine can report the epoch
+    /// it just published (the [`FeedSender::flush`] ack) and so
+    /// deployments can retain/rebuild any snapshot kind uniformly.
+    type Snapshot: ServedSnapshot;
     /// Folds one observation into the working state.
     fn ingest(&mut self, obs: Observation);
     /// Observations folded in since the last [`build`](Self::build).
@@ -213,20 +223,97 @@ pub(crate) fn embed(
     sys.embedding()
 }
 
-/// Handle to a background epoch-builder thread.
+/// One message into the publish engine's feed channel.
+///
+/// The unified publish path is message-driven: observations and
+/// control both travel the same FIFO channel, so a
+/// [`flush`](FeedSender::flush) publishes exactly the observations
+/// sent before it — no racing control side-channel.
+pub enum Feed {
+    /// One streamed RTT measurement to fold into the working state.
+    Observe(Observation),
+    /// Force a build+publish now (even with zero pending
+    /// observations); the engine acks with the published epoch.
+    Flush(mpsc::Sender<u64>),
+    /// Shut the engine down even while other senders are still alive
+    /// (pending observations get their tail publish first).
+    Close,
+}
+
+/// Sending half of a publish engine's feed channel; clone freely.
+///
+/// Dropping every `FeedSender` (and the owning
+/// [`EpochStream`] via [`join`](EpochStream::join)) shuts the engine
+/// down after a tail publish of any pending observations.
+#[derive(Clone)]
+pub struct FeedSender {
+    tx: mpsc::Sender<Feed>,
+}
+
+impl FeedSender {
+    /// Streams one observation to the engine. `Err(obs)` hands the
+    /// observation back when the engine is gone — callers count these
+    /// as *undelivered* in the `observations == delivered +
+    /// undelivered` accounting identity.
+    pub fn observe(&self, obs: Observation) -> Result<(), Observation> {
+        self.tx.send(Feed::Observe(obs)).map_err(|e| match e.0 {
+            Feed::Observe(obs) => obs,
+            Feed::Flush(_) | Feed::Close => unreachable!("sent an observation"),
+        })
+    }
+
+    /// Forces a build+publish of everything observed so far and blocks
+    /// until it lands, returning the published epoch (`None` when the
+    /// engine is gone). Publishes even with zero pending observations,
+    /// so deployments can advance epochs deterministically.
+    pub fn flush(&self) -> Option<u64> {
+        let (ack_tx, ack_rx) = mpsc::channel();
+        self.tx.send(Feed::Flush(ack_tx)).ok()?;
+        ack_rx.recv().ok()
+    }
+
+    /// Tells the engine to shut down **now**, without waiting for
+    /// every sender clone to be dropped. FIFO like everything else on
+    /// the feed: observations sent before the close are still folded
+    /// in (and tail-published); anything sent after it fails as
+    /// undelivered once the engine exits. This is what lets a
+    /// [`Deployment`](../../tivgate/deploy/struct.Deployment.html)
+    /// shut down deterministically while harness code still holds
+    /// live `FeedSender` clones.
+    pub fn close(&self) {
+        let _ = self.tx.send(Feed::Close);
+    }
+
+    /// A sender with no engine behind it: every delivery fails. Lets
+    /// harness code model a crashed/shut-down builder without spawning
+    /// one.
+    pub fn disconnected() -> FeedSender {
+        let (tx, _) = mpsc::channel();
+        FeedSender { tx }
+    }
+
+    /// A raw feed pair for harnesses that drain the channel
+    /// themselves instead of spawning an engine.
+    pub fn channel() -> (FeedSender, mpsc::Receiver<Feed>) {
+        let (tx, rx) = mpsc::channel();
+        (FeedSender { tx }, rx)
+    }
+}
+
+/// Handle to a background epoch-builder (publish engine) thread.
 pub struct EpochStream<B: EpochSource = EpochBuilder> {
-    tx: mpsc::Sender<Observation>,
+    tx: FeedSender,
     handle: std::thread::JoinHandle<B>,
 }
 
 impl<B: EpochSource> EpochStream<B> {
-    /// The observation sender; clone freely. Dropping every sender (and
-    /// this handle via [`join`](Self::join)) shuts the builder down.
-    pub fn sender(&self) -> mpsc::Sender<Observation> {
+    /// The feed sender; clone freely. Dropping every sender (and this
+    /// handle via [`join`](Self::join)) shuts the engine down.
+    pub fn sender(&self) -> FeedSender {
         self.tx.clone()
     }
 
-    /// Closes the stream, waits for the builder thread to publish any
+    /// Closes the stream, waits for the engine thread to publish any
     /// tail observations, and returns the builder.
     pub fn join(self) -> B {
         drop(self.tx);
@@ -234,14 +321,17 @@ impl<B: EpochSource> EpochStream<B> {
     }
 }
 
-/// Spawns an epoch builder on a background thread: it drains streamed
-/// observations, and each time `observations_per_epoch` have been
-/// folded in it builds the next snapshot and publishes it into `sink`
-/// (any [`PublishSink`] matching the builder's snapshot type — a
-/// [`TivServe`] for dense builders, a
-/// [`SparseServe`](crate::sparse::SparseServe) for sparse ones).
-/// Remaining observations are published as a final epoch on shutdown
-/// (all senders dropped).
+/// Spawns **the** publish engine on a background thread: it drains the
+/// feed, and each time `observations_per_epoch` observations have been
+/// folded in (or a [`Feed::Flush`] arrives) it builds the next
+/// snapshot and hands it to `publish`. Remaining observations are
+/// published as a final epoch on shutdown (all senders dropped).
+///
+/// This is the single copy of the drain/publish loop every deployment
+/// shape goes through: [`spawn`] publishes into one service,
+/// `tivgate::spawn_publisher` fans out over replicas, and
+/// `tivgate::Deployment` routes through its fault gates — each is just
+/// a different `publish` closure.
 ///
 /// A build-and-publish can take a while (a full O(n³) rebuild on the
 /// classic builder); observations that arrive during it are **never
@@ -251,39 +341,78 @@ impl<B: EpochSource> EpochStream<B> {
 /// absorbed in one sweep, and the no-loss accounting
 /// (`ingested_total == observations sent`) is pinned by the
 /// observe/publish interleaving regression tests.
-pub fn spawn<B: EpochSource>(
-    service: Arc<impl PublishSink<B::Snapshot>>,
+pub fn spawn_with<B: EpochSource>(
     mut builder: B,
     observations_per_epoch: usize,
+    mut publish: impl FnMut(B::Snapshot) + Send + 'static,
 ) -> EpochStream<B> {
     assert!(observations_per_epoch >= 1, "need at least one observation per epoch");
-    let (tx, rx) = mpsc::channel::<Observation>();
+    let (tx, rx) = mpsc::channel::<Feed>();
     // tivlint: allow(pool-discipline, "one long-lived background epoch-builder thread, not a parallel kernel; build determinism is pinned by the observe/publish interleaving tests")
     let handle = std::thread::spawn(move || {
+        let flush =
+            |builder: &mut B, publish: &mut dyn FnMut(B::Snapshot), ack: mpsc::Sender<u64>| {
+                let snapshot = builder.build();
+                let epoch = snapshot.epoch();
+                publish(snapshot);
+                // The flusher may have given up waiting; that is its
+                // business, the publish already happened.
+                let _ = ack.send(epoch);
+            };
         'run: loop {
-            // Block for the next observation; a closed channel (every
-            // sender dropped) ends the stream.
-            let Ok(first) = rx.recv() else { break 'run };
-            builder.ingest(first);
+            // Block for the next message; a closed channel (every
+            // sender dropped) or an explicit close ends the stream.
+            match rx.recv() {
+                Err(_) | Ok(Feed::Close) => break 'run,
+                Ok(Feed::Flush(ack)) => {
+                    flush(&mut builder, &mut publish, ack);
+                    continue 'run;
+                }
+                Ok(Feed::Observe(obs)) => builder.ingest(obs),
+            }
             // Absorb whatever else is already buffered — including
             // anything that arrived while the previous build/publish
             // was running — up to the epoch boundary, without blocking.
             while builder.pending() < observations_per_epoch {
                 match rx.try_recv() {
-                    Ok(obs) => builder.ingest(obs),
+                    Ok(Feed::Observe(obs)) => builder.ingest(obs),
+                    // A flush queued mid-batch publishes exactly what
+                    // preceded it (FIFO), then draining resumes.
+                    Ok(Feed::Flush(ack)) => flush(&mut builder, &mut publish, ack),
+                    // A close queued mid-batch still honours FIFO: what
+                    // preceded it tail-publishes below, then we exit.
+                    Ok(Feed::Close) => break 'run,
                     Err(_) => break,
                 }
             }
             if builder.pending() >= observations_per_epoch {
-                service.publish_snapshot(builder.build());
+                publish(builder.build());
             }
         }
         if builder.pending() > 0 {
-            service.publish_snapshot(builder.build());
+            publish(builder.build());
         }
         builder
     });
-    EpochStream { tx, handle }
+    EpochStream { tx: FeedSender { tx }, handle }
+}
+
+/// Legacy wrapper — prefer `tivgate::Deployment` (or [`spawn_with`]
+/// directly) for new code; kept as the single-service entry point and
+/// pinned unchanged by the observe/publish interleaving tests.
+///
+/// Spawns the publish engine with a closure that publishes every built
+/// snapshot into `service` (any [`PublishSink`] matching the builder's
+/// snapshot type — a [`TivServe`] for dense builders, a
+/// [`SparseServe`](crate::sparse::SparseServe) for sparse ones).
+pub fn spawn<B: EpochSource>(
+    service: Arc<impl PublishSink<B::Snapshot>>,
+    builder: B,
+    observations_per_epoch: usize,
+) -> EpochStream<B> {
+    spawn_with(builder, observations_per_epoch, move |snapshot| {
+        service.publish_snapshot(snapshot);
+    })
 }
 
 #[cfg(test)]
@@ -367,7 +496,7 @@ mod tests {
         let tx = stream.sender();
         for k in 0..10 {
             let src = k % 7;
-            tx.send(Observation { src, dst: src + 10, rtt_ms: 40.0 + k as f64 }).unwrap();
+            tx.observe(Observation { src, dst: src + 10, rtt_ms: 40.0 + k as f64 }).unwrap();
         }
         drop(tx);
         let builder = stream.join();
@@ -392,7 +521,7 @@ mod tests {
         let sent = 200u64;
         for k in 0..sent {
             let src = (k % 9) as usize;
-            tx.send(Observation { src, dst: src + 11, rtt_ms: 30.0 + (k % 40) as f64 }).unwrap();
+            tx.observe(Observation { src, dst: src + 11, rtt_ms: 30.0 + (k % 40) as f64 }).unwrap();
             if k % 7 == 0 {
                 // Interleave some reads so publishes overlap queries too.
                 let _ = service.estimate_batch(&[(0, 1)]);
@@ -422,6 +551,40 @@ mod tests {
             assert_eq!(builder.pending(), 0);
         }
         assert_eq!(builder.ingested_total(), sent);
+    }
+
+    #[test]
+    fn flush_forces_synchronous_publishes() {
+        let (builder, snap) = EpochBuilder::bootstrap(ds2(30, 10), cfg());
+        let service = Arc::new(TivServe::new(ServeConfig::default(), snap));
+        // Threshold far above anything sent: only flushes publish.
+        let stream = spawn(Arc::clone(&service), builder, 1_000_000);
+        let tx = stream.sender();
+        // Flush with nothing pending still advances the epoch.
+        assert_eq!(tx.flush(), Some(1));
+        assert_eq!(service.epoch(), 1);
+        for k in 0..5 {
+            tx.observe(Observation { src: k, dst: k + 8, rtt_ms: 25.0 + k as f64 }).unwrap();
+        }
+        // FIFO: the flush publishes exactly the five observations
+        // queued before it, synchronously.
+        assert_eq!(tx.flush(), Some(2));
+        assert_eq!(service.epoch(), 2);
+        // join() drops only the stream's own sender; our live clone
+        // must signal close (or be dropped) before the engine exits.
+        tx.close();
+        let builder = stream.join();
+        assert_eq!(builder.ingested_total(), 5);
+        assert_eq!(builder.pending(), 0, "flush left nothing unpublished");
+        assert_eq!(builder.epoch(), 2, "no tail publish after a clean flush");
+    }
+
+    #[test]
+    fn disconnected_sender_reports_undelivered() {
+        let tx = FeedSender::disconnected();
+        let obs = Observation { src: 0, dst: 1, rtt_ms: 10.0 };
+        assert_eq!(tx.observe(obs), Err(obs));
+        assert_eq!(tx.flush(), None);
     }
 
     #[test]

@@ -356,7 +356,7 @@ mod tests {
         let sent = 50u64;
         for k in 0..sent {
             let src = (k % 7) as usize;
-            tx.send(Observation { src, dst: src + 10, rtt_ms: 40.0 + k as f64 }).unwrap();
+            tx.observe(Observation { src, dst: src + 10, rtt_ms: 40.0 + k as f64 }).unwrap();
         }
         drop(tx);
         let builder = stream.join();

@@ -75,12 +75,16 @@ pub mod sparse;
 
 pub use cache::CacheStats;
 pub use epoch::{
-    spawn as spawn_epoch_builder, EpochBuilder, EpochConfig, EpochSource, EpochStream, Observation,
-    PublishSink,
+    spawn as spawn_epoch_builder, spawn_with, EpochBuilder, EpochConfig, EpochSource, EpochStream,
+    Feed, FeedSender, Observation, PublishSink,
 };
 pub use flux::{BuildOutcome, FluxBuilder, FluxConfig};
-pub use loadgen::{LoadReport, ObservePath, WorkloadConfig};
+pub use loadgen::{
+    percentile, ClosedLoopReport, LoadReport, LoadSpec, ObservePath, WorkloadConfig,
+};
 pub use query::{QueryBatch, ReplyBatch, SeverityEstimate};
 pub use service::{ServeConfig, TivServe};
-pub use snapshot::{EdgeEstimate, EpochSnapshot, EstimateConfig, RouteEstimate};
+pub use snapshot::{
+    DenseParts, EdgeEstimate, EpochSnapshot, EstimateConfig, RouteEstimate, ServedSnapshot,
+};
 pub use sparse::{SparseEpochBuilder, SparseServe, SparseSnapshot};

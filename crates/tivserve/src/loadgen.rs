@@ -13,14 +13,22 @@
 //! [`run_closed_loop`] then plays the batches back-to-back (closed
 //! loop: the next batch is issued only when the previous one
 //! completed) and reports throughput and p50/p99 batch latency.
+//!
+//! The measurement vocabulary is shared across every load path:
+//! [`LoadSpec`] describes a workload (shape + pacing) for both this
+//! closed loop and `tivgate`'s open-loop socket client, and
+//! [`LoadReport`] is the one report core — the `observations ==
+//! delivered + undelivered` accounting identity and the percentile
+//! arithmetic ([`percentile`]) live here and nowhere else. Mode
+//! specific wrappers ([`ClosedLoopReport`], `tivgate::GateLoadReport`,
+//! `tivchaos`' chaos report) embed it rather than re-deriving it.
 
 use crate::cache::CacheStats;
-use crate::epoch::Observation;
+use crate::epoch::{FeedSender, Observation};
 use crate::service::TivServe;
 use delayspace::matrix::{DelayMatrix, NodeId};
 use delayspace::rng::{self, DetRng};
 use rand::Rng;
-use std::sync::mpsc;
 
 /// Workload shape.
 #[derive(Clone, Copy, Debug)]
@@ -53,6 +61,31 @@ impl Default for WorkloadConfig {
             jitter_sigma: 0.05,
             seed: 42,
         }
+    }
+}
+
+/// A complete load description, shared by every load path: the
+/// workload shape plus the pacing discipline. `target_qps == 0` means
+/// unpaced — the closed loop always runs unpaced; the open-loop gate
+/// client schedules arrivals at `target_qps` when it is positive.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LoadSpec {
+    /// Shape of the generated query/observation stream.
+    pub workload: WorkloadConfig,
+    /// Scheduled arrival rate in queries/s (0 = unpaced / closed).
+    pub target_qps: f64,
+}
+
+impl LoadSpec {
+    /// A spec with the given workload and no pacing.
+    pub fn unpaced(workload: WorkloadConfig) -> Self {
+        LoadSpec { workload, target_qps: 0.0 }
+    }
+
+    /// Generates the spec's batches against `matrix` — a pure function
+    /// of `(spec.workload, matrix)`, see [`generate`].
+    pub fn batches(&self, matrix: &DelayMatrix) -> Vec<QueryBatch> {
+        generate(&self.workload, matrix)
     }
 }
 
@@ -147,25 +180,41 @@ pub fn generate(cfg: &WorkloadConfig, matrix: &DelayMatrix) -> Vec<QueryBatch> {
 pub enum ObservePath<'a> {
     /// Discard them (read-only benchmark runs).
     Drop,
-    /// Stream them to a background epoch builder.
-    Channel(&'a mpsc::Sender<Observation>),
+    /// Stream them into a publish engine's feed.
+    Channel(&'a FeedSender),
 }
 
-/// The measured outcome of a closed-loop run.
+/// The latency at quantile `p` (`0.0..=1.0`) of an ascending-sorted
+/// sample, by nearest-rank on the closed interval — **the** percentile
+/// rule every load path reports with (closed loop, open-loop gate
+/// client, chaos harness). Returns 0 for an empty sample.
+pub fn percentile(sorted_ascending: &[f64], p: f64) -> f64 {
+    if sorted_ascending.is_empty() {
+        return 0.0;
+    }
+    let idx = (p * (sorted_ascending.len() - 1) as f64).round() as usize;
+    sorted_ascending[idx]
+}
+
+/// The shared measurement core of every load run: counts, the
+/// observation-delivery accounting, throughput, and latency
+/// percentiles. Mode-specific reports ([`ClosedLoopReport`],
+/// `tivgate::GateLoadReport`) embed this rather than re-deriving any
+/// of it.
 #[derive(Clone, Copy, Debug)]
 pub struct LoadReport {
     /// Queries answered.
     pub queries: usize,
+    /// Batches issued.
+    pub batches: usize,
     /// Observations the workload attempted to stream (or deliberately
     /// dropped via [`ObservePath::Drop`]).
     pub observations: usize,
     /// Observations that could not be delivered to the epoch builder
-    /// (its channel was closed — e.g. the builder thread died). Always
+    /// (its feed was closed — e.g. the builder thread died). Always
     /// 0 in a healthy run; surfaced instead of silently discarded so a
     /// wedged builder cannot masquerade as a fresh one.
     pub observations_undelivered: usize,
-    /// Batches issued.
-    pub batches: usize,
     /// Wall-clock seconds of the whole loop.
     pub elapsed_s: f64,
     /// Query throughput, queries per second.
@@ -174,13 +223,36 @@ pub struct LoadReport {
     pub p50_us: f64,
     /// 99th-percentile batch latency, microseconds.
     pub p99_us: f64,
-    /// Epoch of the last batch's answers.
-    pub final_epoch: u64,
-    /// Service cache counters at the end of the run.
-    pub cache: CacheStats,
+    /// 99.9th-percentile batch latency, microseconds.
+    pub p999_us: f64,
 }
 
 impl LoadReport {
+    /// Assembles the report core from raw measurements — the one place
+    /// throughput and percentiles are computed. `latencies_us` need
+    /// not be sorted.
+    pub fn from_latencies(
+        queries: usize,
+        batches: usize,
+        observations: usize,
+        observations_undelivered: usize,
+        elapsed_s: f64,
+        mut latencies_us: Vec<f64>,
+    ) -> Self {
+        latencies_us.sort_by(f64::total_cmp);
+        LoadReport {
+            queries,
+            batches,
+            observations,
+            observations_undelivered,
+            elapsed_s,
+            qps: if elapsed_s > 0.0 { queries as f64 / elapsed_s } else { 0.0 },
+            p50_us: percentile(&latencies_us, 0.50),
+            p99_us: percentile(&latencies_us, 0.99),
+            p999_us: percentile(&latencies_us, 0.999),
+        }
+    }
+
     /// Observations that actually reached the epoch builder. Together
     /// with [`observations_undelivered`](LoadReport::observations_undelivered)
     /// this partitions the attempt count exactly:
@@ -192,6 +264,19 @@ impl LoadReport {
     }
 }
 
+/// The measured outcome of a closed-loop run: the shared
+/// [`LoadReport`] core plus what only an in-process closed loop can
+/// see (the served epoch and the service's cache counters).
+#[derive(Clone, Copy, Debug)]
+pub struct ClosedLoopReport {
+    /// The shared measurement core.
+    pub load: LoadReport,
+    /// Epoch of the last batch's answers.
+    pub final_epoch: u64,
+    /// Service cache counters at the end of the run.
+    pub cache: CacheStats,
+}
+
 /// Plays the workload against the service, one batch at a time
 /// (closed loop), and measures it.
 ///
@@ -201,7 +286,7 @@ pub fn run_closed_loop(
     service: &TivServe,
     batches: &[QueryBatch],
     observe: ObservePath<'_>,
-) -> (LoadReport, Vec<Vec<crate::snapshot::EdgeEstimate>>) {
+) -> (ClosedLoopReport, Vec<Vec<crate::snapshot::EdgeEstimate>>) {
     let mut latencies_us = Vec::with_capacity(batches.len());
     let mut answers = Vec::with_capacity(batches.len());
     let mut queries = 0usize;
@@ -212,9 +297,9 @@ pub fn run_closed_loop(
     for batch in batches {
         if let ObservePath::Channel(tx) = &observe {
             for &obs in &batch.observations {
-                // A closed channel means the builder is gone; count the
+                // A closed feed means the builder is gone; count the
                 // loss instead of silently discarding it.
-                if tx.send(obs).is_err() {
+                if tx.observe(obs).is_err() {
                     undelivered += 1;
                 }
             }
@@ -230,23 +315,15 @@ pub fn run_closed_loop(
         answers.push(got);
     }
     let elapsed_s = started.elapsed().as_secs_f64();
-    latencies_us.sort_by(f64::total_cmp);
-    let pct = |p: f64| -> f64 {
-        if latencies_us.is_empty() {
-            return 0.0;
-        }
-        let idx = (p * (latencies_us.len() - 1) as f64).round() as usize;
-        latencies_us[idx]
-    };
-    let report = LoadReport {
-        queries,
-        observations,
-        observations_undelivered: undelivered,
-        batches: batches.len(),
-        elapsed_s,
-        qps: if elapsed_s > 0.0 { queries as f64 / elapsed_s } else { 0.0 },
-        p50_us: pct(0.50),
-        p99_us: pct(0.99),
+    let report = ClosedLoopReport {
+        load: LoadReport::from_latencies(
+            queries,
+            batches.len(),
+            observations,
+            undelivered,
+            elapsed_s,
+            latencies_us,
+        ),
         final_epoch,
         cache: service.cache_stats(),
     };
@@ -343,19 +420,20 @@ mod tests {
         let batches = generate(&cfg, &m);
         let sent: usize = batches.iter().map(|qb| qb.observations.len()).sum();
         assert!(sent > 0, "fixture must actually stream observations");
-        let (tx, rx) = mpsc::channel();
+        let (tx, rx) = FeedSender::channel();
         let (report, _) = run_closed_loop(&service, &batches, ObservePath::Channel(&tx));
         drop(tx);
-        assert_eq!(report.observations, sent);
-        assert_eq!(report.observations_undelivered, 0, "live channel loses nothing");
-        assert_eq!(report.observations_delivered(), sent);
+        let load = report.load;
+        assert_eq!(load.observations, sent);
+        assert_eq!(load.observations_undelivered, 0, "live channel loses nothing");
+        assert_eq!(load.observations_delivered(), sent);
         assert_eq!(
-            report.observations,
-            report.observations_delivered() + report.observations_undelivered,
+            load.observations,
+            load.observations_delivered() + load.observations_undelivered,
             "accounting identity: sent == delivered + undelivered"
         );
-        // Every delivered observation is really in the channel.
-        assert_eq!(rx.iter().count(), report.observations_delivered());
+        // Every delivered observation is really in the feed.
+        assert_eq!(rx.iter().count(), load.observations_delivered());
     }
 
     #[test]
@@ -373,18 +451,18 @@ mod tests {
             ..WorkloadConfig::default()
         };
         let batches = generate(&cfg, &m);
-        // The builder "died": its receiver is gone before the run starts.
-        let (tx, rx) = mpsc::channel::<Observation>();
-        drop(rx);
+        // The builder "died": there is no engine behind the feed.
+        let tx = FeedSender::disconnected();
         let (report, _) = run_closed_loop(&service, &batches, ObservePath::Channel(&tx));
-        assert!(report.observations > 0);
+        let load = report.load;
+        assert!(load.observations > 0);
         assert_eq!(
-            report.observations_undelivered, report.observations,
+            load.observations_undelivered, load.observations,
             "every attempt against a dead builder is counted as undelivered"
         );
-        assert_eq!(report.observations_delivered(), 0);
+        assert_eq!(load.observations_delivered(), 0);
         // Queries are unaffected by the dead observation path.
-        assert_eq!(report.queries, 300);
+        assert_eq!(load.queries, 300);
     }
 
     #[test]
@@ -398,12 +476,31 @@ mod tests {
         let cfg = WorkloadConfig { queries: 300, batch: 50, ..WorkloadConfig::default() };
         let batches = generate(&cfg, &m);
         let (report, answers) = run_closed_loop(&service, &batches, ObservePath::Drop);
-        assert_eq!(report.queries, 300);
-        assert_eq!(report.batches, batches.len());
+        assert_eq!(report.load.queries, 300);
+        assert_eq!(report.load.batches, batches.len());
         assert_eq!(answers.len(), batches.len());
-        assert!(report.qps > 0.0);
-        assert!(report.p50_us <= report.p99_us);
+        assert!(report.load.qps > 0.0);
+        assert!(report.load.p50_us <= report.load.p99_us);
+        assert!(report.load.p99_us <= report.load.p999_us);
         assert_eq!(report.final_epoch, 0);
         assert_eq!(report.cache.hits + report.cache.misses, 300);
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank_on_the_closed_interval() {
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        let one = [7.0];
+        assert_eq!(percentile(&one, 0.0), 7.0);
+        assert_eq!(percentile(&one, 1.0), 7.0);
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 1.0), 100.0);
+        assert_eq!(percentile(&v, 0.5), 51.0);
+        // The shared constructor and a by-hand computation agree.
+        let report = LoadReport::from_latencies(100, 100, 0, 0, 1.0, v.clone());
+        assert_eq!(report.p50_us, percentile(&v, 0.50));
+        assert_eq!(report.p99_us, percentile(&v, 0.99));
+        assert_eq!(report.p999_us, percentile(&v, 0.999));
+        assert_eq!(report.qps, 100.0);
     }
 }

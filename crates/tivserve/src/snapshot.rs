@@ -91,6 +91,53 @@ pub struct EdgeEstimate {
     pub alert: bool,
 }
 
+/// Anything the serving stack can publish and serve an epoch from:
+/// the dense [`EpochSnapshot`] and the million-node
+/// [`SparseSnapshot`](crate::sparse::SparseSnapshot).
+///
+/// The trait is the **one constructor surface** for snapshots: every
+/// build path — the classic epoch builder, the incremental flux
+/// builder, the sparse builder, and a chaos restart rebuilding a
+/// replica from the deployment's retained state — goes through
+/// [`assemble`](ServedSnapshot::assemble), so dense and sparse
+/// snapshots are constructed (and reconstructed) uniformly.
+/// [`into_parts`](ServedSnapshot::into_parts) is the inverse; a
+/// round-trip re-tagged with a new epoch is exactly how a restarted
+/// replica's state is rebuilt.
+pub trait ServedSnapshot: Clone + Send + Sync + 'static {
+    /// Everything the snapshot freezes besides the epoch tag.
+    type Parts: Send;
+
+    /// Freezes `parts` as the snapshot of `epoch` — the single
+    /// validated constructor every build path funnels through.
+    fn assemble(epoch: u64, parts: Self::Parts) -> Self;
+
+    /// Splits the snapshot back into its epoch tag and parts.
+    fn into_parts(self) -> (u64, Self::Parts);
+
+    /// The epoch this snapshot froze.
+    fn epoch(&self) -> u64;
+
+    /// Number of nodes served.
+    fn node_count(&self) -> usize;
+}
+
+/// The constituent parts of a dense [`EpochSnapshot`] — what
+/// [`ServedSnapshot::assemble`] freezes besides the epoch tag.
+#[derive(Clone, Debug)]
+pub struct DenseParts {
+    /// The measured delay matrix.
+    pub matrix: DelayMatrix,
+    /// The Vivaldi embedding of the matrix.
+    pub embedding: Embedding,
+    /// `monitors[i]` is node `i`'s exported monitor state, sorted by
+    /// peer id (possibly empty).
+    pub monitors: Vec<Vec<MonitorSummary>>,
+    /// Precomputed O(n³) analyses, when the incremental pipeline
+    /// maintains them.
+    pub derived: Option<Arc<DerivedState>>,
+}
+
 /// A frozen service state: delay matrix + embedding + monitor
 /// summaries, tagged with the epoch that produced it.
 #[derive(Clone, Debug)]
@@ -110,18 +157,21 @@ pub struct EpochSnapshot {
     derived: Option<Arc<DerivedState>>,
 }
 
-impl EpochSnapshot {
-    /// Freezes a snapshot.
+impl ServedSnapshot for EpochSnapshot {
+    type Parts = DenseParts;
+
+    /// Freezes a dense snapshot — the single validated construction
+    /// path behind [`EpochSnapshot::new`],
+    /// [`EpochSnapshot::without_monitors`] and
+    /// [`EpochSnapshot::with_derived`], and the one both the flux
+    /// builder and a chaos restart rebuild through.
     ///
     /// # Panics
-    /// Panics when the matrix, embedding and monitor table disagree on
-    /// the node count, or when a monitor export is not sorted by peer.
-    pub fn new(
-        epoch: u64,
-        matrix: DelayMatrix,
-        embedding: Embedding,
-        monitors: Vec<Vec<MonitorSummary>>,
-    ) -> Self {
+    /// Panics when the matrix, embedding, monitor table or derived
+    /// state disagree on the node count, or when a monitor export is
+    /// not sorted by peer.
+    fn assemble(epoch: u64, parts: Self::Parts) -> Self {
+        let DenseParts { matrix, embedding, monitors, derived } = parts;
         let n = matrix.len();
         assert_eq!(embedding.len(), n, "embedding covers {} of {n} nodes", embedding.len());
         assert_eq!(monitors.len(), n, "monitor table covers {} of {n} nodes", monitors.len());
@@ -132,7 +182,40 @@ impl EpochSnapshot {
             );
             assert!(peers.iter().all(|s| s.peer < n), "node {i}: summary of unknown peer");
         }
-        EpochSnapshot { epoch, matrix, embedding, monitors, derived: None }
+        if let Some(d) = &derived {
+            assert_eq!(d.len(), n, "derived state covers {} of {n} nodes", d.len());
+        }
+        EpochSnapshot { epoch, matrix, embedding, monitors, derived }
+    }
+
+    fn into_parts(self) -> (u64, DenseParts) {
+        let EpochSnapshot { epoch, matrix, embedding, monitors, derived } = self;
+        (epoch, DenseParts { matrix, embedding, monitors, derived })
+    }
+
+    fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    fn node_count(&self) -> usize {
+        self.matrix.len()
+    }
+}
+
+impl EpochSnapshot {
+    /// Freezes a snapshot (no derived state); routes through
+    /// [`ServedSnapshot::assemble`].
+    ///
+    /// # Panics
+    /// Panics when the matrix, embedding and monitor table disagree on
+    /// the node count, or when a monitor export is not sorted by peer.
+    pub fn new(
+        epoch: u64,
+        matrix: DelayMatrix,
+        embedding: Embedding,
+        monitors: Vec<Vec<MonitorSummary>>,
+    ) -> Self {
+        Self::assemble(epoch, DenseParts { matrix, embedding, monitors, derived: None })
     }
 
     /// Attaches precomputed derived state (the incremental pipeline's
@@ -140,20 +223,14 @@ impl EpochSnapshot {
     /// that the state was computed from **this snapshot's matrix** —
     /// the `FluxBuilder` construction path guarantees it, and the
     /// `flux_equivalence` test pins that table-served answers equal the
-    /// scan-served ones.
+    /// scan-served ones. Routes through [`ServedSnapshot::assemble`].
     ///
     /// # Panics
     /// Panics when the derived state covers a different node count.
-    pub fn with_derived(mut self, derived: Arc<DerivedState>) -> Self {
-        assert_eq!(
-            derived.len(),
-            self.matrix.len(),
-            "derived state covers {} of {} nodes",
-            derived.len(),
-            self.matrix.len()
-        );
-        self.derived = Some(derived);
-        self
+    pub fn with_derived(self, derived: Arc<DerivedState>) -> Self {
+        let (epoch, mut parts) = self.into_parts();
+        parts.derived = Some(derived);
+        Self::assemble(epoch, parts)
     }
 
     /// The attached derived state, when the snapshot was built by the

@@ -27,7 +27,7 @@
 //! bit-identical to the dense estimate (pinned by this module's tests).
 
 use crate::epoch::{EpochSource, Observation, PublishSink};
-use crate::snapshot::EstimateConfig;
+use crate::snapshot::{EstimateConfig, ServedSnapshot};
 use delayspace::matrix::NodeId;
 use delayspace::{DelayStore, NodePair, SparseDelayStore};
 use std::sync::{Arc, RwLock};
@@ -43,10 +43,35 @@ pub struct SparseSnapshot {
     store: SparseDelayStore,
 }
 
-impl SparseSnapshot {
-    /// Wraps a store as the snapshot of `epoch`.
-    pub fn new(epoch: u64, store: SparseDelayStore) -> Self {
+impl ServedSnapshot for SparseSnapshot {
+    /// Everything a sparse epoch freezes is the store itself — the
+    /// sparse side of the one constructor surface
+    /// ([`ServedSnapshot::assemble`]) that dense snapshots share, so a
+    /// chaos restart rebuilds either kind uniformly.
+    type Parts = SparseDelayStore;
+
+    fn assemble(epoch: u64, store: SparseDelayStore) -> Self {
         SparseSnapshot { epoch, store }
+    }
+
+    fn into_parts(self) -> (u64, SparseDelayStore) {
+        (self.epoch, self.store)
+    }
+
+    fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    fn node_count(&self) -> usize {
+        self.store.len()
+    }
+}
+
+impl SparseSnapshot {
+    /// Wraps a store as the snapshot of `epoch`; routes through
+    /// [`ServedSnapshot::assemble`].
+    pub fn new(epoch: u64, store: SparseDelayStore) -> Self {
+        Self::assemble(epoch, store)
     }
 
     /// The epoch this snapshot froze.
@@ -404,7 +429,7 @@ mod tests {
         let stream = spawn(Arc::clone(&serve), builder, 4);
         let tx = stream.sender();
         for i in 0..10usize {
-            tx.send(Observation { src: i % 7, dst: 10 + i, rtt_ms: 20.0 + i as f64 }).unwrap();
+            tx.observe(Observation { src: i % 7, dst: 10 + i, rtt_ms: 20.0 + i as f64 }).unwrap();
         }
         drop(tx);
         let builder = stream.join();

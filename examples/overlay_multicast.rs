@@ -1,16 +1,17 @@
-//! Overlay multicast tree construction — the motivating application of
-//! the paper's introduction: "in a tree-based overlay multicast system,
-//! a joining node needs to find an existing group member who is nearby
-//! to serve as its parent in the tree."
+//! Overlay multicast tree construction, served live — the motivating
+//! application of the paper's introduction: "in a tree-based overlay
+//! multicast system, a joining node needs to find an existing group
+//! member who is nearby to serve as its parent in the tree."
 //!
-//! This example builds a multicast tree three ways and compares the
-//! resulting per-member overlay delay from the root:
-//!
-//! 1. **random parent** — no delay awareness at all,
-//! 2. **Vivaldi parent** — each joiner picks the member whose Vivaldi
-//!    coordinate looks closest (TIV-oblivious),
-//! 3. **dynamic-neighbor Vivaldi parent** — same, but with the paper's
-//!    TIV-alert-driven neighbor refinement (Section 5.2).
+//! Promoted from simulation to a measured end-to-end workload: a
+//! multi-replica `tivgate` deployment serves TIV estimates from epoch
+//! snapshots over real sockets, and every joiner picks its parent from
+//! the wire answers alone — one tree minimizing predicted delay
+//! (TIV-oblivious), one avoiding TIV-alerted edges (TIV-aware), and an
+//! oracle tree built from true measured delays as the lower bound.
+//! The outcome metric is the true overlay delay from the root through
+//! each finished tree, with savings attributed by the severity of the
+//! edge the oblivious strategy would have used.
 //!
 //! ```text
 //! cargo run --release --example overlay_multicast
@@ -18,109 +19,21 @@
 
 use tivoid::prelude::*;
 
-/// A multicast tree: parent pointer per member (root has none).
-struct Tree {
-    parent: Vec<Option<NodeId>>,
-}
-
-impl Tree {
-    /// Overlay delay from the root to `node`: the sum of measured edge
-    /// delays along the parent chain.
-    fn delay_from_root(&self, m: &DelayMatrix, mut node: NodeId) -> f64 {
-        let mut total = 0.0;
-        while let Some(p) = self.parent[node] {
-            total += m.get(node, p).unwrap_or(1_000.0);
-            node = p;
-        }
-        total
-    }
-
-    /// Tree depth of `node`.
-    fn depth(&self, mut node: NodeId) -> usize {
-        let mut d = 0;
-        while let Some(p) = self.parent[node] {
-            d += 1;
-            node = p;
-        }
-        d
-    }
-}
-
-/// Builds a tree by letting nodes join in order 1..n, each picking a
-/// parent among the already-joined members via `select`. A fanout cap
-/// keeps the tree realistic.
-fn build_tree(
-    m: &DelayMatrix,
-    fanout: usize,
-    mut select: impl FnMut(NodeId, &[NodeId]) -> Option<NodeId>,
-) -> Tree {
-    let n = m.len();
-    let mut parent: Vec<Option<NodeId>> = vec![None; n];
-    let mut children = vec![0usize; n];
-    let mut joined: Vec<NodeId> = vec![0];
-    for (node, slot) in parent.iter_mut().enumerate().skip(1) {
-        let eligible: Vec<NodeId> =
-            joined.iter().copied().filter(|&j| children[j] < fanout).collect();
-        let choice = select(node, &eligible)
-            .filter(|&p| eligible.contains(&p))
-            .or_else(|| eligible.first().copied())
-            .expect("root always eligible");
-        *slot = Some(choice);
-        children[choice] += 1;
-        joined.push(node);
-    }
-    Tree { parent }
-}
-
-fn summarize(label: &str, m: &DelayMatrix, tree: &Tree) {
-    let delays: Vec<f64> = (1..m.len()).map(|v| tree.delay_from_root(m, v)).collect();
-    let cdf = Cdf::from_samples(delays.iter().copied());
-    let max_depth = (1..m.len()).map(|v| tree.depth(v)).max().unwrap_or(0);
-    println!(
-        "{label:<28} root-to-member delay: median {:>7.1} ms  p90 {:>7.1} ms  depth ≤ {max_depth}",
-        cdf.median(),
-        cdf.quantile(0.9),
-    );
-}
-
 fn main() {
-    let space = InternetDelaySpace::preset(Dataset::Ds2).with_nodes(300).build(11);
-    let m = space.matrix();
-    let fanout = 6;
+    let cfg = AppConfig { nodes: 240, replicas: 2, fanout: 6, ..AppConfig::default() };
     println!(
-        "overlay multicast over {} members (fanout {fanout}), delays from the DS² preset\n",
-        m.len()
+        "overlay multicast served live: {} members (fanout {}), {} replicas, DS² preset\n",
+        cfg.nodes, cfg.fanout, cfg.replicas
     );
-
-    // 1. Delay-oblivious parents: each joiner attaches to the most
-    //    recent eligible member (what a join protocol with no delay
-    //    information degenerates to).
-    let naive_tree = build_tree(m, fanout, |_node, eligible| eligible.last().copied());
-    summarize("naive parent (join order)", m, &naive_tree);
-
-    // 2. Plain Vivaldi parents.
-    let mut sys = VivaldiSystem::new(VivaldiConfig::default(), m.len(), 11);
-    let mut net = Network::new(m, JitterModel::None, 11);
-    sys.run_rounds(&mut net, 200);
-    let emb = sys.embedding();
-    let vivaldi_tree = build_tree(m, fanout, |node, eligible| emb.select_nearest(node, eligible));
-    summarize("Vivaldi parent", m, &vivaldi_tree);
-
-    // 3. Dynamic-neighbor Vivaldi parents (TIV-aware embedding).
-    let records = dynvivaldi::run(m, &DynVivaldiConfig::default(), 5, 11);
-    let aware = &records.last().unwrap().embedding;
-    let aware_tree = build_tree(m, fanout, |node, eligible| aware.select_nearest(node, eligible));
-    summarize("dyn-neighbor Vivaldi parent", m, &aware_tree);
-
-    // 4. Oracle parents (true measured delays) as the lower bound.
-    let oracle_tree = build_tree(m, fanout, |node, eligible| {
-        m.nearest_among(node, eligible.iter()).map(|(p, _)| p)
-    });
-    summarize("oracle parent (lower bound)", m, &oracle_tree);
-
-    println!(
-        "\nTIV-aware neighbor selection narrows the gap to the oracle: the TIV \
-         alert purges the misleading (routing-inflated) edges from the \
-         embedding's spring sets before parents are chosen."
-    );
+    match run_overlay_multicast(&cfg) {
+        Ok(report) => {
+            println!("{report}");
+            println!(
+                "\nTIV-aware parent choice narrows the gap to the oracle: an alerted \
+                 edge's prediction is known to be misleading, so the joiner attaches \
+                 elsewhere — and the savings concentrate where severity is high."
+            );
+        }
+        Err(e) => eprintln!("workload failed: {e}"),
+    }
 }

@@ -1,10 +1,15 @@
-//! Server selection with Meridian — plain versus TIV-aware.
+//! Server selection, served live — plain versus TIV-aware.
 //!
-//! A CDN-like scenario: a fleet of candidate servers participates in a
-//! Meridian overlay; clients ask for the closest server. We compare
-//! plain Meridian against the TIV-aware variant of Section 5.3 (dual
-//! ring placement + alert-driven query restart) and report both the
-//! selection quality and the probing cost — the paper's trade-off.
+//! A CDN-like scenario, promoted from simulation to a measured
+//! end-to-end workload: a multi-replica `tivgate` deployment serves
+//! TIV estimates from epoch snapshots over real sockets, and every
+//! client picks its server from the wire answers alone — once
+//! minimizing the predicted delay (TIV-oblivious), once avoiding
+//! candidates whose edge carries a TIV alert (TIV-aware, the paper's
+//! Section 5 discipline), with the true measured delay as the oracle
+//! lower bound. Savings are attributed to the TIV severity of the
+//! edge the oblivious strategy would have used — the paper's
+//! savings-grow-with-severity claim, reproduced on live traffic.
 //!
 //! ```text
 //! cargo run --release --example server_selection
@@ -13,71 +18,23 @@
 use tivoid::prelude::*;
 
 fn main() {
-    let space = InternetDelaySpace::preset(Dataset::Ds2).with_nodes(500).build(23);
-    let m = space.matrix();
-    let servers: Vec<NodeId> = (0..150).collect();
-    let clients: Vec<NodeId> = (150..m.len()).collect();
+    let cfg = AppConfig { nodes: 240, replicas: 2, servers: 60, ..AppConfig::default() };
     println!(
-        "{} servers in the Meridian overlay, {} clients, DS² preset\n",
-        servers.len(),
-        clients.len()
+        "server selection served live: {} candidate servers, {} clients, \
+         {} replicas, DS² preset\n",
+        cfg.servers,
+        cfg.nodes - cfg.servers,
+        cfg.replicas
     );
-
-    // An independent Vivaldi embedding supplies prediction ratios for
-    // the TIV-aware variant (the paper assumes exactly this).
-    let mut sys = VivaldiSystem::new(VivaldiConfig::default(), m.len(), 23);
-    let mut vnet = Network::new(m, JitterModel::None, 23);
-    sys.run_rounds(&mut vnet, 250);
-    let emb = sys.embedding();
-
-    let mut rng = delayspace::rng::rng(23);
-    let run = |label: &str, aware: bool, rng: &mut delayspace::rng::DetRng| {
-        let mut net = Network::new(m, JitterModel::None, 23);
-        let cfg = TivMeridianConfig::default();
-        let overlay = if aware {
-            build_tiv_aware(&cfg, servers.clone(), &emb, &mut net, 23, None)
-        } else {
-            MeridianOverlay::build(
-                cfg.base,
-                servers.clone(),
-                &mut net,
-                23,
-                &BuildOptions::default(),
-            )
-        };
-        net.stats_mut().reset(); // count only on-demand query probes
-        let mut penalties = Vec::new();
-        let mut exact = 0usize;
-        for &client in &clients {
-            let start = overlay.random_member(rng);
-            let res = if aware {
-                tiv_aware_query(&overlay, &emb, &mut net, start, client, &cfg)
-            } else {
-                closest_neighbor(&overlay, &mut net, start, client, Termination::Beta)
-            };
-            let Some(res) = res else { continue };
-            let (_, d_opt) = m.nearest_among(client, servers.iter()).unwrap();
-            let p = (res.selected_delay - d_opt) * 100.0 / d_opt;
-            if p <= 0.0 {
-                exact += 1;
-            }
-            penalties.push(p);
+    match run_server_selection(&cfg) {
+        Ok(report) => {
+            println!("{report}");
+            println!(
+                "\nevery decision above was made from wire answers served by the \
+                 deployment — the TIV alert turns a misleading prediction into an \
+                 avoidable one."
+            );
         }
-        let cdf = Cdf::from_samples(penalties);
-        println!(
-            "{label:<22} exact {:>5.1}%   mean penalty {:>6.1}%   p90 {:>6.1}%   probes/query {:>5.1}",
-            100.0 * exact as f64 / clients.len() as f64,
-            cdf.mean(),
-            cdf.quantile(0.9),
-            net.stats().total() as f64 / clients.len() as f64,
-        );
-        net.stats().total()
-    };
-
-    let plain_probes = run("Meridian (plain)", false, &mut rng);
-    let aware_probes = run("Meridian (TIV-aware)", true, &mut rng);
-    println!(
-        "\nprobing overhead of TIV awareness: {:+.1}% (paper reports ≈ +6%)",
-        100.0 * (aware_probes as f64 / plain_probes as f64 - 1.0)
-    );
+        Err(e) => eprintln!("workload failed: {e}"),
+    }
 }
